@@ -1,0 +1,220 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation prints its quality result (prediction accuracy or
+//! perf delta) once, and criterion measures the cost of the varied
+//! component:
+//!
+//! 1. **metric factors** — accuracy of the full product vs. each factor
+//!    removed (mix-only, no-DispHeld, no-scalability);
+//! 2. **sampling window length** — metric stability across window sizes;
+//! 3. **EWMA smoothing** — sampler variance with and without smoothing;
+//! 4. **SMT resource partitioning** — throughput with partitioning
+//!    disabled (one thread may monopolize shared queues);
+//! 5. **spinning vs. blocking** — the same contended workload with the two
+//!    waiting disciplines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::BENCH_SCALE;
+use smt_experiments::suite::{Machine, SuiteData};
+use smt_sim::{MachineConfig, Simulation, SmtLevel};
+use smt_stats::classify::SpeedupCase;
+use smt_workloads::{catalog, SyncSpec, SyntheticWorkload};
+use smtsm::{MetricSpec, OnlineSampler, ThresholdPredictor};
+use std::sync::OnceLock;
+
+fn p7() -> &'static SuiteData {
+    static DATA: OnceLock<SuiteData> = OnceLock::new();
+    DATA.get_or_init(|| SuiteData::collect(Machine::Power7OneChip, BENCH_SCALE))
+}
+
+/// Ablation 1: train+score each metric variant on the fig-6 sample.
+fn ablate_metric_factors(c: &mut Criterion) {
+    let data = p7();
+    let variants: [(&str, fn(&smtsm::SmtsmFactors) -> f64); 4] = [
+        ("full", |f| f.value()),
+        ("mix_only", |f| f.mix_only()),
+        ("no_disp_held", |f| f.value_without_disp_held()),
+        ("no_scalability", |f| f.value_without_scalability()),
+    ];
+    let mut g = c.benchmark_group("ablation_metric_factors");
+    g.sample_size(10);
+    for (name, extract) in variants {
+        let cases: Vec<SpeedupCase> = data
+            .results
+            .iter()
+            .map(|r| {
+                let m = &r.levels[&SmtLevel::Smt4];
+                SpeedupCase::new(
+                    r.name.clone(),
+                    extract(&m.factors),
+                    r.speedup(SmtLevel::Smt4, SmtLevel::Smt1),
+                )
+            })
+            .collect();
+        let p = ThresholdPredictor::train_gini(&cases);
+        println!(
+            "[ablation/factors] {name:<16} threshold {:.4}  accuracy {:.1}%",
+            p.threshold,
+            p.accuracy(&cases) * 100.0
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| ThresholdPredictor::train_gini(&cases).accuracy(&cases))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2+3: window length and smoothing on a live simulation.
+fn ablate_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling");
+    g.sample_size(10);
+    let cfg = MachineConfig::power7(1);
+    let spec = MetricSpec::for_arch(&cfg.arch);
+
+    for window in [5_000u64, 20_000, 80_000] {
+        // Quality: metric spread over consecutive windows.
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(catalog::specjbb()),
+        );
+        sim.run_cycles(10_000);
+        let mut sampler = OnlineSampler::new(spec, window, 1.0);
+        let mut vals = Vec::new();
+        for _ in 0..6 {
+            let (_, f) = sampler.sample(&mut sim);
+            vals.push(f.value());
+        }
+        let s = smt_stats::Summary::of(&vals);
+        println!(
+            "[ablation/window] {window:>6} cycles: mean {:.4} stddev {:.4}",
+            s.mean, s.stddev
+        );
+
+        g.bench_function(format!("window_{window}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulation::new(
+                        cfg.clone(),
+                        SmtLevel::Smt4,
+                        SyntheticWorkload::new(catalog::specjbb()),
+                    );
+                    sim.run_cycles(5_000);
+                    (sim, OnlineSampler::new(spec, window, 1.0))
+                },
+                |(mut sim, mut sampler)| sampler.sample(&mut sim),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Smoothing: alpha = 1.0 (none) vs 0.4 on a noisy series.
+    for alpha in [1.0f64, 0.4] {
+        let mut sampler = OnlineSampler::new(spec, 1_000, alpha);
+        let noisy = [0.10, 0.30, 0.08, 0.28, 0.12, 0.26, 0.09, 0.31];
+        let smoothed: Vec<f64> = noisy.iter().map(|&v| sampler.push(v)).collect();
+        let s = smt_stats::Summary::of(&smoothed[2..]);
+        println!(
+            "[ablation/ewma] alpha {alpha}: smoothed stddev {:.4} (raw 0.099)",
+            s.stddev
+        );
+    }
+    g.finish();
+}
+
+/// Ablation 4: SMT resource partitioning on/off.
+fn ablate_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_partitioning");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("static", smt_sim::Partitioning::Static),
+        ("dynamic", smt_sim::Partitioning::Dynamic),
+        ("none", smt_sim::Partitioning::None),
+    ] {
+        let mut cfg = MachineConfig::power7(1);
+        cfg.arch.partitioning = policy;
+        // Memory-bound + compute threads sharing cores: without partitioning
+        // a stalled thread can monopolize the queues.
+        let spec = catalog::cg_mpi().scaled(0.1);
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(spec.clone()),
+        );
+        let res = sim.run_until_finished(500_000_000);
+        println!(
+            "[ablation/partitioning] {label}: CG @SMT4 perf {:.3} work/cycle",
+            res.perf()
+        );
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    Simulation::new(
+                        cfg.clone(),
+                        SmtLevel::Smt4,
+                        SyntheticWorkload::new(spec.clone()),
+                    )
+                },
+                |mut sim| sim.run_cycles(5_000),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 5: the same contended workload, spinning vs blocking waiters.
+fn ablate_wait_discipline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wait_discipline");
+    g.sample_size(10);
+    let cfg = MachineConfig::power7(1);
+    let mspec = MetricSpec::for_arch(&cfg.arch);
+    for (label, sync) in [
+        ("spin", SyncSpec::SpinLock { cs_interval: 180, cs_len: 22 }),
+        (
+            "block",
+            SyncSpec::BlockingLock { cs_interval: 180, cs_len: 22, wake_latency: 40 },
+        ),
+    ] {
+        let mut spec = catalog::specjbb_contention().scaled(0.15);
+        spec.sync = sync;
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(spec.clone()),
+        );
+        sim.run_cycles(10_000);
+        let window = sim.measure_window(30_000);
+        let f = smtsm::smtsm_factors(&mspec, &window);
+        println!(
+            "[ablation/wait] {label}: mix-dev {:.3} disp-held {:.3} scalability {:.3} -> metric {:.4}",
+            f.mix_deviation,
+            f.disp_held,
+            f.scalability,
+            f.value()
+        );
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    Simulation::new(
+                        cfg.clone(),
+                        SmtLevel::Smt4,
+                        SyntheticWorkload::new(spec.clone()),
+                    )
+                },
+                |mut sim| sim.run_cycles(5_000),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_metric_factors,
+    ablate_sampling,
+    ablate_partitioning,
+    ablate_wait_discipline
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! One benchmark per paper artifact: regenerate each table/figure from a
+//! shared (small-scale) dataset. The first run of each also prints the
+//! headline numbers, so the bench log doubles as a mini reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::BENCH_SCALE;
+use smt_experiments::figures;
+use smt_experiments::suite::{Machine, SuiteData};
+use smt_experiments::ScatterFigure;
+use std::sync::OnceLock;
+
+fn p7() -> &'static SuiteData {
+    static DATA: OnceLock<SuiteData> = OnceLock::new();
+    DATA.get_or_init(|| SuiteData::collect(Machine::Power7OneChip, BENCH_SCALE))
+}
+
+fn p7x2() -> &'static SuiteData {
+    static DATA: OnceLock<SuiteData> = OnceLock::new();
+    DATA.get_or_init(|| SuiteData::collect(Machine::Power7TwoChip, BENCH_SCALE))
+}
+
+fn nhm() -> &'static SuiteData {
+    static DATA: OnceLock<SuiteData> = OnceLock::new();
+    DATA.get_or_init(|| SuiteData::collect(Machine::Nehalem, BENCH_SCALE))
+}
+
+type ScatterGen = fn(&SuiteData) -> ScatterFigure;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| b.iter(|| figures::table1().render()));
+
+    g.bench_function("fig1", |b| {
+        let data = p7();
+        println!("[fig1] {:?}", figures::fig1(data).bars);
+        b.iter(|| figures::fig1(data))
+    });
+
+    g.bench_function("fig2", |b| {
+        let data = p7();
+        println!(
+            "[fig2] max |pearson r| = {:.3}",
+            figures::fig2(data).max_abs_correlation()
+        );
+        b.iter(|| figures::fig2(data))
+    });
+
+    g.bench_function("fig7", |b| {
+        let data = p7();
+        b.iter(|| figures::fig7(data))
+    });
+
+    for (name, gen) in [
+        ("fig6", figures::fig6 as ScatterGen),
+        ("fig8", figures::fig8 as ScatterGen),
+        ("fig9", figures::fig9 as ScatterGen),
+        ("fig11", figures::fig11 as ScatterGen),
+    ] {
+        g.bench_function(name, |b| {
+            let data = p7();
+            let f = gen(data);
+            println!(
+                "[{name}] threshold {:.4}, success {:.1}%, r {:?}",
+                f.threshold,
+                f.accuracy * 100.0,
+                f.pearson_r
+            );
+            b.iter(|| gen(data))
+        });
+    }
+
+    for (name, gen) in [
+        ("fig10", figures::fig10 as ScatterGen),
+        ("fig12", figures::fig12 as ScatterGen),
+    ] {
+        g.bench_function(name, |b| {
+            let data = nhm();
+            let f = gen(data);
+            println!(
+                "[{name}] threshold {:.4}, success {:.1}%",
+                f.threshold,
+                f.accuracy * 100.0
+            );
+            b.iter(|| gen(data))
+        });
+    }
+
+    for (name, gen) in [
+        ("fig13", figures::fig13 as ScatterGen),
+        ("fig14", figures::fig14 as ScatterGen),
+        ("fig15", figures::fig15 as ScatterGen),
+    ] {
+        g.bench_function(name, |b| {
+            let data = p7x2();
+            let f = gen(data);
+            println!(
+                "[{name}] threshold {:.4}, success {:.1}%",
+                f.threshold,
+                f.accuracy * 100.0
+            );
+            b.iter(|| gen(data))
+        });
+    }
+
+    g.bench_function("fig16", |b| {
+        let f6 = figures::fig6(p7());
+        b.iter(|| figures::fig16(&f6))
+    });
+
+    g.bench_function("fig17", |b| {
+        let f6 = figures::fig6(p7());
+        let f17 = figures::fig17(&f6);
+        println!(
+            "[fig17] best improvement {:.1}% at threshold {:.4}",
+            f17.best_improvement, f17.best_threshold
+        );
+        b.iter(|| figures::fig17(&f6))
+    });
+
+    g.bench_function("success", |b| {
+        let f6 = figures::fig6(p7());
+        let f10 = figures::fig10(nhm());
+        let s = figures::success_rates(&f6, &f10);
+        println!(
+            "[success] P7 {:.1}%  NHM {:.1}%  overall {:.1}%",
+            s.power7 * 100.0,
+            s.nehalem * 100.0,
+            s.overall * 100.0
+        );
+        b.iter(|| figures::success_rates(&f6, &f10))
+    });
+
+    g.finish();
+}
+
+fn bench_collection(c: &mut Criterion) {
+    // The expensive part behind every figure: measuring one benchmark at
+    // every SMT level.
+    let mut g = c.benchmark_group("collection");
+    g.sample_size(10);
+    g.bench_function("one_benchmark_all_levels", |b| {
+        let cfg = Machine::Power7OneChip.config();
+        let spec = smt_workloads::catalog::ep().scaled(0.01);
+        let levels = cfg.smt_levels();
+        b.iter(|| smt_experiments::run_benchmark(&cfg, &spec, &levels))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_collection);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Simulator microbenchmarks: how fast does the substrate itself run?
+//!
+//! Reported in simulated cycles per wall-second equivalents (criterion
+//! measures time per fixed simulated window), across SMT levels, machine
+//! sizes, and workload classes, plus cache/generator hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_sim::{Cache, CacheConfig, MachineConfig, Simulation, SmtLevel, Workload};
+use smt_workloads::{catalog, SyntheticWorkload};
+
+const WINDOW: u64 = 10_000;
+
+fn bench_cycle_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_cycle_rate");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(WINDOW));
+
+    for smt in [SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4] {
+        g.bench_with_input(
+            BenchmarkId::new("p7_ep", smt.ways()),
+            &smt,
+            |b, &smt| {
+                b.iter_batched(
+                    || {
+                        let mut sim = Simulation::new(
+                            MachineConfig::power7(1),
+                            smt,
+                            SyntheticWorkload::new(catalog::ep()),
+                        );
+                        sim.run_cycles(2_000); // past cold start
+                        sim
+                    },
+                    |mut sim| {
+                        sim.run_cycles(WINDOW);
+                        sim
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+
+    // Workload classes at SMT4: compute, memory, contended.
+    for (label, spec) in [
+        ("compute", catalog::blackscholes()),
+        ("memory", catalog::stream()),
+        ("contended", catalog::specjbb_contention()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("p7_smt4", label), &spec, |b, spec| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulation::new(
+                        MachineConfig::power7(1),
+                        SmtLevel::Smt4,
+                        SyntheticWorkload::new(spec.clone()),
+                    );
+                    sim.run_cycles(2_000);
+                    sim
+                },
+                |mut sim| {
+                    sim.run_cycles(WINDOW);
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Two-chip machine (16 cores stepped per cycle).
+    g.bench_function("p7x2_smt4_mg", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    MachineConfig::power7(2),
+                    SmtLevel::Smt4,
+                    SyntheticWorkload::new(catalog::mg()),
+                );
+                sim.run_cycles(2_000);
+                sim
+            },
+            |mut sim| {
+                sim.run_cycles(WINDOW);
+                sim
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+fn bench_reconfigure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_reconfigure");
+    g.sample_size(10);
+    g.bench_function("smt4_to_smt1_and_back", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(
+                    MachineConfig::power7(1),
+                    SmtLevel::Smt4,
+                    SyntheticWorkload::new(catalog::ep()),
+                );
+                sim.run_cycles(5_000);
+                sim
+            },
+            |mut sim| {
+                sim.reconfigure(SmtLevel::Smt1);
+                sim.reconfigure(SmtLevel::Smt4);
+                sim
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+
+    g.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 2,
+        });
+        for k in 0..512u64 {
+            cache.access(k * 64);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 64;
+            cache.access(k * 64)
+        })
+    });
+
+    g.bench_function("workload_fetch", |b| {
+        let mut w = SyntheticWorkload::new(catalog::specjbb());
+        w.set_thread_count(8);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            w.fetch((now % 8) as usize, now)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle_rate, bench_reconfigure, bench_hot_paths);
+criterion_main!(benches);

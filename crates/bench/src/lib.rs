@@ -1,0 +1,18 @@
+//! `smt-bench`: Criterion benchmarks for the smt-select workspace.
+//!
+//! Three harnesses (see `benches/`):
+//!
+//! - `figures` — one benchmark per paper table/figure, regenerating each
+//!   artifact from a shared scaled-down dataset (and printing its headline
+//!   numbers once, so `cargo bench` output doubles as a small-scale
+//!   reproduction log).
+//! - `simulator` — microbenchmarks of the substrate: simulated
+//!   cycles/second across machines, SMT levels, and workload classes;
+//!   cache and generator hot paths.
+//! - `ablation` — the design-choice studies DESIGN.md calls out: metric
+//!   factor ablations, sampling-window length, EWMA smoothing, SMT
+//!   resource partitioning on/off, and spinning-vs-blocking locks.
+
+/// Shared helper: a small benchmark scale that keeps whole-suite runs in
+/// the seconds range on one host core.
+pub const BENCH_SCALE: f64 = 0.04;

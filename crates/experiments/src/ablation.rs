@@ -1,0 +1,159 @@
+//! Metric-factor ablation experiment.
+//!
+//! DESIGN.md asks whether all three factors of Eq. 1 earn their place.
+//! This experiment retrains a Gini threshold for the full product and for
+//! each factor-removed variant over the same suite data, and reports the
+//! resulting prediction accuracies side by side — the quantitative version
+//! of the paper's Section II rationale (and of Fig. 2's message that the
+//! mix alone, like any single naive signal, is not enough).
+
+use crate::suite::SuiteData;
+use serde::{Deserialize, Serialize};
+use smt_sim::SmtLevel;
+use smt_stats::classify::SpeedupCase;
+use smt_stats::table::{fnum, Table};
+use smtsm::{SmtsmFactors, ThresholdPredictor};
+
+/// One metric variant's result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Gini-trained threshold for this variant.
+    pub threshold: f64,
+    /// Prediction accuracy at that threshold.
+    pub accuracy: f64,
+    /// Benchmarks mispredicted.
+    pub mispredicted: Vec<String>,
+}
+
+/// The full ablation table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Rows, full metric first.
+    pub rows: Vec<AblationRow>,
+    /// Speedup pair the labels came from.
+    pub hi: SmtLevel,
+    /// Baseline (lower) level.
+    pub lo: SmtLevel,
+}
+
+/// The variants studied: name + extractor.
+pub fn variants() -> Vec<(&'static str, fn(&SmtsmFactors) -> f64)> {
+    vec![
+        ("full metric", |f| f.value()),
+        ("mix deviation only", |f| f.mix_only()),
+        ("without DispHeld", |f| f.value_without_disp_held()),
+        ("without scalability", |f| f.value_without_scalability()),
+        ("DispHeld only", |f| f.disp_held),
+        ("scalability only", |f| f.scalability),
+    ]
+}
+
+/// Run the ablation over suite data (metric measured at `metric_at`,
+/// labels from the `hi`/`lo` speedup).
+pub fn run(data: &SuiteData, metric_at: SmtLevel, hi: SmtLevel, lo: SmtLevel) -> Ablation {
+    let rows = variants()
+        .into_iter()
+        .map(|(name, extract)| {
+            let cases: Vec<SpeedupCase> = data
+                .results
+                .iter()
+                .map(|r| {
+                    let f = &r.levels[&metric_at].factors;
+                    SpeedupCase::new(r.name.clone(), extract(f), r.speedup(hi, lo))
+                })
+                .collect();
+            let p = ThresholdPredictor::train_gini(&cases);
+            AblationRow {
+                variant: name.to_string(),
+                threshold: p.threshold,
+                accuracy: p.accuracy(&cases),
+                mispredicted: smt_stats::classify::mispredicted(&cases, p.threshold)
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            }
+        })
+        .collect();
+    Ablation { rows, hi, lo }
+}
+
+impl Ablation {
+    /// Accuracy of the full metric (first row).
+    pub fn full_accuracy(&self) -> f64 {
+        self.rows[0].accuracy
+    }
+
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["metric variant", "threshold", "accuracy", "errors"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.variant.clone(),
+                fnum(r.threshold, 4),
+                format!("{:.1}%", r.accuracy * 100.0),
+                r.mispredicted.len().to_string(),
+            ]);
+        }
+        format!(
+            "ablation: Eq. 1 factor study ({}/{} prediction)\n\n{}",
+            self.hi,
+            self.lo,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{BenchResult, LevelMeasurement};
+    use crate::suite::Machine;
+    use std::collections::BTreeMap;
+
+    fn data() -> SuiteData {
+        // Construct factors so only the full product separates: winners
+        // have (low mix, low held); losers either (high mix, high held) or
+        // mixed signals that single factors misread.
+        let mk = |name: &str, s41: f64, mix: f64, held: f64, scal: f64| {
+            let f = smtsm::SmtsmFactors { mix_deviation: mix, disp_held: held, scalability: scal };
+            let lvl = |smt, perf| LevelMeasurement {
+                smt,
+                perf,
+                cycles: 100,
+                completed: true,
+                factors: f,
+                naive: [0.0; 4],
+            };
+            let mut levels = BTreeMap::new();
+            levels.insert(SmtLevel::Smt1, lvl(SmtLevel::Smt1, 1.0));
+            levels.insert(SmtLevel::Smt4, lvl(SmtLevel::Smt4, s41));
+            BenchResult { name: name.into(), levels }
+        };
+        SuiteData {
+            machine: Machine::Power7OneChip,
+            scale: 1.0,
+            results: vec![
+                mk("w1", 1.8, 0.10, 0.05, 1.0), // product 0.005
+                mk("w2", 1.4, 0.40, 0.02, 1.0), // high mix but low held: product 0.008
+                mk("l1", 0.6, 0.35, 0.60, 1.0), // product 0.21
+                mk("l2", 0.5, 0.15, 0.30, 4.0), // low mix; scalability-driven: 0.18
+            ],
+        }
+    }
+
+    #[test]
+    fn full_metric_beats_single_factors_on_mixed_signals() {
+        let a = run(&data(), SmtLevel::Smt4, SmtLevel::Smt4, SmtLevel::Smt1);
+        assert_eq!(a.rows.len(), 6);
+        assert_eq!(a.full_accuracy(), 1.0, "full product must separate");
+        let mix_only = a.rows.iter().find(|r| r.variant.contains("mix")).unwrap();
+        assert!(
+            mix_only.accuracy < 1.0,
+            "mix alone must misread w2/l2: {}",
+            mix_only.accuracy
+        );
+        assert!(a.render().contains("full metric"));
+    }
+}

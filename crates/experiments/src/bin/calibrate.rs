@@ -1,0 +1,55 @@
+//! Calibration scratch tool: run the POWER7 suite and dump speedups vs
+//! metric values so simulator/catalog parameters can be tuned.
+
+use smt_experiments::run_suite;
+use smt_sim::{MachineConfig, SmtLevel};
+use smt_workloads::catalog;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let machine = std::env::args().nth(2).unwrap_or_else(|| "p7".into());
+    let (cfg, suite, levels): (_, _, Vec<SmtLevel>) = match machine.as_str() {
+        "nhm" => (
+            MachineConfig::nehalem(),
+            catalog::nehalem_suite(),
+            vec![SmtLevel::Smt1, SmtLevel::Smt2],
+        ),
+        "p7x2" => (
+            MachineConfig::power7(2),
+            catalog::power7_suite(),
+            vec![SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4],
+        ),
+        _ => (
+            MachineConfig::power7(1),
+            catalog::power7_suite(),
+            vec![SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4],
+        ),
+    };
+    let top = *levels.last().unwrap();
+    let specs: Vec<_> = suite.into_iter().map(|s| s.scaled(scale)).collect();
+    let t0 = std::time::Instant::now();
+    let results = run_suite(&cfg, &specs, &levels);
+    eprintln!("suite ran in {:?}", t0.elapsed());
+    println!(
+        "{:<22} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>6}",
+        "name", "s41", "s21", "metric4", "mixdev", "dheld", "scal", "l1mpki", "done"
+    );
+    for r in &results {
+        let m4 = &r.levels[&top];
+        println!(
+            "{:<22} {:>7.3} {:>7.3} {:>8.4} {:>8.4} {:>8.4} {:>8.3} {:>7.1} {:>6}",
+            r.name,
+            r.speedup(top, SmtLevel::Smt1),
+            r.speedup(SmtLevel::Smt2, SmtLevel::Smt1),
+            m4.factors.value(),
+            m4.factors.mix_deviation,
+            m4.factors.disp_held,
+            m4.factors.scalability,
+            m4.naive[0],
+            r.levels.values().all(|l| l.completed),
+        );
+    }
+}

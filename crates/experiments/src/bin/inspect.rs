@@ -1,0 +1,55 @@
+//! Deep-dive tool: run one catalog benchmark at each SMT level and print
+//! pipeline utilization details for simulator calibration.
+
+use smt_sim::{MachineConfig, Simulation, SmtLevel};
+use smt_sim::Workload;
+use smt_workloads::{catalog, SyntheticWorkload};
+use smtsm::{smtsm_factors, MetricSpec};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "EP".into());
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let spec = catalog::power7_suite()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        .scaled(scale);
+    let cfg = MachineConfig::power7(1);
+    let mspec = MetricSpec::for_arch(&cfg.arch);
+    for smt in [SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4] {
+        let w = SyntheticWorkload::new(spec.clone());
+        let mut sim = Simulation::new(cfg.clone(), smt, w);
+        let res = sim.run_until_finished(100_000_000);
+        let cycles = sim.now().max(1);
+        let perf = sim.workload().work_done() as f64 / cycles as f64;
+
+        let w = SyntheticWorkload::new(spec.clone());
+        let mut sim = Simulation::new(cfg.clone(), smt, w);
+        sim.run_cycles((cycles / 5).min(40_000).max(1));
+        let m = sim.measure_window((cycles / 2).min(80_000).max(1));
+        let f = smtsm_factors(&mspec, &m);
+        let cc = &m.cores;
+        let ncores = 8.0;
+        let agg = m.aggregate();
+        println!(
+            "{} {}: cycles={} perf={:.2} ipc={:.2} metric={:.4} (mix={:.3} dheld={:.4} scal={:.3})",
+            spec.name, smt, cycles, perf, m.ipc(), f.value(), f.mix_deviation, f.disp_held, f.scalability
+        );
+        println!(
+            "   disp_slots/cyc={:.2} issue_slots/cyc={:.2} lmq_rej/kcyc={:.1} l1mpki={:.1} l3mpki={:.1} spin%={:.1} br_mpki={:.1} done={}",
+            cc.dispatch_slots_used as f64 / (cc.cycles as f64 / ncores) / ncores,
+            cc.issue_slots_used as f64 / (cc.cycles as f64 / ncores) / ncores,
+            cc.lmq_rejections as f64 * 1000.0 / (cc.cycles as f64 / ncores),
+            m.l1_mpki(),
+            agg.l3_misses as f64 * 1000.0 / agg.issued.max(1) as f64,
+            agg.spin_instrs as f64 * 100.0 / agg.issued.max(1) as f64,
+            m.branch_mpki(),
+            res.completed,
+        );
+        let cf = m.class_fractions();
+        println!(
+            "   mix: L={:.2} S={:.2} B={:.2} CR={:.2} FX={:.2} VS={:.2}",
+            cf[0], cf[1], cf[2], cf[3], cf[4], cf[5]
+        );
+    }
+}

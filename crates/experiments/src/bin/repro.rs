@@ -1,0 +1,242 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <artifact> [--scale S] [--json DIR]
+//!
+//! artifacts:
+//!   table1                      Table I (benchmark inventory)
+//!   fig1 fig2 fig6 fig7 fig8 fig9 fig16 fig17   single-chip POWER7-like
+//!   fig10 fig12                 Nehalem-like
+//!   fig11                       single-chip, metric measured at SMT1
+//!   fig13 fig14 fig15           two-chip POWER7-like (NUMA)
+//!   success                     93%/86%/90% success-rate summary
+//!   ablation                    Eq.-1 factor study (single-chip data)
+//!   validate                    seed-robustness replicas (not in `all`)
+//!   sched                       Section-V dynamic-selection demo
+//!   all                         everything above
+//! ```
+//!
+//! `--scale` scales every workload's total work (default 0.3; 1.0 matches
+//! the catalog's full sizes and takes several minutes per machine on one
+//! host core). `--json DIR` additionally dumps each artifact as JSON.
+
+use smt_experiments::figures;
+use smt_experiments::sched_demo;
+use smt_experiments::suite::{Machine, SuiteData};
+use std::collections::HashMap;
+
+struct Args {
+    artifact: String,
+    scale: f64,
+    json_dir: Option<String>,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut artifact = String::from("all");
+    let mut scale = 0.3;
+    let mut json_dir = None;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            "--json" => {
+                json_dir = Some(args.next().expect("--json takes a directory"));
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().expect("--csv takes a directory"));
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR]");
+                std::process::exit(0);
+            }
+            other => artifact = other.to_string(),
+        }
+    }
+    Args { artifact, scale, json_dir, csv_dir }
+}
+
+fn dump_csv(dir: &Option<String>, name: &str, csv: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{name}.csv");
+        std::fs::write(&path, csv).expect("write csv");
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+/// Lazily collected per-machine datasets.
+struct Data {
+    scale: f64,
+    cache: HashMap<&'static str, SuiteData>,
+}
+
+impl Data {
+    fn get(&mut self, machine: Machine) -> &SuiteData {
+        let key = match machine {
+            Machine::Power7OneChip => "p7",
+            Machine::Power7TwoChip => "p7x2",
+            Machine::Nehalem => "nhm",
+        };
+        if !self.cache.contains_key(key) {
+            eprintln!("[repro] collecting {} suite (scale {})...", key, self.scale);
+            let t0 = std::time::Instant::now();
+            let data = SuiteData::collect(machine, self.scale);
+            eprintln!("[repro] ...done in {:?}", t0.elapsed());
+            self.cache.insert(key, data);
+        }
+        &self.cache[key]
+    }
+}
+
+fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{name}.json");
+        let body = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, body).expect("write json");
+        eprintln!("[repro] wrote {path}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut data = Data { scale: args.scale, cache: HashMap::new() };
+    let wanted = |name: &str| args.artifact == "all" || args.artifact == name;
+    let mut emitted = false;
+
+    if wanted("table1") {
+        let t = figures::table1();
+        println!("Table I: Benchmarks Evaluated\n\n{}", t.render());
+        dump_csv(&args.csv_dir, "table1", &t.to_csv());
+        emitted = true;
+    }
+    if wanted("fig1") {
+        let f = figures::fig1(data.get(Machine::Power7OneChip));
+        println!("{}", f.render());
+        dump_json(&args.json_dir, "fig1", &f);
+        emitted = true;
+    }
+    if wanted("fig2") {
+        let f = figures::fig2(data.get(Machine::Power7OneChip));
+        println!("{}", f.render());
+        println!(
+            "max |pearson r| across panels = {:.3} (paper: no usable correlation)\n",
+            f.max_abs_correlation()
+        );
+        dump_json(&args.json_dir, "fig2", &f);
+        emitted = true;
+    }
+    if wanted("fig7") {
+        let f = figures::fig7(data.get(Machine::Power7OneChip));
+        println!("{}", f.render());
+        dump_json(&args.json_dir, "fig7", &f);
+        emitted = true;
+    }
+    type ScatterGen = fn(&SuiteData) -> smt_experiments::ScatterFigure;
+    for (name, gen) in [
+        ("fig6", figures::fig6 as ScatterGen),
+        ("fig8", figures::fig8 as ScatterGen),
+        ("fig9", figures::fig9 as ScatterGen),
+        ("fig11", figures::fig11 as ScatterGen),
+    ] {
+        if wanted(name) {
+            let f = gen(data.get(Machine::Power7OneChip));
+            println!("{}", f.render());
+            dump_json(&args.json_dir, name, &f);
+            dump_csv(&args.csv_dir, name, &f.to_csv());
+            emitted = true;
+        }
+    }
+    for (name, gen) in [
+        ("fig10", figures::fig10 as ScatterGen),
+        ("fig12", figures::fig12 as ScatterGen),
+    ] {
+        if wanted(name) {
+            let f = gen(data.get(Machine::Nehalem));
+            println!("{}", f.render());
+            dump_json(&args.json_dir, name, &f);
+            dump_csv(&args.csv_dir, name, &f.to_csv());
+            emitted = true;
+        }
+    }
+    for (name, gen) in [
+        ("fig13", figures::fig13 as ScatterGen),
+        ("fig14", figures::fig14 as ScatterGen),
+        ("fig15", figures::fig15 as ScatterGen),
+    ] {
+        if wanted(name) {
+            let f = gen(data.get(Machine::Power7TwoChip));
+            println!("{}", f.render());
+            dump_json(&args.json_dir, name, &f);
+            dump_csv(&args.csv_dir, name, &f.to_csv());
+            emitted = true;
+        }
+    }
+    if wanted("fig16") {
+        let f6 = figures::fig6(data.get(Machine::Power7OneChip));
+        let f = figures::fig16(&f6);
+        println!("{}", f.render());
+        dump_json(&args.json_dir, "fig16", &f);
+        emitted = true;
+    }
+    if wanted("fig17") {
+        let f6 = figures::fig6(data.get(Machine::Power7OneChip));
+        let f = figures::fig17(&f6);
+        println!("{}", f.render());
+        dump_json(&args.json_dir, "fig17", &f);
+        emitted = true;
+    }
+    if wanted("success") {
+        let f6 = figures::fig6(data.get(Machine::Power7OneChip));
+        let f10 = figures::fig10(data.get(Machine::Nehalem));
+        let s = figures::success_rates(&f6, &f10);
+        println!("{}", s.render());
+        dump_json(&args.json_dir, "success", &s);
+        emitted = true;
+    }
+    if wanted("ablation") {
+        let p7 = data.get(Machine::Power7OneChip);
+        let a = smt_experiments::ablation::run(
+            p7,
+            smt_sim::SmtLevel::Smt4,
+            smt_sim::SmtLevel::Smt4,
+            smt_sim::SmtLevel::Smt1,
+        );
+        println!("{}", a.render());
+        dump_json(&args.json_dir, "ablation", &a);
+        emitted = true;
+    }
+    if args.artifact == "validate" {
+        // Not part of "all" (it re-collects the suite several times).
+        let v = smt_experiments::validation::run(3, data.scale);
+        println!("{}", v.render());
+        dump_json(&args.json_dir, "validate", &v);
+        emitted = true;
+    }
+    if wanted("sched") {
+        // Train the selector thresholds from the single-chip data.
+        let (t_top, t_mid) = {
+            let p7 = data.get(Machine::Power7OneChip);
+            let f6 = figures::fig6(p7);
+            let f8 = figures::fig8(p7);
+            (f6.threshold, f8.threshold)
+        };
+        eprintln!("[repro] sched: trained thresholds top={t_top:.4} mid={t_mid:.4}");
+        let demo = sched_demo::run(data.scale.min(0.2), t_top, t_mid, 2_000_000_000);
+        println!("{}", demo.render());
+        dump_json(&args.json_dir, "sched", &demo);
+        emitted = true;
+    }
+
+    if !emitted {
+        eprintln!("unknown artifact {:?}; try --help", args.artifact);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,648 @@
+//! The paper's figures, one function per artifact.
+//!
+//! Scatter-style figures (6, 8-15) instantiate [`ScatterFigure`]; the
+//! remaining artifacts (Figs. 1, 2, 7, 16, 17, Table I, the success-rate
+//! summary) have bespoke result types. Every function takes pre-collected
+//! [`SuiteData`] so one suite collection feeds all its figures.
+
+use crate::scatter::ScatterFigure;
+use crate::suite::{Machine, SuiteData};
+use serde::{Deserialize, Serialize};
+use smt_sim::SmtLevel;
+use smt_stats::classify::SpeedupCase;
+use smt_stats::corr::pearson;
+use smt_stats::gini::GiniSweep;
+use smt_stats::table::{fnum, Table};
+use smt_workloads::catalog;
+use smtsm::{NaiveMetric, PpiSweep};
+
+fn assert_machine(data: &SuiteData, want: Machine, fig: &str) {
+    assert!(
+        data.machine == want,
+        "{fig} needs {:?} data, got {:?}",
+        want,
+        data.machine
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — motivating bar chart
+// ---------------------------------------------------------------------------
+
+/// Fig. 1: SMT1-normalized performance of Equake, MG, and EP at SMT1 and
+/// SMT4 on the 8-core machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// `(benchmark, perf@SMT4 / perf@SMT1)`; the SMT1 bar is 1.0 by
+    /// construction.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// Generate Fig. 1 from single-chip POWER7-like data.
+pub fn fig1(data: &SuiteData) -> Fig1 {
+    assert_machine(data, Machine::Power7OneChip, "fig1");
+    let bars = ["Equake", "MG", "EP"]
+        .iter()
+        .map(|name| {
+            let r = data.get(name).unwrap_or_else(|| panic!("{name} missing"));
+            (name.to_string(), r.speedup(SmtLevel::Smt4, SmtLevel::Smt1))
+        })
+        .collect();
+    Fig1 { bars }
+}
+
+impl Fig1 {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["application", "SMT1", "SMT4 (normalized)"]);
+        for (name, s) in &self.bars {
+            t.row(vec![name.clone(), "1.000".to_string(), fnum(*s, 3)]);
+        }
+        format!(
+            "fig1: Performance with SMT1 vs SMT4, normalized to SMT1 \
+             (8 threads @SMT1, 32 threads @SMT4)\n\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — naive metrics carry no signal
+// ---------------------------------------------------------------------------
+
+/// One panel of Fig. 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Panel {
+    /// Which naive metric.
+    pub metric: NaiveMetric,
+    /// `(benchmark, metric value @SMT4, SMT4/SMT1 speedup)`.
+    pub points: Vec<(String, f64, f64)>,
+    /// Pearson correlation with the speedup.
+    pub pearson_r: Option<f64>,
+    /// Best prediction accuracy any single threshold on this metric can
+    /// reach, trying both directions ("high value means prefer SMT1" and
+    /// the inverse). The paper's point is that no such threshold works.
+    pub best_accuracy: f64,
+}
+
+/// Fig. 2: the four naive metrics vs. SMT4/SMT1 speedup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Panels in the paper's order.
+    pub panels: Vec<Fig2Panel>,
+}
+
+/// Generate Fig. 2 from single-chip POWER7-like data.
+pub fn fig2(data: &SuiteData) -> Fig2 {
+    assert_machine(data, Machine::Power7OneChip, "fig2");
+    let panels = NaiveMetric::ALL
+        .iter()
+        .map(|&metric| {
+            let points: Vec<(String, f64, f64)> = data
+                .results
+                .iter()
+                .map(|r| {
+                    (
+                        r.name.clone(),
+                        r.naive_at(SmtLevel::Smt4, metric),
+                        r.speedup(SmtLevel::Smt4, SmtLevel::Smt1),
+                    )
+                })
+                .collect();
+            let xs: Vec<f64> = points.iter().map(|p| p.1).collect();
+            let ys: Vec<f64> = points.iter().map(|p| p.2).collect();
+            let best_accuracy = [1.0f64, -1.0]
+                .into_iter()
+                .map(|dir| {
+                    let cases: Vec<SpeedupCase> = points
+                        .iter()
+                        .map(|(n, v, s)| SpeedupCase::new(n.clone(), dir * v, *s))
+                        .collect();
+                    smtsm::ThresholdPredictor::train_gini(&cases).accuracy(&cases)
+                })
+                .fold(0.0, f64::max);
+            Fig2Panel { metric, points, pearson_r: pearson(&xs, &ys), best_accuracy }
+        })
+        .collect();
+    Fig2 { panels }
+}
+
+impl Fig2 {
+    /// The largest |r| over the four panels — the paper's claim is that
+    /// this is small ("no correlation").
+    pub fn max_abs_correlation(&self) -> f64 {
+        self.panels
+            .iter()
+            .filter_map(|p| p.pearson_r)
+            .map(f64::abs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Render all four panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "fig2: SMT4/SMT1 speedup vs. naive counter metrics (no usable correlation)\n",
+        );
+        for p in &self.panels {
+            out.push_str(&format!(
+                "\n-- {} (pearson r = {}, best single-threshold accuracy {:.1}%) --\n",
+                p.metric.label(),
+                p.pearson_r.map(|r| format!("{r:.3}")).unwrap_or_else(|| "n/a".into()),
+                p.best_accuracy * 100.0
+            ));
+            let mut t = Table::new(vec!["benchmark", "value", "speedup"]);
+            for (name, v, s) in &p.points {
+                t.row(vec![name.clone(), fnum(*v, 3), fnum(*s, 3)]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table I — benchmark inventory
+// ---------------------------------------------------------------------------
+
+/// Table I: the evaluated benchmarks.
+pub fn table1() -> Table {
+    let mut t = Table::new(vec!["Label", "Suite", "Description"])
+        .with_aligns(vec![
+            smt_stats::table::Align::Left,
+            smt_stats::table::Align::Left,
+            smt_stats::table::Align::Left,
+        ]);
+    let mut seen = std::collections::HashSet::new();
+    for spec in catalog::power7_suite().into_iter().chain(catalog::nehalem_suite()) {
+        if seen.insert(spec.name.clone()) {
+            t.row(vec![spec.name, spec.suite, spec.description]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 6, 8-15 — the scatter family
+// ---------------------------------------------------------------------------
+
+/// Fig. 6: SMT4/SMT1 speedup vs. metric @SMT4 (single chip).
+pub fn fig6(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7OneChip, "fig6");
+    ScatterFigure::evaluate(
+        "fig6",
+        "SMT4/SMT1 speedup vs. SMTsm @SMT4 — 8-core POWER7-like chip",
+        data,
+        SmtLevel::Smt4,
+        SmtLevel::Smt4,
+        SmtLevel::Smt1,
+    )
+}
+
+/// Fig. 8: SMT4/SMT2 speedup vs. metric @SMT4 (single chip).
+pub fn fig8(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7OneChip, "fig8");
+    ScatterFigure::evaluate(
+        "fig8",
+        "SMT4/SMT2 speedup vs. SMTsm @SMT4 — 8-core POWER7-like chip",
+        data,
+        SmtLevel::Smt4,
+        SmtLevel::Smt4,
+        SmtLevel::Smt2,
+    )
+}
+
+/// Fig. 9: SMT2/SMT1 speedup vs. metric @SMT2 (single chip) — the paper
+/// finds an ambiguous middle band here.
+pub fn fig9(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7OneChip, "fig9");
+    ScatterFigure::evaluate(
+        "fig9",
+        "SMT2/SMT1 speedup vs. SMTsm @SMT2 — 8-core POWER7-like chip",
+        data,
+        SmtLevel::Smt2,
+        SmtLevel::Smt2,
+        SmtLevel::Smt1,
+    )
+}
+
+/// Fig. 10: SMT2/SMT1 speedup vs. metric @SMT2 on the Nehalem-like machine
+/// (with Streamcluster as the known outlier).
+pub fn fig10(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Nehalem, "fig10");
+    ScatterFigure::evaluate(
+        "fig10",
+        "SMT2/SMT1 speedup vs. SMTsm @SMT2 — quad-core Nehalem-like system",
+        data,
+        SmtLevel::Smt2,
+        SmtLevel::Smt2,
+        SmtLevel::Smt1,
+    )
+}
+
+/// Fig. 11: SMT4/SMT1 speedup vs. metric measured at SMT1 — demonstrates
+/// the metric breaks down at the lowest level (POWER7-like).
+pub fn fig11(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7OneChip, "fig11");
+    ScatterFigure::evaluate(
+        "fig11",
+        "SMT4/SMT1 speedup vs. SMTsm @SMT1 — metric measured too low breaks down",
+        data,
+        SmtLevel::Smt1,
+        SmtLevel::Smt4,
+        SmtLevel::Smt1,
+    )
+}
+
+/// Fig. 12: SMT2/SMT1 speedup vs. metric @SMT1 on the Nehalem-like machine.
+pub fn fig12(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Nehalem, "fig12");
+    ScatterFigure::evaluate(
+        "fig12",
+        "SMT2/SMT1 speedup vs. SMTsm @SMT1 — Nehalem-like, breaks down at SMT1",
+        data,
+        SmtLevel::Smt1,
+        SmtLevel::Smt2,
+        SmtLevel::Smt1,
+    )
+}
+
+/// Fig. 13: SMT4/SMT1 vs. metric @SMT4 on two chips (16 cores).
+pub fn fig13(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7TwoChip, "fig13");
+    ScatterFigure::evaluate(
+        "fig13",
+        "SMT4/SMT1 speedup vs. SMTsm @SMT4 — two 8-core chips (NUMA)",
+        data,
+        SmtLevel::Smt4,
+        SmtLevel::Smt4,
+        SmtLevel::Smt1,
+    )
+}
+
+/// Fig. 14: SMT4/SMT2 vs. metric @SMT4 on two chips.
+pub fn fig14(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7TwoChip, "fig14");
+    ScatterFigure::evaluate(
+        "fig14",
+        "SMT4/SMT2 speedup vs. SMTsm @SMT4 — two 8-core chips (NUMA)",
+        data,
+        SmtLevel::Smt4,
+        SmtLevel::Smt4,
+        SmtLevel::Smt2,
+    )
+}
+
+/// Fig. 15: SMT2/SMT1 vs. metric @SMT2 on two chips.
+pub fn fig15(data: &SuiteData) -> ScatterFigure {
+    assert_machine(data, Machine::Power7TwoChip, "fig15");
+    ScatterFigure::evaluate(
+        "fig15",
+        "SMT2/SMT1 speedup vs. SMTsm @SMT2 — two 8-core chips (NUMA)",
+        data,
+        SmtLevel::Smt2,
+        SmtLevel::Smt2,
+        SmtLevel::Smt1,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — instruction mixes
+// ---------------------------------------------------------------------------
+
+/// Fig. 7: observed instruction mixes of five representative benchmarks,
+/// alongside the ideal POWER7 SMT mix and each benchmark's SMT4/SMT1
+/// speedup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    /// `(name, [load, store, branch+cr, fx, vs] fractions, speedup)` sorted
+    /// by descending speedup as in the paper.
+    pub rows: Vec<(String, [f64; 5], f64)>,
+    /// The ideal mix vector.
+    pub ideal: [f64; 5],
+}
+
+/// Generate Fig. 7 from single-chip data. Uses the *specified* mixes of the
+/// five catalog entries plus the measured speedups (spin-loop overhead
+/// means the observed SSCA2/SPECjbb-contention mixes are even more skewed;
+/// the measured-mix variant is available from the fig6 data directly).
+pub fn fig7(data: &SuiteData) -> Fig7 {
+    assert_machine(data, Machine::Power7OneChip, "fig7");
+    let mut rows: Vec<(String, [f64; 5], f64)> = catalog::fig7_five()
+        .into_iter()
+        .map(|spec| {
+            let f = spec.mix.as_fractions();
+            let five = [f[0], f[1], f[2] + f[3], f[4], f[5]];
+            let speedup = data
+                .get(&spec.name)
+                .unwrap_or_else(|| panic!("{} missing", spec.name))
+                .speedup(SmtLevel::Smt4, SmtLevel::Smt1);
+            (spec.name, five, speedup)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN"));
+    Fig7 {
+        rows,
+        ideal: smtsm::MetricSpec::p7_ideal(),
+    }
+}
+
+impl Fig7 {
+    /// Render the mix table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "benchmark", "%Loads", "%Stores", "%Branches", "%FXU", "%VSU", "SMT4/SMT1",
+        ]);
+        for (name, f, s) in &self.rows {
+            t.row(vec![
+                name.clone(),
+                fnum(f[0] * 100.0, 1),
+                fnum(f[1] * 100.0, 1),
+                fnum(f[2] * 100.0, 1),
+                fnum(f[3] * 100.0, 1),
+                fnum(f[4] * 100.0, 1),
+                fnum(*s, 2),
+            ]);
+        }
+        let i = &self.ideal;
+        t.row(vec![
+            "idealP7SMTmix".to_string(),
+            fnum(i[0] * 100.0, 1),
+            fnum(i[1] * 100.0, 1),
+            fnum(i[2] * 100.0, 1),
+            fnum(i[3] * 100.0, 1),
+            fnum(i[4] * 100.0, 1),
+            "-".to_string(),
+        ]);
+        format!(
+            "fig7: Instruction mix of 5 benchmarks vs. the ideal SMT mix \
+             (speedup falls as the mix gets less diverse)\n\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 16 & 17 — threshold selection curves
+// ---------------------------------------------------------------------------
+
+/// Fig. 16: Gini impurity vs. candidate separator, from the fig-6 sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16 {
+    /// `(separator, overall impurity)` series.
+    pub curve: Vec<(f64, f64)>,
+    /// Minimum impurity.
+    pub min_impurity: f64,
+    /// Optimal separator range.
+    pub optimal_range: (f64, f64),
+}
+
+/// Generate Fig. 16 from a fig-6 scatter.
+pub fn fig16(fig6: &ScatterFigure) -> Fig16 {
+    let sweep = GiniSweep::run(
+        &fig6
+            .points
+            .iter()
+            .map(|p| smt_stats::gini::LabeledPoint::from_speedup(p.metric, p.speedup))
+            .collect::<Vec<_>>(),
+    );
+    Fig16 {
+        curve: sweep
+            .separators
+            .iter()
+            .copied()
+            .zip(sweep.impurities.iter().copied())
+            .collect(),
+        min_impurity: sweep.min_impurity,
+        optimal_range: sweep.optimal_range,
+    }
+}
+
+impl Fig16 {
+    /// Render the impurity curve.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["separator", "impurity"]);
+        for (s, i) in &self.curve {
+            t.row(vec![fnum(*s, 4), fnum(*i, 4)]);
+        }
+        format!(
+            "fig16: overall Gini impurity vs. separator (min {:.3} over \
+             optimal range {:.4}..{:.4})\n\n{}",
+            self.min_impurity, self.optimal_range.0, self.optimal_range.1, t.render()
+        )
+    }
+}
+
+/// Fig. 17: average percentage performance improvement vs. threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17 {
+    /// `(threshold, average % improvement over the SMT4 default)`.
+    pub curve: Vec<(f64, f64)>,
+    /// Best threshold.
+    pub best_threshold: f64,
+    /// Improvement at the best threshold.
+    pub best_improvement: f64,
+    /// Threshold range achieving at least 80% of the best improvement
+    /// (the broad plateau the paper highlights).
+    pub plateau: (f64, f64),
+}
+
+/// Generate Fig. 17 from a fig-6 scatter.
+pub fn fig17(fig6: &ScatterFigure) -> Fig17 {
+    let cases: Vec<SpeedupCase> = fig6.cases();
+    let sweep = PpiSweep::run(&cases);
+    Fig17 {
+        curve: sweep
+            .thresholds
+            .iter()
+            .copied()
+            .zip(sweep.improvements.iter().copied())
+            .collect(),
+        best_threshold: sweep.best_threshold,
+        best_improvement: sweep.best_improvement,
+        plateau: sweep.plateau(0.8),
+    }
+}
+
+impl Fig17 {
+    /// Render the PPI curve.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["threshold", "avg improvement %"]);
+        for (s, i) in &self.curve {
+            t.row(vec![fnum(*s, 4), fnum(*i, 2)]);
+        }
+        format!(
+            "fig17: average SMT4->best %% improvement vs. SMTsm threshold \
+             (best {:.1}% at {:.4}; 80%-plateau {:.4}..{:.4})\n\n{}",
+            self.best_improvement,
+            self.best_threshold,
+            self.plateau.0,
+            self.plateau.1,
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Success-rate summary (Sections IV & VII)
+// ---------------------------------------------------------------------------
+
+/// The headline success rates: 93% POWER7, 86% Nehalem, ~90% overall in
+/// the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuccessRates {
+    /// POWER7-like accuracy (fig-6 sample, trained threshold).
+    pub power7: f64,
+    /// Nehalem-like accuracy (fig-10 sample).
+    pub nehalem: f64,
+    /// Pooled accuracy.
+    pub overall: f64,
+    /// POWER7-like threshold used.
+    pub p7_threshold: f64,
+    /// Nehalem-like threshold used.
+    pub nhm_threshold: f64,
+}
+
+/// Compute the success-rate summary from the two scatter figures.
+pub fn success_rates(fig6: &ScatterFigure, fig10: &ScatterFigure) -> SuccessRates {
+    let n_p7 = fig6.points.len() as f64;
+    let n_nhm = fig10.points.len() as f64;
+    SuccessRates {
+        power7: fig6.accuracy,
+        nehalem: fig10.accuracy,
+        overall: (fig6.accuracy * n_p7 + fig10.accuracy * n_nhm) / (n_p7 + n_nhm),
+        p7_threshold: fig6.threshold,
+        nhm_threshold: fig10.threshold,
+    }
+}
+
+impl SuccessRates {
+    /// Render the summary.
+    pub fn render(&self) -> String {
+        format!(
+            "Prediction success rates (paper: 93% POWER7, 86% Nehalem, ~90% overall)\n\
+             POWER7-like : {:.1}% (threshold {:.4})\n\
+             Nehalem-like: {:.1}% (threshold {:.4})\n\
+             Overall     : {:.1}%\n",
+            self.power7 * 100.0,
+            self.p7_threshold,
+            self.nehalem * 100.0,
+            self.nhm_threshold,
+            self.overall * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{BenchResult, LevelMeasurement};
+    use smtsm::SmtsmFactors;
+    use std::collections::BTreeMap;
+
+    fn lvl(smt: SmtLevel, perf: f64, metric: f64, naive: [f64; 4]) -> LevelMeasurement {
+        LevelMeasurement {
+            smt,
+            perf,
+            cycles: 1000,
+            completed: true,
+            factors: SmtsmFactors { mix_deviation: metric, disp_held: 1.0, scalability: 1.0 },
+            naive,
+        }
+    }
+
+    fn p7_data() -> SuiteData {
+        let results = catalog::power7_suite()
+            .into_iter()
+            .enumerate()
+            .map(|(k, spec)| {
+                // Deterministic synthetic pattern: even k gain, odd k lose,
+                // with metric tracking the label.
+                let s41 = if k % 2 == 0 { 1.5 } else { 0.7 };
+                let metric = if k % 2 == 0 { 0.02 } else { 0.2 };
+                let mut levels = BTreeMap::new();
+                levels.insert(SmtLevel::Smt1, lvl(SmtLevel::Smt1, 1.0, metric, [1.0, 2.0, 0.5, 0.3]));
+                levels.insert(SmtLevel::Smt2, lvl(SmtLevel::Smt2, (1.0 + s41) / 2.0, metric, [1.0, 2.0, 0.5, 0.3]));
+                levels.insert(SmtLevel::Smt4, lvl(SmtLevel::Smt4, s41, metric, [k as f64, 2.0, 0.5, 0.3]));
+                BenchResult { name: spec.name, levels }
+            })
+            .collect();
+        SuiteData { machine: Machine::Power7OneChip, scale: 1.0, results }
+    }
+
+    #[test]
+    fn fig1_extracts_the_trio() {
+        let f = fig1(&p7_data());
+        assert_eq!(f.bars.len(), 3);
+        assert_eq!(f.bars[0].0, "Equake");
+        let s = f.render();
+        assert!(s.contains("Equake") && s.contains("EP"));
+    }
+
+    #[test]
+    fn fig2_has_four_panels_with_all_benchmarks() {
+        let f = fig2(&p7_data());
+        assert_eq!(f.panels.len(), 4);
+        for p in &f.panels {
+            assert_eq!(p.points.len(), 28);
+        }
+        assert!(f.render().contains("CPI"));
+        assert!(f.max_abs_correlation() <= 1.0);
+    }
+
+    #[test]
+    fn table1_lists_all_unique_benchmarks() {
+        let t = table1();
+        assert!(t.len() >= 28, "table1 rows: {}", t.len());
+        let csv = t.to_csv();
+        assert!(csv.contains("Equake"));
+        assert!(csv.contains("x264"));
+    }
+
+    #[test]
+    fn fig6_and_derived_threshold_figures_agree() {
+        let data = p7_data();
+        let f6 = fig6(&data);
+        assert_eq!(f6.accuracy, 1.0, "clean synthetic data separates");
+        let f16 = fig16(&f6);
+        assert_eq!(f16.min_impurity, 0.0);
+        assert!(f16.optimal_range.0 <= f6.threshold && f6.threshold <= f16.optimal_range.1);
+        let f17 = fig17(&f6);
+        assert!(f17.best_improvement > 0.0);
+        assert!(f17.curve.len() == f16.curve.len());
+        assert!(f16.render().contains("impurity"));
+        assert!(f17.render().contains("improvement"));
+    }
+
+    #[test]
+    fn fig7_sorted_by_speedup() {
+        let f = fig7(&p7_data());
+        assert_eq!(f.rows.len(), 5);
+        for w in f.rows.windows(2) {
+            assert!(w[0].2 >= w[1].2, "not sorted by speedup");
+        }
+        // Each mix row sums to 1.
+        for (_, five, _) in &f.rows {
+            let s: f64 = five.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert!(f.render().contains("idealP7SMTmix"));
+    }
+
+    #[test]
+    fn wrong_machine_panics() {
+        let data = p7_data();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fig10(&data)));
+        assert!(res.is_err(), "fig10 must reject POWER7 data");
+    }
+
+    #[test]
+    fn success_rates_pool_correctly() {
+        let data = p7_data();
+        let f6 = fig6(&data);
+        // Reuse the p7 scatter as a stand-in "fig10" with identical size.
+        let rates = success_rates(&f6, &f6);
+        assert_eq!(rates.power7, rates.nehalem);
+        assert!((rates.overall - rates.power7).abs() < 1e-12);
+        assert!(rates.render().contains("Overall"));
+    }
+}

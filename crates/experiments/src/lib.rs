@@ -1,0 +1,33 @@
+//! `smt-experiments`: the harness regenerating every table and figure of
+//! *"An SMT-Selection Metric to Improve Multithreaded Applications'
+//! Performance"* (Funston et al., IPDPS 2012).
+//!
+//! - [`runner`] — the measurement protocol (whole-run throughput + online
+//!   counter windows) for one (machine, workload, SMT level).
+//! - [`suite`] — dataset collection: every benchmark at every SMT level on
+//!   each evaluation machine.
+//! - [`scatter`] — the generic "metric vs. speedup + threshold" template
+//!   behind Figs. 6 and 8-15.
+//! - [`figures`] — one function per paper artifact (Figs. 1, 2, 6-17,
+//!   Table I, success rates).
+//! - [`sched_demo`] — the Section-V dynamic-selection experiment.
+//! - [`ablation`] — the Eq.-1 factor study (full product vs. each factor
+//!   removed).
+//!
+//! The `repro` binary drives everything:
+//! `cargo run --release -p smt-experiments --bin repro -- all --scale 0.3`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod plot;
+pub mod runner;
+pub mod scatter;
+pub mod sched_demo;
+pub mod suite;
+pub mod validation;
+
+pub use runner::{run_benchmark, run_level, run_suite, BenchResult, LevelMeasurement};
+pub use scatter::{ScatterFigure, ScatterPoint};
+pub use suite::{Machine, SuiteData};

@@ -1,0 +1,151 @@
+//! Text-mode scatter plots.
+//!
+//! The paper's evaluation figures are scatter plots; a data table shows
+//! the numbers but not the *shape*. This renders a compact ASCII plot —
+//! points, the learned threshold as a vertical line, and the speedup=1
+//! line — so `repro fig6` output looks like Fig. 6 at a glance in any
+//! terminal.
+
+/// Render a scatter plot of `points` into a `width x height` character
+/// grid. `vline` draws a vertical marker (the threshold); `hline` a
+/// horizontal one (speedup = 1).
+pub fn ascii_scatter(
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+    vline: Option<f64>,
+    hline: Option<f64>,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    assert!(width >= 16 && height >= 6, "plot too small");
+    if points.is_empty() {
+        return format!("(no points)\n{x_label} / {y_label}\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if let Some(v) = vline {
+        x_min = x_min.min(v);
+        x_max = x_max.max(v);
+    }
+    if let Some(h) = hline {
+        y_min = y_min.min(h);
+        y_max = y_max.max(h);
+    }
+    // Pad degenerate ranges.
+    if x_max - x_min < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if y_max - y_min < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    // A little margin so extreme points do not sit on the border.
+    let xm = (x_max - x_min) * 0.04;
+    let ym = (y_max - y_min) * 0.08;
+    let (x_min, x_max) = (x_min - xm, x_max + xm);
+    let (y_min, y_max) = (y_min - ym, y_max + ym);
+
+    let col = |x: f64| (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+    let row = |y: f64| {
+        height - 1 - (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    if let Some(h) = hline {
+        let r = row(h);
+        for c in 0..width {
+            grid[r][c] = '-';
+        }
+    }
+    if let Some(v) = vline {
+        let c = col(v);
+        for r in 0..height {
+            grid[r][c] = if grid[r][c] == '-' { '+' } else { '|' };
+        }
+    }
+    for &(x, y) in points {
+        let (r, c) = (row(y), col(x));
+        grid[r][c] = match grid[r][c] {
+            '*' | '2'..='8' => {
+                let n = if grid[r][c] == '*' { 2 } else { grid[r][c] as u8 - b'0' + 1 };
+                (b'0' + n.min(9)) as char
+            }
+            _ => '*',
+        };
+    }
+
+    let mut out = String::new();
+    for (ri, r) in grid.iter().enumerate() {
+        let y_edge = if ri == 0 {
+            format!("{y_max:7.2} ")
+        } else if ri == height - 1 {
+            format!("{y_min:7.2} ")
+        } else {
+            "        ".to_string()
+        };
+        out.push_str(&y_edge);
+        out.push('|');
+        out.extend(r.iter());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "        {x_min:<9.3}{:^w$}{x_max:>9.3}\n",
+        x_label,
+        w = width.saturating_sub(18)
+    ));
+    out.push_str(&format!("        y: {y_label}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_points_threshold_and_unity_line() {
+        let pts = vec![(0.01, 1.8), (0.05, 1.4), (0.2, 0.6), (0.3, 0.4)];
+        let s = ascii_scatter(&pts, 40, 10, Some(0.12), Some(1.0), "SMTsm", "speedup");
+        assert!(s.contains('*'), "points drawn");
+        assert!(s.contains('|'), "threshold line drawn");
+        assert!(s.contains('-'), "unity line drawn");
+        assert!(s.contains("SMTsm"));
+        assert!(s.contains("speedup"));
+        // 10 grid rows + axis + 2 label rows.
+        assert_eq!(s.lines().count(), 13);
+    }
+
+    #[test]
+    fn overlapping_points_count_up() {
+        let pts = vec![(0.5, 0.5); 4];
+        let s = ascii_scatter(&pts, 20, 6, None, None, "x", "y");
+        assert!(s.contains('4'), "coincident points should show a count: {s}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let s = ascii_scatter(&[], 40, 10, None, None, "x", "y");
+        assert!(s.contains("no points"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let pts = vec![(0.1, 1.0), (0.1, 1.0)];
+        let s = ascii_scatter(&pts, 20, 6, Some(0.1), Some(1.0), "x", "y");
+        assert!(s.contains('*') || s.contains('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_rejected() {
+        ascii_scatter(&[(0.0, 0.0)], 4, 2, None, None, "x", "y");
+    }
+}

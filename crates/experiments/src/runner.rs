@@ -1,0 +1,224 @@
+//! The measurement protocol shared by all experiments.
+//!
+//! Section IV's protocol: at every SMT level the workload uses exactly as
+//! many software threads as there are hardware contexts; performance is
+//! whole-run throughput; the metric is sampled online from hardware
+//! counters after a warm-up period. [`run_benchmark`] executes one
+//! (machine, workload) pair across a set of SMT levels and collects
+//! everything every figure needs; [`run_suite`] fans a whole suite out
+//! across host cores with rayon.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use smt_sim::{MachineConfig, Simulation, SmtLevel, Workload};
+use smt_workloads::{SyntheticWorkload, WorkloadSpec};
+use smtsm::{smtsm_factors, MetricSpec, NaiveMetric, SmtsmFactors};
+use std::collections::BTreeMap;
+
+/// Cycles to run before the metric window opens (cache warm-up, lock
+/// steady state).
+pub const WARMUP_CYCLES: u64 = 40_000;
+
+/// Metric sampling-window length.
+pub const WINDOW_CYCLES: u64 = 80_000;
+
+/// Hard cap on any single run (a run hitting this is reported
+/// `completed = false`).
+pub const MAX_RUN_CYCLES: u64 = 120_000_000;
+
+/// Everything measured for one benchmark at one SMT level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelMeasurement {
+    /// SMT level of this run.
+    pub smt: SmtLevel,
+    /// Whole-run throughput in work units per cycle.
+    pub perf: f64,
+    /// Total cycles for the full run.
+    pub cycles: u64,
+    /// The run completed within the cycle cap.
+    pub completed: bool,
+    /// SMTsm factors measured online at this level.
+    pub factors: SmtsmFactors,
+    /// The four Fig.-2 naive metrics at this level
+    /// (L1 MPKI, CPI, BR MPKI, VSU fraction — [`NaiveMetric::ALL`] order).
+    pub naive: [f64; 4],
+}
+
+/// A benchmark measured across SMT levels on one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Per-level measurements.
+    pub levels: BTreeMap<SmtLevel, LevelMeasurement>,
+}
+
+impl BenchResult {
+    /// Speedup of `hi` relative to `lo` (throughput ratio).
+    pub fn speedup(&self, hi: SmtLevel, lo: SmtLevel) -> f64 {
+        let h = self.levels.get(&hi).expect("missing hi level");
+        let l = self.levels.get(&lo).expect("missing lo level");
+        assert!(l.perf > 0.0, "zero baseline perf for {}", self.name);
+        h.perf / l.perf
+    }
+
+    /// SMTsm value measured at `level`.
+    pub fn metric_at(&self, level: SmtLevel) -> f64 {
+        self.levels.get(&level).expect("missing level").factors.value()
+    }
+
+    /// The naive metric's value at `level`.
+    pub fn naive_at(&self, level: SmtLevel, which: NaiveMetric) -> f64 {
+        let idx = NaiveMetric::ALL.iter().position(|m| *m == which).expect("known metric");
+        self.levels.get(&level).expect("missing level").naive[idx]
+    }
+
+    /// The SMT level with the highest measured throughput.
+    pub fn best_level(&self) -> SmtLevel {
+        *self
+            .levels
+            .iter()
+            .max_by(|a, b| a.1.perf.partial_cmp(&b.1.perf).expect("no NaN perf"))
+            .expect("nonempty")
+            .0
+    }
+}
+
+/// Run one benchmark at one SMT level.
+///
+/// Two passes over identical (deterministic) executions: the first runs to
+/// completion for whole-run throughput and the run length; the second
+/// re-runs with a warm-up and counter window scaled to that length, so the
+/// metric is always sampled from the steady state regardless of how the
+/// workload was scaled.
+pub fn run_level(
+    cfg: &MachineConfig,
+    spec: &WorkloadSpec,
+    smt: SmtLevel,
+) -> LevelMeasurement {
+    let metric_spec = MetricSpec::for_arch(&cfg.arch);
+
+    // Pass 1: throughput.
+    let workload = SyntheticWorkload::new(spec.clone());
+    let mut sim = Simulation::new(cfg.clone(), smt, workload);
+    let res = sim.run_until_finished(MAX_RUN_CYCLES);
+    let total_cycles = sim.now().max(1);
+    let perf = sim.workload().work_done() as f64 / total_cycles as f64;
+
+    // Pass 2: counters, from a steady-state window inside the run.
+    let warmup = WARMUP_CYCLES.min(total_cycles / 5).max(1);
+    let window_len = WINDOW_CYCLES.min(total_cycles / 2).max(1);
+    let workload = SyntheticWorkload::new(spec.clone());
+    let mut sim = Simulation::new(cfg.clone(), smt, workload);
+    sim.run_cycles(warmup);
+    let window = sim.measure_window(window_len);
+    let factors = smtsm_factors(&metric_spec, &window);
+    let naive = [
+        NaiveMetric::L1Mpki.value(&window),
+        NaiveMetric::Cpi.value(&window),
+        NaiveMetric::BranchMpki.value(&window),
+        NaiveMetric::VsuFraction.value(&window),
+    ];
+    LevelMeasurement {
+        smt,
+        perf,
+        cycles: total_cycles,
+        completed: res.completed,
+        factors,
+        naive,
+    }
+}
+
+/// Run one benchmark across several SMT levels.
+pub fn run_benchmark(
+    cfg: &MachineConfig,
+    spec: &WorkloadSpec,
+    levels: &[SmtLevel],
+) -> BenchResult {
+    let measurements: Vec<LevelMeasurement> = levels
+        .par_iter()
+        .map(|&smt| run_level(cfg, spec, smt))
+        .collect();
+    BenchResult {
+        name: spec.name.clone(),
+        levels: measurements.into_iter().map(|m| (m.smt, m)).collect(),
+    }
+}
+
+/// Run a whole suite in parallel across (benchmark x level) pairs.
+pub fn run_suite(
+    cfg: &MachineConfig,
+    specs: &[WorkloadSpec],
+    levels: &[SmtLevel],
+) -> Vec<BenchResult> {
+    let jobs: Vec<(usize, SmtLevel)> = (0..specs.len())
+        .flat_map(|i| levels.iter().map(move |&l| (i, l)))
+        .collect();
+    let measured: Vec<(usize, LevelMeasurement)> = jobs
+        .par_iter()
+        .map(|&(i, smt)| (i, run_level(cfg, &specs[i], smt)))
+        .collect();
+    let mut results: Vec<BenchResult> = specs
+        .iter()
+        .map(|s| BenchResult { name: s.name.clone(), levels: BTreeMap::new() })
+        .collect();
+    for (i, m) in measured {
+        results[i].levels.insert(m.smt, m);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::catalog;
+
+    #[test]
+    fn run_level_produces_consistent_measurement() {
+        let cfg = MachineConfig::generic(2);
+        let spec = catalog::ep().scaled(0.02);
+        let m = run_level(&cfg, &spec, SmtLevel::Smt1);
+        assert!(m.completed, "tiny run must complete");
+        assert!(m.perf > 0.0);
+        assert!(m.factors.scalability >= 1.0);
+        assert!(m.naive[1] > 0.0, "CPI must be positive");
+    }
+
+    #[test]
+    fn run_benchmark_covers_levels_and_speedup() {
+        let cfg = MachineConfig::generic(2);
+        let spec = catalog::blackscholes().scaled(0.05);
+        let r = run_benchmark(&cfg, &spec, &[SmtLevel::Smt1, SmtLevel::Smt2]);
+        assert_eq!(r.levels.len(), 2);
+        let s = r.speedup(SmtLevel::Smt2, SmtLevel::Smt1);
+        assert!(s > 0.2 && s < 5.0, "speedup {s} out of sane range");
+        let best = r.best_level();
+        assert!(best == SmtLevel::Smt1 || best == SmtLevel::Smt2);
+    }
+
+    #[test]
+    fn run_suite_parallel_matches_shape() {
+        let cfg = MachineConfig::generic(2);
+        let specs = vec![
+            catalog::ep().scaled(0.01),
+            catalog::ssca2().scaled(0.01),
+        ];
+        let rs = run_suite(&cfg, &specs, &[SmtLevel::Smt1, SmtLevel::Smt2]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].name, "EP");
+        for r in &rs {
+            assert_eq!(r.levels.len(), 2);
+        }
+    }
+
+    #[test]
+    fn determinism_same_spec_same_result() {
+        let cfg = MachineConfig::generic(1);
+        let spec = catalog::mg().scaled(0.01);
+        let a = run_level(&cfg, &spec, SmtLevel::Smt1);
+        let b = run_level(&cfg, &spec, SmtLevel::Smt1);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.perf, b.perf);
+        assert_eq!(a.factors.value(), b.factors.value());
+    }
+}

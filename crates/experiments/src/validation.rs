@@ -1,0 +1,116 @@
+//! Seed-robustness validation.
+//!
+//! The catalog's workloads are synthetic, so an honest reproduction must
+//! show its headline numbers are not an artifact of one lucky RNG stream.
+//! This experiment re-collects the single-chip suite under several seed
+//! offsets (every benchmark's generator stream changes; its *declared*
+//! characteristics do not) and reports how the trained threshold and the
+//! success rate move across replicas.
+
+use crate::figures;
+use crate::suite::{Machine, SuiteData};
+use serde::{Deserialize, Serialize};
+use smt_stats::table::{fnum, Table};
+use smt_stats::Summary;
+
+/// One replica's headline numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Replica {
+    /// Seed offset applied to every catalog spec.
+    pub seed_offset: u64,
+    /// Gini-trained threshold on this replica's fig-6 sample.
+    pub threshold: f64,
+    /// Success rate at that threshold.
+    pub accuracy: f64,
+    /// Pearson correlation of metric vs. speedup.
+    pub pearson_r: Option<f64>,
+}
+
+/// The robustness report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Validation {
+    /// Per-replica numbers.
+    pub replicas: Vec<Replica>,
+    /// Accuracy summary across replicas.
+    pub accuracy_summary: (f64, f64),
+    /// Threshold summary across replicas.
+    pub threshold_summary: (f64, f64),
+}
+
+/// Collect `n` replicas of the single-chip suite at `scale`, each with a
+/// different seed offset, and evaluate the fig-6 pipeline on each.
+pub fn run(n: usize, scale: f64) -> Validation {
+    assert!(n >= 1);
+    let mut replicas = Vec::with_capacity(n);
+    for k in 0..n {
+        let offset = k as u64 * 7_919; // any fixed stride of seeds
+        let machine = Machine::Power7OneChip;
+        let cfg = machine.config();
+        let specs: Vec<_> = machine
+            .suite()
+            .into_iter()
+            .map(|mut s| {
+                s.seed = s.seed.wrapping_add(offset);
+                s.scaled(scale)
+            })
+            .collect();
+        let results = crate::runner::run_suite(&cfg, &specs, &cfg.smt_levels());
+        let data = SuiteData { machine, scale, results };
+        let fig = figures::fig6(&data);
+        replicas.push(Replica {
+            seed_offset: offset,
+            threshold: fig.threshold,
+            accuracy: fig.accuracy,
+            pearson_r: fig.pearson_r,
+        });
+    }
+    let acc = Summary::of(&replicas.iter().map(|r| r.accuracy).collect::<Vec<_>>());
+    let thr = Summary::of(&replicas.iter().map(|r| r.threshold).collect::<Vec<_>>());
+    Validation {
+        replicas,
+        accuracy_summary: (acc.mean, acc.stddev),
+        threshold_summary: (thr.mean, thr.stddev),
+    }
+}
+
+impl Validation {
+    /// Render the report.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["seed offset", "threshold", "accuracy", "pearson r"]);
+        for r in &self.replicas {
+            t.row(vec![
+                r.seed_offset.to_string(),
+                fnum(r.threshold, 4),
+                format!("{:.1}%", r.accuracy * 100.0),
+                r.pearson_r.map(|v| fnum(v, 3)).unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+        format!(
+            "validate: seed robustness of the fig-6 pipeline\n\n{}\n\
+             accuracy  mean {:.1}% (sd {:.1}pp)\n\
+             threshold mean {:.4} (sd {:.4})\n",
+            t.render(),
+            self.accuracy_summary.0 * 100.0,
+            self.accuracy_summary.1 * 100.0,
+            self.threshold_summary.0,
+            self.threshold_summary.1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "slow: collects multiple full suites; run with --ignored"]
+    fn replicas_agree_on_the_shape() {
+        let v = run(2, 0.05);
+        assert_eq!(v.replicas.len(), 2);
+        for r in &v.replicas {
+            assert!(r.accuracy >= 0.8, "replica accuracy {}", r.accuracy);
+            assert!(r.pearson_r.unwrap() < -0.3, "replica r {:?}", r.pearson_r);
+        }
+        assert!(v.render().contains("seed robustness"));
+    }
+}

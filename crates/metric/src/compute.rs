@@ -1,0 +1,111 @@
+//! The SMT-selection metric itself (Eq. 1).
+//!
+//! ```text
+//! SMTsm = ||observed mix − ideal mix||₂ × DispHeld × (TotalTime / AvgThrdTime)
+//! ```
+//!
+//! Smaller values indicate greater preference for a *higher* SMT level.
+//! The three factors are kept separately in [`SmtsmFactors`] so the
+//! ablation benchmarks can study each one's contribution.
+
+use crate::ideal::MetricSpec;
+use serde::{Deserialize, Serialize};
+use smt_sim::WindowMeasurement;
+
+/// The three factors of Eq. 1, plus their product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmtsmFactors {
+    /// Euclidean distance of the instruction mix from the ideal SMT mix.
+    pub mix_deviation: f64,
+    /// Fraction of cycles the dispatcher was held for lack of resources.
+    pub disp_held: f64,
+    /// Wall-clock time over average per-thread CPU time (>= 1).
+    pub scalability: f64,
+}
+
+impl SmtsmFactors {
+    /// The SMT-selection metric value: the product of the three factors.
+    pub fn value(&self) -> f64 {
+        self.mix_deviation * self.disp_held * self.scalability
+    }
+
+    /// Ablation: drop the dispatch-held factor.
+    pub fn value_without_disp_held(&self) -> f64 {
+        self.mix_deviation * self.scalability
+    }
+
+    /// Ablation: drop the scalability factor.
+    pub fn value_without_scalability(&self) -> f64 {
+        self.mix_deviation * self.disp_held
+    }
+
+    /// Ablation: instruction-mix deviation alone.
+    pub fn mix_only(&self) -> f64 {
+        self.mix_deviation
+    }
+}
+
+/// Compute the metric's factors from one counter window.
+pub fn smtsm_factors(spec: &MetricSpec, m: &WindowMeasurement) -> SmtsmFactors {
+    SmtsmFactors {
+        mix_deviation: spec.mix_deviation(m),
+        disp_held: m.disp_held_fraction(),
+        scalability: m.scalability_ratio(),
+    }
+}
+
+/// Compute the SMT-selection metric value from one counter window.
+pub fn smtsm(spec: &MetricSpec, m: &WindowMeasurement) -> f64 {
+    smtsm_factors(spec, m).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::synthetic_window;
+
+    #[test]
+    fn metric_is_product_of_factors() {
+        let f = SmtsmFactors { mix_deviation: 0.3, disp_held: 0.5, scalability: 2.0 };
+        assert!((f.value() - 0.3).abs() < 1e-12);
+        assert!((f.value_without_disp_held() - 0.6).abs() < 1e-12);
+        assert!((f.value_without_scalability() - 0.15).abs() < 1e-12);
+        assert!((f.mix_only() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_mix_zero_held_perfect_scaling_gives_zero() {
+        let m = synthetic_window([1000, 1000, 1000, 0, 2000, 2000], vec![0; 8]);
+        let spec = MetricSpec::power7();
+        let f = smtsm_factors(&spec, &m);
+        assert!(f.value() < 1e-12);
+        assert!((f.scalability - 1.0).abs() < 1e-12);
+        assert_eq!(f.disp_held, 0.0);
+    }
+
+    #[test]
+    fn held_and_skewed_mix_raise_the_metric() {
+        let mut m = synthetic_window([5000, 500, 500, 0, 500, 500], vec![0; 8]);
+        // The thread spent 60% of its runnable cycles dispatch-held.
+        m.per_thread[0].disp_held_cycles = 600;
+        let spec = MetricSpec::power7();
+        let v = smtsm(&spec, &m);
+        assert!(v > 0.2, "skewed + held should be clearly positive: {v}");
+    }
+
+    #[test]
+    fn sleeping_threads_scale_the_metric_up() {
+        let mut m = synthetic_window([5000, 500, 500, 0, 500, 500], vec![0; 8]);
+        m.per_thread[0].disp_held_cycles = 300;
+        let spec = MetricSpec::power7();
+        let busy = smtsm(&spec, &m);
+        // Add a second thread that slept the whole window.
+        let idle = smt_sim::ThreadCounters::new(8);
+        m.per_thread.push(idle);
+        let half_sleeping = smtsm(&spec, &m);
+        assert!(
+            half_sleeping > busy * 1.8,
+            "sleep must scale the metric: {busy} -> {half_sleeping}"
+        );
+    }
+}

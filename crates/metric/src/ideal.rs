@@ -1,0 +1,230 @@
+//! Ideal SMT instruction mixes and the mix-deviation factor.
+//!
+//! Section II defines the *ideal SMT instruction mix* as "a mix of
+//! instructions that is proportional to the number and types of the
+//! processor's issue ports and functional units". The metric's first factor
+//! is the Euclidean distance between the observed mix and that ideal.
+//!
+//! Two bases are supported, matching the paper's two instantiations:
+//!
+//! - **POWER7 classes** (Eq. 2): fractions of loads, stores, branches
+//!   (with condition-register ops folded into the branch bucket, per
+//!   Section II-A), fixed-point, and vector-scalar instructions, compared
+//!   against (1/7, 1/7, 1/7, 2/7, 2/7).
+//! - **Uniform ports** (Eq. 3): the fraction of instructions issued through
+//!   each of the N issue ports, compared against 1/N each (Nehalem's ports
+//!   serve unrelated instruction types, so the port itself is the unit).
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{ArchDescriptor, InstrClass, WindowMeasurement};
+
+/// Which observable the mix deviation is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MixBasis {
+    /// Class fractions vs. the POWER7 ideal mix (Eq. 2).
+    Power7Classes,
+    /// Per-port fractions vs. uniform `1/N` (Eq. 3).
+    UniformPorts,
+}
+
+/// Architecture-specific parameters of the metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSpec {
+    /// Mix-deviation basis.
+    pub basis: MixBasis,
+    /// Number of issue ports (used by the uniform-ports basis).
+    pub num_ports: usize,
+}
+
+impl MetricSpec {
+    /// Eq. 2 — the POWER7 instantiation.
+    pub fn power7() -> MetricSpec {
+        MetricSpec { basis: MixBasis::Power7Classes, num_ports: 8 }
+    }
+
+    /// Eq. 3 — the Nehalem Core i7 instantiation.
+    pub fn nehalem() -> MetricSpec {
+        MetricSpec { basis: MixBasis::UniformPorts, num_ports: 6 }
+    }
+
+    /// Port the metric to an arbitrary architecture descriptor (Section V:
+    /// "the metric can be ported to other architectures in similar ways").
+    /// Architectures whose ports are dedicated to single classes get the
+    /// class basis; architectures with shared/unified ports get the
+    /// uniform-port basis.
+    pub fn for_arch(arch: &ArchDescriptor) -> MetricSpec {
+        match arch.name {
+            "power7-like" => MetricSpec::power7(),
+            "nehalem-like" => MetricSpec::nehalem(),
+            _ => {
+                let dedicated = arch.ports.iter().all(|p| p.accepts.len() <= 2);
+                MetricSpec {
+                    basis: if dedicated {
+                        MixBasis::Power7Classes
+                    } else {
+                        MixBasis::UniformPorts
+                    },
+                    num_ports: arch.num_ports(),
+                }
+            }
+        }
+    }
+
+    /// The POWER7 ideal class-mix vector `(load, store, branch+CR, FX, VS)`.
+    pub fn p7_ideal() -> [f64; 5] {
+        [1.0 / 7.0, 1.0 / 7.0, 1.0 / 7.0, 2.0 / 7.0, 2.0 / 7.0]
+    }
+
+    /// Observed class-mix vector in the same shape as [`MetricSpec::p7_ideal`].
+    pub fn observed_classes(m: &WindowMeasurement) -> [f64; 5] {
+        let f = m.class_fractions();
+        [
+            f[InstrClass::Load.index()],
+            f[InstrClass::Store.index()],
+            f[InstrClass::Branch.index()] + f[InstrClass::CondReg.index()],
+            f[InstrClass::FixedPoint.index()],
+            f[InstrClass::VectorScalar.index()],
+        ]
+    }
+
+    /// The mix-deviation factor over a measurement window. An empty window
+    /// (nothing issued) carries no evidence and yields 0 — without this, a
+    /// window read after a workload finished would report the distance of
+    /// the zero vector from the ideal, a pure artifact.
+    pub fn mix_deviation(&self, m: &WindowMeasurement) -> f64 {
+        if m.total_issued() == 0 {
+            return 0.0;
+        }
+        match self.basis {
+            MixBasis::Power7Classes => {
+                let obs = Self::observed_classes(m);
+                let ideal = Self::p7_ideal();
+                obs.iter()
+                    .zip(&ideal)
+                    .map(|(o, i)| (o - i) * (o - i))
+                    .sum::<f64>()
+                    .sqrt()
+            }
+            MixBasis::UniformPorts => {
+                let f = m.port_fractions();
+                let n = self.num_ports.max(1) as f64;
+                f.iter().map(|p| (p - 1.0 / n) * (p - 1.0 / n)).sum::<f64>().sqrt()
+            }
+        }
+    }
+
+    /// Worst-case deviation (all instructions in one class/port); useful
+    /// for normalizing plots.
+    pub fn max_deviation(&self) -> f64 {
+        match self.basis {
+            MixBasis::Power7Classes => {
+                // All mass on a 1/7 bucket: (1-1/7)^2 + (1/7)^2+(1/7)^2 + (2/7)^2+(2/7)^2
+                let i = Self::p7_ideal();
+                ((1.0 - i[0]).powi(2) + i[1].powi(2) + i[2].powi(2) + i[3].powi(2) + i[4].powi(2))
+                    .sqrt()
+            }
+            MixBasis::UniformPorts => {
+                let n = self.num_ports.max(1) as f64;
+                ((1.0 - 1.0 / n).powi(2) + (n - 1.0) * (1.0 / n).powi(2)).sqrt()
+            }
+        }
+    }
+}
+
+/// Convenience: construct an empty measurement for tests.
+#[cfg(test)]
+pub(crate) fn synthetic_window(
+    class_counts: [u64; smt_sim::NUM_CLASSES],
+    port_counts: Vec<u64>,
+) -> WindowMeasurement {
+    let mut t = smt_sim::ThreadCounters::new(port_counts.len());
+    t.class_issued = class_counts;
+    t.issued = class_counts
+        .iter()
+        .sum::<u64>()
+        .max(port_counts.iter().sum());
+    t.port_issued = port_counts;
+    t.cpu_cycles = 1000;
+    WindowMeasurement {
+        wall_cycles: 1000,
+        smt: smt_sim::SmtLevel::Smt4,
+        per_thread: vec![t],
+        cores: smt_sim::CoreCounters::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p7_ideal_mix_has_zero_deviation() {
+        // 7000 instructions in the ideal proportions.
+        let m = synthetic_window([1000, 1000, 1000, 0, 2000, 2000], vec![0; 8]);
+        let spec = MetricSpec::power7();
+        assert!(spec.mix_deviation(&m) < 1e-12);
+    }
+
+    #[test]
+    fn cr_folds_into_branch_bucket() {
+        // Branch mass split between BR and CR still matches the ideal.
+        let m = synthetic_window([1000, 1000, 400, 600, 2000, 2000], vec![0; 8]);
+        let spec = MetricSpec::power7();
+        assert!(spec.mix_deviation(&m) < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_mix_hits_max_deviation() {
+        let m = synthetic_window([7000, 0, 0, 0, 0, 0], vec![0; 8]);
+        let spec = MetricSpec::power7();
+        let d = spec.mix_deviation(&m);
+        assert!((d - spec.max_deviation()).abs() < 1e-12);
+        assert!(d > 0.9, "all-load deviation should be large: {d}");
+    }
+
+    #[test]
+    fn uniform_ports_zero_deviation_when_even() {
+        let m = synthetic_window([0; 6], vec![100; 6]);
+        let spec = MetricSpec::nehalem();
+        assert!(spec.mix_deviation(&m) < 1e-12);
+    }
+
+    #[test]
+    fn uniform_ports_skew_increases_deviation() {
+        let even = synthetic_window([0; 6], vec![100; 6]);
+        let skewed = synthetic_window([0; 6], vec![500, 20, 20, 20, 20, 20]);
+        let spec = MetricSpec::nehalem();
+        assert!(spec.mix_deviation(&skewed) > spec.mix_deviation(&even) + 0.3);
+    }
+
+    #[test]
+    fn for_arch_picks_matching_basis() {
+        assert_eq!(
+            MetricSpec::for_arch(&ArchDescriptor::power7()).basis,
+            MixBasis::Power7Classes
+        );
+        assert_eq!(
+            MetricSpec::for_arch(&ArchDescriptor::nehalem()).basis,
+            MixBasis::UniformPorts
+        );
+        // The generic core has dedicated-ish ports.
+        let g = MetricSpec::for_arch(&ArchDescriptor::generic());
+        assert_eq!(g.num_ports, 4);
+    }
+
+    #[test]
+    fn empty_window_has_zero_deviation() {
+        let m = synthetic_window([0; 6], vec![0; 8]);
+        assert_eq!(MetricSpec::power7().mix_deviation(&m), 0.0);
+        let m6 = synthetic_window([0; 6], vec![0; 6]);
+        assert_eq!(MetricSpec::nehalem().mix_deviation(&m6), 0.0);
+    }
+
+    #[test]
+    fn max_deviation_positive_and_bounded() {
+        for spec in [MetricSpec::power7(), MetricSpec::nehalem()] {
+            let d = spec.max_deviation();
+            assert!(d > 0.5 && d < 1.5, "{d}");
+        }
+    }
+}

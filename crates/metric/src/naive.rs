@@ -1,0 +1,92 @@
+//! The four naive baseline metrics of Fig. 2.
+//!
+//! Before introducing SMTsm, the paper shows that the "obvious" candidates
+//! — L1 misses per kilo-instruction, CPI, branch mispredictions per
+//! kilo-instruction, and the fraction of floating-point/vector instructions
+//! — carry *no* correlation with the SMT4/SMT1 speedup. These are
+//! implemented here so the reproduction can regenerate that result and use
+//! them as baselines for the predictor comparison.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::WindowMeasurement;
+
+/// One of the Fig. 2 baseline metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NaiveMetric {
+    /// L1 data-cache misses per 1000 instructions (top-left panel).
+    L1Mpki,
+    /// Cycles per instruction (top-right panel).
+    Cpi,
+    /// Branch mispredictions per 1000 instructions (bottom-left panel).
+    BranchMpki,
+    /// Fraction of vector-scalar (VSU/floating-point) instructions
+    /// (bottom-right panel).
+    VsuFraction,
+}
+
+impl NaiveMetric {
+    /// All four, in the paper's panel order.
+    pub const ALL: [NaiveMetric; 4] = [
+        NaiveMetric::L1Mpki,
+        NaiveMetric::Cpi,
+        NaiveMetric::BranchMpki,
+        NaiveMetric::VsuFraction,
+    ];
+
+    /// Evaluate over a counter window.
+    pub fn value(&self, m: &WindowMeasurement) -> f64 {
+        match self {
+            NaiveMetric::L1Mpki => m.l1_mpki(),
+            NaiveMetric::Cpi => m.cpi(),
+            NaiveMetric::BranchMpki => m.branch_mpki(),
+            NaiveMetric::VsuFraction => m.vsu_fraction(),
+        }
+    }
+
+    /// Axis label as the paper prints it.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NaiveMetric::L1Mpki => "L1 misses/1000 instructions",
+            NaiveMetric::Cpi => "CPI",
+            NaiveMetric::BranchMpki => "Branch Mispredictions/1000 instructions",
+            NaiveMetric::VsuFraction => "% of VSU Instructions",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::{CoreCounters, SmtLevel, ThreadCounters};
+
+    fn window() -> WindowMeasurement {
+        let mut t = ThreadCounters::new(8);
+        t.issued = 10_000;
+        t.cpu_cycles = 25_000;
+        t.l1d_misses = 50;
+        t.branch_mispredicts = 20;
+        t.class_issued[smt_sim::InstrClass::VectorScalar.index()] = 4_000;
+        WindowMeasurement {
+            wall_cycles: 25_000,
+            smt: SmtLevel::Smt4,
+            per_thread: vec![t],
+            cores: CoreCounters::default(),
+        }
+    }
+
+    #[test]
+    fn values_match_definitions() {
+        let w = window();
+        assert!((NaiveMetric::L1Mpki.value(&w) - 5.0).abs() < 1e-12);
+        assert!((NaiveMetric::Cpi.value(&w) - 2.5).abs() < 1e-12);
+        assert!((NaiveMetric::BranchMpki.value(&w) - 2.0).abs() < 1e-12);
+        assert!((NaiveMetric::VsuFraction.value(&w) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            NaiveMetric::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

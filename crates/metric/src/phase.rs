@@ -1,0 +1,193 @@
+//! Online phase-change detection.
+//!
+//! The paper motivates periodic measurement with workload *phases*
+//! (Section V). A fixed re-probe interval wastes time when phases are
+//! long and reacts late when they are short; [`PhaseDetector`] watches any
+//! scalar signal (the metric at the top SMT level, or machine IPC while
+//! parked at a lower one) and fires when the signal shifts persistently —
+//! a fast/slow dual-EWMA change detector with a confirmation count, so a
+//! single noisy window cannot trigger a probe.
+
+use serde::{Deserialize, Serialize};
+
+/// Dual-EWMA change detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseDetector {
+    /// Relative shift (|fast − slow| / max(|slow|, floor)) that counts as a
+    /// candidate change.
+    pub rel_threshold: f64,
+    /// Noise floor: shifts below this absolute size never count.
+    pub abs_floor: f64,
+    /// Consecutive candidate windows required before firing.
+    pub confirm: u32,
+    alpha_fast: f64,
+    alpha_slow: f64,
+    fast: Option<f64>,
+    slow: Option<f64>,
+    streak: u32,
+}
+
+impl PhaseDetector {
+    /// Create a detector. Typical values: `rel_threshold` 0.5 (a 50%
+    /// shift), `abs_floor` at the signal's noise scale, `confirm` 3
+    /// (two confirmations can still be faked by the decay tail of a single
+    /// large spike; three cannot).
+    pub fn new(rel_threshold: f64, abs_floor: f64, confirm: u32) -> PhaseDetector {
+        assert!(rel_threshold > 0.0, "threshold must be positive");
+        assert!(abs_floor >= 0.0);
+        assert!(confirm >= 1);
+        PhaseDetector {
+            rel_threshold,
+            abs_floor,
+            confirm,
+            alpha_fast: 0.6,
+            alpha_slow: 0.12,
+            fast: None,
+            slow: None,
+            streak: 0,
+        }
+    }
+
+    /// Feed one sample; returns `true` when a persistent shift is
+    /// confirmed (the detector then re-baselines itself on the new level).
+    pub fn push(&mut self, v: f64) -> bool {
+        assert!(!v.is_nan(), "NaN sample");
+        let fast = match self.fast {
+            None => v,
+            Some(f) => self.alpha_fast * v + (1.0 - self.alpha_fast) * f,
+        };
+        let slow = match self.slow {
+            None => v,
+            Some(s) => self.alpha_slow * v + (1.0 - self.alpha_slow) * s,
+        };
+        self.fast = Some(fast);
+        self.slow = Some(slow);
+        let denom = slow.abs().max(self.abs_floor.max(f64::MIN_POSITIVE));
+        let shifted = (fast - slow).abs() > self.abs_floor
+            && (fast - slow).abs() / denom > self.rel_threshold;
+        if shifted {
+            self.streak += 1;
+            if self.streak >= self.confirm {
+                // Re-baseline on the new level.
+                self.slow = Some(fast);
+                self.streak = 0;
+                return true;
+            }
+        } else {
+            self.streak = 0;
+        }
+        false
+    }
+
+    /// Forget all state (e.g. after an SMT-level switch).
+    pub fn reset(&mut self) {
+        self.fast = None;
+        self.slow = None;
+        self.streak = 0;
+    }
+
+    /// Samples currently counting toward a confirmation.
+    pub fn pending_streak(&self) -> u32 {
+        self.streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> PhaseDetector {
+        PhaseDetector::new(0.5, 0.05, 3)
+    }
+
+    #[test]
+    fn stable_signal_never_fires() {
+        let mut d = detector();
+        for k in 0..200 {
+            // Small deterministic jitter around 1.0.
+            let v = 1.0 + 0.02 * ((k % 7) as f64 - 3.0) / 3.0;
+            assert!(!d.push(v), "fired on stable signal at {k}");
+        }
+    }
+
+    #[test]
+    fn step_change_fires_once_then_rebaselines() {
+        let mut d = detector();
+        for _ in 0..20 {
+            assert!(!d.push(1.0));
+        }
+        let mut fires = 0;
+        for _ in 0..30 {
+            if d.push(4.0) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 1, "step must fire exactly once");
+    }
+
+    #[test]
+    fn fires_again_on_a_second_phase() {
+        let mut d = detector();
+        for _ in 0..20 {
+            d.push(1.0);
+        }
+        let mut fires = 0;
+        for _ in 0..30 {
+            if d.push(4.0) {
+                fires += 1;
+            }
+        }
+        for _ in 0..30 {
+            if d.push(0.5) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 2);
+    }
+
+    #[test]
+    fn single_spike_does_not_fire() {
+        let mut d = detector();
+        for _ in 0..20 {
+            d.push(1.0);
+        }
+        assert!(!d.push(10.0), "one spike must not confirm");
+        let mut fired = false;
+        for _ in 0..20 {
+            fired |= d.push(1.0);
+        }
+        assert!(!fired, "returning to baseline must not fire");
+    }
+
+    #[test]
+    fn shifts_below_the_floor_are_ignored() {
+        let mut d = PhaseDetector::new(0.5, 0.5, 2);
+        for _ in 0..20 {
+            d.push(0.1);
+        }
+        let mut fired = false;
+        for _ in 0..20 {
+            fired |= d.push(0.3); // 3x relative, but below the 0.5 floor
+        }
+        assert!(!fired);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = detector();
+        for _ in 0..10 {
+            d.push(1.0);
+        }
+        d.push(5.0);
+        assert!(d.pending_streak() > 0);
+        d.reset();
+        assert_eq!(d.pending_streak(), 0);
+        assert!(!d.push(5.0), "fresh baseline after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        PhaseDetector::new(0.0, 0.1, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Online sampling of the metric.
+//!
+//! The paper's deployment story (Section V): "SMTsm can be measured
+//! periodically and hence allows adaptively choosing the optimal SMT level
+//! for a workload as it goes through different phases." [`OnlineSampler`]
+//! packages that loop — fixed-length counter windows with exponential
+//! smoothing so a scheduler does not flap on transient phases.
+
+use crate::ideal::MetricSpec;
+use crate::compute::{smtsm_factors, SmtsmFactors};
+use serde::{Deserialize, Serialize};
+use smt_sim::{Simulation, Workload};
+
+/// Periodic sampler with exponential smoothing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineSampler {
+    /// Metric instantiation for the target architecture.
+    pub spec: MetricSpec,
+    /// Sampling window length in cycles.
+    pub window_cycles: u64,
+    /// EWMA coefficient in (0, 1]: weight of the newest sample.
+    /// 1.0 disables smoothing.
+    pub alpha: f64,
+    smoothed: Option<f64>,
+    samples: u64,
+}
+
+impl OnlineSampler {
+    /// Create a sampler; `alpha` = 1.0 means no smoothing.
+    pub fn new(spec: MetricSpec, window_cycles: u64, alpha: f64) -> OnlineSampler {
+        assert!(window_cycles > 0, "window must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        OnlineSampler { spec, window_cycles, alpha, smoothed: None, samples: 0 }
+    }
+
+    /// Run one sampling window on the simulation and return the smoothed
+    /// metric value plus the raw factors from this window.
+    pub fn sample<W: Workload>(&mut self, sim: &mut Simulation<W>) -> (f64, SmtsmFactors) {
+        let m = sim.measure_window(self.window_cycles);
+        let f = smtsm_factors(&self.spec, &m);
+        (self.push(f.value()), f)
+    }
+
+    /// Feed a raw metric value into the smoother (exposed for testing and
+    /// for callers that take their own measurements).
+    pub fn push(&mut self, raw: f64) -> f64 {
+        self.samples += 1;
+        let s = match self.smoothed {
+            None => raw,
+            Some(prev) => self.alpha * raw + (1.0 - self.alpha) * prev,
+        };
+        self.smoothed = Some(s);
+        s
+    }
+
+    /// Current smoothed value, if any sample was taken.
+    pub fn current(&self) -> Option<f64> {
+        self.smoothed
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Forget history (e.g. after an SMT-level switch, where the old
+    /// level's samples no longer describe the machine).
+    pub fn reset(&mut self) {
+        self.smoothed = None;
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::{MachineConfig, SmtLevel};
+    use smt_workloads::{catalog, SyntheticWorkload};
+
+    #[test]
+    fn ewma_smooths_toward_new_values() {
+        let mut s = OnlineSampler::new(MetricSpec::power7(), 100, 0.5);
+        assert_eq!(s.push(1.0), 1.0);
+        assert_eq!(s.push(0.0), 0.5);
+        assert_eq!(s.push(0.0), 0.25);
+        assert_eq!(s.samples(), 3);
+        s.reset();
+        assert_eq!(s.current(), None);
+        assert_eq!(s.push(0.3), 0.3);
+    }
+
+    #[test]
+    fn alpha_one_disables_smoothing() {
+        let mut s = OnlineSampler::new(MetricSpec::power7(), 100, 1.0);
+        s.push(1.0);
+        assert_eq!(s.push(0.2), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_zero_rejected() {
+        OnlineSampler::new(MetricSpec::power7(), 100, 0.0);
+    }
+
+    #[test]
+    fn sampling_a_live_simulation_yields_finite_metric() {
+        let w = SyntheticWorkload::new(catalog::ep().scaled(0.2));
+        let cfg = MachineConfig::power7(1);
+        let spec = MetricSpec::for_arch(&cfg.arch);
+        let mut sim = Simulation::new(cfg, SmtLevel::Smt4, w);
+        let mut sampler = OnlineSampler::new(spec, 20_000, 0.5);
+        let (v1, f1) = sampler.sample(&mut sim);
+        let (v2, _) = sampler.sample(&mut sim);
+        assert!(v1.is_finite() && v2.is_finite());
+        assert!(f1.mix_deviation >= 0.0);
+        assert!(f1.scalability >= 1.0);
+        assert!((0.0..=1.0).contains(&f1.disp_held));
+        assert_eq!(sampler.samples(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Threshold learning (Section V): Gini impurity and the average-PPI method.
+//!
+//! Both methods consume `(metric, speedup)` observations from a training
+//! set of workloads and produce the metric threshold at which a system
+//! should switch to the lower SMT level.
+
+use serde::{Deserialize, Serialize};
+use smt_stats::classify::SpeedupCase;
+use smt_stats::gini::{GiniSweep, LabeledPoint};
+
+/// Train a threshold by minimizing overall Gini impurity (Section V-A).
+/// Returns the sweep (for Fig. 16) — use [`GiniSweep::best_separator`] for
+/// the representative threshold.
+pub fn gini_sweep(cases: &[SpeedupCase]) -> GiniSweep {
+    let points: Vec<LabeledPoint> = cases
+        .iter()
+        .map(|c| LabeledPoint::from_speedup(c.metric, c.speedup))
+        .collect();
+    GiniSweep::run(&points)
+}
+
+/// The average Percentage-Performance-Improvement sweep (Section V-B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpiSweep {
+    /// Candidate thresholds evaluated.
+    pub thresholds: Vec<f64>,
+    /// Average expected % improvement over the default (higher) SMT level
+    /// when switching workloads whose metric exceeds each threshold.
+    pub improvements: Vec<f64>,
+    /// Threshold with the highest average improvement.
+    pub best_threshold: f64,
+    /// The improvement at `best_threshold`.
+    pub best_improvement: f64,
+}
+
+impl PpiSweep {
+    /// Run the sweep over the same candidate separators the Gini method
+    /// uses (midpoints between adjacent distinct metric values, plus
+    /// sentinels below and above).
+    pub fn run(cases: &[SpeedupCase]) -> PpiSweep {
+        assert!(!cases.is_empty(), "PpiSweep::run on empty sample");
+        // Reuse the Gini candidate generation for identical x-axes.
+        let sweep = gini_sweep(cases);
+        let thresholds = sweep.separators.clone();
+        let improvements: Vec<f64> = thresholds
+            .iter()
+            .map(|&t| Self::average_ppi(cases, t))
+            .collect();
+        let (bi, &best_improvement) = improvements
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("nonempty");
+        PpiSweep {
+            best_threshold: thresholds[bi],
+            best_improvement,
+            thresholds,
+            improvements,
+        }
+    }
+
+    /// The paper's per-benchmark PPI at a threshold: 0 when the metric is
+    /// below the threshold (stay at the default/higher level), otherwise
+    /// `(1/speedup - 1) * 100` — the improvement from dropping to the lower
+    /// level.
+    pub fn ppi(case: &SpeedupCase, threshold: f64) -> f64 {
+        if case.metric < threshold {
+            0.0
+        } else {
+            (1.0 / case.speedup - 1.0) * 100.0
+        }
+    }
+
+    /// Average PPI across a benchmark set at a threshold.
+    pub fn average_ppi(cases: &[SpeedupCase], threshold: f64) -> f64 {
+        if cases.is_empty() {
+            return 0.0;
+        }
+        cases.iter().map(|c| Self::ppi(c, threshold)).sum::<f64>() / cases.len() as f64
+    }
+
+    /// The range of thresholds whose average PPI is at least `frac` of the
+    /// best (the paper highlights the wide >15% plateau of Fig. 17).
+    pub fn plateau(&self, frac: f64) -> (f64, f64) {
+        let cut = self.best_improvement * frac;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (&t, &i) in self.thresholds.iter().zip(&self.improvements) {
+            if i >= cut {
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, metric: f64, speedup: f64) -> SpeedupCase {
+        SpeedupCase::new(name, metric, speedup)
+    }
+
+    fn sample() -> Vec<SpeedupCase> {
+        vec![
+            case("ep", 0.01, 2.0),
+            case("bs", 0.02, 1.8),
+            case("mg", 0.05, 1.0),
+            case("stream", 0.10, 0.9),
+            case("equake", 0.15, 0.5),
+            case("jbbc", 0.22, 0.25),
+        ]
+    }
+
+    #[test]
+    fn gini_separates_clean_sample() {
+        let sweep = gini_sweep(&sample());
+        assert_eq!(sweep.min_impurity, 0.0);
+        let t = sweep.best_separator();
+        assert!(t > 0.05 && t < 0.10, "threshold {t}");
+    }
+
+    #[test]
+    fn ppi_zero_below_threshold() {
+        let c = case("x", 0.01, 0.5);
+        assert_eq!(PpiSweep::ppi(&c, 0.05), 0.0);
+    }
+
+    #[test]
+    fn ppi_improvement_above_threshold() {
+        let c = case("x", 0.2, 0.5);
+        // 1/0.5 - 1 = 100% improvement from switching down.
+        assert!((PpiSweep::ppi(&c, 0.05) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppi_negative_for_wrongly_switched_winners() {
+        let c = case("x", 0.2, 2.0);
+        assert!((PpiSweep::ppi(&c, 0.05) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppi_sweep_picks_a_separating_threshold() {
+        let sweep = PpiSweep::run(&sample());
+        // Best threshold must sit between the last winner (0.05 @ 1.0) and
+        // the clear losers; switching stream/equake/jbbc down yields
+        // (1/0.9-1 + 1/0.5-1 + 1/0.25-1)/6 * 100 ≈ 68.5%.
+        assert!(
+            sweep.best_threshold > 0.05 && sweep.best_threshold <= 0.10,
+            "threshold {}",
+            sweep.best_threshold
+        );
+        assert!(
+            (sweep.best_improvement - (0.1111 + 1.0 + 3.0) / 6.0 * 100.0).abs() < 0.5,
+            "improvement {}",
+            sweep.best_improvement
+        );
+    }
+
+    #[test]
+    fn ppi_prefers_preserving_large_speedups() {
+        // Section V-B's point: a big winner just right of small losers
+        // should push the PPI threshold right of it, even though Gini
+        // might prefer classifying the losers correctly.
+        let cases = vec![
+            case("l1", 0.04, 0.97),
+            case("l2", 0.05, 0.97),
+            case("w", 0.06, 3.0),
+            case("l3", 0.20, 0.4),
+        ];
+        let sweep = PpiSweep::run(&cases);
+        assert!(
+            sweep.best_threshold > 0.06,
+            "PPI should protect the 3.0x winner: {}",
+            sweep.best_threshold
+        );
+    }
+
+    #[test]
+    fn plateau_covers_best() {
+        let sweep = PpiSweep::run(&sample());
+        let (lo, hi) = sweep.plateau(0.8);
+        assert!(lo <= sweep.best_threshold && sweep.best_threshold <= hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ppi_sweep_empty_panics() {
+        PpiSweep::run(&[]);
+    }
+}

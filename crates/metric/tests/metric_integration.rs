@@ -1,0 +1,130 @@
+//! Integration tests for the metric crate against live simulations.
+
+use smt_sim::{MachineConfig, Simulation, SmtLevel};
+use smt_workloads::{catalog, SyntheticWorkload};
+use smtsm::{
+    smtsm_factors, LevelSelector, MetricSpec, OnlineSampler, PhaseDetector, SmtPreference,
+    ThresholdPredictor,
+};
+
+#[test]
+fn factors_track_workload_character_on_live_runs() {
+    let cfg = MachineConfig::power7(1);
+    let spec = MetricSpec::for_arch(&cfg.arch);
+
+    let measure = |wl: smt_workloads::WorkloadSpec| {
+        let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt4, SyntheticWorkload::new(wl));
+        sim.run_cycles(20_000);
+        smtsm_factors(&spec, &sim.measure_window(40_000))
+    };
+
+    // EP: near-ideal mix => small deviation.
+    let ep = measure(catalog::ep().scaled(0.5));
+    assert!(ep.mix_deviation < 0.15, "EP deviation {}", ep.mix_deviation);
+
+    // SSCA2 under contention: spin-skewed mix, heavy dispatch hold.
+    let ssca2 = measure(catalog::ssca2().scaled(0.5));
+    assert!(ssca2.mix_deviation > 0.4, "SSCA2 deviation {}", ssca2.mix_deviation);
+    assert!(ssca2.disp_held > 0.3, "SSCA2 held {}", ssca2.disp_held);
+
+    // Dedup: blocking waits => scalability ratio well above 1.
+    let dedup = measure(catalog::dedup().scaled(0.5));
+    assert!(dedup.scalability > 1.5, "dedup scalability {}", dedup.scalability);
+
+    assert!(ssca2.value() > ep.value() * 5.0, "metric separation");
+}
+
+#[test]
+fn metric_at_top_level_orders_levels_consistently() {
+    // The metric at SMT4 should be at least as large as at SMT2 for a
+    // contended workload (contention grows with threads), and the
+    // preference thresholds derived from it should recommend coherently.
+    let cfg = MachineConfig::power7(1);
+    let spec = MetricSpec::for_arch(&cfg.arch);
+    let measure_at = |smt| {
+        let w = SyntheticWorkload::new(catalog::specjbb_contention().scaled(0.4));
+        let mut sim = Simulation::new(cfg.clone(), smt, w);
+        sim.run_cycles(15_000);
+        smtsm_factors(&spec, &sim.measure_window(30_000)).value()
+    };
+    let at2 = measure_at(SmtLevel::Smt2);
+    let at4 = measure_at(SmtLevel::Smt4);
+    assert!(at4 > at2, "contention metric must grow with SMT level: {at2} vs {at4}");
+
+    let selector = LevelSelector::three_level(
+        ThresholdPredictor::fixed(0.15),
+        ThresholdPredictor::fixed(0.25),
+    );
+    assert_eq!(selector.recommend(at4), SmtLevel::Smt1);
+}
+
+#[test]
+fn sampler_smooths_live_noise() {
+    let cfg = MachineConfig::power7(1);
+    let spec = MetricSpec::for_arch(&cfg.arch);
+    let w = SyntheticWorkload::new(catalog::specjbb().scaled(0.6));
+    let mut sim = Simulation::new(cfg, SmtLevel::Smt4, w);
+    sim.run_cycles(10_000);
+
+    let mut raw_vals = Vec::new();
+    let mut smooth_vals = Vec::new();
+    let mut raw = OnlineSampler::new(spec, 4_000, 1.0);
+    let mut smooth = OnlineSampler::new(spec, 4_000, 0.3);
+    for _ in 0..10 {
+        let (_, f) = raw.sample(&mut sim);
+        raw_vals.push(f.value());
+        smooth_vals.push(smooth.push(f.value()));
+    }
+    let sd = |xs: &[f64]| smt_stats::Summary::of(xs).stddev;
+    assert!(
+        sd(&smooth_vals[2..]) <= sd(&raw_vals[2..]) + 1e-12,
+        "smoothing must not increase variance: raw {} smooth {}",
+        sd(&raw_vals[2..]),
+        sd(&smooth_vals[2..])
+    );
+}
+
+#[test]
+fn phase_detector_sees_a_live_phase_change() {
+    // Watch machine IPC across a compute -> contention phase change.
+    let cfg = MachineConfig::power7(1);
+    let w = smt_workloads::PhasedWorkload::new(
+        "pc",
+        vec![
+            // Long enough for the detector to baseline on the first phase.
+            catalog::ep().scaled(0.8),
+            catalog::specjbb_contention().scaled(0.2),
+        ],
+    );
+    let mut sim = Simulation::new(cfg, SmtLevel::Smt4, w);
+    let mut det = PhaseDetector::new(0.3, 0.5, 3);
+    let mut fired = false;
+    for _ in 0..200 {
+        if sim.finished() {
+            break;
+        }
+        let m = sim.measure_window(10_000);
+        if det.push(m.ipc()) {
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "IPC phase change must be detected");
+}
+
+#[test]
+fn predictors_serde_round_trip() {
+    let p = ThresholdPredictor::fixed(0.123);
+    let json = serde_json::to_string(&p).unwrap();
+    let back: ThresholdPredictor = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+    assert_eq!(back.predict(0.1), SmtPreference::Higher);
+
+    let sel = LevelSelector::three_level(
+        ThresholdPredictor::fixed(0.1),
+        ThresholdPredictor::fixed(0.2),
+    );
+    let json = serde_json::to_string(&sel).unwrap();
+    let back: LevelSelector = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.recommend(0.15), SmtLevel::Smt2);
+}

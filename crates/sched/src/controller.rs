@@ -1,0 +1,264 @@
+//! The dynamic SMT-level controller (Section V).
+//!
+//! The controller runs the machine at its top SMT level by default (as all
+//! SMT-capable systems do), samples SMTsm periodically from the hardware
+//! counters, and drops to a lower level when the trained selector says the
+//! workload prefers one — with hysteresis so a single noisy window cannot
+//! flap the machine. Because the metric is only meaningful at the *top*
+//! level (Figs. 11/12: measured at SMT1 it cannot foresee contention), the
+//! controller re-probes the top level periodically while parked at a lower
+//! one, which is also what lets it follow phase changes.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{Simulation, SmtLevel, Workload};
+use smtsm::{LevelSelector, MetricSpec, OnlineSampler, PhaseDetector};
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Counter-sampling window length in cycles.
+    pub window_cycles: u64,
+    /// EWMA smoothing factor for the sampler (1.0 = none).
+    pub alpha: f64,
+    /// Consecutive windows that must agree before switching levels.
+    pub hysteresis: u64,
+    /// While parked below the top level, re-probe the top level after this
+    /// many windows.
+    pub probe_interval: u64,
+    /// Watch machine IPC while parked and probe the top level immediately
+    /// when a phase change is detected, instead of waiting out the probe
+    /// interval.
+    pub phase_detect: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            window_cycles: 50_000,
+            alpha: 0.5,
+            hysteresis: 2,
+            probe_interval: 8,
+            phase_detect: true,
+        }
+    }
+}
+
+/// One entry in the controller's decision log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchEvent {
+    /// Cycle at which the switch was initiated.
+    pub at_cycle: u64,
+    /// Level switched to.
+    pub to: SmtLevel,
+    /// Smoothed metric value that triggered the decision (None for probe
+    /// returns to the top level).
+    pub metric: Option<f64>,
+}
+
+/// Outcome of a controller-managed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerReport {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Work completed.
+    pub work_done: u64,
+    /// Work per cycle over the whole managed run.
+    pub perf: f64,
+    /// The workload ran to completion.
+    pub completed: bool,
+    /// Level-switch log.
+    pub switches: Vec<SwitchEvent>,
+    /// Sampling windows taken.
+    pub windows: u64,
+}
+
+/// Samples the metric online and reconfigures the machine's SMT level.
+#[derive(Debug, Clone)]
+pub struct DynamicSmtController {
+    selector: LevelSelector,
+    sampler: OnlineSampler,
+    cfg: ControllerConfig,
+    /// Candidate level and how many consecutive windows recommended it.
+    pending: Option<(SmtLevel, u64)>,
+    /// Windows spent parked below the top level since the last probe.
+    parked_windows: u64,
+    /// IPC watcher used while parked (phase_detect).
+    detector: PhaseDetector,
+}
+
+impl DynamicSmtController {
+    /// Build a controller from a trained selector.
+    pub fn new(selector: LevelSelector, spec: MetricSpec, cfg: ControllerConfig) -> Self {
+        DynamicSmtController {
+            selector,
+            sampler: OnlineSampler::new(spec, cfg.window_cycles, cfg.alpha),
+            cfg,
+            pending: None,
+            parked_windows: 0,
+            detector: PhaseDetector::new(0.4, 0.5, 3),
+        }
+    }
+
+    /// Drive `sim` until the workload finishes or `max_cycles` elapse,
+    /// sampling and switching as configured. The simulation should start at
+    /// the machine's top SMT level.
+    pub fn run<W: Workload>(
+        &mut self,
+        sim: &mut Simulation<W>,
+        max_cycles: u64,
+    ) -> ControllerReport {
+        let top = self.top_level();
+        let start = sim.now();
+        let mut switches = Vec::new();
+        let mut windows = 0u64;
+
+        while !sim.finished() && sim.now() - start < max_cycles {
+            if sim.smt() == top {
+                let (metric, _) = self.sampler.sample(sim);
+                windows += 1;
+                let want = self.selector.recommend(metric);
+                if want != sim.smt() {
+                    let n = match self.pending {
+                        Some((lvl, n)) if lvl == want => n + 1,
+                        _ => 1,
+                    };
+                    self.pending = Some((want, n));
+                    if n >= self.cfg.hysteresis {
+                        sim.reconfigure(want);
+                        switches.push(SwitchEvent {
+                            at_cycle: sim.now(),
+                            to: want,
+                            metric: Some(metric),
+                        });
+                        self.sampler.reset();
+                        self.detector.reset();
+                        self.pending = None;
+                        self.parked_windows = 0;
+                    }
+                } else {
+                    self.pending = None;
+                }
+            } else {
+                // Parked at a lower level: the metric is not meaningful
+                // down here (Figs. 11/12), so run windows watching only the
+                // IPC for phase changes, and periodically re-probe the top
+                // level regardless.
+                let m = sim.measure_window(self.cfg.window_cycles);
+                windows += 1;
+                self.parked_windows += 1;
+                let phase_changed = self.cfg.phase_detect && self.detector.push(m.ipc());
+                if (phase_changed || self.parked_windows >= self.cfg.probe_interval)
+                    && !sim.finished()
+                {
+                    sim.reconfigure(top);
+                    switches.push(SwitchEvent {
+                        at_cycle: sim.now(),
+                        to: top,
+                        metric: None,
+                    });
+                    self.sampler.reset();
+                    self.detector.reset();
+                    self.parked_windows = 0;
+                }
+            }
+        }
+
+        let cycles = sim.now() - start;
+        ControllerReport {
+            cycles,
+            work_done: sim.workload().work_done(),
+            perf: if cycles > 0 {
+                sim.workload().work_done() as f64 / cycles as f64
+            } else {
+                0.0
+            },
+            completed: sim.finished(),
+            switches,
+            windows,
+        }
+    }
+
+    /// The highest level the selector knows about.
+    pub fn top_level(&self) -> SmtLevel {
+        self.selector
+            .rungs
+            .first()
+            .map(|(l, _)| *l)
+            .unwrap_or(self.selector.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::MachineConfig;
+    use smt_workloads::{catalog, SyntheticWorkload};
+    use smtsm::ThresholdPredictor;
+
+    fn selector() -> LevelSelector {
+        LevelSelector::three_level(
+            ThresholdPredictor::fixed(0.05),
+            ThresholdPredictor::fixed(0.10),
+        )
+    }
+
+    fn small_cfg() -> ControllerConfig {
+        ControllerConfig {
+            window_cycles: 10_000,
+            alpha: 0.6,
+            hysteresis: 2,
+            probe_interval: 6,
+            phase_detect: true,
+        }
+    }
+
+    #[test]
+    fn scalable_workload_stays_at_top_level() {
+        let w = SyntheticWorkload::new(catalog::ep().scaled(0.15));
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt4, w);
+        let mut ctl = DynamicSmtController::new(selector(), MetricSpec::power7(), small_cfg());
+        let report = ctl.run(&mut sim, 50_000_000);
+        assert!(report.completed);
+        assert!(
+            report.switches.is_empty(),
+            "EP must not trigger switches: {:?}",
+            report.switches
+        );
+    }
+
+    #[test]
+    fn contended_workload_switches_down() {
+        let w = SyntheticWorkload::new(catalog::specjbb_contention().scaled(0.4));
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt4, w);
+        let mut ctl = DynamicSmtController::new(selector(), MetricSpec::power7(), small_cfg());
+        let report = ctl.run(&mut sim, 100_000_000);
+        assert!(report.completed);
+        assert!(
+            report.switches.iter().any(|s| s.to < SmtLevel::Smt4),
+            "heavy contention must switch down: {:?}",
+            report.switches
+        );
+    }
+
+    #[test]
+    fn controller_reports_progress() {
+        let w = SyntheticWorkload::new(catalog::mg().scaled(0.05));
+        let total = {
+            use smt_sim::Workload as _;
+            w.total_work()
+        };
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt4, w);
+        let mut ctl = DynamicSmtController::new(selector(), MetricSpec::power7(), small_cfg());
+        let report = ctl.run(&mut sim, 100_000_000);
+        assert!(report.completed);
+        assert_eq!(report.work_done, total);
+        assert!(report.perf > 0.0);
+        assert!(report.windows > 0);
+    }
+
+    #[test]
+    fn top_level_from_selector() {
+        let ctl = DynamicSmtController::new(selector(), MetricSpec::power7(), small_cfg());
+        assert_eq!(ctl.top_level(), SmtLevel::Smt4);
+    }
+}

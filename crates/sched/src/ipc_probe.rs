@@ -1,0 +1,117 @@
+//! Online IPC-probing baseline.
+//!
+//! Section I critiques the other obvious online approach: "vary the SMT
+//! level online and observe changes in the instructions-per-cycle (IPC) —
+//! ... IPC is not always an accurate indicator of application performance
+//! (e.g., in case of spin-lock contention)". This baseline does exactly
+//! that: briefly run every SMT level, keep the one with the highest IPC,
+//! and finish the run there. Under spin contention it is fooled — spinning
+//! *raises* IPC while destroying useful throughput — which the tests (and
+//! the scheduler-comparison experiment) demonstrate.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{Simulation, SmtLevel, Workload};
+
+/// Result of an IPC-probed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpcProbeReport {
+    /// IPC observed at each probed level.
+    pub probed_ipc: Vec<(SmtLevel, f64)>,
+    /// Level chosen (highest IPC).
+    pub chosen: SmtLevel,
+    /// Total cycles including the probing phase.
+    pub cycles: u64,
+    /// Work completed.
+    pub work_done: u64,
+    /// Whole-run throughput (work per cycle, probing included).
+    pub perf: f64,
+    /// The workload finished.
+    pub completed: bool,
+}
+
+/// Probe each supported level for `probe_cycles`, pick the highest-IPC
+/// level, and run the remainder of the workload there (bounded by
+/// `max_cycles` total).
+pub fn ipc_probe_run<W: Workload>(
+    sim: &mut Simulation<W>,
+    probe_cycles: u64,
+    max_cycles: u64,
+) -> IpcProbeReport {
+    let start = sim.now();
+    let levels = sim.config().smt_levels();
+    let mut probed_ipc = Vec::new();
+    for smt in levels {
+        if sim.smt() != smt {
+            sim.reconfigure(smt);
+        }
+        let m = sim.measure_window(probe_cycles);
+        probed_ipc.push((smt, m.ipc()));
+        if sim.finished() {
+            break;
+        }
+    }
+    let chosen = probed_ipc
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN ipc"))
+        .map(|(l, _)| *l)
+        .expect("at least one probe");
+    if !sim.finished() && sim.smt() != chosen {
+        sim.reconfigure(chosen);
+    }
+    while !sim.finished() && sim.now() - start < max_cycles {
+        sim.run_cycles(10_000);
+    }
+    let cycles = sim.now() - start;
+    IpcProbeReport {
+        probed_ipc,
+        chosen,
+        cycles,
+        work_done: sim.workload().work_done(),
+        perf: if cycles > 0 {
+            sim.workload().work_done() as f64 / cycles as f64
+        } else {
+            0.0
+        },
+        completed: sim.finished(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::MachineConfig;
+    use smt_workloads::{catalog, SyntheticWorkload};
+
+    #[test]
+    fn probe_picks_smt4_for_scalable_work() {
+        let w = SyntheticWorkload::new(catalog::ep().scaled(0.2));
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt1, w);
+        let report = ipc_probe_run(&mut sim, 15_000, 100_000_000);
+        assert!(report.completed);
+        assert_eq!(report.chosen, SmtLevel::Smt4);
+        assert_eq!(report.probed_ipc.len(), 3);
+    }
+
+    #[test]
+    fn probe_is_fooled_by_spin_contention() {
+        // Under heavy spinning, IPC grows with the SMT level even though
+        // useful throughput collapses — the failure mode the paper calls
+        // out. The probe must pick a *higher* level than the oracle would.
+        let spec = catalog::specjbb_contention().scaled(0.3);
+        let w = SyntheticWorkload::new(spec.clone());
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt1, w);
+        let report = ipc_probe_run(&mut sim, 15_000, 200_000_000);
+        assert!(report.completed);
+        let oracle = crate::oracle::oracle_sweep(
+            &MachineConfig::power7(1),
+            || SyntheticWorkload::new(spec.clone()),
+            200_000_000,
+        );
+        assert!(
+            report.chosen > oracle.best,
+            "IPC probe should over-select SMT under spinning (probe {:?}, oracle {:?})",
+            report.chosen,
+            oracle.best
+        );
+    }
+}

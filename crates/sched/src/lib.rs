@@ -1,0 +1,25 @@
+//! `smt-sched`: applying the SMT-selection metric (Section V of the paper).
+//!
+//! - [`controller`] — the dynamic SMT-level controller: sample SMTsm
+//!   periodically at the top SMT level, switch down (with hysteresis) when
+//!   the trained selector says so, and periodically re-probe the top level
+//!   to follow workload phases.
+//! - [`optimizer`] — a user-level tuner wrapping one application run, plus
+//!   a policy comparison harness (dynamic vs. every static level vs. the
+//!   IPC probe).
+//! - [`oracle`] — the offline exhaustive baseline (run every level, keep
+//!   the best); also the source of ground-truth labels.
+//! - [`ipc_probe`] — the online IPC-comparison baseline the paper
+//!   critiques, complete with its spin-contention failure mode.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod ipc_probe;
+pub mod optimizer;
+pub mod oracle;
+
+pub use controller::{ControllerConfig, ControllerReport, DynamicSmtController, SwitchEvent};
+pub use ipc_probe::{ipc_probe_run, IpcProbeReport};
+pub use optimizer::{compare, tune, PolicyComparison};
+pub use oracle::{oracle_sweep, OracleLevel, OracleReport};

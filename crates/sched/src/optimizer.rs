@@ -1,0 +1,171 @@
+//! A user-level application optimizer built on the controller.
+//!
+//! Section V positions SMTsm for "user-level optimizers or application
+//! tuners \[that\] dynamically adjust the SMT level of the underlying system
+//! to improve the performance of running applications". [`tune`] wraps one
+//! application run under the dynamic controller; [`compare`] additionally
+//! measures every static level and the IPC-probe baseline so callers (and
+//! the scheduler-demo experiment) can quantify what the metric buys.
+
+use crate::controller::{ControllerConfig, ControllerReport, DynamicSmtController};
+use crate::ipc_probe::ipc_probe_run;
+use crate::oracle::oracle_sweep;
+use serde::{Deserialize, Serialize};
+use smt_sim::{MachineConfig, Simulation, SmtLevel, Workload};
+use smtsm::{LevelSelector, MetricSpec};
+
+/// Run one application under dynamic SMT selection, starting from the
+/// machine's top level.
+pub fn tune<W, F>(
+    cfg: &MachineConfig,
+    make_workload: F,
+    selector: LevelSelector,
+    ctl_cfg: ControllerConfig,
+    max_cycles: u64,
+) -> ControllerReport
+where
+    W: Workload,
+    F: FnOnce() -> W,
+{
+    let top = *cfg.smt_levels().last().expect("machine has levels");
+    let mut sim = Simulation::new(cfg.clone(), top, make_workload());
+    let spec = MetricSpec::for_arch(&cfg.arch);
+    let mut ctl = DynamicSmtController::new(selector, spec, ctl_cfg);
+    ctl.run(&mut sim, max_cycles)
+}
+
+/// Side-by-side comparison of SMT-selection policies on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// Throughput of each static level.
+    pub static_perf: Vec<(SmtLevel, f64)>,
+    /// The best static level (the oracle).
+    pub oracle: SmtLevel,
+    /// Dynamic-controller report.
+    pub dynamic: ControllerReport,
+    /// IPC-probe baseline throughput and its chosen level.
+    pub ipc_probe: (SmtLevel, f64),
+}
+
+impl PolicyComparison {
+    /// Oracle throughput.
+    pub fn oracle_perf(&self) -> f64 {
+        self.static_perf
+            .iter()
+            .find(|(l, _)| *l == self.oracle)
+            .expect("oracle level present")
+            .1
+    }
+
+    /// Dynamic throughput as a fraction of the oracle's.
+    pub fn dynamic_vs_oracle(&self) -> f64 {
+        self.dynamic.perf / self.oracle_perf()
+    }
+
+    /// Worst static throughput (the cost of picking the wrong level).
+    pub fn worst_static_perf(&self) -> f64 {
+        self.static_perf
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Measure all policies on one workload.
+pub fn compare<W, F>(
+    cfg: &MachineConfig,
+    make_workload: F,
+    selector: LevelSelector,
+    ctl_cfg: ControllerConfig,
+    max_cycles: u64,
+) -> PolicyComparison
+where
+    W: Workload,
+    F: Fn() -> W,
+{
+    let oracle = oracle_sweep(cfg, &make_workload, max_cycles);
+    let static_perf: Vec<(SmtLevel, f64)> = oracle
+        .levels
+        .iter()
+        .map(|l| (l.smt, l.result.perf()))
+        .collect();
+
+    let dynamic = tune(cfg, &make_workload, selector, ctl_cfg, max_cycles);
+
+    let top = *cfg.smt_levels().last().expect("levels");
+    let mut sim = Simulation::new(cfg.clone(), top, make_workload());
+    let probe = ipc_probe_run(&mut sim, ctl_cfg.window_cycles / 2, max_cycles);
+
+    PolicyComparison {
+        static_perf,
+        oracle: oracle.best,
+        dynamic,
+        ipc_probe: (probe.chosen, probe.perf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::MachineConfig;
+    use smt_workloads::{catalog, SyntheticWorkload};
+    use smtsm::ThresholdPredictor;
+
+    fn selector() -> LevelSelector {
+        LevelSelector::three_level(
+            ThresholdPredictor::fixed(0.05),
+            ThresholdPredictor::fixed(0.10),
+        )
+    }
+
+    #[test]
+    fn comparison_reports_all_policies() {
+        let cfg = MachineConfig::power7(1);
+        let spec = catalog::ep().scaled(0.08);
+        let cmp = compare(
+            &cfg,
+            || SyntheticWorkload::new(spec.clone()),
+            selector(),
+            ControllerConfig {
+                window_cycles: 10_000,
+                ..ControllerConfig::default()
+            },
+            100_000_000,
+        );
+        assert_eq!(cmp.static_perf.len(), 3);
+        assert!(cmp.dynamic.completed);
+        assert!(cmp.oracle_perf() > 0.0);
+        // EP: dynamic should track the oracle closely (no switching needed).
+        assert!(
+            cmp.dynamic_vs_oracle() > 0.85,
+            "dynamic at {:.2} of oracle",
+            cmp.dynamic_vs_oracle()
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_worst_static_on_contention() {
+        let cfg = MachineConfig::power7(1);
+        let spec = catalog::specjbb_contention().scaled(0.25);
+        let cmp = compare(
+            &cfg,
+            || SyntheticWorkload::new(spec.clone()),
+            selector(),
+            ControllerConfig {
+                window_cycles: 10_000,
+                hysteresis: 2,
+                probe_interval: 10,
+                phase_detect: true,
+                alpha: 0.6,
+            },
+            200_000_000,
+        );
+        assert!(cmp.dynamic.completed);
+        assert!(
+            cmp.dynamic.perf > cmp.worst_static_perf() * 1.2,
+            "dynamic {:.3} vs worst static {:.3}",
+            cmp.dynamic.perf,
+            cmp.worst_static_perf()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline oracle baseline.
+//!
+//! The paper's Section I discusses the obvious alternative to an online
+//! metric: "compare application performance with and without SMT in an
+//! offline analysis and then use the configuration that results in better
+//! performance in the field". The oracle implements exactly that — run the
+//! workload to completion at every supported SMT level and keep the best —
+//! providing both the upper bound the dynamic controller is judged against
+//! and the ground-truth labels used to train thresholds.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{MachineConfig, RunResult, Simulation, SmtLevel, Workload};
+
+/// Per-level outcome of an oracle sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OracleLevel {
+    /// Level run.
+    pub smt: SmtLevel,
+    /// Full-run result.
+    pub result: RunResult,
+}
+
+/// Result of an exhaustive offline sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// All levels, lowest first.
+    pub levels: Vec<OracleLevel>,
+    /// The best-performing level.
+    pub best: SmtLevel,
+}
+
+impl OracleReport {
+    /// Throughput at a given level.
+    pub fn perf_at(&self, smt: SmtLevel) -> f64 {
+        self.levels
+            .iter()
+            .find(|l| l.smt == smt)
+            .expect("level not swept")
+            .result
+            .perf()
+    }
+
+    /// Best throughput.
+    pub fn best_perf(&self) -> f64 {
+        self.perf_at(self.best)
+    }
+
+    /// Speedup of the best level over the worst.
+    pub fn best_over_worst(&self) -> f64 {
+        let worst = self
+            .levels
+            .iter()
+            .map(|l| l.result.perf())
+            .fold(f64::INFINITY, f64::min);
+        self.best_perf() / worst
+    }
+}
+
+/// Run `make_workload()` to completion at every level the machine
+/// supports and report the best. `max_cycles` bounds each run.
+pub fn oracle_sweep<W, F>(cfg: &MachineConfig, make_workload: F, max_cycles: u64) -> OracleReport
+where
+    W: Workload,
+    F: Fn() -> W,
+{
+    let mut levels = Vec::new();
+    for smt in cfg.smt_levels() {
+        let mut sim = Simulation::new(cfg.clone(), smt, make_workload());
+        let result = sim.run_until_finished(max_cycles);
+        levels.push(OracleLevel { smt, result });
+    }
+    let best = levels
+        .iter()
+        .max_by(|a, b| {
+            a.result
+                .perf()
+                .partial_cmp(&b.result.perf())
+                .expect("no NaN perf")
+        })
+        .expect("at least one level")
+        .smt;
+    OracleReport { levels, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::{catalog, SyntheticWorkload};
+
+    #[test]
+    fn oracle_prefers_smt4_for_ep() {
+        let cfg = MachineConfig::power7(1);
+        let spec = catalog::ep().scaled(0.08);
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000);
+        assert_eq!(report.levels.len(), 3);
+        assert_eq!(report.best, SmtLevel::Smt4, "EP scales with SMT");
+        assert!(report.best_over_worst() >= 1.0);
+    }
+
+    #[test]
+    fn oracle_prefers_low_smt_under_heavy_contention() {
+        let cfg = MachineConfig::power7(1);
+        let spec = catalog::specjbb_contention().scaled(0.2);
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 100_000_000);
+        assert!(
+            report.best < SmtLevel::Smt4,
+            "contention must prefer a lower level, got {:?}",
+            report.best
+        );
+    }
+
+    #[test]
+    fn perf_at_matches_levels() {
+        let cfg = MachineConfig::nehalem();
+        let spec = catalog::ep().scaled(0.05);
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000);
+        assert_eq!(report.levels.len(), 2);
+        for l in &report.levels {
+            assert!(report.perf_at(l.smt) > 0.0);
+        }
+        assert!(report.best_perf() >= report.perf_at(SmtLevel::Smt1));
+    }
+}

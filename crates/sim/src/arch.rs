@@ -1,0 +1,517 @@
+//! Architecture descriptors: issue-port topology, pipeline widths, SMT
+//! levels, and execution latencies.
+//!
+//! The SMT-selection metric is parameterized by the *issue-port structure*
+//! of the target core (Section II of the paper). [`ArchDescriptor`] captures
+//! exactly that structure; the simulator executes against it and the metric
+//! crate derives the ideal SMT instruction mix from it.
+
+use crate::branch::BranchPredictorConfig;
+use crate::isa::InstrClass;
+use serde::{Deserialize, Serialize};
+
+/// An SMT level: how many hardware contexts share one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SmtLevel {
+    /// One hardware thread per core (SMT disabled).
+    Smt1,
+    /// Two-way SMT.
+    Smt2,
+    /// Four-way SMT.
+    Smt4,
+}
+
+impl SmtLevel {
+    /// All levels, lowest first.
+    pub const ALL: [SmtLevel; 3] = [SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4];
+
+    /// Number of hardware contexts per core at this level.
+    #[inline]
+    pub fn ways(self) -> usize {
+        match self {
+            SmtLevel::Smt1 => 1,
+            SmtLevel::Smt2 => 2,
+            SmtLevel::Smt4 => 4,
+        }
+    }
+
+    /// Level with the given number of ways, if it is one we model.
+    pub fn from_ways(ways: usize) -> Option<SmtLevel> {
+        match ways {
+            1 => Some(SmtLevel::Smt1),
+            2 => Some(SmtLevel::Smt2),
+            4 => Some(SmtLevel::Smt4),
+            _ => None,
+        }
+    }
+
+    /// Levels supported by a core whose maximum is `max`, lowest first.
+    pub fn up_to(max: SmtLevel) -> Vec<SmtLevel> {
+        SmtLevel::ALL.iter().copied().filter(|l| *l <= max).collect()
+    }
+}
+
+impl std::fmt::Display for SmtLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SMT{}", self.ways())
+    }
+}
+
+/// How per-thread shares of shared structures (fetch buffer, issue
+/// queues, in-flight window) are assigned at SMT2/SMT4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// No caps: any thread may fill any structure completely. (Ablation
+    /// mode; real SMT cores do not ship like this because one stalled
+    /// thread would starve its siblings.)
+    None,
+    /// Shares fixed by the configured SMT level (`capacity/ways + 1`).
+    Static,
+    /// Shares track the number of *currently runnable* threads, so a lone
+    /// running thread gets the whole core — POWER7's dynamic SMT-mode
+    /// behaviour (a core with one runnable thread acts like SMT1).
+    Dynamic,
+}
+
+/// An issue queue feeding one or more ports.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueDesc {
+    /// Human-readable name ("UQ0", "RS", ...).
+    pub name: &'static str,
+    /// Total entries in the queue.
+    pub capacity: usize,
+}
+
+/// One issue port: the pathway through which at most one instruction per
+/// cycle is issued to a functional unit.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortDesc {
+    /// Human-readable name ("LS0", "FX1", "P0", ...).
+    pub name: &'static str,
+    /// Index of the queue this port pulls from.
+    pub queue: usize,
+    /// Instruction classes this port can issue.
+    pub accepts: Vec<InstrClass>,
+    /// A port that is consumed *together* with this one when a store issues
+    /// (Nehalem issues a store as store-address on port 3 plus store-data on
+    /// port 4). `None` for ordinary ports.
+    pub store_pair: Option<usize>,
+}
+
+impl PortDesc {
+    fn new(name: &'static str, queue: usize, accepts: &[InstrClass]) -> PortDesc {
+        PortDesc {
+            name,
+            queue,
+            accepts: accepts.to_vec(),
+            store_pair: None,
+        }
+    }
+
+    /// Whether the port can issue the given class.
+    #[inline]
+    pub fn accepts(&self, class: InstrClass) -> bool {
+        self.accepts.contains(&class)
+    }
+}
+
+/// Fixed execution latencies for non-memory classes (loads get theirs from
+/// the cache hierarchy; stores complete at `store` and retire the memory
+/// traffic asynchronously).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Latencies {
+    /// Fixed-point ALU latency.
+    pub fixed_point: u64,
+    /// Vector-scalar / floating-point pipeline latency.
+    pub vector_scalar: u64,
+    /// Branch resolution latency.
+    pub branch: u64,
+    /// Condition-register op latency.
+    pub cond_reg: u64,
+    /// Store completion latency (address generation + queue insert).
+    pub store: u64,
+}
+
+/// A complete core description.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArchDescriptor {
+    /// Architecture name ("power7-like", "nehalem-like").
+    pub name: &'static str,
+    /// Instructions fetched per cycle (from one hardware thread, round-robin).
+    pub fetch_width: usize,
+    /// Instructions dispatched (ibuffer -> issue queues) per cycle, shared
+    /// across hardware threads.
+    pub dispatch_width: usize,
+    /// Per-hardware-thread instruction (fetch) buffer capacity at SMT1; at
+    /// higher SMT levels the buffer is partitioned among threads.
+    pub ibuf_capacity: usize,
+    /// Issue queues.
+    pub queues: Vec<QueueDesc>,
+    /// Issue ports.
+    pub ports: Vec<PortDesc>,
+    /// Highest SMT level the core supports.
+    pub max_smt: SmtLevel,
+    /// Execution latencies.
+    pub latencies: Latencies,
+    /// Cycles of fetch bubble after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+    /// How many queue entries (oldest-first) each port considers per cycle;
+    /// models the limited wakeup/select bandwidth of a real scheduler.
+    pub issue_scan_depth: usize,
+    /// Per-core load-miss-queue (MSHR) capacity: maximum loads outstanding
+    /// past the L1 at once, shared by the core's hardware threads. When the
+    /// LMQ is full further missing loads cannot issue, which backs pressure
+    /// up into the issue queues and ultimately holds dispatch — the
+    /// mechanism by which memory-bandwidth saturation surfaces in the
+    /// DispHeld factor of the metric.
+    pub lmq_capacity: usize,
+    /// Per-thread in-flight window (dispatched but not yet issued), the
+    /// reorder-buffer / global-completion-table analogue. Partitioned
+    /// across threads like the queues. Must stay <= 128 so the dependency
+    /// ring stays sound.
+    pub rob_window: usize,
+    /// Optional gshare branch-predictor model, shared per core. `None`
+    /// (the default) takes misprediction flags from the workload — the
+    /// calibrated reproduction mode; `Some` makes misprediction *emerge*
+    /// from PC/outcome streams, including cross-thread table aliasing.
+    pub branch_predictor: Option<BranchPredictorConfig>,
+    /// Per-thread share policy for shared structures at SMT2/SMT4.
+    /// `Dynamic` matches POWER7 most closely; `Static` is the conservative
+    /// default used in the evaluation (it also stands in for the software
+    /// cost of oversubscribing threads); `None` is for ablations.
+    pub partitioning: Partitioning,
+}
+
+impl ArchDescriptor {
+    /// POWER7-like core (Fig. 4): 8-wide fetch, 6-wide dispatch, 8 issue
+    /// ports — CR, BR, and two unified queues each feeding one load/store,
+    /// one fixed-point, and one vector-scalar port. Supports SMT4.
+    pub fn power7() -> ArchDescriptor {
+        use InstrClass::*;
+        ArchDescriptor {
+            name: "power7-like",
+            fetch_width: 8,
+            dispatch_width: 6,
+            ibuf_capacity: 24,
+            queues: vec![
+                QueueDesc { name: "CRQ", capacity: 8 },
+                QueueDesc { name: "BRQ", capacity: 12 },
+                QueueDesc { name: "UQ0", capacity: 24 },
+                QueueDesc { name: "UQ1", capacity: 24 },
+            ],
+            ports: vec![
+                PortDesc::new("CR", 0, &[CondReg]),
+                PortDesc::new("BR", 1, &[Branch]),
+                PortDesc::new("LS0", 2, &[Load, Store]),
+                PortDesc::new("FX0", 2, &[FixedPoint]),
+                PortDesc::new("VS0", 2, &[VectorScalar]),
+                PortDesc::new("LS1", 3, &[Load, Store]),
+                PortDesc::new("FX1", 3, &[FixedPoint]),
+                PortDesc::new("VS1", 3, &[VectorScalar]),
+            ],
+            max_smt: SmtLevel::Smt4,
+            latencies: Latencies {
+                fixed_point: 1,
+                vector_scalar: 6,
+                branch: 1,
+                cond_reg: 1,
+                store: 1,
+            },
+            mispredict_penalty: 12,
+            issue_scan_depth: 24,
+            lmq_capacity: 16,
+            rob_window: 128,
+            branch_predictor: None,
+            partitioning: Partitioning::Static,
+        }
+    }
+
+    /// Nehalem-like core (Fig. 5): 4-wide front end, one 36-entry unified
+    /// reservation station feeding 6 ports — three computational (0, 1, 5)
+    /// and three memory (2 load, 3 store-address, 4 store-data). Supports
+    /// SMT2. A store consumes ports 3 and 4 together.
+    pub fn nehalem() -> ArchDescriptor {
+        use InstrClass::*;
+        let mut ports = vec![
+            PortDesc::new("P0", 0, &[FixedPoint, VectorScalar, CondReg]),
+            PortDesc::new("P1", 0, &[FixedPoint, VectorScalar, CondReg]),
+            PortDesc::new("P2", 0, &[Load]),
+            PortDesc::new("P3", 0, &[Store]),
+            PortDesc::new("P4", 0, &[]),
+            PortDesc::new("P5", 0, &[FixedPoint, Branch, CondReg]),
+        ];
+        ports[3].store_pair = Some(4);
+        ArchDescriptor {
+            name: "nehalem-like",
+            fetch_width: 4,
+            dispatch_width: 4,
+            ibuf_capacity: 16,
+            queues: vec![QueueDesc { name: "RS", capacity: 36 }],
+            ports,
+            max_smt: SmtLevel::Smt2,
+            latencies: Latencies {
+                fixed_point: 1,
+                vector_scalar: 4,
+                branch: 1,
+                cond_reg: 1,
+                store: 1,
+            },
+            mispredict_penalty: 15,
+            issue_scan_depth: 36,
+            lmq_capacity: 10,
+            rob_window: 128,
+            branch_predictor: None,
+            partitioning: Partitioning::Static,
+        }
+    }
+
+    /// POWER5-like core: the paper's historical lead-in (the first POWER
+    /// SMT design, Kalla et al. 2004). Two-way SMT, narrower than POWER7:
+    /// 5-wide fetch/dispatch, two FX, two LS, two FP ports plus BR/CR,
+    /// smaller queues and windows.
+    pub fn power5() -> ArchDescriptor {
+        use InstrClass::*;
+        ArchDescriptor {
+            name: "power5-like",
+            fetch_width: 5,
+            dispatch_width: 5,
+            ibuf_capacity: 16,
+            queues: vec![
+                QueueDesc { name: "CRQ", capacity: 6 },
+                QueueDesc { name: "BRQ", capacity: 10 },
+                QueueDesc { name: "FXQ", capacity: 18 },
+                QueueDesc { name: "LSQ", capacity: 18 },
+                QueueDesc { name: "FPQ", capacity: 18 },
+            ],
+            ports: vec![
+                PortDesc::new("CR", 0, &[CondReg]),
+                PortDesc::new("BR", 1, &[Branch]),
+                PortDesc::new("FX0", 2, &[FixedPoint]),
+                PortDesc::new("FX1", 2, &[FixedPoint]),
+                PortDesc::new("LS0", 3, &[Load, Store]),
+                PortDesc::new("LS1", 3, &[Load, Store]),
+                PortDesc::new("FP0", 4, &[VectorScalar]),
+                PortDesc::new("FP1", 4, &[VectorScalar]),
+            ],
+            max_smt: SmtLevel::Smt2,
+            latencies: Latencies {
+                fixed_point: 1,
+                vector_scalar: 6,
+                branch: 1,
+                cond_reg: 1,
+                store: 1,
+            },
+            mispredict_penalty: 12,
+            issue_scan_depth: 18,
+            lmq_capacity: 8,
+            rob_window: 100,
+            branch_predictor: None,
+            partitioning: Partitioning::Static,
+        }
+    }
+
+    /// The generic textbook core of the paper's Fig. 3: N identical-kind
+    /// ports behind one queue, used in unit tests and the quickstart example.
+    pub fn generic() -> ArchDescriptor {
+        use InstrClass::*;
+        ArchDescriptor {
+            name: "generic",
+            fetch_width: 4,
+            dispatch_width: 4,
+            ibuf_capacity: 16,
+            queues: vec![QueueDesc { name: "IQ", capacity: 24 }],
+            ports: vec![
+                PortDesc::new("LS", 0, &[Load, Store]),
+                PortDesc::new("BR", 0, &[Branch, CondReg]),
+                PortDesc::new("EX0", 0, &[FixedPoint]),
+                PortDesc::new("EX1", 0, &[VectorScalar]),
+            ],
+            max_smt: SmtLevel::Smt2,
+            latencies: Latencies {
+                fixed_point: 1,
+                vector_scalar: 4,
+                branch: 1,
+                cond_reg: 1,
+                store: 1,
+            },
+            mispredict_penalty: 10,
+            issue_scan_depth: 24,
+            lmq_capacity: 8,
+            rob_window: 96,
+            branch_predictor: None,
+            partitioning: Partitioning::Static,
+        }
+    }
+
+    /// Number of issue ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Latency of a non-load class.
+    pub fn latency_of(&self, class: InstrClass) -> u64 {
+        match class {
+            InstrClass::FixedPoint => self.latencies.fixed_point,
+            InstrClass::VectorScalar => self.latencies.vector_scalar,
+            InstrClass::Branch => self.latencies.branch,
+            InstrClass::CondReg => self.latencies.cond_reg,
+            InstrClass::Store => self.latencies.store,
+            InstrClass::Load => panic!("load latency comes from the cache hierarchy"),
+        }
+    }
+
+    /// Per-thread occupancy cap for a structure of `capacity` entries when
+    /// `sharers` hardware threads share the core (the configured ways for
+    /// `Static`, the currently runnable count for `Dynamic`). A thread may
+    /// use its proportional share plus a small slack entry; with
+    /// [`Partitioning::None`] every thread may fill the whole structure.
+    pub fn per_thread_cap(&self, capacity: usize, sharers: usize) -> usize {
+        if self.partitioning == Partitioning::None || sharers <= 1 {
+            return capacity;
+        }
+        (capacity / sharers + 1).min(capacity)
+    }
+
+    /// Validate internal consistency; used by tests and on machine build.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.dispatch_width == 0 {
+            return Err("zero pipeline width".into());
+        }
+        if self.queues.is_empty() || self.ports.is_empty() {
+            return Err("no queues or ports".into());
+        }
+        if self.rob_window == 0 || self.rob_window > 128 {
+            return Err("rob_window must be in 1..=128 (dependency-ring bound)".into());
+        }
+        if self.lmq_capacity == 0 {
+            return Err("lmq_capacity must be nonzero".into());
+        }
+        for p in &self.ports {
+            if p.queue >= self.queues.len() {
+                return Err(format!("port {} references missing queue {}", p.name, p.queue));
+            }
+            if let Some(pair) = p.store_pair {
+                if pair >= self.ports.len() {
+                    return Err(format!("port {} store_pair out of range", p.name));
+                }
+            }
+        }
+        // Every class must be issuable somewhere, except classes that no
+        // workload emits on this arch; we require full coverage to keep
+        // workloads architecture-agnostic.
+        for class in InstrClass::ALL {
+            if !self.ports.iter().any(|p| p.accepts(class)) {
+                return Err(format!("class {class:?} has no issue port"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smt_level_ways_roundtrip() {
+        for l in SmtLevel::ALL {
+            assert_eq!(SmtLevel::from_ways(l.ways()), Some(l));
+        }
+        assert_eq!(SmtLevel::from_ways(3), None);
+        assert_eq!(SmtLevel::from_ways(8), None);
+    }
+
+    #[test]
+    fn smt_level_ordering_and_up_to() {
+        assert!(SmtLevel::Smt1 < SmtLevel::Smt2);
+        assert!(SmtLevel::Smt2 < SmtLevel::Smt4);
+        assert_eq!(SmtLevel::up_to(SmtLevel::Smt2), vec![SmtLevel::Smt1, SmtLevel::Smt2]);
+        assert_eq!(SmtLevel::up_to(SmtLevel::Smt4).len(), 3);
+    }
+
+    #[test]
+    fn smt_level_display() {
+        assert_eq!(SmtLevel::Smt4.to_string(), "SMT4");
+        assert_eq!(SmtLevel::Smt1.to_string(), "SMT1");
+    }
+
+    #[test]
+    fn power7_is_valid_and_has_eight_ports() {
+        let a = ArchDescriptor::power7();
+        a.validate().unwrap();
+        assert_eq!(a.num_ports(), 8);
+        assert_eq!(a.max_smt, SmtLevel::Smt4);
+        // Two LS, two FX, two VS ports as in Fig. 4.
+        let count = |c: InstrClass| a.ports.iter().filter(|p| p.accepts(c)).count();
+        assert_eq!(count(InstrClass::Load), 2);
+        assert_eq!(count(InstrClass::FixedPoint), 2);
+        assert_eq!(count(InstrClass::VectorScalar), 2);
+        assert_eq!(count(InstrClass::Branch), 1);
+        assert_eq!(count(InstrClass::CondReg), 1);
+    }
+
+    #[test]
+    fn nehalem_is_valid_with_store_pairing() {
+        let a = ArchDescriptor::nehalem();
+        a.validate().unwrap();
+        assert_eq!(a.num_ports(), 6);
+        assert_eq!(a.max_smt, SmtLevel::Smt2);
+        assert_eq!(a.ports[3].store_pair, Some(4));
+        // Integer ALU available on three ports, as on real Nehalem.
+        let fx = a
+            .ports
+            .iter()
+            .filter(|p| p.accepts(InstrClass::FixedPoint))
+            .count();
+        assert_eq!(fx, 3);
+    }
+
+    #[test]
+    fn generic_is_valid() {
+        ArchDescriptor::generic().validate().unwrap();
+    }
+
+    #[test]
+    fn power5_is_valid_smt2_with_split_queues() {
+        let a = ArchDescriptor::power5();
+        a.validate().unwrap();
+        assert_eq!(a.max_smt, SmtLevel::Smt2);
+        assert_eq!(a.num_ports(), 8);
+        assert_eq!(a.queues.len(), 5);
+    }
+
+    #[test]
+    fn per_thread_cap_partitions() {
+        let a = ArchDescriptor::power7();
+        assert_eq!(a.per_thread_cap(24, 1), 24);
+        assert_eq!(a.per_thread_cap(24, 2), 13);
+        assert_eq!(a.per_thread_cap(24, 4), 7);
+    }
+
+    #[test]
+    fn per_thread_cap_without_partitioning() {
+        let mut a = ArchDescriptor::power7();
+        a.partitioning = Partitioning::None;
+        assert_eq!(a.per_thread_cap(24, 4), 24);
+    }
+
+    #[test]
+    fn validate_rejects_bad_port_queue() {
+        let mut a = ArchDescriptor::generic();
+        a.ports[0].queue = 99;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_uncovered_class() {
+        let mut a = ArchDescriptor::generic();
+        a.ports.retain(|p| !p.accepts(InstrClass::VectorScalar));
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cache hierarchy")]
+    fn load_latency_panics() {
+        ArchDescriptor::power7().latency_of(InstrClass::Load);
+    }
+}

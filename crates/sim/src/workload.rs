@@ -1,0 +1,179 @@
+//! The interface between workloads and the simulator.
+//!
+//! A [`Workload`] is the software side of the machine: it owns all
+//! per-software-thread instruction generators *and* any shared state
+//! (work pools, locks, barriers), and answers the fetch stage's question
+//! "what does thread `t` execute next at cycle `now`?". Keeping the whole
+//! application behind one `&mut` object lets synchronization be modeled
+//! without interior mutability: the simulation is single-threaded per run
+//! (parallelism in this workspace lives *across* runs, via rayon in the
+//! experiment harness).
+
+use crate::isa::Fetched;
+
+/// A multithreaded application driving the simulated machine.
+pub trait Workload {
+    /// Stable, human-readable name (used in every report).
+    fn name(&self) -> &str;
+
+    /// Produce the next fetch item for software thread `thread` at cycle
+    /// `now`. Must be deterministic given the fetch history.
+    ///
+    /// Contract: after returning [`Fetched::Finished`] for a thread, every
+    /// subsequent call for that thread must also return `Finished`. A
+    /// [`Fetched::Sleep`] with `until <= now` is treated as a one-cycle
+    /// sleep by the machine.
+    fn fetch(&mut self, thread: usize, now: u64) -> Fetched;
+
+    /// Re-shard the application across `n` software threads. Called before
+    /// a run starts and again on every SMT-level reconfiguration; remaining
+    /// work must be preserved, and any transient synchronization state
+    /// (lock holders, barrier arrivals) must be reset to a consistent
+    /// quiescent state.
+    fn set_thread_count(&mut self, n: usize);
+
+    /// Current software thread count.
+    fn thread_count(&self) -> usize;
+
+    /// All useful work has been emitted (threads may still be draining).
+    fn finished(&self) -> bool;
+
+    /// Work units emitted so far.
+    fn work_done(&self) -> u64;
+
+    /// Total work units this workload will emit across its lifetime.
+    fn total_work(&self) -> u64;
+}
+
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn fetch(&mut self, thread: usize, now: u64) -> Fetched {
+        (**self).fetch(thread, now)
+    }
+    fn set_thread_count(&mut self, n: usize) {
+        (**self).set_thread_count(n)
+    }
+    fn thread_count(&self) -> usize {
+        (**self).thread_count()
+    }
+    fn finished(&self) -> bool {
+        (**self).finished()
+    }
+    fn work_done(&self) -> u64 {
+        (**self).work_done()
+    }
+    fn total_work(&self) -> u64 {
+        (**self).total_work()
+    }
+}
+
+/// A trivial workload executing a fixed per-thread sequence of instructions;
+/// used by simulator unit tests and the quickstart example.
+#[derive(Debug, Clone)]
+pub struct ScriptedWorkload {
+    name: String,
+    /// The instruction sequence each thread executes.
+    script: Vec<crate::isa::Instr>,
+    /// Per-thread position in the script.
+    pos: Vec<usize>,
+    threads: usize,
+    emitted: u64,
+}
+
+impl ScriptedWorkload {
+    /// Every thread runs `script` once, from the top.
+    pub fn new(name: impl Into<String>, script: Vec<crate::isa::Instr>) -> ScriptedWorkload {
+        ScriptedWorkload {
+            name: name.into(),
+            script,
+            pos: Vec::new(),
+            threads: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch(&mut self, thread: usize, _now: u64) -> Fetched {
+        let p = &mut self.pos[thread];
+        if *p >= self.script.len() {
+            return Fetched::Finished;
+        }
+        let i = self.script[*p];
+        *p += 1;
+        self.emitted += u64::from(i.work);
+        Fetched::Instr(i)
+    }
+
+    fn set_thread_count(&mut self, n: usize) {
+        self.threads = n;
+        self.pos = vec![0; n];
+        // Scripted runs restart per thread on reconfiguration; they are a
+        // test fixture, not a work-conserving application.
+        self.emitted = 0;
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    fn finished(&self) -> bool {
+        self.pos.iter().all(|&p| p >= self.script.len())
+    }
+
+    fn work_done(&self) -> u64 {
+        self.emitted
+    }
+
+    fn total_work(&self) -> u64 {
+        (self.script.iter().map(|i| u64::from(i.work)).sum::<u64>()) * self.threads as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, InstrClass};
+
+    #[test]
+    fn scripted_workload_runs_each_thread_through_script() {
+        let mut w = ScriptedWorkload::new(
+            "s",
+            vec![
+                Instr::simple(InstrClass::FixedPoint),
+                Instr::simple(InstrClass::Load),
+            ],
+        );
+        w.set_thread_count(2);
+        assert_eq!(w.total_work(), 4);
+        assert!(!w.finished());
+        assert!(matches!(w.fetch(0, 0), Fetched::Instr(_)));
+        assert!(matches!(w.fetch(0, 1), Fetched::Instr(_)));
+        assert!(matches!(w.fetch(0, 2), Fetched::Finished));
+        assert!(!w.finished());
+        w.fetch(1, 3);
+        w.fetch(1, 4);
+        assert!(matches!(w.fetch(1, 5), Fetched::Finished));
+        assert!(w.finished());
+        assert_eq!(w.work_done(), 4);
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        let mut w: Box<dyn Workload> = Box::new(ScriptedWorkload::new(
+            "boxed",
+            vec![Instr::simple(InstrClass::Branch)],
+        ));
+        w.set_thread_count(1);
+        assert_eq!(w.name(), "boxed");
+        assert_eq!(w.thread_count(), 1);
+        assert!(matches!(w.fetch(0, 0), Fetched::Instr(_)));
+        assert!(w.finished());
+    }
+}

@@ -1,0 +1,161 @@
+//! Classification accounting for SMT-preference prediction.
+//!
+//! Section IV reports the fraction of benchmarks whose best SMT level was
+//! predicted correctly (93% on POWER7, 86% on Nehalem, 90% overall). A
+//! prediction is "metric >= threshold => prefer the lower SMT level". This
+//! module scores such predictions against measured speedups.
+
+use serde::{Deserialize, Serialize};
+
+/// One benchmark's `(metric, speedup)` observation with its label, as used
+/// by the success-rate and PPI computations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupCase {
+    /// Benchmark name (for reporting mispredictions).
+    pub name: String,
+    /// SMTsm (or baseline metric) value measured at the reference SMT level.
+    pub metric: f64,
+    /// Speedup of the higher SMT level relative to the lower one
+    /// (e.g. SMT4 time ratio SMT1/SMT4); `>= 1` means "higher SMT wins".
+    pub speedup: f64,
+}
+
+impl SpeedupCase {
+    /// Build a case.
+    pub fn new(name: impl Into<String>, metric: f64, speedup: f64) -> SpeedupCase {
+        SpeedupCase {
+            name: name.into(),
+            metric,
+            speedup,
+        }
+    }
+
+    /// Whether the higher SMT level is (weakly) preferred in reality.
+    pub fn prefers_higher(&self) -> bool {
+        self.speedup >= 1.0
+    }
+
+    /// Whether the predictor (threshold rule) says the higher SMT level is
+    /// preferred: small metric values indicate greater preference for a
+    /// higher SMT level (Section II).
+    pub fn predicted_higher(&self, threshold: f64) -> bool {
+        self.metric < threshold
+    }
+
+    /// Whether the prediction at `threshold` matches reality.
+    pub fn correct(&self, threshold: f64) -> bool {
+        self.predicted_higher(threshold) == self.prefers_higher()
+    }
+}
+
+/// Confusion counts of a binary SMT-preference prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryConfusion {
+    /// Predicted higher-SMT, actually higher-SMT (true positive).
+    pub tp: usize,
+    /// Predicted higher-SMT, actually lower-SMT (false positive).
+    pub fp: usize,
+    /// Predicted lower-SMT, actually lower-SMT (true negative).
+    pub tn: usize,
+    /// Predicted lower-SMT, actually higher-SMT (false negative).
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Score all cases against a threshold.
+    pub fn score(cases: &[SpeedupCase], threshold: f64) -> BinaryConfusion {
+        let mut c = BinaryConfusion::default();
+        for case in cases {
+            match (case.predicted_higher(threshold), case.prefers_higher()) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of cases.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions, the paper's "success rate".
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / t as f64
+    }
+
+    /// Number of mispredicted cases.
+    pub fn errors(&self) -> usize {
+        self.fp + self.fn_
+    }
+}
+
+/// Names of the mispredicted cases at `threshold` (for the per-figure
+/// reporting of "two of the evaluated benchmarks ... slightly worse").
+pub fn mispredicted<'a>(cases: &'a [SpeedupCase], threshold: f64) -> Vec<&'a str> {
+    cases
+        .iter()
+        .filter(|c| !c.correct(threshold))
+        .map(|c| c.name.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cases() -> Vec<SpeedupCase> {
+        vec![
+            SpeedupCase::new("ep", 0.01, 1.8),      // low metric, speeds up
+            SpeedupCase::new("mg", 0.05, 1.0),      // low metric, neutral
+            SpeedupCase::new("equake", 0.15, 0.5),  // high metric, slows down
+            SpeedupCase::new("outlier", 0.02, 0.9), // low metric but slows: FP
+        ]
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = BinaryConfusion::score(&cases(), 0.07);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.fn_, 0);
+        assert_eq!(c.total(), 4);
+        assert!((c.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(c.errors(), 1);
+    }
+
+    #[test]
+    fn mispredicted_names() {
+        let cases = cases();
+        let names = mispredicted(&cases, 0.07);
+        assert_eq!(names, vec!["outlier"]);
+    }
+
+    #[test]
+    fn speedup_exactly_one_prefers_higher() {
+        let c = SpeedupCase::new("x", 0.01, 1.0);
+        assert!(c.prefers_higher());
+        assert!(c.correct(0.07));
+    }
+
+    #[test]
+    fn metric_equal_threshold_predicts_lower() {
+        let c = SpeedupCase::new("x", 0.07, 0.5);
+        assert!(!c.predicted_higher(0.07));
+        assert!(c.correct(0.07));
+    }
+
+    #[test]
+    fn empty_accuracy_zero() {
+        let c = BinaryConfusion::score(&[], 0.07);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Gini impurity and the separator sweep of Section V-A / Fig. 16.
+//!
+//! Given `(metric, speedup)` pairs, the paper relabels each pair to a binary
+//! class (`speedup >= 1` or not), then sweeps a separator value over the
+//! metric axis and picks the separator minimizing the size-weighted Gini
+//! impurity of the two resulting sets. Because every separator strictly
+//! between the same two adjacent metric values produces the same split, the
+//! sweep evaluates midpoints between consecutive distinct metric values and
+//! reports the *range* of optimal separators (the paper's "range of optimal
+//! thresholds", whose width indicates robustness).
+
+use serde::{Deserialize, Serialize};
+
+/// One `(metric, label)` observation; `good` means "speedup >= 1", i.e. the
+/// higher SMT level did not hurt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledPoint {
+    /// Metric value (the x-axis of Fig. 16's sweep).
+    pub metric: f64,
+    /// True when the workload's speedup at the higher SMT level is >= 1.
+    pub good: bool,
+}
+
+impl LabeledPoint {
+    /// Relabel a raw `(metric, speedup)` pair as the paper's step 1 does.
+    pub fn from_speedup(metric: f64, speedup: f64) -> LabeledPoint {
+        LabeledPoint {
+            metric,
+            good: speedup >= 1.0,
+        }
+    }
+}
+
+/// Gini impurity of a single set given counts of the two classes:
+/// `1 - (n_good/n)^2 - (n_bad/n)^2`. An empty set has impurity 0.
+pub fn gini_impurity(n_good: usize, n_bad: usize) -> f64 {
+    let n = n_good + n_bad;
+    if n == 0 {
+        return 0.0;
+    }
+    let pg = n_good as f64 / n as f64;
+    let pb = n_bad as f64 / n as f64;
+    1.0 - pg * pg - pb * pb
+}
+
+/// Size-weighted overall impurity of splitting `points` at `separator`
+/// (points with `metric < separator` go left). This is Eq. 6 of the paper.
+pub fn gini_impurity_split(points: &[LabeledPoint], separator: f64) -> f64 {
+    let mut lg = 0usize;
+    let mut lb = 0usize;
+    let mut rg = 0usize;
+    let mut rb = 0usize;
+    for p in points {
+        if p.metric < separator {
+            if p.good {
+                lg += 1
+            } else {
+                lb += 1
+            }
+        } else if p.good {
+            rg += 1
+        } else {
+            rb += 1
+        }
+    }
+    let n = points.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let wl = (lg + lb) as f64 / n;
+    let wr = (rg + rb) as f64 / n;
+    wl * gini_impurity(lg, lb) + wr * gini_impurity(rg, rb)
+}
+
+/// Result of sweeping separators over a labeled sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GiniSweep {
+    /// Candidate separators evaluated (midpoints between distinct metric
+    /// values, plus one below the minimum and one above the maximum).
+    pub separators: Vec<f64>,
+    /// Overall impurity at each candidate separator.
+    pub impurities: Vec<f64>,
+    /// Minimum impurity found.
+    pub min_impurity: f64,
+    /// Inclusive range `(lo, hi)` of candidate separators achieving the
+    /// minimum impurity — Fig. 16's dotted "range of optimal thresholds".
+    pub optimal_range: (f64, f64),
+}
+
+impl GiniSweep {
+    /// Sweep all distinguishing separators over `points`.
+    ///
+    /// Panics on an empty sample: a threshold learned from nothing is a
+    /// caller bug.
+    pub fn run(points: &[LabeledPoint]) -> GiniSweep {
+        assert!(!points.is_empty(), "GiniSweep::run on empty sample");
+        let mut xs: Vec<f64> = points.iter().map(|p| p.metric).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN metric"));
+        xs.dedup();
+        let mut separators = Vec::with_capacity(xs.len() + 1);
+        // A separator below the smallest metric (everything goes right).
+        separators.push(xs[0] - sep_margin(&xs));
+        for w in xs.windows(2) {
+            separators.push((w[0] + w[1]) / 2.0);
+        }
+        // A separator above the largest metric (everything goes left).
+        separators.push(xs[xs.len() - 1] + sep_margin(&xs));
+
+        let impurities: Vec<f64> = separators
+            .iter()
+            .map(|&s| gini_impurity_split(points, s))
+            .collect();
+        let min_impurity = impurities
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (&s, &i) in separators.iter().zip(&impurities) {
+            if (i - min_impurity).abs() < 1e-12 {
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        GiniSweep {
+            separators,
+            impurities,
+            min_impurity,
+            optimal_range: (lo, hi),
+        }
+    }
+
+    /// A single representative optimal separator: the midpoint of the optimal
+    /// range (robust choice per the paper's discussion of range width).
+    pub fn best_separator(&self) -> f64 {
+        (self.optimal_range.0 + self.optimal_range.1) / 2.0
+    }
+}
+
+fn sep_margin(sorted_xs: &[f64]) -> f64 {
+    let span = sorted_xs[sorted_xs.len() - 1] - sorted_xs[0];
+    if span > 0.0 {
+        span * 0.05
+    } else {
+        // All metrics identical; any nonzero margin works.
+        sorted_xs[0].abs().max(1.0) * 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(metric: f64, good: bool) -> LabeledPoint {
+        LabeledPoint { metric, good }
+    }
+
+    #[test]
+    fn impurity_pure_sets_are_zero() {
+        assert_eq!(gini_impurity(5, 0), 0.0);
+        assert_eq!(gini_impurity(0, 7), 0.0);
+        assert_eq!(gini_impurity(0, 0), 0.0);
+    }
+
+    #[test]
+    fn impurity_even_split_is_half() {
+        assert!((gini_impurity(5, 5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_perfectly_separable() {
+        // good points below 0.07, bad above — like Fig. 6's ideal case.
+        let pts = [
+            pt(0.01, true),
+            pt(0.03, true),
+            pt(0.05, true),
+            pt(0.10, false),
+            pt(0.20, false),
+        ];
+        assert_eq!(gini_impurity_split(&pts, 0.07), 0.0);
+        // Separator misplacing one good point.
+        let i = gini_impurity_split(&pts, 0.02);
+        assert!(i > 0.0);
+    }
+
+    #[test]
+    fn sweep_finds_perfect_separator() {
+        let pts = [
+            pt(0.01, true),
+            pt(0.05, true),
+            pt(0.10, false),
+            pt(0.25, false),
+        ];
+        let sweep = GiniSweep::run(&pts);
+        assert_eq!(sweep.min_impurity, 0.0);
+        let best = sweep.best_separator();
+        assert!(best > 0.05 && best < 0.10, "best = {best}");
+        // The optimal range should cover the single separating midpoint.
+        assert!(sweep.optimal_range.0 <= 0.075 + 1e-9 && sweep.optimal_range.1 >= 0.075 - 1e-9);
+    }
+
+    #[test]
+    fn sweep_reports_range_when_plateau() {
+        // Two adjacent gaps both give zero impurity => a plateau of optima.
+        let pts = [pt(0.01, true), pt(0.02, true), pt(0.50, false)];
+        let sweep = GiniSweep::run(&pts);
+        assert_eq!(sweep.min_impurity, 0.0);
+        // 0.015 splits the two good points but leaves a mixed right side,
+        // so the only zero-impurity candidate is the 0.02/0.50 midpoint.
+        assert!((sweep.optimal_range.0 - 0.26).abs() < 1e-9);
+        assert!((sweep.optimal_range.1 - 0.26).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_with_inseparable_data_has_positive_min() {
+        let pts = [
+            pt(0.01, false),
+            pt(0.02, true),
+            pt(0.03, false),
+            pt(0.04, true),
+        ];
+        let sweep = GiniSweep::run(&pts);
+        assert!(sweep.min_impurity > 0.0);
+    }
+
+    #[test]
+    fn sweep_extremes_cover_all_left_and_all_right() {
+        let pts = [pt(0.1, true), pt(0.2, false)];
+        let sweep = GiniSweep::run(&pts);
+        let first = *sweep.separators.first().unwrap();
+        let last = *sweep.separators.last().unwrap();
+        assert!(first < 0.1);
+        assert!(last > 0.2);
+    }
+
+    #[test]
+    fn sweep_identical_metrics() {
+        let pts = [pt(0.1, true), pt(0.1, false)];
+        let sweep = GiniSweep::run(&pts);
+        // Cannot separate identical metrics; impurity 0.5 both sides.
+        assert!((sweep.min_impurity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_point_from_speedup_threshold_at_one() {
+        assert!(LabeledPoint::from_speedup(0.1, 1.0).good);
+        assert!(LabeledPoint::from_speedup(0.1, 1.5).good);
+        assert!(!LabeledPoint::from_speedup(0.1, 0.99).good);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sweep_empty_panics() {
+        GiniSweep::run(&[]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistics substrate for the `smt-select` workspace.
+//!
+//! This crate contains the statistical machinery the paper's evaluation and
+//! threshold-selection sections rely on:
+//!
+//! - [`summary`] — summary statistics (mean, geometric mean, variance,
+//!   percentiles) used when aggregating speedups across benchmarks.
+//! - [`corr`] — Pearson and Spearman correlation, used to reproduce the
+//!   "no correlation between naive metrics and SMT speedup" result (Fig. 2)
+//!   and the SMTsm-vs-speedup correlation (Figs. 6, 8, 10).
+//! - [`gini`] — Gini impurity and the impurity sweep over candidate
+//!   separators (Section V-A, Fig. 16).
+//! - [`classify`] — binary-classification accounting (success rates,
+//!   confusion counts) used for the 93%/86%/90% prediction-accuracy numbers.
+//! - [`resample`] — deterministic bootstrap confidence intervals for
+//!   accuracies and correlations over small benchmark samples.
+//! - [`table`] — plain-text/CSV table rendering for the experiment binaries.
+//!
+//! Everything here is deterministic and allocation-light; functions take
+//! slices and return plain values so they are trivially usable from tests,
+//! benches, and the experiment harness.
+
+pub mod classify;
+pub mod corr;
+pub mod gini;
+pub mod resample;
+pub mod summary;
+pub mod table;
+
+pub use classify::{BinaryConfusion, SpeedupCase};
+pub use corr::{pearson, spearman};
+pub use gini::{gini_impurity_split, GiniSweep, LabeledPoint};
+pub use resample::{bootstrap_ci, ConfidenceInterval, SplitMix64};
+pub use summary::Summary;
+pub use table::{Align, Table};

@@ -1,0 +1,173 @@
+//! Summary statistics over `f64` samples.
+
+/// Summary statistics of a sample, computed in one pass plus a sort for
+/// order statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean; 0 for an empty sample.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+    pub stddev: f64,
+    /// Smallest sample; +inf for an empty sample.
+    pub min: f64,
+    /// Largest sample; -inf for an empty sample.
+    pub max: f64,
+    /// Median (linear interpolation between the two middle order statistics).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `xs`. NaN values are rejected with a
+    /// panic because every downstream consumer treats them as a logic error.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(
+            xs.iter().all(|x| !x.is_nan()),
+            "Summary::of: NaN in sample"
+        );
+        let n = xs.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                median: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+}
+
+/// Geometric mean of strictly positive samples. Returns `None` if the slice
+/// is empty or contains a non-positive value.
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0 || x.is_nan()) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// `p`-th percentile (0..=100) of an unsorted sample with linear
+/// interpolation; panics on an empty slice or NaN.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    percentile_sorted(&sorted, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Mean of a sample, 0 for an empty slice (convenience for counter ratios).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert!(s.min.is_infinite());
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // sample variance of 1..4 is 5/3
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_median_odd() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive_and_empty() {
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!(geomean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal aligned-text and CSV table rendering for the experiment binaries.
+//!
+//! The experiment harness prints the same rows the paper's figures plot;
+//! this keeps that output readable in a terminal and machine-readable as CSV
+//! without pulling in a heavyweight dependency.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers; all columns default to
+    /// left alignment for the first column and right for the rest, matching
+    /// the common "label, numbers..." layout.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments; panics if the arity mismatches.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row; panics if the arity mismatches the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned plain-text table with a separator under the
+    /// header.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for i in 0..ncol {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<width$}", cells[i], width = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+                    }
+                }
+            }
+            // Trim trailing padding so lines never end in spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &self.aligns);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row, &self.aligns);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: quote cells containing commas, quotes,
+    /// or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` decimals (helper for table cells).
+pub fn fnum(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1.00"]);
+        t.row(vec!["longer", "22.50"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned: "1.00" ends at same column as "22.50".
+        assert!(lines[2].ends_with("1.00"));
+        assert!(lines[3].ends_with("22.50"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn render_no_trailing_spaces() {
+        let mut t = Table::new(vec!["name", "x"]).with_aligns(vec![Align::Left, Align::Left]);
+        t.row(vec!["abcdef", "1"]);
+        t.row(vec!["a", "2"]);
+        for line in t.render().lines() {
+            assert!(!line.ends_with(' '), "trailing space in {line:?}");
+        }
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["name", "desc"]);
+        t.row(vec!["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,desc\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 3), "1.235");
+        assert_eq!(fnum(2.0, 2), "2.00");
+    }
+}

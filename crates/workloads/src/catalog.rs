@@ -1,0 +1,684 @@
+//! The benchmark catalog — the synthetic stand-ins for the paper's Table I.
+//!
+//! Each entry models the *characteristics that decide SMT preference* of one
+//! benchmark from the paper's suites (NAS, PARSEC, SPEC OMP2001, SSCA2,
+//! STREAM, SPECjbb2005, SPECjbb-contention, DayTrader): instruction mix,
+//! ILP, cache footprint and access pattern, branch behaviour, and
+//! synchronization/scalability. The parameters are informed by the paper's
+//! own descriptions (Table I's "lock heavy", "heavy I/O", Fig. 7's mixes,
+//! Section IV's discussion of Streamcluster's 40% loads) plus the public
+//! characterizations of these suites. The *speedups are not scripted*: they
+//! emerge from running these specs on the simulator.
+//!
+//! `total_work` values are sized so a full run takes a few hundred thousand
+//! simulated cycles on the 8-core POWER7-like machine; use
+//! [`WorkloadSpec::scaled`] for quicker tests or longer steady-state runs.
+
+use crate::spec::{
+    AccessPattern, DepProfile, InstrMix, MemBehavior, SyncSpec, WorkloadSpec,
+};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn entry(
+    name: &str,
+    suite: &str,
+    description: &str,
+    work: u64,
+    seed: u64,
+) -> WorkloadSpec {
+    let mut s = WorkloadSpec::new(name, work);
+    s.suite = suite.into();
+    s.description = description.into();
+    s.seed = seed;
+    s
+}
+
+// --------------------------------------------------------------------------
+// NAS Parallel Benchmarks
+// --------------------------------------------------------------------------
+
+/// IS — Integer Sort (bucket sort). Integer and memory heavy with random
+/// access; memory latency bound, so extra hardware threads hide misses well.
+pub fn is_nas() -> WorkloadSpec {
+    let mut s = entry("IS", "NAS", "Integer Sort: bucket sort for integers", 2_500_000, 101);
+    s.mix = InstrMix { load: 0.30, store: 0.16, branch: 0.10, cond_reg: 0.02, fixed: 0.40, vector: 0.02 }.normalized();
+    s.dep = DepProfile { prob: 0.85, max_dist: 8 };
+    s.mem = MemBehavior::private(8 * MB, AccessPattern::Random).with_locality(0.92);
+    s.branch_mispredict_rate = 0.010;
+    s
+}
+
+/// IS, MPI flavor: same kernel, message buffers add stores and a few
+/// barriers.
+pub fn is_mpi() -> WorkloadSpec {
+    let mut s = is_nas();
+    s.name = "IS_MPI".into();
+    s.sync = SyncSpec::Barrier { interval: 40_000, imbalance: 0.10 };
+    s.seed = 102;
+    s
+}
+
+/// BT — Block-Tridiagonal PDE solver: dense FP with decent ILP.
+pub fn bt() -> WorkloadSpec {
+    let mut s = entry("BT", "NAS", "Block Tridiagonal: solves nonlinear PDEs", 4_000_000, 103);
+    s.mix = InstrMix { load: 0.22, store: 0.12, branch: 0.06, cond_reg: 0.01, fixed: 0.19, vector: 0.40 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 6 };
+    s.mem = MemBehavior::private(256 * KB, AccessPattern::Strided(8)).with_locality(0.81);
+    s.branch_mispredict_rate = 0.004;
+    s.sync = SyncSpec::Barrier { interval: 60_000, imbalance: 0.05 };
+    s
+}
+
+/// LU — SSOR PDE solver: FP with longer dependency chains (the wavefront
+/// recurrence), which SMT fills nicely.
+pub fn lu_mpi() -> WorkloadSpec {
+    let mut s = entry("LU_MPI", "NAS", "Lower-Upper: SSOR solver for nonlinear PDEs", 3_500_000, 104);
+    s.mix = InstrMix { load: 0.24, store: 0.10, branch: 0.07, cond_reg: 0.01, fixed: 0.15, vector: 0.43 }.normalized();
+    s.dep = DepProfile { prob: 0.92, max_dist: 3 };
+    s.mem = MemBehavior::private(128 * KB, AccessPattern::Strided(8)).with_locality(0.86);
+    s.branch_mispredict_rate = 0.004;
+    s
+}
+
+/// CG — Conjugate Gradient: sparse matrix-vector products, indirect loads,
+/// memory-latency bound.
+pub fn cg_mpi() -> WorkloadSpec {
+    let mut s = entry("CG_MPI", "NAS", "Conjugate Gradient: eigenvalues of sparse matrices", 2_500_000, 105);
+    s.mix = InstrMix { load: 0.34, store: 0.08, branch: 0.10, cond_reg: 0.01, fixed: 0.15, vector: 0.32 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    s.mem = MemBehavior::private(4 * MB, AccessPattern::Random).with_locality(0.90);
+    s.branch_mispredict_rate = 0.006;
+    s
+}
+
+/// FT — 3D FFT: vector heavy with large strided (transpose) traffic.
+pub fn ft_mpi() -> WorkloadSpec {
+    let mut s = entry("FT_MPI", "NAS", "Fast Fourier Transform", 3_500_000, 106);
+    s.mix = InstrMix { load: 0.25, store: 0.14, branch: 0.06, cond_reg: 0.01, fixed: 0.09, vector: 0.45 }.normalized();
+    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Strided(64)).with_locality(0.93);
+    s.branch_mispredict_rate = 0.003;
+    s
+}
+
+/// MG — Multigrid Poisson solver: mixed FP/memory; the paper's Fig. 1 shows
+/// it nearly oblivious to the SMT level.
+pub fn mg() -> WorkloadSpec {
+    let mut s = entry("MG", "NAS", "MultiGrid: 3-D discrete Poisson equation", 3_000_000, 107);
+    s.mix = InstrMix { load: 0.28, store: 0.13, branch: 0.06, cond_reg: 0.01, fixed: 0.16, vector: 0.36 }.normalized();
+    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    s.mem = MemBehavior::private(3 * MB, AccessPattern::Strided(64)).with_locality(0.93);
+    s.branch_mispredict_rate = 0.004;
+    s
+}
+
+/// MG, MPI flavor.
+pub fn mg_mpi() -> WorkloadSpec {
+    let mut s = mg();
+    s.name = "MG_MPI".into();
+    s.sync = SyncSpec::Barrier { interval: 50_000, imbalance: 0.08 };
+    s.seed = 108;
+    s
+}
+
+/// EP — Embarrassingly Parallel random-number generation: small footprint,
+/// moderate chains, diverse compute mix; the paper's SMT4 poster child.
+pub fn ep() -> WorkloadSpec {
+    let mut s = entry("EP", "NAS", "Embarrassingly Parallel: pseudo-random numbers", 5_000_000, 109);
+    s.mix = InstrMix { load: 0.13, store: 0.07, branch: 0.12, cond_reg: 0.03, fixed: 0.33, vector: 0.32 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 8 };
+    s.mem = MemBehavior::cache_resident();
+    s.branch_mispredict_rate = 0.006;
+    s
+}
+
+/// EP, MPI flavor.
+pub fn ep_mpi() -> WorkloadSpec {
+    let mut s = ep();
+    s.name = "EP_MPI".into();
+    s.seed = 110;
+    s
+}
+
+/// SP — Scalar Pentadiagonal solver (used in the Nehalem suite).
+pub fn sp() -> WorkloadSpec {
+    let mut s = entry("SP", "NAS", "Scalar Pentadiagonal PDE solver", 3_500_000, 111);
+    s.mix = InstrMix { load: 0.23, store: 0.12, branch: 0.06, cond_reg: 0.01, fixed: 0.17, vector: 0.41 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(512 * KB, AccessPattern::Strided(8)).with_locality(0.82);
+    s.branch_mispredict_rate = 0.004;
+    s
+}
+
+/// UA — Unstructured Adaptive mesh: irregular memory access (Nehalem suite).
+pub fn ua() -> WorkloadSpec {
+    let mut s = entry("UA", "NAS", "Unstructured Adaptive mesh refinement", 2_500_000, 112);
+    s.mix = InstrMix { load: 0.30, store: 0.10, branch: 0.09, cond_reg: 0.01, fixed: 0.18, vector: 0.32 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.925);
+    s.branch_mispredict_rate = 0.010;
+    s
+}
+
+// --------------------------------------------------------------------------
+// PARSEC
+// --------------------------------------------------------------------------
+
+/// Blackscholes — option pricing: pure FP compute on a tiny working set with
+/// tight dependency chains; the biggest SMT4 winner in Fig. 7 (1.82x).
+pub fn blackscholes() -> WorkloadSpec {
+    let mut s = entry("Blackscholes", "Parsec", "Computes option prices", 4_500_000, 201);
+    s.mix = InstrMix { load: 0.17, store: 0.07, branch: 0.09, cond_reg: 0.02, fixed: 0.21, vector: 0.44 }.normalized();
+    s.dep = DepProfile { prob: 0.95, max_dist: 3 };
+    s.mem = MemBehavior::cache_resident();
+    s.branch_mispredict_rate = 0.003;
+    s
+}
+
+/// Blackscholes, pthreads build (Nehalem suite label).
+pub fn blackscholes_pthreads() -> WorkloadSpec {
+    let mut s = blackscholes();
+    s.name = "blackscholes_pthreads".into();
+    s.seed = 202;
+    s
+}
+
+/// Bodytrack — person tracking: mixed compute with periodic barriers.
+pub fn bodytrack() -> WorkloadSpec {
+    let mut s = entry("bodytrack", "Parsec", "Motion tracking of a person", 3_000_000, 203);
+    s.mix = InstrMix { load: 0.22, store: 0.09, branch: 0.11, cond_reg: 0.02, fixed: 0.26, vector: 0.30 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(512 * KB, AccessPattern::Strided(8)).with_locality(0.87);
+    s.branch_mispredict_rate = 0.012;
+    s.sync = SyncSpec::Barrier { interval: 30_000, imbalance: 0.15 };
+    s
+}
+
+/// Bodytrack, pthreads build.
+pub fn bodytrack_pthreads() -> WorkloadSpec {
+    let mut s = bodytrack();
+    s.name = "bodytrack_pthreads".into();
+    s.seed = 204;
+    // The pthreads build synchronizes more finely than the OpenMP one.
+    s.sync = SyncSpec::Barrier { interval: 6_000, imbalance: 0.35 };
+    s
+}
+
+/// Canneal — cache-aware simulated annealing: pointer chasing over a huge
+/// shared netlist (Nehalem suite).
+pub fn canneal() -> WorkloadSpec {
+    let mut s = entry("canneal", "Parsec", "Cache-aware simulated annealing", 1_500_000, 205);
+    s.mix = InstrMix { load: 0.35, store: 0.10, branch: 0.12, cond_reg: 0.02, fixed: 0.37, vector: 0.04 }.normalized();
+    s.dep = DepProfile { prob: 0.95, max_dist: 2 };
+    s.mem = MemBehavior::private(256 * KB, AccessPattern::Random)
+        .with_shared(24 * MB, 0.7, 0.3)
+        .with_locality(0.86);
+    s.branch_mispredict_rate = 0.015;
+    s.sync = SyncSpec::SpinLock { cs_interval: 380, cs_len: 8 };
+    s
+}
+
+/// Dedup — pipelined compression/deduplication, heavy I/O and queue locks.
+pub fn dedup() -> WorkloadSpec {
+    let mut s = entry("Dedup", "Parsec", "Compression and deduplication; heavy I/O", 2_000_000, 206);
+    s.mix = InstrMix { load: 0.26, store: 0.14, branch: 0.13, cond_reg: 0.02, fixed: 0.40, vector: 0.05 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Strided(8)).with_locality(0.95);
+    s.branch_mispredict_rate = 0.012;
+    s.sync = SyncSpec::BlockingLock { cs_interval: 1_900, cs_len: 40, wake_latency: 40 };
+    s
+}
+
+/// Facesim — facial simulation: FP heavy with barriers (Nehalem suite).
+pub fn facesim() -> WorkloadSpec {
+    let mut s = entry("facesim", "Parsec", "Simulates human facial motion", 3_000_000, 207);
+    s.mix = InstrMix { load: 0.22, store: 0.10, branch: 0.05, cond_reg: 0.01, fixed: 0.14, vector: 0.48 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(8)).with_locality(0.80);
+    s.branch_mispredict_rate = 0.004;
+    s.sync = SyncSpec::Barrier { interval: 40_000, imbalance: 0.10 };
+    s
+}
+
+/// Ferret — content-similarity pipeline: mixed stages with moderate locks
+/// (Nehalem suite).
+pub fn ferret() -> WorkloadSpec {
+    let mut s = entry("ferret", "Parsec", "Content similarity search pipeline", 2_500_000, 208);
+    s.mix = InstrMix { load: 0.26, store: 0.09, branch: 0.11, cond_reg: 0.02, fixed: 0.27, vector: 0.25 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(1 * MB, AccessPattern::Random).with_locality(0.96);
+    s.branch_mispredict_rate = 0.010;
+    s.sync = SyncSpec::BlockingLock { cs_interval: 500, cs_len: 20, wake_latency: 30 };
+    s.code_footprint = 96 * KB;
+    s
+}
+
+/// Fluidanimate — SPH fluid dynamics: FP with fine-grained spin locks on
+/// cell lists; still a clear SMT4 winner (1.35x in Fig. 7).
+pub fn fluidanimate() -> WorkloadSpec {
+    let mut s = entry("Fluidanimate", "Parsec", "Fluid dynamics (SPH) with fine-grain locks", 3_500_000, 209);
+    s.mix = InstrMix { load: 0.23, store: 0.10, branch: 0.09, cond_reg: 0.02, fixed: 0.16, vector: 0.40 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(512 * KB, AccessPattern::Strided(8)).with_locality(0.85);
+    s.branch_mispredict_rate = 0.006;
+    s.sync = SyncSpec::SpinLock { cs_interval: 3_500, cs_len: 6 };
+    s
+}
+
+/// Freqmine — frequent itemset mining: integer/memory heavy (Nehalem suite).
+pub fn freqmine() -> WorkloadSpec {
+    let mut s = entry("freqmine", "Parsec", "Frequent itemset mining", 2_500_000, 210);
+    s.mix = InstrMix { load: 0.30, store: 0.09, branch: 0.13, cond_reg: 0.02, fixed: 0.42, vector: 0.04 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    s.mem = MemBehavior::private(6 * MB, AccessPattern::Random).with_locality(0.91);
+    s.branch_mispredict_rate = 0.014;
+    s
+}
+
+/// Raytrace — ray tracing: FP with branchy traversal (Nehalem suite).
+pub fn raytrace() -> WorkloadSpec {
+    let mut s = entry("raytrace", "Parsec", "Real-time raytracing", 3_000_000, 211);
+    s.mix = InstrMix { load: 0.24, store: 0.06, branch: 0.14, cond_reg: 0.02, fixed: 0.16, vector: 0.38 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.96);
+    s.branch_mispredict_rate = 0.020;
+    s
+}
+
+/// Streamcluster — online clustering. The paper singles it out: ~40% loads
+/// with few stores. On the POWER7-like chip its shared points fit in L3, so
+/// it is load-port bound (prefers low SMT); on the Nehalem-like chip the
+/// same footprint misses in the smaller L3, so SMT actually helps — the
+/// Fig. 10 outlier.
+pub fn streamcluster() -> WorkloadSpec {
+    let mut s = entry("Streamcluster", "Parsec", "Online data clustering; 40% loads", 2_000_000, 212);
+    s.mix = InstrMix { load: 0.40, store: 0.04, branch: 0.13, cond_reg: 0.01, fixed: 0.16, vector: 0.26 }.normalized();
+    s.dep = DepProfile { prob: 0.55, max_dist: 12 };
+    s.mem = MemBehavior::private(64 * KB, AccessPattern::Strided(8))
+        .with_shared(12 * MB, 0.85, 0.3)
+        .with_locality(0.97);
+    s.branch_mispredict_rate = 0.008;
+    s
+}
+
+/// Swaptions — Monte-Carlo swaption pricing: scalable FP compute
+/// (Nehalem suite).
+pub fn swaptions() -> WorkloadSpec {
+    let mut s = entry("swaptions", "Parsec", "Monte-Carlo pricing of swaptions", 4_000_000, 213);
+    s.mix = InstrMix { load: 0.15, store: 0.06, branch: 0.09, cond_reg: 0.02, fixed: 0.18, vector: 0.50 }.normalized();
+    s.dep = DepProfile { prob: 0.92, max_dist: 4 };
+    s.mem = MemBehavior::cache_resident();
+    s.branch_mispredict_rate = 0.005;
+    s
+}
+
+/// Vips — image processing pipeline: mixed compute (Nehalem suite).
+pub fn vips() -> WorkloadSpec {
+    let mut s = entry("vips", "Parsec", "Image processing pipeline", 3_000_000, 214);
+    s.mix = InstrMix { load: 0.24, store: 0.12, branch: 0.10, cond_reg: 0.02, fixed: 0.27, vector: 0.25 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 6 };
+    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(64)).with_locality(0.972);
+    s.branch_mispredict_rate = 0.008;
+    s
+}
+
+/// x264 — video encoding: integer/SIMD with branchy mode decisions
+/// (Nehalem suite).
+pub fn x264() -> WorkloadSpec {
+    let mut s = entry("x264", "Parsec", "H.264 video encoding", 3_000_000, 215);
+    s.mix = InstrMix { load: 0.24, store: 0.10, branch: 0.13, cond_reg: 0.02, fixed: 0.28, vector: 0.23 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(8)).with_locality(0.72);
+    s.branch_mispredict_rate = 0.018;
+    s
+}
+
+// --------------------------------------------------------------------------
+// SPEC OMP2001
+// --------------------------------------------------------------------------
+
+/// Ammp — molecular dynamics: FP with irregular neighbor lists.
+pub fn ammp() -> WorkloadSpec {
+    let mut s = entry("Ammp", "SPEC OMP2001", "Molecular dynamics", 2_500_000, 301);
+    s.mix = InstrMix { load: 0.24, store: 0.07, branch: 0.06, cond_reg: 0.01, fixed: 0.09, vector: 0.53 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.92);
+    s.branch_mispredict_rate = 0.008;
+    s
+}
+
+/// Applu — parabolic/elliptic PDEs: FP with large strided sweeps.
+pub fn applu() -> WorkloadSpec {
+    let mut s = entry("Applu", "SPEC OMP2001", "Parabolic/elliptic PDE solver", 2_200_000, 302);
+    s.mix = InstrMix { load: 0.24, store: 0.09, branch: 0.04, cond_reg: 0.01, fixed: 0.07, vector: 0.55 }.normalized();
+    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    s.mem = MemBehavior::private(8 * MB, AccessPattern::Strided(64)).with_locality(0.855);
+    s.branch_mispredict_rate = 0.003;
+    s
+}
+
+/// Apsi — lake weather modeling: FP, moderate footprint.
+pub fn apsi() -> WorkloadSpec {
+    let mut s = entry("Apsi", "SPEC OMP2001", "Lake weather modeling", 2_500_000, 303);
+    s.mix = InstrMix { load: 0.22, store: 0.09, branch: 0.06, cond_reg: 0.01, fixed: 0.10, vector: 0.52 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(8)).with_locality(0.74);
+    s.branch_mispredict_rate = 0.005;
+    s
+}
+
+/// Equake — earthquake simulation: sparse FP over a large footprint; Fig. 1
+/// shows SMT4 *degrading* it badly.
+pub fn equake() -> WorkloadSpec {
+    let mut s = entry("Equake", "SPEC OMP2001", "Earthquake simulation (sparse FP)", 1_800_000, 304);
+    s.mix = InstrMix { load: 0.26, store: 0.08, branch: 0.05, cond_reg: 0.01, fixed: 0.08, vector: 0.52 }.normalized();
+    s.dep = DepProfile { prob: 0.85, max_dist: 10 };
+    s.mem = MemBehavior::private(4 * MB, AccessPattern::Strided(64)).with_locality(0.91);
+    s.branch_mispredict_rate = 0.004;
+    s.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.15, chunk: 4_000 };
+    s
+}
+
+/// Fma3d — finite-element crash simulation: FP with imbalanced elements.
+pub fn fma3d() -> WorkloadSpec {
+    let mut s = entry("Fma3d", "SPEC OMP2001", "Finite element crash simulation", 2_500_000, 305);
+    s.mix = InstrMix { load: 0.23, store: 0.09, branch: 0.07, cond_reg: 0.01, fixed: 0.11, vector: 0.49 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Strided(8)).with_locality(0.70);
+    s.branch_mispredict_rate = 0.007;
+    s.sync = SyncSpec::Barrier { interval: 25_000, imbalance: 0.25 };
+    s
+}
+
+/// Gafort — genetic algorithm: integer/branch heavy with lock-protected
+/// shuffles.
+pub fn gafort() -> WorkloadSpec {
+    let mut s = entry("Gafort", "SPEC OMP2001", "Genetic algorithm", 2_200_000, 306);
+    s.mix = InstrMix { load: 0.25, store: 0.12, branch: 0.15, cond_reg: 0.03, fixed: 0.36, vector: 0.09 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    s.mem = MemBehavior::private(1 * MB, AccessPattern::Random).with_locality(0.95);
+    s.branch_mispredict_rate = 0.015;
+    s.sync = SyncSpec::SpinLock { cs_interval: 900, cs_len: 12 };
+    s
+}
+
+/// Mgrid — multigrid solver: bandwidth-hungry stencil sweeps.
+pub fn mgrid() -> WorkloadSpec {
+    let mut s = entry("Mgrid", "SPEC OMP2001", "Multigrid differential equation solver", 1_800_000, 307);
+    s.mix = InstrMix { load: 0.28, store: 0.11, branch: 0.04, cond_reg: 0.01, fixed: 0.06, vector: 0.50 }.normalized();
+    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    s.mem = MemBehavior::private(12 * MB, AccessPattern::Strided(64)).with_locality(0.845);
+    s.branch_mispredict_rate = 0.003;
+    s
+}
+
+/// Swim — shallow-water modeling: the classic bandwidth burner.
+pub fn swim() -> WorkloadSpec {
+    let mut s = entry("Swim", "SPEC OMP2001", "Shallow water modeling (bandwidth bound)", 1_500_000, 308);
+    s.mix = InstrMix { load: 0.31, store: 0.16, branch: 0.03, cond_reg: 0.0, fixed: 0.05, vector: 0.45 }.normalized();
+    s.dep = DepProfile { prob: 0.80, max_dist: 10 };
+    s.mem = MemBehavior::private(24 * MB, AccessPattern::Strided(64)).with_locality(0.85);
+    s.branch_mispredict_rate = 0.002;
+    s.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.06, chunk: 3_000 };
+    s
+}
+
+/// Wupwise — quantum chromodynamics: FP compute with small footprint and
+/// chains; one of the SPEC OMP codes that does gain from SMT.
+pub fn wupwise() -> WorkloadSpec {
+    let mut s = entry("Wupwise", "SPEC OMP2001", "Quantum chromodynamics", 3_500_000, 309);
+    s.mix = InstrMix { load: 0.20, store: 0.09, branch: 0.07, cond_reg: 0.02, fixed: 0.17, vector: 0.45 }.normalized();
+    s.dep = DepProfile { prob: 0.92, max_dist: 4 };
+    s.mem = MemBehavior::private(256 * KB, AccessPattern::Strided(8)).with_locality(0.90);
+    s.branch_mispredict_rate = 0.004;
+    s
+}
+
+// --------------------------------------------------------------------------
+// SSCA2, STREAM, commercial benchmarks
+// --------------------------------------------------------------------------
+
+/// SSCA2 — graph analysis: integer, irregular shared accesses, lock heavy
+/// (Table I calls it out explicitly).
+pub fn ssca2() -> WorkloadSpec {
+    let mut s = entry("SSCA2", "SSCA", "Graph analysis; integer ops, lock heavy", 1_800_000, 401);
+    s.mix = InstrMix { load: 0.30, store: 0.10, branch: 0.16, cond_reg: 0.03, fixed: 0.39, vector: 0.02 }.normalized();
+    s.dep = DepProfile { prob: 0.92, max_dist: 3 };
+    s.mem = MemBehavior::private(128 * KB, AccessPattern::Random)
+        .with_shared(12 * MB, 0.6, 0.3)
+        .with_locality(0.925);
+    s.branch_mispredict_rate = 0.018;
+    s.sync = SyncSpec::SpinLock { cs_interval: 450, cs_len: 12 };
+    s
+}
+
+/// STREAM — synthetic memory-bandwidth benchmark: every access touches a
+/// new line of a huge array.
+pub fn stream() -> WorkloadSpec {
+    let mut s = entry("Stream", "Synthetic", "Streaming memory bandwidth (triad-style)", 1_200_000, 402);
+    s.mix = InstrMix::mem_stream();
+    s.dep = DepProfile { prob: 0.80, max_dist: 12 };
+    s.mem = MemBehavior::private(32 * MB, AccessPattern::Strided(8));
+    s.branch_mispredict_rate = 0.002;
+    s
+}
+
+/// SPECjbb2005 — server-side Java: diverse mix, light blocking locks,
+/// moderate footprint.
+pub fn specjbb() -> WorkloadSpec {
+    let mut s = entry("SPECjbb", "SPECjbb2005", "Server-side Java, per-thread warehouses", 3_000_000, 403);
+    s.mix = InstrMix { load: 0.24, store: 0.11, branch: 0.13, cond_reg: 0.02, fixed: 0.32, vector: 0.18 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(3 * MB, AccessPattern::Random).with_locality(0.93);
+    s.branch_mispredict_rate = 0.010;
+    s.sync = SyncSpec::BlockingLock { cs_interval: 900, cs_len: 15, wake_latency: 30 };
+    s.code_footprint = 192 * KB;
+    s
+}
+
+/// SPECjbb-contention — the paper's custom single-warehouse variant: all
+/// worker threads hammer one lock; the heaviest SMT loser (0.25x in Fig. 7).
+pub fn specjbb_contention() -> WorkloadSpec {
+    let mut s = entry("SPECjbb_contention", "Custom", "SPECjbb with one shared warehouse; heavy lock contention", 1_200_000, 404);
+    s.mix = InstrMix { load: 0.24, store: 0.11, branch: 0.13, cond_reg: 0.02, fixed: 0.32, vector: 0.18 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(512 * KB, AccessPattern::Random)
+        .with_shared(2 * MB, 0.4, 0.3)
+        .with_locality(0.94);
+    s.branch_mispredict_rate = 0.010;
+    s.sync = SyncSpec::SpinLock { cs_interval: 180, cs_len: 22 };
+    s.code_footprint = 192 * KB;
+    s
+}
+
+/// DayTrader — WebSphere trading benchmark: network I/O keeps threads
+/// blocked much of the time.
+pub fn daytrader() -> WorkloadSpec {
+    let mut s = entry("Daytrader", "Commercial", "Online stock trading emulation; heavy network I/O", 1_800_000, 405);
+    s.mix = InstrMix { load: 0.25, store: 0.11, branch: 0.14, cond_reg: 0.02, fixed: 0.31, vector: 0.17 }.normalized();
+    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.94);
+    s.branch_mispredict_rate = 0.012;
+    s.sync = SyncSpec::RateLimited { work_per_kcycle: 2_700 };
+    s.code_footprint = 256 * KB;
+    s
+}
+
+// --------------------------------------------------------------------------
+// Suites
+// --------------------------------------------------------------------------
+
+/// The AIX/POWER7 evaluation set: the 28 labels of Fig. 6.
+pub fn power7_suite() -> Vec<WorkloadSpec> {
+    vec![
+        ammp(),
+        applu(),
+        apsi(),
+        equake(),
+        fma3d(),
+        gafort(),
+        mgrid(),
+        swim(),
+        wupwise(),
+        blackscholes(),
+        bt(),
+        cg_mpi(),
+        dedup(),
+        ep(),
+        ep_mpi(),
+        fluidanimate(),
+        ft_mpi(),
+        is_nas(),
+        is_mpi(),
+        lu_mpi(),
+        mg(),
+        mg_mpi(),
+        ssca2(),
+        stream(),
+        streamcluster(),
+        specjbb(),
+        specjbb_contention(),
+        daytrader(),
+    ]
+}
+
+/// The Linux/Core i7 evaluation set: the labels of Fig. 10 (plus canneal,
+/// which appears in Fig. 12).
+pub fn nehalem_suite() -> Vec<WorkloadSpec> {
+    vec![
+        blackscholes_pthreads(),
+        bodytrack(),
+        bodytrack_pthreads(),
+        bt(),
+        canneal(),
+        cg_mpi().renamed("CG"),
+        dedup(),
+        ep(),
+        facesim(),
+        ferret(),
+        fluidanimate(),
+        freqmine(),
+        ft_mpi().renamed("FT"),
+        is_nas(),
+        lu_mpi().renamed("LU"),
+        raytrace(),
+        sp(),
+        streamcluster(),
+        swaptions(),
+        ua(),
+        vips(),
+        x264(),
+        ssca2(),
+    ]
+}
+
+/// The three motivating applications of Fig. 1.
+pub fn fig1_trio() -> Vec<WorkloadSpec> {
+    vec![equake(), mg(), ep()]
+}
+
+/// The five representative benchmarks whose instruction mixes Fig. 7 plots.
+pub fn fig7_five() -> Vec<WorkloadSpec> {
+    vec![
+        blackscholes(),
+        fluidanimate(),
+        dedup(),
+        ssca2(),
+        specjbb_contention(),
+    ]
+}
+
+impl WorkloadSpec {
+    /// Rename a spec (used where the Nehalem suite drops the `_MPI` suffix).
+    pub fn renamed(mut self, name: &str) -> WorkloadSpec {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_catalog_specs_validate() {
+        for s in power7_suite().into_iter().chain(nehalem_suite()) {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn power7_suite_matches_fig6_labels() {
+        let names: HashSet<String> =
+            power7_suite().into_iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 28, "duplicate names");
+        for expected in [
+            "Ammp", "Applu", "Apsi", "Equake", "Fma3d", "Gafort", "Mgrid",
+            "Swim", "Wupwise", "Blackscholes", "BT", "CG_MPI", "Dedup", "EP",
+            "EP_MPI", "Fluidanimate", "FT_MPI", "IS", "IS_MPI", "LU_MPI",
+            "MG", "MG_MPI", "SSCA2", "Stream", "Streamcluster", "SPECjbb",
+            "SPECjbb_contention", "Daytrader",
+        ] {
+            assert!(names.contains(expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn nehalem_suite_has_distinct_labels() {
+        let suite = nehalem_suite();
+        let names: HashSet<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), suite.len(), "duplicate names in nehalem suite");
+        assert!(names.contains("streamcluster") || names.contains("Streamcluster"));
+        assert!(names.contains("x264"));
+    }
+
+    #[test]
+    fn seeds_are_distinct_within_each_suite() {
+        for suite in [power7_suite(), nehalem_suite()] {
+            let mut seen = HashSet::new();
+            for s in &suite {
+                assert!(
+                    seen.insert((s.seed, s.name.clone())),
+                    "duplicate (seed,name)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig_subsets_are_drawn_from_the_catalog() {
+        assert_eq!(fig1_trio().len(), 3);
+        assert_eq!(fig7_five().len(), 5);
+        let p7: HashSet<String> = power7_suite().into_iter().map(|s| s.name).collect();
+        for s in fig1_trio().into_iter().chain(fig7_five()) {
+            assert!(p7.contains(&s.name), "{} not in the POWER7 suite", s.name);
+        }
+    }
+
+    #[test]
+    fn catalog_mixes_are_diverse() {
+        // Sanity: the catalog must span homogeneous and diverse mixes, or
+        // the mix-deviation factor has nothing to discriminate.
+        let suite = power7_suite();
+        let dev = |s: &WorkloadSpec| {
+            let ideal = InstrMix::ideal_p7().as_fractions();
+            let f = s.mix.as_fractions();
+            // Fold CR into branch as the metric does.
+            let mut v = 0.0;
+            v += (f[0] - ideal[0]).powi(2);
+            v += (f[1] - ideal[1]).powi(2);
+            v += ((f[2] + f[3]) - (ideal[2] + ideal[3])).powi(2);
+            v += (f[4] - ideal[4]).powi(2);
+            v += (f[5] - ideal[5]).powi(2);
+            v.sqrt()
+        };
+        let devs: Vec<f64> = suite.iter().map(dev).collect();
+        let min = devs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = devs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min < 0.12, "no near-ideal mixes in catalog: min={min}");
+        assert!(max > 0.3, "no skewed mixes in catalog: max={max}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Multiprogrammed workloads: several applications sharing one machine.
+//!
+//! The paper's related work (Snavely & Tullsen's SOS, Settle et al.,
+//! Eyerman & Eeckhout) studies *symbiotic co-scheduling* — which programs
+//! to place on the same SMT core. [`MultiWorkload`] makes that setting
+//! expressible here: it splits the machine's software threads among
+//! several member applications, interleaving them so that co-resident
+//! hardware contexts host *different* programs (the machine maps
+//! consecutive software-thread ids to different cores, so round-robin
+//! assignment lands one thread of each member per core). Combined with the
+//! simulator this answers questions like "do EP and STREAM run
+//! symbiotically at SMT4?" — complementary to the paper's own question of
+//! which SMT *level* to use.
+
+use smt_sim::{Fetched, Workload};
+
+/// Several applications sharing one machine's threads.
+pub struct MultiWorkload {
+    name: String,
+    apps: Vec<Box<dyn Workload>>,
+    /// Global software thread -> (app index, app-local thread id).
+    assignment: Vec<(usize, usize)>,
+}
+
+impl MultiWorkload {
+    /// Build from member applications (at least one).
+    pub fn new(name: impl Into<String>, apps: Vec<Box<dyn Workload>>) -> MultiWorkload {
+        assert!(!apps.is_empty(), "need at least one member application");
+        MultiWorkload { name: name.into(), apps, assignment: Vec::new() }
+    }
+
+    /// Number of member applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Member application by index (for per-app progress queries).
+    pub fn app(&self, i: usize) -> &dyn Workload {
+        self.apps[i].as_ref()
+    }
+
+    /// Threads currently assigned to member `i`.
+    pub fn threads_of(&self, i: usize) -> usize {
+        self.assignment.iter().filter(|(a, _)| *a == i).count()
+    }
+}
+
+impl Workload for MultiWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch(&mut self, thread: usize, now: u64) -> Fetched {
+        let (app, local) = self.assignment[thread];
+        self.apps[app].fetch(local, now)
+    }
+
+    /// Split `n` threads round-robin across members, so each machine core
+    /// hosts a mix of applications. Every member gets at least one thread
+    /// (therefore `n >= num_apps` is required).
+    fn set_thread_count(&mut self, n: usize) {
+        assert!(
+            n >= self.apps.len(),
+            "need at least one thread per member application ({} apps, {n} threads)",
+            self.apps.len()
+        );
+        let k = self.apps.len();
+        let mut per_app_counts = vec![0usize; k];
+        let mut assignment = Vec::with_capacity(n);
+        for t in 0..n {
+            let app = t % k;
+            assignment.push((app, per_app_counts[app]));
+            per_app_counts[app] += 1;
+        }
+        self.assignment = assignment;
+        for (i, app) in self.apps.iter_mut().enumerate() {
+            app.set_thread_count(per_app_counts[i]);
+        }
+    }
+
+    fn thread_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    fn finished(&self) -> bool {
+        self.apps.iter().all(|a| a.finished())
+    }
+
+    fn work_done(&self) -> u64 {
+        self.apps.iter().map(|a| a.work_done()).sum()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.apps.iter().map(|a| a.total_work()).sum()
+    }
+}
+
+impl std::fmt::Debug for MultiWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiWorkload")
+            .field("name", &self.name)
+            .field("apps", &self.apps.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .field("threads", &self.assignment.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, SyntheticWorkload};
+    use smt_sim::{MachineConfig, Simulation, SmtLevel};
+
+    fn duo() -> MultiWorkload {
+        MultiWorkload::new(
+            "ep+stream",
+            vec![
+                Box::new(SyntheticWorkload::new(catalog::ep().scaled(0.02))),
+                Box::new(SyntheticWorkload::new(catalog::stream().scaled(0.02))),
+            ],
+        )
+    }
+
+    #[test]
+    fn threads_split_round_robin() {
+        let mut w = duo();
+        w.set_thread_count(8);
+        assert_eq!(w.threads_of(0), 4);
+        assert_eq!(w.threads_of(1), 4);
+        let mut w = duo();
+        w.set_thread_count(5);
+        assert_eq!(w.threads_of(0), 3);
+        assert_eq!(w.threads_of(1), 2);
+    }
+
+    #[test]
+    fn coscheduled_pair_completes_with_summed_work() {
+        let w = duo();
+        let total = {
+            use smt_sim::Workload as _;
+            w.total_work()
+        };
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt2, w);
+        let r = sim.run_until_finished(500_000_000);
+        assert!(r.completed);
+        assert_eq!(r.work_done, total);
+        assert_eq!(sim.workload().num_apps(), 2);
+        assert!(sim.workload().app(0).finished());
+        assert!(sim.workload().app(1).finished());
+    }
+
+    #[test]
+    fn reshard_preserves_member_work() {
+        let w = duo();
+        let total = {
+            use smt_sim::Workload as _;
+            w.total_work()
+        };
+        let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt4, w);
+        sim.run_cycles(3_000);
+        sim.reconfigure(SmtLevel::Smt1);
+        let r = sim.run_until_finished(500_000_000);
+        assert!(r.completed);
+        assert_eq!(r.work_done, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_members_rejected() {
+        MultiWorkload::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread per member")]
+    fn too_few_threads_rejected() {
+        let mut w = duo();
+        w.set_thread_count(1);
+    }
+
+    #[test]
+    fn mixed_members_have_distinct_progress() {
+        let mut w = MultiWorkload::new(
+            "pair",
+            vec![
+                Box::new(SyntheticWorkload::new(catalog::ep().scaled(0.001))),
+                Box::new(SyntheticWorkload::new(catalog::stream().scaled(0.02))),
+            ],
+        );
+        w.set_thread_count(4);
+        // Drain only app 0's threads (0 and 2).
+        let mut now = 0;
+        while !w.app(0).finished() && now < 2_000_000 {
+            let _ = w.fetch(0, now);
+            let _ = w.fetch(2, now);
+            now += 1;
+        }
+        assert!(w.app(0).finished());
+        assert!(!w.app(1).finished());
+        assert!(!w.finished());
+    }
+}

@@ -1,0 +1,174 @@
+//! Phase-changing workloads.
+//!
+//! Section V motivates measuring SMTsm *periodically* so the system can
+//! "adaptively choose the optimal SMT level for a workload as it goes
+//! through different phases". [`PhasedWorkload`] concatenates several
+//! [`WorkloadSpec`]s into one application whose behaviour shifts when each
+//! phase's work is exhausted — the scheduler demo and its tests drive this.
+
+use crate::gen::SyntheticWorkload;
+use crate::spec::WorkloadSpec;
+use smt_sim::{Fetched, Workload};
+
+/// A workload executing several specs back to back.
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    name: String,
+    phases: Vec<SyntheticWorkload>,
+    current: usize,
+    threads: usize,
+    /// Work completed in fully-finished phases.
+    completed_work: u64,
+}
+
+impl PhasedWorkload {
+    /// Build from a list of phase specs (at least one).
+    pub fn new(name: impl Into<String>, specs: Vec<WorkloadSpec>) -> PhasedWorkload {
+        assert!(!specs.is_empty(), "need at least one phase");
+        PhasedWorkload {
+            name: name.into(),
+            phases: specs.into_iter().map(SyntheticWorkload::new).collect(),
+            current: 0,
+            threads: 0,
+            completed_work: 0,
+        }
+    }
+
+    /// Index of the phase currently executing.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Name of the spec driving the current phase.
+    pub fn current_phase_name(&self) -> &str {
+        self.phases[self.current].name()
+    }
+
+    fn advance_if_done(&mut self) {
+        while self.current + 1 < self.phases.len() && self.phases[self.current].finished() {
+            self.completed_work += self.phases[self.current].work_done();
+            self.current += 1;
+            let n = self.threads;
+            self.phases[self.current].set_thread_count(n);
+        }
+    }
+}
+
+impl Workload for PhasedWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch(&mut self, thread: usize, now: u64) -> Fetched {
+        self.advance_if_done();
+        match self.phases[self.current].fetch(thread, now) {
+            Fetched::Finished if self.current + 1 < self.phases.len() => {
+                // This thread drained the phase; move on and retry.
+                self.advance_if_done();
+                self.phases[self.current].fetch(thread, now)
+            }
+            f => f,
+        }
+    }
+
+    fn set_thread_count(&mut self, n: usize) {
+        self.threads = n;
+        self.phases[self.current].set_thread_count(n);
+    }
+
+    fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    fn finished(&self) -> bool {
+        self.current == self.phases.len() - 1 && self.phases[self.current].finished()
+    }
+
+    fn work_done(&self) -> u64 {
+        self.completed_work + self.phases[self.current].work_done()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.phases.iter().map(|p| p.total_work()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use smt_sim::{MachineConfig, Simulation, SmtLevel};
+
+    #[test]
+    fn phases_execute_in_order_to_completion() {
+        let w = PhasedWorkload::new(
+            "two-phase",
+            vec![
+                catalog::ep().scaled(0.02),
+                catalog::specjbb_contention().scaled(0.02),
+            ],
+        );
+        let total = w.total_work();
+        let mut sim = Simulation::new(MachineConfig::generic(2), SmtLevel::Smt2, w);
+        let res = sim.run_until_finished(50_000_000);
+        assert!(res.completed, "phased workload did not finish");
+        assert_eq!(res.work_done, total);
+        assert_eq!(sim.workload().current_phase(), 1);
+    }
+
+    #[test]
+    fn phase_name_tracks_progress() {
+        let mut w = PhasedWorkload::new(
+            "p",
+            vec![catalog::ep().scaled(0.001), catalog::stream().scaled(0.001)],
+        );
+        w.set_thread_count(2);
+        assert_eq!(w.current_phase_name(), "EP");
+        // Drain phase 0 by fetching.
+        let mut now = 0;
+        while w.current_phase() == 0 && now < 1_000_000 {
+            let _ = w.fetch((now % 2) as usize, now);
+            now += 1;
+        }
+        assert_eq!(w.current_phase(), 1);
+        assert_eq!(w.current_phase_name(), "Stream");
+    }
+
+    #[test]
+    fn total_work_sums_phases() {
+        let w = PhasedWorkload::new(
+            "p",
+            vec![catalog::ep().scaled(0.001), catalog::mg().scaled(0.001)],
+        );
+        assert_eq!(
+            w.total_work(),
+            catalog::ep().scaled(0.001).total_work + catalog::mg().scaled(0.001).total_work
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        PhasedWorkload::new("empty", vec![]);
+    }
+
+    #[test]
+    fn reshard_mid_phase_preserves_work() {
+        let w = PhasedWorkload::new(
+            "p",
+            vec![catalog::ep().scaled(0.01), catalog::stream().scaled(0.01)],
+        );
+        let total = w.total_work();
+        let mut sim = Simulation::new(MachineConfig::generic(2), SmtLevel::Smt1, w);
+        sim.run_cycles(5_000);
+        sim.reconfigure(SmtLevel::Smt2);
+        let res = sim.run_until_finished(50_000_000);
+        assert!(res.completed);
+        assert_eq!(res.work_done, total);
+    }
+}

@@ -1,0 +1,285 @@
+//! Trace capture and replay.
+//!
+//! Execution-driven workloads (the default here) interleave generation
+//! with simulation, so the instruction stream a thread sees can depend on
+//! timing (lock order, barrier arrival, work stealing). Trace-driven
+//! simulation — the other standard methodology — fixes the stream first
+//! and replays it, which is what you want when comparing machine
+//! configurations on *identical* work (e.g. SMT partitioning ablations) or
+//! when archiving a workload phase for later study.
+//!
+//! [`capture`] records per-thread streams from any workload by fetching it
+//! to exhaustion at a virtual cadence; [`TraceWorkload`] replays a
+//! [`Trace`] as a new workload. Sleeps are recorded as *durations* and
+//! replayed relative to the replay clock.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{Fetched, Instr, Workload};
+
+/// One recorded fetch event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instruction.
+    Instr(Instr),
+    /// A sleep of the given duration in cycles.
+    Sleep(u64),
+}
+
+/// A captured multithreaded instruction trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Name of the traced workload.
+    pub name: String,
+    /// Thread count the trace was captured at.
+    pub threads: usize,
+    /// Per-thread event streams.
+    pub streams: Vec<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Total instructions across all streams.
+    pub fn len(&self) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.iter().filter(|e| matches!(e, TraceEvent::Instr(_))).count())
+            .sum()
+    }
+
+    /// No instructions recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total useful work units recorded.
+    pub fn total_work(&self) -> u64 {
+        self.streams
+            .iter()
+            .flatten()
+            .map(|e| match e {
+                TraceEvent::Instr(i) => u64::from(i.work),
+                TraceEvent::Sleep(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// Capture a trace from `workload` at `threads` threads.
+///
+/// The workload is fetched round-robin, advancing a virtual clock one
+/// cycle per round (a uniform-progress idealization: real interleavings
+/// depend on the machine, which is exactly the dependence tracing
+/// removes). Capture ends when every thread reports `Finished` or a
+/// per-thread event cap of `max_events_per_thread` is hit.
+pub fn capture<W: Workload>(
+    mut workload: W,
+    threads: usize,
+    max_events_per_thread: usize,
+) -> Trace {
+    workload.set_thread_count(threads);
+    let name = workload.name().to_string();
+    let mut streams: Vec<Vec<TraceEvent>> = vec![Vec::new(); threads];
+    let mut finished = vec![false; threads];
+    let mut wake_at = vec![0u64; threads];
+    let mut now = 0u64;
+    while finished.iter().any(|f| !f) {
+        let mut progressed = false;
+        for t in 0..threads {
+            if finished[t] || streams[t].len() >= max_events_per_thread {
+                finished[t] = true;
+                continue;
+            }
+            if wake_at[t] > now {
+                continue;
+            }
+            match workload.fetch(t, now) {
+                Fetched::Instr(i) => {
+                    streams[t].push(TraceEvent::Instr(i));
+                    progressed = true;
+                }
+                Fetched::Sleep { until } => {
+                    let dur = until.saturating_sub(now).max(1);
+                    streams[t].push(TraceEvent::Sleep(dur));
+                    wake_at[t] = until;
+                    progressed = true;
+                }
+                Fetched::Finished => {
+                    finished[t] = true;
+                }
+            }
+        }
+        now += 1;
+        // Guard against workloads that neither emit nor finish.
+        if !progressed && finished.iter().all(|&f| f) {
+            break;
+        }
+    }
+    Trace { name, threads, streams }
+}
+
+/// Replays a [`Trace`] as a workload. Thread count is fixed to the
+/// capture's; `set_thread_count` restarts the replay from the top and
+/// requires the same count.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    trace: Trace,
+    pos: Vec<usize>,
+    emitted: u64,
+}
+
+impl TraceWorkload {
+    /// Build a replayer.
+    pub fn new(trace: Trace) -> TraceWorkload {
+        let threads = trace.threads;
+        TraceWorkload { trace, pos: vec![0; threads], emitted: 0 }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+
+    fn fetch(&mut self, thread: usize, now: u64) -> Fetched {
+        let stream = &self.trace.streams[thread];
+        match stream.get(self.pos[thread]) {
+            None => Fetched::Finished,
+            Some(TraceEvent::Instr(i)) => {
+                self.pos[thread] += 1;
+                self.emitted += u64::from(i.work);
+                Fetched::Instr(*i)
+            }
+            Some(TraceEvent::Sleep(dur)) => {
+                self.pos[thread] += 1;
+                Fetched::Sleep { until: now + dur }
+            }
+        }
+    }
+
+    fn set_thread_count(&mut self, n: usize) {
+        assert_eq!(
+            n, self.trace.threads,
+            "a trace replays at its capture thread count ({}), got {n}",
+            self.trace.threads
+        );
+        self.pos = vec![0; n];
+        self.emitted = 0;
+    }
+
+    fn thread_count(&self) -> usize {
+        self.trace.threads
+    }
+
+    fn finished(&self) -> bool {
+        self.pos
+            .iter()
+            .zip(&self.trace.streams)
+            .all(|(&p, s)| p >= s.len())
+    }
+
+    fn work_done(&self) -> u64 {
+        self.emitted
+    }
+
+    fn total_work(&self) -> u64 {
+        self.trace.total_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, SyntheticWorkload};
+    use smt_sim::{MachineConfig, Simulation, SmtLevel};
+
+    #[test]
+    fn capture_records_all_work() {
+        let spec = catalog::ep().scaled(0.002);
+        let total = spec.total_work;
+        let trace = capture(SyntheticWorkload::new(spec), 4, 1_000_000);
+        assert_eq!(trace.threads, 4);
+        assert_eq!(trace.total_work(), total);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn replay_runs_on_a_machine_and_conserves_work() {
+        let spec = catalog::mg().scaled(0.005);
+        let total = spec.total_work;
+        let cfg = MachineConfig::generic(2);
+        // Capture at the SMT2 thread count of the generic 2-core machine.
+        let trace = capture(SyntheticWorkload::new(spec), 4, 1_000_000);
+        let mut sim = Simulation::new(cfg, SmtLevel::Smt2, TraceWorkload::new(trace));
+        let r = sim.run_until_finished(100_000_000);
+        assert!(r.completed);
+        assert_eq!(r.work_done, total);
+    }
+
+    #[test]
+    fn replay_is_bitwise_repeatable_across_machines() {
+        // The same trace on two different cache configurations: work and
+        // instruction streams identical, timings different. The working
+        // set is sized between the two L3 capacities so the cache change
+        // actually matters.
+        let mut spec = crate::WorkloadSpec::new("trace-l3", 120_000);
+        // 4 threads x 256 KiB = 1 MiB total: inside the 2 MiB L3, far
+        // outside the shrunken 256 KiB one.
+        spec.mem = crate::MemBehavior::private(1 << 18, crate::AccessPattern::Random)
+            .with_locality(0.7);
+        let trace = capture(SyntheticWorkload::new(spec), 4, 1_000_000);
+        let run = |cfg: MachineConfig| {
+            let mut sim = Simulation::new(cfg, SmtLevel::Smt2, TraceWorkload::new(trace.clone()));
+            let r = sim.run_until_finished(100_000_000);
+            assert!(r.completed);
+            (r.work_done, r.cycles)
+        };
+        let mut small = MachineConfig::generic(2);
+        small.l3.size_bytes = 256 * 1024;
+        let (w_big, c_big) = run(MachineConfig::generic(2));
+        let (w_small, c_small) = run(small);
+        assert_eq!(w_big, w_small, "identical streams");
+        assert!(c_small > c_big, "smaller L3 must be slower on the same trace: {c_big} vs {c_small}");
+    }
+
+    #[test]
+    fn sleeps_are_preserved_as_durations() {
+        let mut spec = catalog::ep().scaled(0.002);
+        spec.sync = crate::SyncSpec::PeriodicIdle { run: 50, idle: 120 };
+        let trace = capture(SyntheticWorkload::new(spec), 2, 1_000_000);
+        let sleeps = trace
+            .streams
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, TraceEvent::Sleep(_)))
+            .count();
+        assert!(sleeps > 0, "idle periods must be recorded");
+    }
+
+    #[test]
+    #[should_panic(expected = "capture thread count")]
+    fn replay_rejects_wrong_thread_count() {
+        let trace = capture(
+            SyntheticWorkload::new(catalog::ep().scaled(0.001)),
+            2,
+            100_000,
+        );
+        let mut w = TraceWorkload::new(trace);
+        w.set_thread_count(8);
+    }
+
+    #[test]
+    fn event_cap_bounds_capture() {
+        let trace = capture(
+            SyntheticWorkload::new(catalog::ep().scaled(1.0)),
+            2,
+            500,
+        );
+        for s in &trace.streams {
+            assert!(s.len() <= 500);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Black-box tests of the synchronization models: each SyncSpec variant
+//! must produce its characteristic signature when run on a real machine.
+
+use smt_sim::{MachineConfig, Simulation, SmtLevel, ThreadCounters};
+use smt_workloads::{
+    catalog, DepProfile, InstrMix, SyncSpec, SyntheticWorkload, WorkloadSpec,
+};
+
+fn base(work: u64) -> WorkloadSpec {
+    let mut s = WorkloadSpec::new("sync-test", work);
+    s.mix = InstrMix::balanced();
+    s.dep = DepProfile::moderate();
+    s
+}
+
+fn run(cfg: &MachineConfig, spec: WorkloadSpec, smt: SmtLevel) -> (f64, Vec<ThreadCounters>, u64) {
+    let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec));
+    let r = sim.run_until_finished(500_000_000);
+    assert!(r.completed, "did not finish");
+    (r.perf(), sim.thread_counters().to_vec(), r.cycles)
+}
+
+#[test]
+fn spin_lock_signature_is_overhead_instructions_not_sleep() {
+    let cfg = MachineConfig::power7(1);
+    let mut spec = base(300_000);
+    spec.sync = SyncSpec::SpinLock { cs_interval: 150, cs_len: 20 };
+    let (_, counters, _) = run(&cfg, spec, SmtLevel::Smt4);
+    let spins: u64 = counters.iter().map(|t| t.spin_instrs).sum();
+    let sleeps: u64 = counters.iter().map(|t| t.sleep_cycles).sum();
+    let issued: u64 = counters.iter().map(|t| t.issued).sum();
+    assert!(
+        spins as f64 > issued as f64 * 0.1,
+        "contended spin lock must burn instructions: {spins} of {issued}"
+    );
+    assert!(
+        sleeps < issued / 10,
+        "spinners must not sleep: {sleeps} sleep cycles"
+    );
+}
+
+#[test]
+fn blocking_lock_signature_is_sleep_not_overhead() {
+    let cfg = MachineConfig::power7(1);
+    let mut spec = base(300_000);
+    spec.sync = SyncSpec::BlockingLock { cs_interval: 150, cs_len: 20, wake_latency: 40 };
+    let (_, counters, cycles) = run(&cfg, spec, SmtLevel::Smt4);
+    let spins: u64 = counters.iter().map(|t| t.spin_instrs).sum();
+    let sleeps: u64 = counters.iter().map(|t| t.sleep_cycles).sum();
+    assert_eq!(spins, 0, "blocking waiters must not spin");
+    assert!(
+        sleeps > cycles, // summed over 32 threads, > 1 wall-run of sleep
+        "blocked threads must accumulate sleep: {sleeps} vs wall {cycles}"
+    );
+}
+
+#[test]
+fn spin_contention_grows_with_smt_level() {
+    let cfg = MachineConfig::power7(1);
+    // Moderate contention: unsaturated at 8 threads, saturated at 32.
+    let mut spec = base(200_000);
+    spec.sync = SyncSpec::SpinLock { cs_interval: 1_500, cs_len: 15 };
+    let spin_frac = |smt| {
+        let (_, counters, _) = run(&cfg, spec.clone(), smt);
+        let spins: u64 = counters.iter().map(|t| t.spin_instrs).sum();
+        let issued: u64 = counters.iter().map(|t| t.issued).sum();
+        spins as f64 / issued as f64
+    };
+    let f1 = spin_frac(SmtLevel::Smt1);
+    let f4 = spin_frac(SmtLevel::Smt4);
+    assert!(
+        f4 > f1 * 1.5 && f4 > 0.05,
+        "spin overhead must grow with thread count: {f1:.3} -> {f4:.3}"
+    );
+}
+
+#[test]
+fn rate_limited_caps_machine_throughput() {
+    let cfg = MachineConfig::power7(1);
+    let mut fast = base(400_000);
+    fast.sync = SyncSpec::RateLimited { work_per_kcycle: 100_000 }; // effectively uncapped
+    let mut slow = base(400_000);
+    slow.sync = SyncSpec::RateLimited { work_per_kcycle: 3_000 };
+    let (p_fast, _, _) = run(&cfg, fast, SmtLevel::Smt4);
+    let (p_slow, _, _) = run(&cfg, slow, SmtLevel::Smt4);
+    assert!(
+        p_slow <= 3.2,
+        "rate limit must cap throughput near 3/cycle: {p_slow}"
+    );
+    assert!(p_fast > p_slow * 2.0, "uncapped must be much faster");
+}
+
+#[test]
+fn rate_limited_equalizes_smt_levels() {
+    // The DayTrader story: a fixed external request rate makes every SMT
+    // level equivalent (within noise).
+    let cfg = MachineConfig::power7(1);
+    let mut spec = base(300_000);
+    spec.sync = SyncSpec::RateLimited { work_per_kcycle: 3_000 };
+    let (p1, _, _) = run(&cfg, spec.clone(), SmtLevel::Smt1);
+    let (p4, _, _) = run(&cfg, spec, SmtLevel::Smt4);
+    let ratio = p4 / p1;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "rate-limited speedup should be ~1: {ratio}"
+    );
+}
+
+#[test]
+fn amdahl_serial_fraction_limits_scaling() {
+    let cfg = MachineConfig::power7(1);
+    let mut serial = base(300_000);
+    serial.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.25, chunk: 3_000 };
+    let parallel = base(300_000);
+
+    let s_serial = {
+        let (p1, _, _) = run(&cfg, serial.clone(), SmtLevel::Smt1);
+        let (p4, _, _) = run(&cfg, serial, SmtLevel::Smt4);
+        p4 / p1
+    };
+    let s_parallel = {
+        let (p1, _, _) = run(&cfg, parallel.clone(), SmtLevel::Smt1);
+        let (p4, _, _) = run(&cfg, parallel, SmtLevel::Smt4);
+        p4 / p1
+    };
+    assert!(
+        s_serial < s_parallel * 0.85,
+        "a 25% serial fraction must dampen SMT scaling: {s_serial:.2} vs {s_parallel:.2}"
+    );
+}
+
+#[test]
+fn barrier_imbalance_accumulates_sleep() {
+    let cfg = MachineConfig::power7(1);
+    let mut spec = base(200_000);
+    spec.sync = SyncSpec::Barrier { interval: 2_000, imbalance: 0.4 };
+    let (_, counters, _) = run(&cfg, spec, SmtLevel::Smt2);
+    let sleeps: u64 = counters.iter().map(|t| t.sleep_cycles).sum();
+    assert!(sleeps > 0, "imbalanced barriers must make threads wait");
+}
+
+#[test]
+fn lock_handoff_makes_contention_collapse_not_flatten() {
+    // With cache-line handoff costs, heavy contention at SMT4 is *worse*
+    // than SMT1, not merely equal — the SPECjbb-contention phenomenon.
+    let cfg = MachineConfig::power7(1);
+    let spec = catalog::specjbb_contention().scaled(0.15);
+    let (p1, _, _) = run(&cfg, spec.clone(), SmtLevel::Smt1);
+    let (p4, _, _) = run(&cfg, spec, SmtLevel::Smt4);
+    assert!(
+        p4 < p1 * 0.7,
+        "heavy contention must collapse at SMT4: {p1:.2} -> {p4:.2}"
+    );
+}
+
+#[test]
+fn every_catalog_entry_completes_at_every_level_tiny() {
+    let cfg = MachineConfig::power7(1);
+    for spec in catalog::power7_suite() {
+        for smt in [SmtLevel::Smt1, SmtLevel::Smt4] {
+            let scaled = spec.clone().scaled(0.01);
+            let name = scaled.name.clone();
+            let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(scaled));
+            let r = sim.run_until_finished(200_000_000);
+            assert!(r.completed, "{name} wedged at {smt}");
+        }
+    }
+}
+
+#[test]
+fn nehalem_catalog_completes_tiny() {
+    let cfg = MachineConfig::nehalem();
+    for spec in catalog::nehalem_suite() {
+        let scaled = spec.clone().scaled(0.01);
+        let name = scaled.name.clone();
+        let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt2, SyntheticWorkload::new(scaled));
+        let r = sim.run_until_finished(200_000_000);
+        assert!(r.completed, "{name} wedged on nehalem");
+    }
+}
+
+#[test]
+fn amdahl_endgame_never_livelocks() {
+    // Regression: a serial section whose instruction budget reaches zero
+    // while the pool is dry used to bounce waiters Normal <-> SerialWait
+    // forever inside one fetch call (tail-call-optimized into a hang).
+    // Swim's profile at SMT2 reproduced it; run the whole family of
+    // serial fractions to make sure the state machine always terminates.
+    let cfg = MachineConfig::power7(1);
+    for (frac, chunk) in [(0.06, 3_000u64), (0.2, 500), (0.5, 100), (0.9, 2_000)] {
+        let mut spec = base(60_000);
+        spec.sync = SyncSpec::AmdahlSerial { serial_fraction: frac, chunk };
+        for smt in [SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4] {
+            let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec.clone()));
+            let r = sim.run_until_finished(100_000_000);
+            assert!(r.completed, "amdahl f={frac} chunk={chunk} wedged at {smt}");
+            assert_eq!(r.work_done, 60_000);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Adaptive scheduling: a workload that changes phase mid-run, managed by
+//! the dynamic SMT controller of Section V.
+//!
+//! The application starts compute-bound (SMT4-friendly), then enters a
+//! heavily lock-contended phase (SMT4-hostile). The controller samples
+//! SMTsm periodically, drops the SMT level when the contended phase
+//! begins, and probes back up afterwards. Compare against the best and
+//! worst static configurations.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_scheduler
+//! ```
+
+use smt_select::prelude::*;
+
+fn phased() -> PhasedWorkload {
+    PhasedWorkload::new(
+        "compute-then-contention",
+        vec![
+            catalog::ep().scaled(0.12),
+            catalog::specjbb_contention().scaled(0.12),
+            catalog::blackscholes().scaled(0.12),
+        ],
+    )
+}
+
+fn main() {
+    let cfg = MachineConfig::power7(1);
+
+    // Pairwise thresholds as trained by the fig6/fig8 experiments.
+    let selector = LevelSelector::three_level(
+        ThresholdPredictor::fixed(0.15),
+        ThresholdPredictor::fixed(0.20),
+    );
+
+    // --- static baselines ---------------------------------------------
+    println!("static levels:");
+    let oracle = oracle_sweep(&cfg, phased, 2_000_000_000);
+    for l in &oracle.levels {
+        println!(
+            "  {}: {:.2} work/cycle{}",
+            l.smt,
+            l.result.perf(),
+            if l.smt == oracle.best { "  <- oracle" } else { "" }
+        );
+    }
+
+    // --- dynamic controller ---------------------------------------------
+    let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt4, phased());
+    let mut ctl = DynamicSmtController::new(
+        selector,
+        MetricSpec::for_arch(&cfg.arch),
+        ControllerConfig {
+            window_cycles: 25_000,
+            alpha: 0.6,
+            hysteresis: 2,
+            probe_interval: 8,
+            phase_detect: true,
+        },
+    );
+    let report = ctl.run(&mut sim, 2_000_000_000);
+
+    println!();
+    println!(
+        "dynamic: {:.2} work/cycle over {} cycles ({} sampling windows)",
+        report.perf, report.cycles, report.windows
+    );
+    println!("switch log:");
+    for s in &report.switches {
+        match s.metric {
+            Some(m) => println!("  cycle {:>10}: -> {}  (SMTsm {:.4})", s.at_cycle, s.to, m),
+            None => println!("  cycle {:>10}: -> {}  (periodic top-level probe)", s.at_cycle, s.to),
+        }
+    }
+    println!();
+    println!(
+        "dynamic achieves {:.0}% of the oracle and {:.2}x the worst static level",
+        report.perf / oracle.best_perf() * 100.0,
+        report.perf
+            / oracle
+                .levels
+                .iter()
+                .map(|l| l.result.perf())
+                .fold(f64::INFINITY, f64::min)
+    );
+}

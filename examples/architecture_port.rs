@@ -1,0 +1,113 @@
+//! Porting the metric to a new architecture (Section V: "the formula must
+//! first be adapted to the target architecture ... the threshold needs to
+//! be determined for each new system").
+//!
+//! This example defines a fictional 6-port core, derives a `MetricSpec`
+//! for it, runs a training set of workloads at every SMT level, learns the
+//! threshold with both Gini impurity and the PPI method, and evaluates the
+//! trained predictor.
+//!
+//! ```sh
+//! cargo run --release --example architecture_port
+//! ```
+
+use smt_select::prelude::*;
+use smt_select::sim::{CacheConfig, Latencies, MemConfig, Partitioning, PortDesc, QueueDesc};
+use smt_select::stats::classify::SpeedupCase;
+
+/// A fictional "zephyr" core: 2-way SMT, six dedicated-function ports fed
+/// by two queues.
+fn zephyr() -> ArchDescriptor {
+    use InstrClass::*;
+    ArchDescriptor {
+        name: "zephyr",
+        fetch_width: 6,
+        dispatch_width: 5,
+        ibuf_capacity: 20,
+        queues: vec![
+            QueueDesc { name: "MEMQ", capacity: 20 },
+            QueueDesc { name: "EXQ", capacity: 28 },
+        ],
+        ports: vec![
+            PortDesc { name: "LD", queue: 0, accepts: vec![Load], store_pair: None },
+            PortDesc { name: "ST", queue: 0, accepts: vec![Store], store_pair: None },
+            PortDesc { name: "BR", queue: 1, accepts: vec![Branch, CondReg], store_pair: None },
+            PortDesc { name: "IX0", queue: 1, accepts: vec![FixedPoint], store_pair: None },
+            PortDesc { name: "IX1", queue: 1, accepts: vec![FixedPoint], store_pair: None },
+            PortDesc { name: "FP", queue: 1, accepts: vec![VectorScalar], store_pair: None },
+        ],
+        max_smt: SmtLevel::Smt2,
+        latencies: Latencies { fixed_point: 1, vector_scalar: 5, branch: 1, cond_reg: 1, store: 1 },
+        mispredict_penalty: 11,
+        issue_scan_depth: 28,
+        lmq_capacity: 12,
+        rob_window: 96,
+        branch_predictor: None,
+        partitioning: Partitioning::Static,
+    }
+}
+
+fn machine() -> MachineConfig {
+    MachineConfig {
+        arch: zephyr(),
+        chips: 1,
+        cores_per_chip: 6,
+        l1: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 2 },
+        l1i: CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
+        l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 11 },
+        l3: CacheConfig { size_bytes: 12 * 1024 * 1024, assoc: 16, line_bytes: 64, latency: 28 },
+        mem: MemConfig { latency: 160, bytes_per_cycle: 14.0, remote_extra_latency: 0 },
+    }
+}
+
+fn main() {
+    let cfg = machine();
+    cfg.validate().expect("valid machine");
+    let spec = MetricSpec::for_arch(&cfg.arch);
+    println!(
+        "ported the metric to {:?}: basis {:?}, {} ports",
+        cfg.arch.name, spec.basis, spec.num_ports
+    );
+
+    // Training set: a representative slice of the catalog, as Section V
+    // prescribes ("running a representative set of workloads").
+    let training: Vec<WorkloadSpec> = vec![
+        catalog::ep().scaled(0.08),
+        catalog::blackscholes().scaled(0.08),
+        catalog::is_nas().scaled(0.08),
+        catalog::mg().scaled(0.08),
+        catalog::equake().scaled(0.08),
+        catalog::stream().scaled(0.08),
+        catalog::ssca2().scaled(0.08),
+        catalog::specjbb_contention().scaled(0.08),
+        catalog::dedup().scaled(0.08),
+        catalog::swim().scaled(0.08),
+    ];
+
+    let mut cases = Vec::new();
+    println!("\ntraining runs (SMT2 vs SMT1):");
+    for wspec in &training {
+        // Metric at the top level.
+        let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt2, SyntheticWorkload::new(wspec.clone()));
+        sim.run_cycles(20_000);
+        let window = sim.measure_window(50_000);
+        let metric = smtsm(&spec, &window);
+        // Ground truth.
+        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
+        let speedup = oracle.perf_at(SmtLevel::Smt2) / oracle.perf_at(SmtLevel::Smt1);
+        println!("  {:<22} metric {:.4}  speedup {:.3}", wspec.name, metric, speedup);
+        cases.push(SpeedupCase::new(wspec.name.clone(), metric, speedup));
+    }
+
+    // Learn the threshold both ways.
+    let gini = ThresholdPredictor::train_gini(&cases);
+    let ppi = ThresholdPredictor::train_ppi(&cases);
+    let sweep = PpiSweep::run(&cases);
+    println!("\ngini threshold : {:.4} (accuracy {:.0}%)", gini.threshold, gini.accuracy(&cases) * 100.0);
+    println!(
+        "ppi threshold  : {:.4} (accuracy {:.0}%, avg improvement {:.1}%)",
+        ppi.threshold,
+        ppi.accuracy(&cases) * 100.0,
+        sweep.best_improvement
+    );
+}

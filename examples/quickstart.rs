@@ -1,0 +1,67 @@
+//! Quickstart: measure the SMT-selection metric for two very different
+//! workloads and check its prediction against ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smt_select::prelude::*;
+
+fn main() {
+    let cfg = MachineConfig::power7(1);
+    let spec = MetricSpec::for_arch(&cfg.arch);
+
+    // Two extremes from the paper: EP (embarrassingly parallel compute,
+    // loves SMT4) and SPECjbb-contention (one hot lock, hates SMT4).
+    let candidates = [
+        catalog::ep().scaled(0.6),
+        catalog::specjbb_contention().scaled(0.3),
+    ];
+
+    // A threshold would normally be trained offline (see the
+    // architecture_port example); the single-chip experiments land it
+    // around 0.15 for this machine.
+    let predictor = ThresholdPredictor::fixed(0.15);
+
+    println!("machine: {} ({} cores, up to {})", cfg.arch.name, cfg.total_cores(), cfg.arch.max_smt);
+    println!();
+
+    for wspec in candidates {
+        // --- online measurement at the top SMT level -------------------
+        let workload = SyntheticWorkload::new(wspec.clone());
+        let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt4, workload);
+        sim.run_cycles(20_000); // warm-up
+        let window = sim.measure_window(60_000);
+        let f = smtsm_factors(&spec, &window);
+
+        // --- prediction -------------------------------------------------
+        let prediction = predictor.predict(f.value());
+
+        // --- ground truth: run every level to completion ----------------
+        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
+
+        println!("== {} ==", wspec.name);
+        println!(
+            "  SMTsm @SMT4 = {:.4}  (mix-dev {:.3} x disp-held {:.3} x scalability {:.3})",
+            f.value(),
+            f.mix_deviation,
+            f.disp_held,
+            f.scalability
+        );
+        println!("  prediction : {:?} SMT", prediction);
+        for l in &oracle.levels {
+            println!(
+                "  measured   : {} -> {:.2} work/cycle{}",
+                l.smt,
+                l.result.perf(),
+                if l.smt == oracle.best { "   <- best" } else { "" }
+            );
+        }
+        let correct = match prediction {
+            SmtPreference::Higher => oracle.best == SmtLevel::Smt4,
+            SmtPreference::Lower => oracle.best < SmtLevel::Smt4,
+        };
+        println!("  verdict    : prediction {}", if correct { "CORRECT" } else { "wrong" });
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! Workload explorer: sweep one workload characteristic and watch the
+//! metric and the real SMT4/SMT1 speedup move together.
+//!
+//! Two sweeps, straight out of the paper's Section I taxonomy:
+//!  1. instruction-mix homogeneity — from the ideal SMT mix to pure
+//!     floating point (the "homogeneous instruction mix" anti-pattern);
+//!  2. lock-contention intensity — from lock-free to a single hot lock
+//!     (the spinning anti-pattern).
+//!
+//! ```sh
+//! cargo run --release --example workload_explorer
+//! ```
+
+use smt_select::prelude::*;
+
+fn measure(cfg: &MachineConfig, wspec: &WorkloadSpec) -> (f64, f64) {
+    let spec = MetricSpec::for_arch(&cfg.arch);
+    let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt4, SyntheticWorkload::new(wspec.clone()));
+    sim.run_cycles(20_000);
+    let window = sim.measure_window(40_000);
+    let metric = smtsm(&spec, &window);
+    let oracle = oracle_sweep(cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
+    let speedup = oracle.perf_at(SmtLevel::Smt4) / oracle.perf_at(SmtLevel::Smt1);
+    (metric, speedup)
+}
+
+fn main() {
+    let cfg = MachineConfig::power7(1);
+
+    println!("sweep 1: instruction-mix homogeneity (0 = ideal SMT mix, 1 = pure FP)");
+    println!("{:<6} {:>10} {:>12}", "alpha", "SMTsm@SMT4", "SMT4/SMT1");
+    for k in 0..=5 {
+        let alpha = k as f64 / 5.0;
+        let ideal = InstrMix::ideal_p7();
+        let fp = InstrMix { load: 0.1, store: 0.04, branch: 0.02, cond_reg: 0.0, fixed: 0.04, vector: 0.8 };
+        let mix = InstrMix {
+            load: ideal.load * (1.0 - alpha) + fp.load * alpha,
+            store: ideal.store * (1.0 - alpha) + fp.store * alpha,
+            branch: ideal.branch * (1.0 - alpha) + fp.branch * alpha,
+            cond_reg: ideal.cond_reg * (1.0 - alpha) + fp.cond_reg * alpha,
+            fixed: ideal.fixed * (1.0 - alpha) + fp.fixed * alpha,
+            vector: ideal.vector * (1.0 - alpha) + fp.vector * alpha,
+        }
+        .normalized();
+        let mut w = WorkloadSpec::new(format!("mix-{alpha:.1}"), 400_000);
+        w.mix = mix;
+        w.dep = DepProfile::high_ilp();
+        let (metric, speedup) = measure(&cfg, &w);
+        println!("{:<6.1} {:>10.4} {:>12.3}", alpha, metric, speedup);
+    }
+
+    println!();
+    println!("sweep 2: lock-contention intensity (critical section every N work instructions)");
+    println!("{:<10} {:>10} {:>12}", "interval", "SMTsm@SMT4", "SMT4/SMT1");
+    for &interval in &[0u64, 6_000, 2_000, 800, 400, 200] {
+        let mut w = WorkloadSpec::new(format!("lock-{interval}"), 400_000);
+        w.mix = InstrMix::balanced();
+        w.dep = DepProfile::moderate();
+        if interval > 0 {
+            w.sync = SyncSpec::SpinLock { cs_interval: interval, cs_len: 16 };
+        }
+        let (metric, speedup) = measure(&cfg, &w);
+        let label = if interval == 0 { "none".to_string() } else { interval.to_string() };
+        println!("{:<10} {:>10.4} {:>12.3}", label, metric, speedup);
+    }
+
+    println!();
+    println!("expectation (paper, Section II): the metric rises as the workload gets");
+    println!("less SMT-friendly, while the SMT4/SMT1 speedup falls — on both axes.");
+}

@@ -1,0 +1,245 @@
+//! `smtselect` — command-line front end to the SMT-selection toolkit.
+//!
+//! ```text
+//! smtselect list
+//!     The benchmark catalog (Table I).
+//!
+//! smtselect analyze <benchmark> [--machine p7|p7x2|nhm] [--scale S]
+//!                   [--threshold T] [--verify]
+//!     Measure SMTsm online at the machine's top SMT level, print the three
+//!     factors and the recommendation; --verify also runs every level to
+//!     completion and reports whether the recommendation was right.
+//!
+//! smtselect train [--machine p7|p7x2|nhm] [--scale S] [--out FILE]
+//!     Run the machine's whole suite, train Gini and PPI thresholds for
+//!     top-vs-bottom prediction, print them (and save JSON with --out).
+//!
+//! smtselect tune <benchmark> [--machine p7|p7x2|nhm] [--scale S]
+//!                [--threshold T] [--mid T]
+//!     Run the benchmark under the dynamic SMT controller and print the
+//!     switch log and final throughput.
+//! ```
+
+use smt_select::prelude::*;
+
+fn machine_by_name(name: &str) -> (MachineConfig, &'static str) {
+    match name {
+        "p7" => (MachineConfig::power7(1), "8-core POWER7-like chip"),
+        "p7x2" => (MachineConfig::power7(2), "two 8-core POWER7-like chips"),
+        "nhm" => (MachineConfig::nehalem(), "quad-core Nehalem-like"),
+        other => {
+            eprintln!("unknown machine {other:?} (expected p7, p7x2, or nhm)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn find_spec(name: &str) -> WorkloadSpec {
+    catalog::power7_suite()
+        .into_iter()
+        .chain(catalog::nehalem_suite())
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}; try `smtselect list`");
+            std::process::exit(2);
+        })
+}
+
+struct Opts {
+    machine: String,
+    scale: f64,
+    threshold: f64,
+    mid: f64,
+    out: Option<String>,
+    verify: bool,
+    positional: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts {
+        machine: "p7".into(),
+        scale: 0.3,
+        threshold: 0.15,
+        mid: 0.20,
+        out: None,
+        verify: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => o.machine = it.next().expect("--machine takes a value").clone(),
+            "--scale" => o.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale takes a number"),
+            "--threshold" => o.threshold = it.next().and_then(|v| v.parse().ok()).expect("--threshold takes a number"),
+            "--mid" => o.mid = it.next().and_then(|v| v.parse().ok()).expect("--mid takes a number"),
+            "--out" => o.out = Some(it.next().expect("--out takes a path").clone()),
+            "--verify" => o.verify = true,
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    o
+}
+
+fn cmd_list() {
+    let mut seen = std::collections::HashSet::new();
+    println!("{:<22} {:<14} description", "benchmark", "suite");
+    println!("{}", "-".repeat(78));
+    for s in catalog::power7_suite().into_iter().chain(catalog::nehalem_suite()) {
+        if seen.insert(s.name.clone()) {
+            println!("{:<22} {:<14} {}", s.name, s.suite, s.description);
+        }
+    }
+}
+
+fn cmd_analyze(o: &Opts) {
+    let name = o.positional.first().unwrap_or_else(|| {
+        eprintln!("analyze needs a benchmark name");
+        std::process::exit(2);
+    });
+    let (cfg, label) = machine_by_name(&o.machine);
+    let spec = find_spec(name).scaled(o.scale);
+    let top = *cfg.smt_levels().last().expect("levels");
+    let mspec = MetricSpec::for_arch(&cfg.arch);
+
+    let mut sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(spec.clone()));
+    sim.run_cycles(25_000);
+    let window = sim.measure_window(60_000);
+    let f = smtsm_factors(&mspec, &window);
+    let predictor = ThresholdPredictor::fixed(o.threshold);
+    let pref = predictor.predict(f.value());
+
+    println!("benchmark : {} on {label} @ {top}", spec.name);
+    println!("factors   : mix-deviation {:.4}  disp-held {:.4}  scalability {:.4}", f.mix_deviation, f.disp_held, f.scalability);
+    println!("SMTsm     : {:.4}  (threshold {:.4})", f.value(), o.threshold);
+    println!(
+        "verdict   : prefer {} SMT",
+        match pref {
+            SmtPreference::Higher => "the HIGHER",
+            SmtPreference::Lower => "a LOWER",
+        }
+    );
+    let (used, held, other) = window.utilization_breakdown(cfg.arch.dispatch_width as u64);
+    println!("dispatch  : {:.0}% used, {:.0}% held, {:.0}% idle/stalled", used * 100.0, held * 100.0, other * 100.0);
+
+    if o.verify {
+        println!("\nverify (full runs):");
+        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 2_000_000_000);
+        for l in &oracle.levels {
+            println!(
+                "  {}: {:.2} work/cycle{}",
+                l.smt,
+                l.result.perf(),
+                if l.smt == oracle.best { "   <- best" } else { "" }
+            );
+        }
+        let correct = match pref {
+            SmtPreference::Higher => oracle.best == top,
+            SmtPreference::Lower => oracle.best < top,
+        };
+        println!("  prediction was {}", if correct { "CORRECT" } else { "WRONG" });
+    }
+}
+
+fn cmd_train(o: &Opts) {
+    use smt_select::stats::classify::SpeedupCase;
+    let (cfg, label) = machine_by_name(&o.machine);
+    let suite = if o.machine == "nhm" {
+        catalog::nehalem_suite()
+    } else {
+        catalog::power7_suite()
+    };
+    let specs: Vec<WorkloadSpec> = suite.into_iter().map(|s| s.scaled(o.scale)).collect();
+    let levels = cfg.smt_levels();
+    let top = *levels.last().expect("levels");
+    let bottom = levels[0];
+    eprintln!("training on {} benchmarks ({label}, {top} vs {bottom})...", specs.len());
+    let results = smt_select::experiments::run_suite(&cfg, &specs, &levels);
+    let cases: Vec<SpeedupCase> = results
+        .iter()
+        .map(|r| SpeedupCase::new(r.name.clone(), r.metric_at(top), r.speedup(top, bottom)))
+        .collect();
+    let gini = ThresholdPredictor::train_gini(&cases);
+    let ppi = ThresholdPredictor::train_ppi(&cases);
+    let sweep = PpiSweep::run(&cases);
+    println!("gini threshold : {:.4} (accuracy {:.1}%)", gini.threshold, gini.accuracy(&cases) * 100.0);
+    println!(
+        "ppi threshold  : {:.4} (accuracy {:.1}%, avg improvement {:.1}%)",
+        ppi.threshold,
+        ppi.accuracy(&cases) * 100.0,
+        sweep.best_improvement
+    );
+    if let Some(path) = &o.out {
+        let body = serde_json::json!({
+            "machine": o.machine,
+            "scale": o.scale,
+            "gini": gini,
+            "ppi": ppi,
+            "cases": cases,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&body).expect("serialize"))
+            .expect("write thresholds");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn cmd_tune(o: &Opts) {
+    let name = o.positional.first().unwrap_or_else(|| {
+        eprintln!("tune needs a benchmark name");
+        std::process::exit(2);
+    });
+    let (cfg, label) = machine_by_name(&o.machine);
+    let spec = find_spec(name).scaled(o.scale);
+    let top = *cfg.smt_levels().last().expect("levels");
+    let selector = if top == SmtLevel::Smt4 {
+        LevelSelector::three_level(
+            ThresholdPredictor::fixed(o.threshold),
+            ThresholdPredictor::fixed(o.mid),
+        )
+    } else {
+        LevelSelector::two_level(top, SmtLevel::Smt1, ThresholdPredictor::fixed(o.threshold))
+    };
+    let mut sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(spec.clone()));
+    let mut ctl = DynamicSmtController::new(
+        selector,
+        MetricSpec::for_arch(&cfg.arch),
+        ControllerConfig::default(),
+    );
+    let report = ctl.run(&mut sim, 5_000_000_000);
+    println!(
+        "tuned {} on {label}: {:.2} work/cycle over {} cycles ({} windows, completed: {})",
+        spec.name, report.perf, report.cycles, report.windows, report.completed
+    );
+    if report.switches.is_empty() {
+        println!("no switches: stayed at {top}");
+    }
+    for s in &report.switches {
+        match s.metric {
+            Some(m) => println!("  cycle {:>10}: -> {} (SMTsm {:.4})", s.at_cycle, s.to, m),
+            None => println!("  cycle {:>10}: -> {} (probe)", s.at_cycle, s.to),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("usage: smtselect <list|analyze|train|tune> ...; see --help");
+        std::process::exit(2);
+    };
+    let opts = parse(&args[1..]);
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "analyze" => cmd_analyze(&opts),
+        "train" => cmd_train(&opts),
+        "tune" => cmd_tune(&opts),
+        "-h" | "--help" => {
+            println!("smtselect — SMT-level selection via the SMTsm metric (IPDPS'12)");
+            println!("commands: list | analyze <bench> [--verify] | train [--out F] | tune <bench>");
+            println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
+        }
+        other => {
+            eprintln!("unknown command {other:?}; try --help");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end integration tests spanning all crates: workload catalog ->
+//! simulator -> metric -> threshold -> prediction, on scaled-down versions
+//! of the paper's experiments.
+
+use smt_select::prelude::*;
+
+/// Measure the metric at the top level plus the hi/lo speedup for one spec.
+fn metric_and_speedup(
+    cfg: &MachineConfig,
+    wspec: &WorkloadSpec,
+    top: SmtLevel,
+    lo: SmtLevel,
+) -> (f64, f64) {
+    let mspec = MetricSpec::for_arch(&cfg.arch);
+    // Full runs for ground truth.
+    let mut hi_sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(wspec.clone()));
+    let hi = hi_sim.run_until_finished(500_000_000);
+    assert!(hi.completed, "{} did not finish at {top}", wspec.name);
+    let mut lo_sim = Simulation::new(cfg.clone(), lo, SyntheticWorkload::new(wspec.clone()));
+    let lo_res = lo_sim.run_until_finished(500_000_000);
+    assert!(lo_res.completed, "{} did not finish at {lo}", wspec.name);
+    // Metric window on a fresh run at the top level.
+    let mut m_sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(wspec.clone()));
+    let total = hi.cycles;
+    m_sim.run_cycles((total / 5).min(30_000).max(1));
+    let window = m_sim.measure_window((total / 2).min(60_000).max(1));
+    (smtsm(&mspec, &window), hi.perf() / lo_res.perf())
+}
+
+#[test]
+fn metric_separates_the_extremes_on_power7() {
+    let cfg = MachineConfig::power7(1);
+    let (m_good, s_good) =
+        metric_and_speedup(&cfg, &catalog::ep().scaled(0.15), SmtLevel::Smt4, SmtLevel::Smt1);
+    let (m_bad, s_bad) = metric_and_speedup(
+        &cfg,
+        &catalog::specjbb_contention().scaled(0.15),
+        SmtLevel::Smt4,
+        SmtLevel::Smt1,
+    );
+    assert!(s_good > 1.2, "EP must gain from SMT4: {s_good}");
+    assert!(s_bad < 0.8, "contention must lose at SMT4: {s_bad}");
+    assert!(
+        m_bad > m_good * 3.0,
+        "metric must separate: good {m_good}, bad {m_bad}"
+    );
+}
+
+#[test]
+fn metric_orders_a_mini_suite_with_negative_correlation() {
+    let cfg = MachineConfig::power7(1);
+    let suite = [
+        catalog::ep().scaled(0.1),
+        catalog::blackscholes().scaled(0.1),
+        catalog::mg().scaled(0.1),
+        catalog::stream().scaled(0.1),
+        catalog::ssca2().scaled(0.1),
+        catalog::specjbb_contention().scaled(0.1),
+    ];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for wspec in &suite {
+        let (m, s) = metric_and_speedup(&cfg, wspec, SmtLevel::Smt4, SmtLevel::Smt1);
+        xs.push(m);
+        ys.push(s);
+    }
+    let r = smt_select::stats::corr::spearman(&xs, &ys).expect("defined");
+    assert!(r < -0.5, "expected clear negative rank correlation, got {r}");
+}
+
+#[test]
+fn trained_threshold_predicts_the_mini_suite() {
+    use smt_select::stats::classify::SpeedupCase;
+    let cfg = MachineConfig::power7(1);
+    let suite = [
+        catalog::ep().scaled(0.1),
+        catalog::bt().scaled(0.1),
+        catalog::stream().scaled(0.1),
+        catalog::ssca2().scaled(0.1),
+        catalog::specjbb_contention().scaled(0.1),
+    ];
+    let cases: Vec<SpeedupCase> = suite
+        .iter()
+        .map(|w| {
+            let (m, s) = metric_and_speedup(&cfg, w, SmtLevel::Smt4, SmtLevel::Smt1);
+            SpeedupCase::new(w.name.clone(), m, s)
+        })
+        .collect();
+    for trained in [
+        ThresholdPredictor::train_gini(&cases),
+        ThresholdPredictor::train_ppi(&cases),
+    ] {
+        assert!(
+            trained.accuracy(&cases) >= 0.8,
+            "{:?} trained badly: {}",
+            trained.method,
+            trained.accuracy(&cases)
+        );
+    }
+}
+
+#[test]
+fn nehalem_machine_agrees_with_metric_spec_port_basis() {
+    let cfg = MachineConfig::nehalem();
+    let spec = MetricSpec::for_arch(&cfg.arch);
+    assert_eq!(spec.num_ports, 6);
+    let (m, s) = metric_and_speedup(&cfg, &catalog::ep().scaled(0.1), SmtLevel::Smt2, SmtLevel::Smt1);
+    assert!(s > 1.05, "EP gains on Nehalem too: {s}");
+    assert!(m < 0.15, "EP metric small on Nehalem: {m}");
+}
+
+#[test]
+fn dynamic_controller_tracks_oracle_on_a_phase_change() {
+    let cfg = MachineConfig::power7(1);
+    let make = || {
+        PhasedWorkload::new(
+            "itest-phases",
+            vec![
+                catalog::ep().scaled(0.08),
+                catalog::specjbb_contention().scaled(0.08),
+            ],
+        )
+    };
+    let selector = LevelSelector::three_level(
+        ThresholdPredictor::fixed(0.15),
+        ThresholdPredictor::fixed(0.20),
+    );
+    let cmp = compare(
+        &cfg,
+        make,
+        selector,
+        ControllerConfig {
+            window_cycles: 15_000,
+            alpha: 0.6,
+            hysteresis: 2,
+            probe_interval: 10,
+            phase_detect: true,
+        },
+        1_000_000_000,
+    );
+    assert!(cmp.dynamic.completed);
+    assert!(
+        cmp.dynamic.perf >= cmp.worst_static_perf(),
+        "dynamic {:.3} must beat the worst static {:.3}",
+        cmp.dynamic.perf,
+        cmp.worst_static_perf()
+    );
+    assert!(
+        cmp.dynamic_vs_oracle() > 0.6,
+        "dynamic too far from oracle: {:.2}",
+        cmp.dynamic_vs_oracle()
+    );
+    assert!(
+        !cmp.dynamic.switches.is_empty(),
+        "phase change must trigger at least one switch"
+    );
+}
+
+#[test]
+fn reconfiguration_preserves_work_accounting_across_crates() {
+    let cfg = MachineConfig::power7(1);
+    let wspec = catalog::fluidanimate().scaled(0.05);
+    let total = wspec.total_work;
+    let mut sim = Simulation::new(cfg, SmtLevel::Smt4, SyntheticWorkload::new(wspec));
+    sim.run_cycles(5_000);
+    sim.reconfigure(SmtLevel::Smt1);
+    sim.run_cycles(5_000);
+    sim.reconfigure(SmtLevel::Smt2);
+    let res = sim.run_until_finished(500_000_000);
+    assert!(res.completed);
+    assert_eq!(res.work_done, total, "work lost or duplicated across switches");
+}
+
+#[test]
+fn naive_metrics_computable_for_every_catalog_entry() {
+    // Smoke coverage: every catalog spec builds, runs briefly, and yields
+    // finite metric/naive values at the top level.
+    let cfg = MachineConfig::power7(1);
+    let mspec = MetricSpec::for_arch(&cfg.arch);
+    for wspec in catalog::power7_suite() {
+        let w = SyntheticWorkload::new(wspec.scaled(0.02));
+        let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt4, w);
+        sim.run_cycles(3_000);
+        let window = sim.measure_window(6_000);
+        let v = smtsm(&mspec, &window);
+        assert!(v.is_finite() && v >= 0.0);
+        for nm in NaiveMetric::ALL {
+            assert!(nm.value(&window).is_finite());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the whole stack: arbitrary (sane) workload
+//! specs and machine parameters must never wedge the simulator, lose work,
+//! or produce out-of-range metric factors.
+
+use proptest::prelude::*;
+use smt_select::prelude::*;
+
+fn arb_mix() -> impl Strategy<Value = InstrMix> {
+    (0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0, 0.0f64..0.3, 0.01f64..1.0, 0.01f64..1.0).prop_map(
+        |(load, store, branch, cond_reg, fixed, vector)| {
+            InstrMix { load, store, branch, cond_reg, fixed, vector }.normalized()
+        },
+    )
+}
+
+fn arb_sync() -> impl Strategy<Value = SyncSpec> {
+    prop_oneof![
+        Just(SyncSpec::None),
+        (50u64..2000, 4u64..60).prop_map(|(i, c)| SyncSpec::SpinLock { cs_interval: i, cs_len: c }),
+        (50u64..2000, 4u64..60, 10u64..80).prop_map(|(i, c, w)| SyncSpec::BlockingLock {
+            cs_interval: i,
+            cs_len: c,
+            wake_latency: w
+        }),
+        (500u64..20_000, 0.0f64..0.5).prop_map(|(i, b)| SyncSpec::Barrier { interval: i, imbalance: b }),
+        (0.02f64..0.5, 100u64..3000).prop_map(|(f, c)| SyncSpec::AmdahlSerial {
+            serial_fraction: f,
+            chunk: c
+        }),
+        (50u64..1000, 50u64..1000).prop_map(|(r, i)| SyncSpec::PeriodicIdle { run: r, idle: i }),
+        (500u64..20_000).prop_map(|r| SyncSpec::RateLimited { work_per_kcycle: r }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        arb_mix(),
+        0.5f64..1.0,             // dep prob
+        1u8..16,                 // dep dist
+        10u64..24,               // log2 working set (1 KiB .. 16 MiB)
+        0.0f64..1.0,             // locality
+        prop_oneof![Just(AccessPattern::Random), (8u64..128).prop_map(AccessPattern::Strided)],
+        0.0f64..0.05,            // mispredict rate
+        arb_sync(),
+        20_000u64..80_000,       // total work
+        any::<u64>(),            // seed
+    )
+        .prop_map(|(mix, dp, dd, ws, loc, pat, mis, sync, work, seed)| {
+            let mut s = WorkloadSpec::new("prop", work);
+            s.mix = mix;
+            s.dep = DepProfile { prob: dp, max_dist: dd };
+            s.mem = MemBehavior::private(1 << ws, pat).with_locality(loc);
+            s.branch_mispredict_rate = mis;
+            s.sync = sync;
+            s.seed = seed;
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any sane workload finishes on any machine at any level, emits
+    /// exactly its declared work, and yields in-range metric factors.
+    #[test]
+    fn simulator_never_wedges_or_loses_work(spec in arb_spec(), level_sel in 0usize..3) {
+        let cfg = MachineConfig::generic(2);
+        let levels = cfg.smt_levels();
+        let smt = levels[level_sel % levels.len()];
+        let total = spec.total_work;
+        let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec));
+        let res = sim.run_until_finished(300_000_000);
+        prop_assert!(res.completed, "workload wedged at {smt}");
+        prop_assert_eq!(res.work_done, total);
+
+        let mspec = MetricSpec::for_arch(&cfg.arch);
+        // Counters accumulated over the whole run are a valid "window".
+        let window = sim.measure_window(1); // finished => empty delta is fine
+        let f = smtsm_factors(&mspec, &window);
+        prop_assert!(f.mix_deviation >= 0.0 && f.mix_deviation <= mspec.max_deviation() + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&f.disp_held));
+        prop_assert!(f.scalability >= 1.0);
+    }
+
+    /// Reconfiguring mid-run never loses or duplicates work.
+    #[test]
+    fn reconfiguration_is_work_conserving(spec in arb_spec(), cut in 500u64..20_000) {
+        let cfg = MachineConfig::generic(2);
+        let total = spec.total_work;
+        let mut sim = Simulation::new(cfg, SmtLevel::Smt2, SyntheticWorkload::new(spec));
+        sim.run_cycles(cut);
+        sim.reconfigure(SmtLevel::Smt1);
+        sim.run_cycles(cut);
+        sim.reconfigure(SmtLevel::Smt2);
+        let res = sim.run_until_finished(300_000_000);
+        prop_assert!(res.completed);
+        prop_assert_eq!(res.work_done, total);
+    }
+
+    /// The same spec and seed always produce the same cycle count
+    /// (bit-level determinism across runs).
+    #[test]
+    fn simulation_is_deterministic(spec in arb_spec()) {
+        let cfg = MachineConfig::generic(2);
+        let run = |s: WorkloadSpec| {
+            let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt2, SyntheticWorkload::new(s));
+            let r = sim.run_until_finished(300_000_000);
+            (r.cycles, r.work_done)
+        };
+        let a = run(spec.clone());
+        let b = run(spec);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Gini-trained thresholds never misclassify a linearly separable
+    /// sample, regardless of where the gap lies.
+    #[test]
+    fn gini_threshold_separates_separable_samples(
+        gap_low in 0.01f64..0.4,
+        gap_width in 0.05f64..0.3,
+        n_good in 2usize..12,
+        n_bad in 2usize..12,
+    ) {
+        use smt_select::stats::classify::SpeedupCase;
+        let mut cases = Vec::new();
+        let mut max_good = 0.0f64;
+        for k in 0..n_good {
+            let m = gap_low * k as f64 / n_good as f64;
+            max_good = max_good.max(m);
+            cases.push(SpeedupCase::new(format!("g{k}"), m, 1.5));
+        }
+        let min_bad = gap_low + gap_width;
+        for k in 0..n_bad {
+            let m = min_bad + 0.3 * k as f64 / n_bad as f64;
+            cases.push(SpeedupCase::new(format!("b{k}"), m, 0.5));
+        }
+        let p = ThresholdPredictor::train_gini(&cases);
+        prop_assert_eq!(p.accuracy(&cases), 1.0);
+        prop_assert!(
+            p.threshold > max_good && p.threshold < min_bad + 1e-9,
+            "threshold {} outside separating gap ({}, {})", p.threshold, max_good, min_bad
+        );
+    }
+
+    /// PPI of a threshold above every metric is zero; below every metric it
+    /// equals the mean improvement of switching everything down.
+    #[test]
+    fn ppi_extremes_are_consistent(speedups in proptest::collection::vec(0.2f64..2.5, 3..10)) {
+        use smt_select::stats::classify::SpeedupCase;
+        let cases: Vec<SpeedupCase> = speedups
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| SpeedupCase::new(format!("c{k}"), 0.1 + k as f64 * 0.01, s))
+            .collect();
+        let hi = PpiSweep::average_ppi(&cases, 10.0);
+        prop_assert!(hi.abs() < 1e-12, "threshold above all metrics must yield 0");
+        let lo = PpiSweep::average_ppi(&cases, 0.0);
+        let expect: f64 = speedups.iter().map(|s| (1.0 / s - 1.0) * 100.0).sum::<f64>()
+            / speedups.len() as f64;
+        prop_assert!((lo - expect).abs() < 1e-9);
+    }
+}
