@@ -24,13 +24,15 @@ use std::sync::OnceLock;
 
 fn p7() -> &'static SuiteData {
     static DATA: OnceLock<SuiteData> = OnceLock::new();
-    DATA.get_or_init(|| SuiteData::collect(Machine::Power7OneChip, BENCH_SCALE))
+    DATA.get_or_init(|| {
+        SuiteData::collect(Machine::Power7OneChip, BENCH_SCALE).expect("collect p7")
+    })
 }
 
 /// Ablation 1: train+score each metric variant on the fig-6 sample.
 fn ablate_metric_factors(c: &mut Criterion) {
     let data = p7();
-    let variants: [(&str, fn(&smtsm::SmtsmFactors) -> f64); 4] = [
+    let variants: [smt_experiments::ablation::Variant; 4] = [
         ("full", |f| f.value()),
         ("mix_only", |f| f.mix_only()),
         ("no_disp_held", |f| f.value_without_disp_held()),
@@ -43,11 +45,12 @@ fn ablate_metric_factors(c: &mut Criterion) {
             .results
             .iter()
             .map(|r| {
-                let m = &r.levels[&SmtLevel::Smt4];
+                let m = r.level(SmtLevel::Smt4).expect("SMT4 measured");
                 SpeedupCase::new(
                     r.name.clone(),
                     extract(&m.factors),
-                    r.speedup(SmtLevel::Smt4, SmtLevel::Smt1),
+                    r.speedup(SmtLevel::Smt4, SmtLevel::Smt1)
+                        .expect("levels measured"),
                 )
             })
             .collect();
@@ -170,10 +173,20 @@ fn ablate_wait_discipline(c: &mut Criterion) {
     let cfg = MachineConfig::power7(1);
     let mspec = MetricSpec::for_arch(&cfg.arch);
     for (label, sync) in [
-        ("spin", SyncSpec::SpinLock { cs_interval: 180, cs_len: 22 }),
+        (
+            "spin",
+            SyncSpec::SpinLock {
+                cs_interval: 180,
+                cs_len: 22,
+            },
+        ),
         (
             "block",
-            SyncSpec::BlockingLock { cs_interval: 180, cs_len: 22, wake_latency: 40 },
+            SyncSpec::BlockingLock {
+                cs_interval: 180,
+                cs_len: 22,
+                wake_latency: 40,
+            },
         ),
     ] {
         let mut spec = catalog::specjbb_contention().scaled(0.15);

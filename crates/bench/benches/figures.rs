@@ -11,20 +11,24 @@ use std::sync::OnceLock;
 
 fn p7() -> &'static SuiteData {
     static DATA: OnceLock<SuiteData> = OnceLock::new();
-    DATA.get_or_init(|| SuiteData::collect(Machine::Power7OneChip, BENCH_SCALE))
+    DATA.get_or_init(|| {
+        SuiteData::collect(Machine::Power7OneChip, BENCH_SCALE).expect("collect p7")
+    })
 }
 
 fn p7x2() -> &'static SuiteData {
     static DATA: OnceLock<SuiteData> = OnceLock::new();
-    DATA.get_or_init(|| SuiteData::collect(Machine::Power7TwoChip, BENCH_SCALE))
+    DATA.get_or_init(|| {
+        SuiteData::collect(Machine::Power7TwoChip, BENCH_SCALE).expect("collect p7x2")
+    })
 }
 
 fn nhm() -> &'static SuiteData {
     static DATA: OnceLock<SuiteData> = OnceLock::new();
-    DATA.get_or_init(|| SuiteData::collect(Machine::Nehalem, BENCH_SCALE))
+    DATA.get_or_init(|| SuiteData::collect(Machine::Nehalem, BENCH_SCALE).expect("collect nhm"))
 }
 
-type ScatterGen = fn(&SuiteData) -> ScatterFigure;
+type ScatterGen = fn(&SuiteData) -> Result<ScatterFigure, smt_sim::Error>;
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
@@ -34,7 +38,7 @@ fn bench_figures(c: &mut Criterion) {
 
     g.bench_function("fig1", |b| {
         let data = p7();
-        println!("[fig1] {:?}", figures::fig1(data).bars);
+        println!("[fig1] {:?}", figures::fig1(data).unwrap().bars);
         b.iter(|| figures::fig1(data))
     });
 
@@ -42,7 +46,7 @@ fn bench_figures(c: &mut Criterion) {
         let data = p7();
         println!(
             "[fig2] max |pearson r| = {:.3}",
-            figures::fig2(data).max_abs_correlation()
+            figures::fig2(data).unwrap().max_abs_correlation()
         );
         b.iter(|| figures::fig2(data))
     });
@@ -60,7 +64,7 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             let data = p7();
-            let f = gen(data);
+            let f = gen(data).unwrap();
             println!(
                 "[{name}] threshold {:.4}, success {:.1}%, r {:?}",
                 f.threshold,
@@ -77,7 +81,7 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             let data = nhm();
-            let f = gen(data);
+            let f = gen(data).unwrap();
             println!(
                 "[{name}] threshold {:.4}, success {:.1}%",
                 f.threshold,
@@ -94,7 +98,7 @@ fn bench_figures(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             let data = p7x2();
-            let f = gen(data);
+            let f = gen(data).unwrap();
             println!(
                 "[{name}] threshold {:.4}, success {:.1}%",
                 f.threshold,
@@ -105,12 +109,12 @@ fn bench_figures(c: &mut Criterion) {
     }
 
     g.bench_function("fig16", |b| {
-        let f6 = figures::fig6(p7());
+        let f6 = figures::fig6(p7()).unwrap();
         b.iter(|| figures::fig16(&f6))
     });
 
     g.bench_function("fig17", |b| {
-        let f6 = figures::fig6(p7());
+        let f6 = figures::fig6(p7()).unwrap();
         let f17 = figures::fig17(&f6);
         println!(
             "[fig17] best improvement {:.1}% at threshold {:.4}",
@@ -120,8 +124,8 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     g.bench_function("success", |b| {
-        let f6 = figures::fig6(p7());
-        let f10 = figures::fig10(nhm());
+        let f6 = figures::fig6(p7()).unwrap();
+        let f10 = figures::fig10(nhm()).unwrap();
         let s = figures::success_rates(&f6, &f10);
         println!(
             "[success] P7 {:.1}%  NHM {:.1}%  overall {:.1}%",
@@ -141,10 +145,13 @@ fn bench_collection(c: &mut Criterion) {
     let mut g = c.benchmark_group("collection");
     g.sample_size(10);
     g.bench_function("one_benchmark_all_levels", |b| {
-        let cfg = Machine::Power7OneChip.config();
-        let spec = smt_workloads::catalog::ep().scaled(0.01);
-        let levels = cfg.smt_levels();
-        b.iter(|| smt_experiments::run_benchmark(&cfg, &spec, &levels))
+        let engine = smt_experiments::Engine::new();
+        let plan = smt_experiments::RunRequest::new(Machine::Power7OneChip.config())
+            .benchmark(smt_workloads::catalog::ep().scaled(0.01))
+            .all_levels()
+            .plan()
+            .expect("valid plan");
+        b.iter(|| engine.run(&plan))
     });
     g.finish();
 }

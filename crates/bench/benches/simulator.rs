@@ -16,28 +16,24 @@ fn bench_cycle_rate(c: &mut Criterion) {
     g.throughput(Throughput::Elements(WINDOW));
 
     for smt in [SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4] {
-        g.bench_with_input(
-            BenchmarkId::new("p7_ep", smt.ways()),
-            &smt,
-            |b, &smt| {
-                b.iter_batched(
-                    || {
-                        let mut sim = Simulation::new(
-                            MachineConfig::power7(1),
-                            smt,
-                            SyntheticWorkload::new(catalog::ep()),
-                        );
-                        sim.run_cycles(2_000); // past cold start
-                        sim
-                    },
-                    |mut sim| {
-                        sim.run_cycles(WINDOW);
-                        sim
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("p7_ep", smt.ways()), &smt, |b, &smt| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulation::new(
+                        MachineConfig::power7(1),
+                        smt,
+                        SyntheticWorkload::new(catalog::ep()),
+                    );
+                    sim.run_cycles(2_000); // past cold start
+                    sim
+                },
+                |mut sim| {
+                    sim.run_cycles(WINDOW);
+                    sim
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
 
     // Workload classes at SMT4: compute, memory, contended.
@@ -147,5 +143,10 @@ fn bench_hot_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cycle_rate, bench_reconfigure, bench_hot_paths);
+criterion_group!(
+    benches,
+    bench_cycle_rate,
+    bench_reconfigure,
+    bench_hot_paths
+);
 criterion_main!(benches);

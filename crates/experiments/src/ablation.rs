@@ -9,7 +9,7 @@
 
 use crate::suite::SuiteData;
 use serde::{Deserialize, Serialize};
-use smt_sim::SmtLevel;
+use smt_sim::{Error, SmtLevel};
 use smt_stats::classify::SpeedupCase;
 use smt_stats::table::{fnum, Table};
 use smtsm::{SmtsmFactors, ThresholdPredictor};
@@ -38,8 +38,11 @@ pub struct Ablation {
     pub lo: SmtLevel,
 }
 
+/// A named metric-variant extractor, e.g. `("DispHeld only", |f| f.disp_held)`.
+pub type Variant = (&'static str, fn(&SmtsmFactors) -> f64);
+
 /// The variants studied: name + extractor.
-pub fn variants() -> Vec<(&'static str, fn(&SmtsmFactors) -> f64)> {
+pub fn variants() -> Vec<Variant> {
     vec![
         ("full metric", |f| f.value()),
         ("mix deviation only", |f| f.mix_only()),
@@ -52,7 +55,12 @@ pub fn variants() -> Vec<(&'static str, fn(&SmtsmFactors) -> f64)> {
 
 /// Run the ablation over suite data (metric measured at `metric_at`,
 /// labels from the `hi`/`lo` speedup).
-pub fn run(data: &SuiteData, metric_at: SmtLevel, hi: SmtLevel, lo: SmtLevel) -> Ablation {
+pub fn run(
+    data: &SuiteData,
+    metric_at: SmtLevel,
+    hi: SmtLevel,
+    lo: SmtLevel,
+) -> Result<Ablation, Error> {
     let rows = variants()
         .into_iter()
         .map(|(name, extract)| {
@@ -60,12 +68,16 @@ pub fn run(data: &SuiteData, metric_at: SmtLevel, hi: SmtLevel, lo: SmtLevel) ->
                 .results
                 .iter()
                 .map(|r| {
-                    let f = &r.levels[&metric_at].factors;
-                    SpeedupCase::new(r.name.clone(), extract(f), r.speedup(hi, lo))
+                    let f = &r.level(metric_at)?.factors;
+                    Ok(SpeedupCase::new(
+                        r.name.clone(),
+                        extract(f),
+                        r.speedup(hi, lo)?,
+                    ))
                 })
-                .collect();
+                .collect::<Result<Vec<_>, Error>>()?;
             let p = ThresholdPredictor::train_gini(&cases);
-            AblationRow {
+            Ok(AblationRow {
                 variant: name.to_string(),
                 threshold: p.threshold,
                 accuracy: p.accuracy(&cases),
@@ -73,10 +85,10 @@ pub fn run(data: &SuiteData, metric_at: SmtLevel, hi: SmtLevel, lo: SmtLevel) ->
                     .into_iter()
                     .map(String::from)
                     .collect(),
-            }
+            })
         })
-        .collect();
-    Ablation { rows, hi, lo }
+        .collect::<Result<Vec<_>, Error>>()?;
+    Ok(Ablation { rows, hi, lo })
 }
 
 impl Ablation {
@@ -117,7 +129,11 @@ mod tests {
         // have (low mix, low held); losers either (high mix, high held) or
         // mixed signals that single factors misread.
         let mk = |name: &str, s41: f64, mix: f64, held: f64, scal: f64| {
-            let f = smtsm::SmtsmFactors { mix_deviation: mix, disp_held: held, scalability: scal };
+            let f = smtsm::SmtsmFactors {
+                mix_deviation: mix,
+                disp_held: held,
+                scalability: scal,
+            };
             let lvl = |smt, perf| LevelMeasurement {
                 smt,
                 perf,
@@ -129,7 +145,10 @@ mod tests {
             let mut levels = BTreeMap::new();
             levels.insert(SmtLevel::Smt1, lvl(SmtLevel::Smt1, 1.0));
             levels.insert(SmtLevel::Smt4, lvl(SmtLevel::Smt4, s41));
-            BenchResult { name: name.into(), levels }
+            BenchResult {
+                name: name.into(),
+                levels,
+            }
         };
         SuiteData {
             machine: Machine::Power7OneChip,
@@ -145,7 +164,7 @@ mod tests {
 
     #[test]
     fn full_metric_beats_single_factors_on_mixed_signals() {
-        let a = run(&data(), SmtLevel::Smt4, SmtLevel::Smt4, SmtLevel::Smt1);
+        let a = run(&data(), SmtLevel::Smt4, SmtLevel::Smt4, SmtLevel::Smt1).unwrap();
         assert_eq!(a.rows.len(), 6);
         assert_eq!(a.full_accuracy(), 1.0, "full product must separate");
         let mix_only = a.rows.iter().find(|r| r.variant.contains("mix")).unwrap();

@@ -1,11 +1,18 @@
 //! Calibration scratch tool: run the POWER7 suite and dump speedups vs
 //! metric values so simulator/catalog parameters can be tuned.
 
-use smt_experiments::run_suite;
-use smt_sim::{MachineConfig, SmtLevel};
+use smt_experiments::{Engine, RunRequest};
+use smt_sim::{Error, MachineConfig, SmtLevel};
 use smt_workloads::catalog;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("calibrate: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Error> {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -28,22 +35,32 @@ fn main() {
             vec![SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4],
         ),
     };
-    let top = *levels.last().unwrap();
-    let specs: Vec<_> = suite.into_iter().map(|s| s.scaled(scale)).collect();
+    let top = *levels.last().unwrap_or(&SmtLevel::Smt1);
+    let plan = RunRequest::new(cfg)
+        .benchmarks(suite.into_iter().map(|s| s.scaled(scale)))
+        .levels(levels)
+        .plan()?;
     let t0 = std::time::Instant::now();
-    let results = run_suite(&cfg, &specs, &levels);
-    eprintln!("suite ran in {:?}", t0.elapsed());
+    let sweep = Engine::new().run(&plan);
+    eprintln!(
+        "suite ran in {:?} ({})",
+        t0.elapsed(),
+        sweep.metrics.summary()
+    );
+    for err in &sweep.errors {
+        eprintln!("job failed: {err}");
+    }
     println!(
         "{:<22} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>6}",
         "name", "s41", "s21", "metric4", "mixdev", "dheld", "scal", "l1mpki", "done"
     );
-    for r in &results {
-        let m4 = &r.levels[&top];
+    for r in &sweep.results {
+        let m4 = r.level(top)?;
         println!(
             "{:<22} {:>7.3} {:>7.3} {:>8.4} {:>8.4} {:>8.4} {:>8.3} {:>7.1} {:>6}",
             r.name,
-            r.speedup(top, SmtLevel::Smt1),
-            r.speedup(SmtLevel::Smt2, SmtLevel::Smt1),
+            r.speedup(top, SmtLevel::Smt1)?,
+            r.speedup(SmtLevel::Smt2, SmtLevel::Smt1)?,
             m4.factors.value(),
             m4.factors.mix_deviation,
             m4.factors.disp_held,
@@ -52,4 +69,5 @@ fn main() {
             r.levels.values().all(|l| l.completed),
         );
     }
+    Ok(())
 }

@@ -1,14 +1,17 @@
 //! Deep-dive tool: run one catalog benchmark at each SMT level and print
 //! pipeline utilization details for simulator calibration.
 
-use smt_sim::{MachineConfig, Simulation, SmtLevel};
 use smt_sim::Workload;
+use smt_sim::{MachineConfig, Simulation, SmtLevel};
 use smt_workloads::{catalog, SyntheticWorkload};
 use smtsm::{smtsm_factors, MetricSpec};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "EP".into());
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.3);
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
     let spec = catalog::power7_suite()
         .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(&name))
@@ -25,15 +28,23 @@ fn main() {
 
         let w = SyntheticWorkload::new(spec.clone());
         let mut sim = Simulation::new(cfg.clone(), smt, w);
-        sim.run_cycles((cycles / 5).min(40_000).max(1));
-        let m = sim.measure_window((cycles / 2).min(80_000).max(1));
+        sim.run_cycles((cycles / 5).clamp(1, 40_000));
+        let m = sim.measure_window((cycles / 2).clamp(1, 80_000));
         let f = smtsm_factors(&mspec, &m);
         let cc = &m.cores;
         let ncores = 8.0;
         let agg = m.aggregate();
         println!(
             "{} {}: cycles={} perf={:.2} ipc={:.2} metric={:.4} (mix={:.3} dheld={:.4} scal={:.3})",
-            spec.name, smt, cycles, perf, m.ipc(), f.value(), f.mix_deviation, f.disp_held, f.scalability
+            spec.name,
+            smt,
+            cycles,
+            perf,
+            m.ipc(),
+            f.value(),
+            f.mix_deviation,
+            f.disp_held,
+            f.scalability
         );
         println!(
             "   disp_slots/cyc={:.2} issue_slots/cyc={:.2} lmq_rej/kcyc={:.1} l1mpki={:.1} l3mpki={:.1} spin%={:.1} br_mpki={:.1} done={}",

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <artifact> [--scale S] [--json DIR]
+//! repro <artifact> [--scale S] [--json DIR] [--csv DIR]
+//!      [--no-cache] [--cache-dir DIR] [--serial] [--verbose]
 //!
 //! artifacts:
 //!   table1                      Table I (benchmark inventory)
@@ -19,66 +20,105 @@
 //! `--scale` scales every workload's total work (default 0.3; 1.0 matches
 //! the catalog's full sizes and takes several minutes per machine on one
 //! host core). `--json DIR` additionally dumps each artifact as JSON.
+//!
+//! Measurements go through the batch engine with a result cache under
+//! `results/cache/` (override with `--cache-dir`, disable with
+//! `--no-cache`): the second run of the same artifact set reloads every
+//! unchanged job from disk instead of re-simulating it.
 
 use smt_experiments::figures;
 use smt_experiments::sched_demo;
 use smt_experiments::suite::{Machine, SuiteData};
+use smt_experiments::{Engine, ProgressSink, ResultCache, StderrSink};
+use smt_sim::Error;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 struct Args {
     artifact: String,
     scale: f64,
     json_dir: Option<String>,
     csv_dir: Option<String>,
+    no_cache: bool,
+    cache_dir: Option<String>,
+    serial: bool,
+    verbose: bool,
 }
 
 fn parse_args() -> Args {
-    let mut artifact = String::from("all");
-    let mut scale = 0.3;
-    let mut json_dir = None;
-    let mut csv_dir = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut args = Args {
+        artifact: String::from("all"),
+        scale: 0.3,
+        json_dir: None,
+        csv_dir: None,
+        no_cache: false,
+        cache_dir: None,
+        serial: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                scale = args
+                args.scale = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--scale takes a number");
+                    .unwrap_or_else(|| die("--scale takes a number"));
             }
             "--json" => {
-                json_dir = Some(args.next().expect("--json takes a directory"));
+                args.json_dir = Some(it.next().unwrap_or_else(|| die("--json takes a directory")));
             }
             "--csv" => {
-                csv_dir = Some(args.next().expect("--csv takes a directory"));
+                args.csv_dir = Some(it.next().unwrap_or_else(|| die("--csv takes a directory")));
             }
+            "--no-cache" => args.no_cache = true,
+            "--cache-dir" => {
+                args.cache_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--cache-dir takes a directory")),
+                );
+            }
+            "--serial" => args.serial = true,
+            "--verbose" => args.verbose = true,
             "-h" | "--help" => {
-                eprintln!("usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR]");
+                eprintln!(
+                    "usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR] \
+                     [--no-cache] [--cache-dir DIR] [--serial] [--verbose]"
+                );
                 std::process::exit(0);
             }
-            other => artifact = other.to_string(),
+            other => args.artifact = other.to_string(),
         }
     }
-    Args { artifact, scale, json_dir, csv_dir }
+    args
 }
 
-fn dump_csv(dir: &Option<String>, name: &str, csv: &str) {
-    if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
-        let path = format!("{dir}/{name}.csv");
-        std::fs::write(&path, csv).expect("write csv");
-        eprintln!("[repro] wrote {path}");
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Progress sink printing only per-sweep summaries (the default; pass
+/// `--verbose` for per-job lines via [`StderrSink`]).
+struct SummarySink;
+
+impl ProgressSink for SummarySink {
+    fn on_event(&self, event: &smt_experiments::ProgressEvent<'_>) {
+        if let smt_experiments::ProgressEvent::SweepFinished { metrics } = event {
+            eprintln!("[engine] {}", metrics.summary());
+        }
     }
 }
 
-/// Lazily collected per-machine datasets.
+/// Lazily collected per-machine datasets, all sharing one engine.
 struct Data {
     scale: f64,
+    engine: Engine,
     cache: HashMap<&'static str, SuiteData>,
 }
 
 impl Data {
-    fn get(&mut self, machine: Machine) -> &SuiteData {
+    fn get(&mut self, machine: Machine) -> Result<&SuiteData, Error> {
         let key = match machine {
             Machine::Power7OneChip => "p7",
             Machine::Power7TwoChip => "p7x2",
@@ -87,151 +127,189 @@ impl Data {
         if !self.cache.contains_key(key) {
             eprintln!("[repro] collecting {} suite (scale {})...", key, self.scale);
             let t0 = std::time::Instant::now();
-            let data = SuiteData::collect(machine, self.scale);
+            let data = SuiteData::collect_with(machine, self.scale, &self.engine)?;
             eprintln!("[repro] ...done in {:?}", t0.elapsed());
             self.cache.insert(key, data);
         }
-        &self.cache[key]
+        Ok(&self.cache[key])
     }
 }
 
-fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+fn dump_csv(dir: &Option<String>, name: &str, csv: &str) -> Result<(), Error> {
     if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create json dir");
-        let path = format!("{dir}/{name}.json");
-        let body = serde_json::to_string_pretty(value).expect("serialize");
-        std::fs::write(&path, body).expect("write json");
+        std::fs::create_dir_all(dir)?;
+        let path = format!("{dir}/{name}.csv");
+        std::fs::write(&path, csv)?;
         eprintln!("[repro] wrote {path}");
     }
+    Ok(())
+}
+
+fn dump_json<T: serde::Serialize>(
+    dir: &Option<String>,
+    name: &str,
+    value: &T,
+) -> Result<(), Error> {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+        let path = format!("{dir}/{name}.json");
+        let body = serde_json::to_string_pretty(value).map_err(|e| Error::Serde(e.to_string()))?;
+        std::fs::write(&path, body)?;
+        eprintln!("[repro] wrote {path}");
+    }
+    Ok(())
 }
 
 fn main() {
     let args = parse_args();
-    let mut data = Data { scale: args.scale, cache: HashMap::new() };
+    if let Err(e) = run(&args) {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), Error> {
+    let sink: Arc<dyn ProgressSink> = if args.verbose {
+        Arc::new(StderrSink)
+    } else {
+        Arc::new(SummarySink)
+    };
+    let mut engine = Engine::new().progress(sink).serial(args.serial);
+    if !args.no_cache {
+        let dir = args
+            .cache_dir
+            .clone()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(ResultCache::default_dir);
+        eprintln!("[repro] result cache at {}", dir.display());
+        engine = engine.with_cache(ResultCache::new(dir));
+    }
+    let mut data = Data {
+        scale: args.scale,
+        engine,
+        cache: HashMap::new(),
+    };
     let wanted = |name: &str| args.artifact == "all" || args.artifact == name;
     let mut emitted = false;
+    let t_run = std::time::Instant::now();
 
     if wanted("table1") {
         let t = figures::table1();
         println!("Table I: Benchmarks Evaluated\n\n{}", t.render());
-        dump_csv(&args.csv_dir, "table1", &t.to_csv());
+        dump_csv(&args.csv_dir, "table1", &t.to_csv())?;
         emitted = true;
     }
     if wanted("fig1") {
-        let f = figures::fig1(data.get(Machine::Power7OneChip));
+        let f = figures::fig1(data.get(Machine::Power7OneChip)?)?;
         println!("{}", f.render());
-        dump_json(&args.json_dir, "fig1", &f);
+        dump_json(&args.json_dir, "fig1", &f)?;
         emitted = true;
     }
     if wanted("fig2") {
-        let f = figures::fig2(data.get(Machine::Power7OneChip));
+        let f = figures::fig2(data.get(Machine::Power7OneChip)?)?;
         println!("{}", f.render());
         println!(
             "max |pearson r| across panels = {:.3} (paper: no usable correlation)\n",
             f.max_abs_correlation()
         );
-        dump_json(&args.json_dir, "fig2", &f);
+        dump_json(&args.json_dir, "fig2", &f)?;
         emitted = true;
     }
     if wanted("fig7") {
-        let f = figures::fig7(data.get(Machine::Power7OneChip));
+        let f = figures::fig7(data.get(Machine::Power7OneChip)?)?;
         println!("{}", f.render());
-        dump_json(&args.json_dir, "fig7", &f);
+        dump_json(&args.json_dir, "fig7", &f)?;
         emitted = true;
     }
-    type ScatterGen = fn(&SuiteData) -> smt_experiments::ScatterFigure;
-    for (name, gen) in [
-        ("fig6", figures::fig6 as ScatterGen),
-        ("fig8", figures::fig8 as ScatterGen),
-        ("fig9", figures::fig9 as ScatterGen),
-        ("fig11", figures::fig11 as ScatterGen),
+    type ScatterGen = fn(&SuiteData) -> Result<smt_experiments::ScatterFigure, Error>;
+    for (name, gen, machine) in [
+        ("fig6", figures::fig6 as ScatterGen, Machine::Power7OneChip),
+        ("fig8", figures::fig8 as ScatterGen, Machine::Power7OneChip),
+        ("fig9", figures::fig9 as ScatterGen, Machine::Power7OneChip),
+        (
+            "fig11",
+            figures::fig11 as ScatterGen,
+            Machine::Power7OneChip,
+        ),
+        ("fig10", figures::fig10 as ScatterGen, Machine::Nehalem),
+        ("fig12", figures::fig12 as ScatterGen, Machine::Nehalem),
+        (
+            "fig13",
+            figures::fig13 as ScatterGen,
+            Machine::Power7TwoChip,
+        ),
+        (
+            "fig14",
+            figures::fig14 as ScatterGen,
+            Machine::Power7TwoChip,
+        ),
+        (
+            "fig15",
+            figures::fig15 as ScatterGen,
+            Machine::Power7TwoChip,
+        ),
     ] {
         if wanted(name) {
-            let f = gen(data.get(Machine::Power7OneChip));
+            let f = gen(data.get(machine)?)?;
             println!("{}", f.render());
-            dump_json(&args.json_dir, name, &f);
-            dump_csv(&args.csv_dir, name, &f.to_csv());
-            emitted = true;
-        }
-    }
-    for (name, gen) in [
-        ("fig10", figures::fig10 as ScatterGen),
-        ("fig12", figures::fig12 as ScatterGen),
-    ] {
-        if wanted(name) {
-            let f = gen(data.get(Machine::Nehalem));
-            println!("{}", f.render());
-            dump_json(&args.json_dir, name, &f);
-            dump_csv(&args.csv_dir, name, &f.to_csv());
-            emitted = true;
-        }
-    }
-    for (name, gen) in [
-        ("fig13", figures::fig13 as ScatterGen),
-        ("fig14", figures::fig14 as ScatterGen),
-        ("fig15", figures::fig15 as ScatterGen),
-    ] {
-        if wanted(name) {
-            let f = gen(data.get(Machine::Power7TwoChip));
-            println!("{}", f.render());
-            dump_json(&args.json_dir, name, &f);
-            dump_csv(&args.csv_dir, name, &f.to_csv());
+            dump_json(&args.json_dir, name, &f)?;
+            dump_csv(&args.csv_dir, name, &f.to_csv())?;
             emitted = true;
         }
     }
     if wanted("fig16") {
-        let f6 = figures::fig6(data.get(Machine::Power7OneChip));
+        let f6 = figures::fig6(data.get(Machine::Power7OneChip)?)?;
         let f = figures::fig16(&f6);
         println!("{}", f.render());
-        dump_json(&args.json_dir, "fig16", &f);
+        dump_json(&args.json_dir, "fig16", &f)?;
         emitted = true;
     }
     if wanted("fig17") {
-        let f6 = figures::fig6(data.get(Machine::Power7OneChip));
+        let f6 = figures::fig6(data.get(Machine::Power7OneChip)?)?;
         let f = figures::fig17(&f6);
         println!("{}", f.render());
-        dump_json(&args.json_dir, "fig17", &f);
+        dump_json(&args.json_dir, "fig17", &f)?;
         emitted = true;
     }
     if wanted("success") {
-        let f6 = figures::fig6(data.get(Machine::Power7OneChip));
-        let f10 = figures::fig10(data.get(Machine::Nehalem));
+        let f6 = figures::fig6(data.get(Machine::Power7OneChip)?)?;
+        let f10 = figures::fig10(data.get(Machine::Nehalem)?)?;
         let s = figures::success_rates(&f6, &f10);
         println!("{}", s.render());
-        dump_json(&args.json_dir, "success", &s);
+        dump_json(&args.json_dir, "success", &s)?;
         emitted = true;
     }
     if wanted("ablation") {
-        let p7 = data.get(Machine::Power7OneChip);
+        let p7 = data.get(Machine::Power7OneChip)?;
         let a = smt_experiments::ablation::run(
             p7,
             smt_sim::SmtLevel::Smt4,
             smt_sim::SmtLevel::Smt4,
             smt_sim::SmtLevel::Smt1,
-        );
+        )?;
         println!("{}", a.render());
-        dump_json(&args.json_dir, "ablation", &a);
+        dump_json(&args.json_dir, "ablation", &a)?;
         emitted = true;
     }
     if args.artifact == "validate" {
         // Not part of "all" (it re-collects the suite several times).
-        let v = smt_experiments::validation::run(3, data.scale);
+        let v = smt_experiments::validation::run_with(3, data.scale, &data.engine)?;
         println!("{}", v.render());
-        dump_json(&args.json_dir, "validate", &v);
+        dump_json(&args.json_dir, "validate", &v)?;
         emitted = true;
     }
     if wanted("sched") {
         // Train the selector thresholds from the single-chip data.
         let (t_top, t_mid) = {
-            let p7 = data.get(Machine::Power7OneChip);
-            let f6 = figures::fig6(p7);
-            let f8 = figures::fig8(p7);
+            let p7 = data.get(Machine::Power7OneChip)?;
+            let f6 = figures::fig6(p7)?;
+            let f8 = figures::fig8(p7)?;
             (f6.threshold, f8.threshold)
         };
         eprintln!("[repro] sched: trained thresholds top={t_top:.4} mid={t_mid:.4}");
         let demo = sched_demo::run(data.scale.min(0.2), t_top, t_mid, 2_000_000_000);
         println!("{}", demo.render());
-        dump_json(&args.json_dir, "sched", &demo);
+        dump_json(&args.json_dir, "sched", &demo)?;
         emitted = true;
     }
 
@@ -239,4 +317,6 @@ fn main() {
         eprintln!("unknown artifact {:?}; try --help", args.artifact);
         std::process::exit(1);
     }
+    eprintln!("[repro] total wall time {:?}", t_run.elapsed());
+    Ok(())
 }

@@ -1,0 +1,212 @@
+//! Content-addressed persistence for completed measurements.
+//!
+//! A job is identified by everything that determines its outcome: the
+//! machine configuration, the (scaled, seeded) workload specification, the
+//! SMT level, and the measurement-protocol constants. Those four are
+//! serialized to canonical JSON together with a format-version tag and
+//! hashed; the hash names a file under the cache directory holding the
+//! [`LevelMeasurement`] as JSON.
+//!
+//! Because the key is derived from the full job description, invalidation
+//! is automatic: change any field of the machine, the workload (including
+//! its seed or scale), the protocol, or bump [`CACHE_VERSION`], and the
+//! job hashes to a fresh key, leaving stale entries orphaned on disk
+//! (delete the directory to reclaim the space). Only *completed*
+//! measurements are stored — a run that hit the cycle cap is re-attempted
+//! on the next sweep rather than pinned as a permanent failure.
+
+use crate::runner::{LevelMeasurement, ProtocolConfig};
+use smt_sim::{Error, MachineConfig, SmtLevel};
+use smt_workloads::WorkloadSpec;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the measurement semantics or on-disk format change in
+/// a way that must invalidate old entries.
+pub const CACHE_VERSION: u32 = 1;
+
+/// A directory of measurement files keyed by job-content hash.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The conventional location used by the `repro` binary.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results/cache")
+    }
+
+    /// Where this cache lives.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content hash identifying one job.
+    pub fn key(
+        cfg: &MachineConfig,
+        spec: &WorkloadSpec,
+        smt: SmtLevel,
+        protocol: &ProtocolConfig,
+    ) -> String {
+        use serde::Serialize;
+        let ident = serde::Value::Array(vec![
+            CACHE_VERSION.to_value(),
+            cfg.to_value(),
+            spec.to_value(),
+            smt.to_value(),
+            protocol.to_value(),
+        ]);
+        let canonical = serde_json::to_string(&ident).unwrap_or_else(|_| format!("{ident:?}"));
+        // Two independent FNV-1a streams give a 128-bit name; plenty for
+        // the few thousand jobs a full reproduction generates.
+        let a = fnv1a(canonical.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a(canonical.as_bytes(), 0x6c62_272e_07bb_0142);
+        format!("{a:016x}{b:016x}")
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Load the measurement stored under `key`, if any.
+    ///
+    /// A missing file is `Ok(None)`; an unreadable or undecodable file is
+    /// an error (the engine treats it as a miss and recomputes).
+    pub fn load(&self, key: &str) -> Result<Option<LevelMeasurement>, Error> {
+        let path = self.path_for(key);
+        let body = match std::fs::read_to_string(&path) {
+            Ok(body) => body,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Error::Io(format!("{}: {e}", path.display()))),
+        };
+        let m = serde_json::from_str::<LevelMeasurement>(&body)
+            .map_err(|e| Error::Serde(format!("{}: {e}", path.display())))?;
+        Ok(Some(m))
+    }
+
+    /// Persist a completed measurement under `key`.
+    ///
+    /// Incomplete measurements are rejected: caching a capped run would
+    /// make the failure permanent instead of retryable.
+    pub fn store(&self, key: &str, m: &LevelMeasurement) -> Result<(), Error> {
+        if !m.completed {
+            return Err(Error::InvalidMeasurement(
+                "refusing to cache an incomplete run".into(),
+            ));
+        }
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| Error::Io(format!("{}: {e}", self.dir.display())))?;
+        let path = self.path_for(key);
+        let body = serde_json::to_string_pretty(m).map_err(|e| Error::Serde(e.to_string()))?;
+        // Write-then-rename so a crashed writer never leaves a torn entry
+        // that poisons every later sweep.
+        let tmp = self.dir.join(format!("{key}.tmp"));
+        std::fs::write(&tmp, body).map_err(|e| Error::Io(format!("{}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    /// Number of entries currently on disk (0 if the directory is absent).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache directory holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::catalog;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smt-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let cfg = MachineConfig::generic(2);
+        let spec = catalog::ep().scaled(0.02);
+        let proto = ProtocolConfig::default();
+        let k1 = ResultCache::key(&cfg, &spec, SmtLevel::Smt1, &proto);
+        let k2 = ResultCache::key(&cfg, &spec, SmtLevel::Smt1, &proto);
+        assert_eq!(k1, k2, "same job must hash identically");
+
+        let k_level = ResultCache::key(&cfg, &spec, SmtLevel::Smt2, &proto);
+        assert_ne!(k1, k_level, "level is part of the key");
+
+        let mut reseeded = spec.clone();
+        reseeded.seed = reseeded.seed.wrapping_add(1);
+        let k_seed = ResultCache::key(&cfg, &reseeded, SmtLevel::Smt1, &proto);
+        assert_ne!(k1, k_seed, "workload seed is part of the key");
+
+        let shorter = ProtocolConfig {
+            window_cycles: 40_000,
+            ..ProtocolConfig::default()
+        };
+        let k_proto = ResultCache::key(&cfg, &spec, SmtLevel::Smt1, &shorter);
+        assert_ne!(k1, k_proto, "protocol constants are part of the key");
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::new(&dir);
+        let cfg = MachineConfig::generic(1);
+        let spec = catalog::ep().scaled(0.01);
+        let proto = ProtocolConfig::default();
+        let m = crate::runner::measure_level(&cfg, &spec, SmtLevel::Smt1, &proto);
+        assert!(m.completed);
+
+        let key = ResultCache::key(&cfg, &spec, SmtLevel::Smt1, &proto);
+        assert!(cache.load(&key).unwrap().is_none(), "cold cache misses");
+        cache.store(&key, &m).unwrap();
+        let back = cache.load(&key).unwrap().expect("stored entry loads");
+        assert_eq!(back.perf, m.perf);
+        assert_eq!(back.cycles, m.cycles);
+        assert_eq!(back.smt, m.smt);
+        assert_eq!(back.factors.value(), m.factors.value());
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incomplete_runs_are_not_cached() {
+        let dir = tmp_dir("incomplete");
+        let cache = ResultCache::new(&dir);
+        let cfg = MachineConfig::generic(1);
+        let spec = catalog::ep().scaled(0.01);
+        let proto = ProtocolConfig::default();
+        let mut m = crate::runner::measure_level(&cfg, &spec, SmtLevel::Smt1, &proto);
+        m.completed = false;
+        let key = ResultCache::key(&cfg, &spec, SmtLevel::Smt1, &proto);
+        assert!(cache.store(&key, &m).is_err());
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,7 +8,7 @@
 use crate::scatter::ScatterFigure;
 use crate::suite::{Machine, SuiteData};
 use serde::{Deserialize, Serialize};
-use smt_sim::SmtLevel;
+use smt_sim::{Error, SmtLevel};
 use smt_stats::classify::SpeedupCase;
 use smt_stats::corr::pearson;
 use smt_stats::gini::GiniSweep;
@@ -16,13 +16,15 @@ use smt_stats::table::{fnum, Table};
 use smt_workloads::catalog;
 use smtsm::{NaiveMetric, PpiSweep};
 
-fn assert_machine(data: &SuiteData, want: Machine, fig: &str) {
-    assert!(
-        data.machine == want,
-        "{fig} needs {:?} data, got {:?}",
-        want,
-        data.machine
-    );
+fn check_machine(data: &SuiteData, want: Machine, fig: &str) -> Result<(), Error> {
+    if data.machine == want {
+        Ok(())
+    } else {
+        Err(Error::InvalidMeasurement(format!(
+            "{fig} needs {:?} data, got {:?}",
+            want, data.machine
+        )))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -39,16 +41,18 @@ pub struct Fig1 {
 }
 
 /// Generate Fig. 1 from single-chip POWER7-like data.
-pub fn fig1(data: &SuiteData) -> Fig1 {
-    assert_machine(data, Machine::Power7OneChip, "fig1");
+pub fn fig1(data: &SuiteData) -> Result<Fig1, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig1")?;
     let bars = ["Equake", "MG", "EP"]
         .iter()
         .map(|name| {
-            let r = data.get(name).unwrap_or_else(|| panic!("{name} missing"));
-            (name.to_string(), r.speedup(SmtLevel::Smt4, SmtLevel::Smt1))
+            let r = data.get(name).ok_or_else(|| {
+                Error::InvalidMeasurement(format!("fig1 benchmark {name} missing"))
+            })?;
+            Ok((name.to_string(), r.speedup(SmtLevel::Smt4, SmtLevel::Smt1)?))
         })
-        .collect();
-    Fig1 { bars }
+        .collect::<Result<Vec<_>, Error>>()?;
+    Ok(Fig1 { bars })
 }
 
 impl Fig1 {
@@ -93,8 +97,8 @@ pub struct Fig2 {
 }
 
 /// Generate Fig. 2 from single-chip POWER7-like data.
-pub fn fig2(data: &SuiteData) -> Fig2 {
-    assert_machine(data, Machine::Power7OneChip, "fig2");
+pub fn fig2(data: &SuiteData) -> Result<Fig2, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig2")?;
     let panels = NaiveMetric::ALL
         .iter()
         .map(|&metric| {
@@ -102,13 +106,13 @@ pub fn fig2(data: &SuiteData) -> Fig2 {
                 .results
                 .iter()
                 .map(|r| {
-                    (
+                    Ok((
                         r.name.clone(),
-                        r.naive_at(SmtLevel::Smt4, metric),
-                        r.speedup(SmtLevel::Smt4, SmtLevel::Smt1),
-                    )
+                        r.naive_at(SmtLevel::Smt4, metric)?,
+                        r.speedup(SmtLevel::Smt4, SmtLevel::Smt1)?,
+                    ))
                 })
-                .collect();
+                .collect::<Result<Vec<_>, Error>>()?;
             let xs: Vec<f64> = points.iter().map(|p| p.1).collect();
             let ys: Vec<f64> = points.iter().map(|p| p.2).collect();
             let best_accuracy = [1.0f64, -1.0]
@@ -121,10 +125,15 @@ pub fn fig2(data: &SuiteData) -> Fig2 {
                     smtsm::ThresholdPredictor::train_gini(&cases).accuracy(&cases)
                 })
                 .fold(0.0, f64::max);
-            Fig2Panel { metric, points, pearson_r: pearson(&xs, &ys), best_accuracy }
+            Ok(Fig2Panel {
+                metric,
+                points,
+                pearson_r: pearson(&xs, &ys),
+                best_accuracy,
+            })
         })
-        .collect();
-    Fig2 { panels }
+        .collect::<Result<Vec<_>, Error>>()?;
+    Ok(Fig2 { panels })
 }
 
 impl Fig2 {
@@ -147,7 +156,9 @@ impl Fig2 {
             out.push_str(&format!(
                 "\n-- {} (pearson r = {}, best single-threshold accuracy {:.1}%) --\n",
                 p.metric.label(),
-                p.pearson_r.map(|r| format!("{r:.3}")).unwrap_or_else(|| "n/a".into()),
+                p.pearson_r
+                    .map(|r| format!("{r:.3}"))
+                    .unwrap_or_else(|| "n/a".into()),
                 p.best_accuracy * 100.0
             ));
             let mut t = Table::new(vec!["benchmark", "value", "speedup"]);
@@ -166,14 +177,16 @@ impl Fig2 {
 
 /// Table I: the evaluated benchmarks.
 pub fn table1() -> Table {
-    let mut t = Table::new(vec!["Label", "Suite", "Description"])
-        .with_aligns(vec![
-            smt_stats::table::Align::Left,
-            smt_stats::table::Align::Left,
-            smt_stats::table::Align::Left,
-        ]);
+    let mut t = Table::new(vec!["Label", "Suite", "Description"]).with_aligns(vec![
+        smt_stats::table::Align::Left,
+        smt_stats::table::Align::Left,
+        smt_stats::table::Align::Left,
+    ]);
     let mut seen = std::collections::HashSet::new();
-    for spec in catalog::power7_suite().into_iter().chain(catalog::nehalem_suite()) {
+    for spec in catalog::power7_suite()
+        .into_iter()
+        .chain(catalog::nehalem_suite())
+    {
         if seen.insert(spec.name.clone()) {
             t.row(vec![spec.name, spec.suite, spec.description]);
         }
@@ -186,8 +199,8 @@ pub fn table1() -> Table {
 // ---------------------------------------------------------------------------
 
 /// Fig. 6: SMT4/SMT1 speedup vs. metric @SMT4 (single chip).
-pub fn fig6(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7OneChip, "fig6");
+pub fn fig6(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig6")?;
     ScatterFigure::evaluate(
         "fig6",
         "SMT4/SMT1 speedup vs. SMTsm @SMT4 — 8-core POWER7-like chip",
@@ -199,8 +212,8 @@ pub fn fig6(data: &SuiteData) -> ScatterFigure {
 }
 
 /// Fig. 8: SMT4/SMT2 speedup vs. metric @SMT4 (single chip).
-pub fn fig8(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7OneChip, "fig8");
+pub fn fig8(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig8")?;
     ScatterFigure::evaluate(
         "fig8",
         "SMT4/SMT2 speedup vs. SMTsm @SMT4 — 8-core POWER7-like chip",
@@ -213,8 +226,8 @@ pub fn fig8(data: &SuiteData) -> ScatterFigure {
 
 /// Fig. 9: SMT2/SMT1 speedup vs. metric @SMT2 (single chip) — the paper
 /// finds an ambiguous middle band here.
-pub fn fig9(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7OneChip, "fig9");
+pub fn fig9(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig9")?;
     ScatterFigure::evaluate(
         "fig9",
         "SMT2/SMT1 speedup vs. SMTsm @SMT2 — 8-core POWER7-like chip",
@@ -227,8 +240,8 @@ pub fn fig9(data: &SuiteData) -> ScatterFigure {
 
 /// Fig. 10: SMT2/SMT1 speedup vs. metric @SMT2 on the Nehalem-like machine
 /// (with Streamcluster as the known outlier).
-pub fn fig10(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Nehalem, "fig10");
+pub fn fig10(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Nehalem, "fig10")?;
     ScatterFigure::evaluate(
         "fig10",
         "SMT2/SMT1 speedup vs. SMTsm @SMT2 — quad-core Nehalem-like system",
@@ -241,8 +254,8 @@ pub fn fig10(data: &SuiteData) -> ScatterFigure {
 
 /// Fig. 11: SMT4/SMT1 speedup vs. metric measured at SMT1 — demonstrates
 /// the metric breaks down at the lowest level (POWER7-like).
-pub fn fig11(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7OneChip, "fig11");
+pub fn fig11(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig11")?;
     ScatterFigure::evaluate(
         "fig11",
         "SMT4/SMT1 speedup vs. SMTsm @SMT1 — metric measured too low breaks down",
@@ -254,8 +267,8 @@ pub fn fig11(data: &SuiteData) -> ScatterFigure {
 }
 
 /// Fig. 12: SMT2/SMT1 speedup vs. metric @SMT1 on the Nehalem-like machine.
-pub fn fig12(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Nehalem, "fig12");
+pub fn fig12(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Nehalem, "fig12")?;
     ScatterFigure::evaluate(
         "fig12",
         "SMT2/SMT1 speedup vs. SMTsm @SMT1 — Nehalem-like, breaks down at SMT1",
@@ -267,8 +280,8 @@ pub fn fig12(data: &SuiteData) -> ScatterFigure {
 }
 
 /// Fig. 13: SMT4/SMT1 vs. metric @SMT4 on two chips (16 cores).
-pub fn fig13(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7TwoChip, "fig13");
+pub fn fig13(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7TwoChip, "fig13")?;
     ScatterFigure::evaluate(
         "fig13",
         "SMT4/SMT1 speedup vs. SMTsm @SMT4 — two 8-core chips (NUMA)",
@@ -280,8 +293,8 @@ pub fn fig13(data: &SuiteData) -> ScatterFigure {
 }
 
 /// Fig. 14: SMT4/SMT2 vs. metric @SMT4 on two chips.
-pub fn fig14(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7TwoChip, "fig14");
+pub fn fig14(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7TwoChip, "fig14")?;
     ScatterFigure::evaluate(
         "fig14",
         "SMT4/SMT2 speedup vs. SMTsm @SMT4 — two 8-core chips (NUMA)",
@@ -293,8 +306,8 @@ pub fn fig14(data: &SuiteData) -> ScatterFigure {
 }
 
 /// Fig. 15: SMT2/SMT1 vs. metric @SMT2 on two chips.
-pub fn fig15(data: &SuiteData) -> ScatterFigure {
-    assert_machine(data, Machine::Power7TwoChip, "fig15");
+pub fn fig15(data: &SuiteData) -> Result<ScatterFigure, Error> {
+    check_machine(data, Machine::Power7TwoChip, "fig15")?;
     ScatterFigure::evaluate(
         "fig15",
         "SMT2/SMT1 speedup vs. SMTsm @SMT2 — two 8-core chips (NUMA)",
@@ -325,8 +338,8 @@ pub struct Fig7 {
 /// five catalog entries plus the measured speedups (spin-loop overhead
 /// means the observed SSCA2/SPECjbb-contention mixes are even more skewed;
 /// the measured-mix variant is available from the fig6 data directly).
-pub fn fig7(data: &SuiteData) -> Fig7 {
-    assert_machine(data, Machine::Power7OneChip, "fig7");
+pub fn fig7(data: &SuiteData) -> Result<Fig7, Error> {
+    check_machine(data, Machine::Power7OneChip, "fig7")?;
     let mut rows: Vec<(String, [f64; 5], f64)> = catalog::fig7_five()
         .into_iter()
         .map(|spec| {
@@ -334,23 +347,31 @@ pub fn fig7(data: &SuiteData) -> Fig7 {
             let five = [f[0], f[1], f[2] + f[3], f[4], f[5]];
             let speedup = data
                 .get(&spec.name)
-                .unwrap_or_else(|| panic!("{} missing", spec.name))
-                .speedup(SmtLevel::Smt4, SmtLevel::Smt1);
-            (spec.name, five, speedup)
+                .ok_or_else(|| {
+                    Error::InvalidMeasurement(format!("fig7 benchmark {} missing", spec.name))
+                })?
+                .speedup(SmtLevel::Smt4, SmtLevel::Smt1)?;
+            Ok((spec.name, five, speedup))
         })
-        .collect();
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN"));
-    Fig7 {
+        .collect::<Result<Vec<_>, Error>>()?;
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    Ok(Fig7 {
         rows,
         ideal: smtsm::MetricSpec::p7_ideal(),
-    }
+    })
 }
 
 impl Fig7 {
     /// Render the mix table.
     pub fn render(&self) -> String {
         let mut t = Table::new(vec![
-            "benchmark", "%Loads", "%Stores", "%Branches", "%FXU", "%VSU", "SMT4/SMT1",
+            "benchmark",
+            "%Loads",
+            "%Stores",
+            "%Branches",
+            "%FXU",
+            "%VSU",
+            "SMT4/SMT1",
         ]);
         for (name, f, s) in &self.rows {
             t.row(vec![
@@ -427,7 +448,10 @@ impl Fig16 {
         format!(
             "fig16: overall Gini impurity vs. separator (min {:.3} over \
              optimal range {:.4}..{:.4})\n\n{}",
-            self.min_impurity, self.optimal_range.0, self.optimal_range.1, t.render()
+            self.min_impurity,
+            self.optimal_range.0,
+            self.optimal_range.1,
+            t.render()
         )
     }
 }
@@ -545,7 +569,11 @@ mod tests {
             perf,
             cycles: 1000,
             completed: true,
-            factors: SmtsmFactors { mix_deviation: metric, disp_held: 1.0, scalability: 1.0 },
+            factors: SmtsmFactors {
+                mix_deviation: metric,
+                disp_held: 1.0,
+                scalability: 1.0,
+            },
             naive,
         }
     }
@@ -560,18 +588,39 @@ mod tests {
                 let s41 = if k % 2 == 0 { 1.5 } else { 0.7 };
                 let metric = if k % 2 == 0 { 0.02 } else { 0.2 };
                 let mut levels = BTreeMap::new();
-                levels.insert(SmtLevel::Smt1, lvl(SmtLevel::Smt1, 1.0, metric, [1.0, 2.0, 0.5, 0.3]));
-                levels.insert(SmtLevel::Smt2, lvl(SmtLevel::Smt2, (1.0 + s41) / 2.0, metric, [1.0, 2.0, 0.5, 0.3]));
-                levels.insert(SmtLevel::Smt4, lvl(SmtLevel::Smt4, s41, metric, [k as f64, 2.0, 0.5, 0.3]));
-                BenchResult { name: spec.name, levels }
+                levels.insert(
+                    SmtLevel::Smt1,
+                    lvl(SmtLevel::Smt1, 1.0, metric, [1.0, 2.0, 0.5, 0.3]),
+                );
+                levels.insert(
+                    SmtLevel::Smt2,
+                    lvl(
+                        SmtLevel::Smt2,
+                        (1.0 + s41) / 2.0,
+                        metric,
+                        [1.0, 2.0, 0.5, 0.3],
+                    ),
+                );
+                levels.insert(
+                    SmtLevel::Smt4,
+                    lvl(SmtLevel::Smt4, s41, metric, [k as f64, 2.0, 0.5, 0.3]),
+                );
+                BenchResult {
+                    name: spec.name,
+                    levels,
+                }
             })
             .collect();
-        SuiteData { machine: Machine::Power7OneChip, scale: 1.0, results }
+        SuiteData {
+            machine: Machine::Power7OneChip,
+            scale: 1.0,
+            results,
+        }
     }
 
     #[test]
     fn fig1_extracts_the_trio() {
-        let f = fig1(&p7_data());
+        let f = fig1(&p7_data()).unwrap();
         assert_eq!(f.bars.len(), 3);
         assert_eq!(f.bars[0].0, "Equake");
         let s = f.render();
@@ -580,7 +629,7 @@ mod tests {
 
     #[test]
     fn fig2_has_four_panels_with_all_benchmarks() {
-        let f = fig2(&p7_data());
+        let f = fig2(&p7_data()).unwrap();
         assert_eq!(f.panels.len(), 4);
         for p in &f.panels {
             assert_eq!(p.points.len(), 28);
@@ -601,7 +650,7 @@ mod tests {
     #[test]
     fn fig6_and_derived_threshold_figures_agree() {
         let data = p7_data();
-        let f6 = fig6(&data);
+        let f6 = fig6(&data).unwrap();
         assert_eq!(f6.accuracy, 1.0, "clean synthetic data separates");
         let f16 = fig16(&f6);
         assert_eq!(f16.min_impurity, 0.0);
@@ -615,7 +664,7 @@ mod tests {
 
     #[test]
     fn fig7_sorted_by_speedup() {
-        let f = fig7(&p7_data());
+        let f = fig7(&p7_data()).unwrap();
         assert_eq!(f.rows.len(), 5);
         for w in f.rows.windows(2) {
             assert!(w[0].2 >= w[1].2, "not sorted by speedup");
@@ -629,16 +678,17 @@ mod tests {
     }
 
     #[test]
-    fn wrong_machine_panics() {
+    fn wrong_machine_is_rejected() {
         let data = p7_data();
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fig10(&data)));
+        let res = fig10(&data);
         assert!(res.is_err(), "fig10 must reject POWER7 data");
+        assert!(res.unwrap_err().to_string().contains("fig10"));
     }
 
     #[test]
     fn success_rates_pool_correctly() {
         let data = p7_data();
-        let f6 = fig6(&data);
+        let f6 = fig6(&data).unwrap();
         // Reuse the p7 scatter as a stand-in "fig10" with identical size.
         let rates = success_rates(&f6, &f6);
         assert_eq!(rates.power7, rates.nehalem);

@@ -4,6 +4,9 @@
 //!
 //! - [`runner`] — the measurement protocol (whole-run throughput + online
 //!   counter windows) for one (machine, workload, SMT level).
+//! - [`engine`] — the batch engine executing a (machine, workload, level)
+//!   job matrix with fault isolation, a content-addressed result cache
+//!   ([`cache`]), and pluggable progress reporting ([`progress`]).
 //! - [`suite`] — dataset collection: every benchmark at every SMT level on
 //!   each evaluation machine.
 //! - [`scatter`] — the generic "metric vs. speedup + threshold" template
@@ -20,14 +23,22 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache;
+pub mod engine;
 pub mod figures;
 pub mod plot;
+pub mod progress;
 pub mod runner;
 pub mod scatter;
 pub mod sched_demo;
 pub mod suite;
 pub mod validation;
 
-pub use runner::{run_benchmark, run_level, run_suite, BenchResult, LevelMeasurement};
+pub use cache::ResultCache;
+pub use engine::{Engine, EngineMetrics, JobError, RunPlan, RunRequest, SweepResult};
+pub use progress::{JobOutcome, NullSink, ProgressEvent, ProgressSink, StderrSink};
+pub use runner::{measure_level, BenchResult, LevelMeasurement, ProtocolConfig};
+#[allow(deprecated)]
+pub use runner::{run_benchmark, run_level, run_suite};
 pub use scatter::{ScatterFigure, ScatterPoint};
 pub use suite::{Machine, SuiteData};

@@ -58,22 +58,25 @@ pub fn ascii_scatter(
 
     let mut grid = vec![vec![' '; width]; height];
     if let Some(h) = hline {
-        let r = row(h);
-        for c in 0..width {
-            grid[r][c] = '-';
+        for cell in &mut grid[row(h)] {
+            *cell = '-';
         }
     }
     if let Some(v) = vline {
         let c = col(v);
-        for r in 0..height {
-            grid[r][c] = if grid[r][c] == '-' { '+' } else { '|' };
+        for line in &mut grid {
+            line[c] = if line[c] == '-' { '+' } else { '|' };
         }
     }
     for &(x, y) in points {
         let (r, c) = (row(y), col(x));
         grid[r][c] = match grid[r][c] {
             '*' | '2'..='8' => {
-                let n = if grid[r][c] == '*' { 2 } else { grid[r][c] as u8 - b'0' + 1 };
+                let n = if grid[r][c] == '*' {
+                    2
+                } else {
+                    grid[r][c] as u8 - b'0' + 1
+                };
                 (b'0' + n.min(9)) as char
             }
             _ => '*',
@@ -127,7 +130,10 @@ mod tests {
     fn overlapping_points_count_up() {
         let pts = vec![(0.5, 0.5); 4];
         let s = ascii_scatter(&pts, 20, 6, None, None, "x", "y");
-        assert!(s.contains('4'), "coincident points should show a count: {s}");
+        assert!(
+            s.contains('4'),
+            "coincident points should show a count: {s}"
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Pluggable progress reporting for the batch engine.
+//!
+//! The engine fires [`ProgressEvent`]s from whatever worker thread runs a
+//! job, so a [`ProgressSink`] must be `Send + Sync`. The two built-in
+//! sinks cover the common cases: [`NullSink`] for silent library use and
+//! [`StderrSink`] for command-line progress lines.
+
+use crate::engine::EngineMetrics;
+use smt_sim::SmtLevel;
+
+/// What the engine just did. Borrowed data only — sinks that need to keep
+/// an event must copy out of it.
+#[derive(Debug)]
+pub enum ProgressEvent<'a> {
+    /// A sweep is starting with this many (benchmark, level) jobs.
+    SweepStarted {
+        /// Total jobs in the plan.
+        jobs_total: usize,
+    },
+    /// One job finished (computed, served from cache, or failed).
+    JobFinished {
+        /// Benchmark name.
+        benchmark: &'a str,
+        /// SMT level of the job.
+        level: SmtLevel,
+        /// How the job was satisfied.
+        outcome: JobOutcome,
+        /// Jobs finished so far, including this one.
+        jobs_done: usize,
+        /// Total jobs in the plan.
+        jobs_total: usize,
+        /// Wall time this job took (zero-ish for cache hits).
+        elapsed: std::time::Duration,
+    },
+    /// The whole sweep finished.
+    SweepFinished {
+        /// Final counters for the sweep.
+        metrics: &'a EngineMetrics,
+    },
+}
+
+/// How a single job was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Simulated fresh.
+    Computed,
+    /// Loaded from the result cache.
+    CacheHit,
+    /// Failed (panicked or hit the cycle cap); details in the sweep's
+    /// `errors`.
+    Failed,
+}
+
+/// Receives engine progress events, possibly from several threads at once.
+pub trait ProgressSink: Send + Sync {
+    /// Called for every [`ProgressEvent`]. Implementations should be
+    /// cheap; they run on the measurement threads.
+    fn on_event(&self, event: &ProgressEvent<'_>);
+}
+
+/// Discards all events (the engine default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn on_event(&self, _event: &ProgressEvent<'_>) {}
+}
+
+/// Prints one line per job and a summary line per sweep to stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl ProgressSink for StderrSink {
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        match event {
+            ProgressEvent::SweepStarted { jobs_total } => {
+                eprintln!("[engine] sweep started: {jobs_total} jobs");
+            }
+            ProgressEvent::JobFinished {
+                benchmark,
+                level,
+                outcome,
+                jobs_done,
+                jobs_total,
+                elapsed,
+            } => {
+                let tag = match outcome {
+                    JobOutcome::Computed => "ran",
+                    JobOutcome::CacheHit => "hit",
+                    JobOutcome::Failed => "FAILED",
+                };
+                eprintln!(
+                    "[engine] [{jobs_done}/{jobs_total}] {tag:>6} {benchmark} @ {level} ({elapsed:.1?})"
+                );
+            }
+            ProgressEvent::SweepFinished { metrics } => {
+                eprintln!("[engine] {}", metrics.summary());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A sink that records outcomes, for engine tests.
+    #[derive(Default)]
+    pub struct RecordingSink {
+        pub outcomes: Mutex<Vec<JobOutcome>>,
+    }
+
+    impl ProgressSink for RecordingSink {
+        fn on_event(&self, event: &ProgressEvent<'_>) {
+            if let ProgressEvent::JobFinished { outcome, .. } = event {
+                self.outcomes.lock().unwrap().push(*outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn null_sink_ignores_everything() {
+        NullSink.on_event(&ProgressEvent::SweepStarted { jobs_total: 3 });
+    }
+
+    #[test]
+    fn recording_sink_collects_outcomes() {
+        let sink = RecordingSink::default();
+        sink.on_event(&ProgressEvent::JobFinished {
+            benchmark: "EP",
+            level: SmtLevel::Smt2,
+            outcome: JobOutcome::Computed,
+            jobs_done: 1,
+            jobs_total: 2,
+            elapsed: std::time::Duration::from_millis(1),
+        });
+        assert_eq!(*sink.outcomes.lock().unwrap(), vec![JobOutcome::Computed]);
+    }
+}

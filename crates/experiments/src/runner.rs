@@ -3,14 +3,16 @@
 //! Section IV's protocol: at every SMT level the workload uses exactly as
 //! many software threads as there are hardware contexts; performance is
 //! whole-run throughput; the metric is sampled online from hardware
-//! counters after a warm-up period. [`run_benchmark`] executes one
-//! (machine, workload) pair across a set of SMT levels and collects
-//! everything every figure needs; [`run_suite`] fans a whole suite out
-//! across host cores with rayon.
+//! counters after a warm-up period. [`measure_level`] executes the
+//! two-pass protocol for one (machine, workload, SMT level) job under a
+//! [`ProtocolConfig`]; batch execution across levels, benchmarks, and
+//! host cores lives in [`crate::engine`].
+//!
+//! The old free functions [`run_level`], [`run_benchmark`], and
+//! [`run_suite`] remain as thin deprecated wrappers over the engine.
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use smt_sim::{MachineConfig, Simulation, SmtLevel, Workload};
+use smt_sim::{Error, MachineConfig, Simulation, SmtLevel, Workload};
 use smt_workloads::{SyntheticWorkload, WorkloadSpec};
 use smtsm::{smtsm_factors, MetricSpec, NaiveMetric, SmtsmFactors};
 use std::collections::BTreeMap;
@@ -25,6 +27,50 @@ pub const WINDOW_CYCLES: u64 = 80_000;
 /// Hard cap on any single run (a run hitting this is reported
 /// `completed = false`).
 pub const MAX_RUN_CYCLES: u64 = 120_000_000;
+
+/// The tunable constants of the two-pass measurement protocol.
+///
+/// The protocol is part of every cached result's identity: two runs with
+/// different protocol constants measure different things, so
+/// [`crate::cache::ResultCache`] hashes this struct into the cache key
+/// alongside the machine, workload, and SMT level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Cycles to run before the metric window opens.
+    pub warmup_cycles: u64,
+    /// Metric sampling-window length in cycles.
+    pub window_cycles: u64,
+    /// Hard cap on any single run; a run still unfinished at this point
+    /// is reported with `completed = false`.
+    pub max_run_cycles: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            warmup_cycles: WARMUP_CYCLES,
+            window_cycles: WINDOW_CYCLES,
+            max_run_cycles: MAX_RUN_CYCLES,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Check the constants are usable (all non-zero, window fits the cap).
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.warmup_cycles == 0 || self.window_cycles == 0 || self.max_run_cycles == 0 {
+            return Err(Error::InvalidMeasurement(
+                "protocol cycle counts must be non-zero".into(),
+            ));
+        }
+        if self.window_cycles > self.max_run_cycles {
+            return Err(Error::InvalidMeasurement(
+                "window_cycles exceeds max_run_cycles".into(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Everything measured for one benchmark at one SMT level.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,60 +100,86 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
+    /// The measurement at `level`, or [`Error::MissingLevel`].
+    pub fn level(&self, level: SmtLevel) -> Result<&LevelMeasurement, Error> {
+        self.levels.get(&level).ok_or_else(|| Error::MissingLevel {
+            benchmark: self.name.clone(),
+            level,
+        })
+    }
+
     /// Speedup of `hi` relative to `lo` (throughput ratio).
-    pub fn speedup(&self, hi: SmtLevel, lo: SmtLevel) -> f64 {
-        let h = self.levels.get(&hi).expect("missing hi level");
-        let l = self.levels.get(&lo).expect("missing lo level");
-        assert!(l.perf > 0.0, "zero baseline perf for {}", self.name);
-        h.perf / l.perf
+    pub fn speedup(&self, hi: SmtLevel, lo: SmtLevel) -> Result<f64, Error> {
+        let h = self.level(hi)?;
+        let l = self.level(lo)?;
+        if l.perf <= 0.0 {
+            return Err(Error::InvalidMeasurement(format!(
+                "non-positive baseline perf {} for `{}` at {lo}",
+                l.perf, self.name
+            )));
+        }
+        Ok(h.perf / l.perf)
     }
 
     /// SMTsm value measured at `level`.
-    pub fn metric_at(&self, level: SmtLevel) -> f64 {
-        self.levels.get(&level).expect("missing level").factors.value()
+    pub fn metric_at(&self, level: SmtLevel) -> Result<f64, Error> {
+        Ok(self.level(level)?.factors.value())
     }
 
     /// The naive metric's value at `level`.
-    pub fn naive_at(&self, level: SmtLevel, which: NaiveMetric) -> f64 {
-        let idx = NaiveMetric::ALL.iter().position(|m| *m == which).expect("known metric");
-        self.levels.get(&level).expect("missing level").naive[idx]
+    pub fn naive_at(&self, level: SmtLevel, which: NaiveMetric) -> Result<f64, Error> {
+        let idx = NaiveMetric::ALL
+            .iter()
+            .position(|m| *m == which)
+            .ok_or_else(|| {
+                Error::InvalidMeasurement(format!("naive metric {which:?} is not tabulated"))
+            })?;
+        Ok(self.level(level)?.naive[idx])
     }
 
     /// The SMT level with the highest measured throughput.
-    pub fn best_level(&self) -> SmtLevel {
-        *self
-            .levels
+    pub fn best_level(&self) -> Result<SmtLevel, Error> {
+        self.levels
             .iter()
-            .max_by(|a, b| a.1.perf.partial_cmp(&b.1.perf).expect("no NaN perf"))
-            .expect("nonempty")
-            .0
+            .max_by(|a, b| a.1.perf.total_cmp(&b.1.perf))
+            .map(|(l, _)| *l)
+            .ok_or_else(|| {
+                Error::InvalidMeasurement(format!("`{}` has no measurements", self.name))
+            })
     }
 }
 
-/// Run one benchmark at one SMT level.
+/// Run one benchmark at one SMT level under `protocol`.
 ///
 /// Two passes over identical (deterministic) executions: the first runs to
 /// completion for whole-run throughput and the run length; the second
 /// re-runs with a warm-up and counter window scaled to that length, so the
 /// metric is always sampled from the steady state regardless of how the
 /// workload was scaled.
-pub fn run_level(
+///
+/// The inputs must already be validated (the engine's
+/// [`crate::engine::RunRequest::plan`] does this); an invalid machine or
+/// an SMT level the machine does not support still panics inside the
+/// simulator, which the engine catches and reports as a
+/// [`crate::engine::JobError`].
+pub fn measure_level(
     cfg: &MachineConfig,
     spec: &WorkloadSpec,
     smt: SmtLevel,
+    protocol: &ProtocolConfig,
 ) -> LevelMeasurement {
     let metric_spec = MetricSpec::for_arch(&cfg.arch);
 
     // Pass 1: throughput.
     let workload = SyntheticWorkload::new(spec.clone());
     let mut sim = Simulation::new(cfg.clone(), smt, workload);
-    let res = sim.run_until_finished(MAX_RUN_CYCLES);
+    let res = sim.run_until_finished(protocol.max_run_cycles);
     let total_cycles = sim.now().max(1);
     let perf = sim.workload().work_done() as f64 / total_cycles as f64;
 
     // Pass 2: counters, from a steady-state window inside the run.
-    let warmup = WARMUP_CYCLES.min(total_cycles / 5).max(1);
-    let window_len = WINDOW_CYCLES.min(total_cycles / 2).max(1);
+    let warmup = protocol.warmup_cycles.min(total_cycles / 5).max(1);
+    let window_len = protocol.window_cycles.min(total_cycles / 2).max(1);
     let workload = SyntheticWorkload::new(spec.clone());
     let mut sim = Simulation::new(cfg.clone(), smt, workload);
     sim.run_cycles(warmup);
@@ -129,43 +201,66 @@ pub fn run_level(
     }
 }
 
+/// Run one benchmark at one SMT level with the default protocol.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `measure_level` with an explicit `ProtocolConfig`, or drive a \
+            whole job matrix through `smt_experiments::Engine`"
+)]
+pub fn run_level(cfg: &MachineConfig, spec: &WorkloadSpec, smt: SmtLevel) -> LevelMeasurement {
+    measure_level(cfg, spec, smt, &ProtocolConfig::default())
+}
+
 /// Run one benchmark across several SMT levels.
-pub fn run_benchmark(
-    cfg: &MachineConfig,
-    spec: &WorkloadSpec,
-    levels: &[SmtLevel],
-) -> BenchResult {
-    let measurements: Vec<LevelMeasurement> = levels
-        .par_iter()
-        .map(|&smt| run_level(cfg, spec, smt))
-        .collect();
-    BenchResult {
-        name: spec.name.clone(),
-        levels: measurements.into_iter().map(|m| (m.smt, m)).collect(),
+///
+/// Preserves the historical contract: invalid input panics. New code
+/// should build a [`crate::engine::RunRequest`] and inspect the structured
+/// errors in the returned sweep instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `RunRequest` for `smt_experiments::Engine` instead; \
+            `Engine::run` reports per-job failures as `JobError` values \
+            rather than panicking"
+)]
+pub fn run_benchmark(cfg: &MachineConfig, spec: &WorkloadSpec, levels: &[SmtLevel]) -> BenchResult {
+    let plan = crate::engine::RunRequest::new(cfg.clone())
+        .benchmark(spec.clone())
+        .levels(levels.to_vec())
+        .plan()
+        .unwrap_or_else(|e| panic!("invalid run request: {e}"));
+    let mut sweep = crate::engine::Engine::new().run(&plan);
+    if let Some(err) = sweep.errors.first() {
+        panic!("job failed: {err}");
     }
+    sweep.results.swap_remove(0)
 }
 
 /// Run a whole suite in parallel across (benchmark x level) pairs.
+///
+/// Preserves the historical contract: invalid input panics. New code
+/// should build a [`crate::engine::RunRequest`] and inspect the structured
+/// errors in the returned sweep instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `RunRequest` for `smt_experiments::Engine` instead; the \
+            engine adds result caching, per-job fault isolation, and \
+            progress reporting"
+)]
 pub fn run_suite(
     cfg: &MachineConfig,
     specs: &[WorkloadSpec],
     levels: &[SmtLevel],
 ) -> Vec<BenchResult> {
-    let jobs: Vec<(usize, SmtLevel)> = (0..specs.len())
-        .flat_map(|i| levels.iter().map(move |&l| (i, l)))
-        .collect();
-    let measured: Vec<(usize, LevelMeasurement)> = jobs
-        .par_iter()
-        .map(|&(i, smt)| (i, run_level(cfg, &specs[i], smt)))
-        .collect();
-    let mut results: Vec<BenchResult> = specs
-        .iter()
-        .map(|s| BenchResult { name: s.name.clone(), levels: BTreeMap::new() })
-        .collect();
-    for (i, m) in measured {
-        results[i].levels.insert(m.smt, m);
+    let plan = crate::engine::RunRequest::new(cfg.clone())
+        .benchmarks(specs.to_vec())
+        .levels(levels.to_vec())
+        .plan()
+        .unwrap_or_else(|e| panic!("invalid run request: {e}"));
+    let sweep = crate::engine::Engine::new().run(&plan);
+    if let Some(err) = sweep.errors.first() {
+        panic!("job failed: {err}");
     }
-    results
+    sweep.results
 }
 
 #[cfg(test)]
@@ -174,10 +269,10 @@ mod tests {
     use smt_workloads::catalog;
 
     #[test]
-    fn run_level_produces_consistent_measurement() {
+    fn measure_level_produces_consistent_measurement() {
         let cfg = MachineConfig::generic(2);
         let spec = catalog::ep().scaled(0.02);
-        let m = run_level(&cfg, &spec, SmtLevel::Smt1);
+        let m = measure_level(&cfg, &spec, SmtLevel::Smt1, &ProtocolConfig::default());
         assert!(m.completed, "tiny run must complete");
         assert!(m.perf > 0.0);
         assert!(m.factors.scalability >= 1.0);
@@ -185,24 +280,26 @@ mod tests {
     }
 
     #[test]
-    fn run_benchmark_covers_levels_and_speedup() {
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_engine_output() {
         let cfg = MachineConfig::generic(2);
         let spec = catalog::blackscholes().scaled(0.05);
         let r = run_benchmark(&cfg, &spec, &[SmtLevel::Smt1, SmtLevel::Smt2]);
         assert_eq!(r.levels.len(), 2);
-        let s = r.speedup(SmtLevel::Smt2, SmtLevel::Smt1);
+        let s = r.speedup(SmtLevel::Smt2, SmtLevel::Smt1).unwrap();
         assert!(s > 0.2 && s < 5.0, "speedup {s} out of sane range");
-        let best = r.best_level();
+        let best = r.best_level().unwrap();
         assert!(best == SmtLevel::Smt1 || best == SmtLevel::Smt2);
+
+        let direct = measure_level(&cfg, &spec, SmtLevel::Smt1, &ProtocolConfig::default());
+        assert_eq!(direct.perf, r.levels[&SmtLevel::Smt1].perf);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_suite_parallel_matches_shape() {
         let cfg = MachineConfig::generic(2);
-        let specs = vec![
-            catalog::ep().scaled(0.01),
-            catalog::ssca2().scaled(0.01),
-        ];
+        let specs = vec![catalog::ep().scaled(0.01), catalog::ssca2().scaled(0.01)];
         let rs = run_suite(&cfg, &specs, &[SmtLevel::Smt1, SmtLevel::Smt2]);
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].name, "EP");
@@ -215,10 +312,25 @@ mod tests {
     fn determinism_same_spec_same_result() {
         let cfg = MachineConfig::generic(1);
         let spec = catalog::mg().scaled(0.01);
-        let a = run_level(&cfg, &spec, SmtLevel::Smt1);
-        let b = run_level(&cfg, &spec, SmtLevel::Smt1);
+        let proto = ProtocolConfig::default();
+        let a = measure_level(&cfg, &spec, SmtLevel::Smt1, &proto);
+        let b = measure_level(&cfg, &spec, SmtLevel::Smt1, &proto);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.perf, b.perf);
         assert_eq!(a.factors.value(), b.factors.value());
+    }
+
+    #[test]
+    fn accessors_report_missing_levels() {
+        let r = BenchResult {
+            name: "ghost".into(),
+            levels: BTreeMap::new(),
+        };
+        assert!(matches!(
+            r.metric_at(SmtLevel::Smt4),
+            Err(Error::MissingLevel { .. })
+        ));
+        assert!(r.speedup(SmtLevel::Smt4, SmtLevel::Smt1).is_err());
+        assert!(r.best_level().is_err());
     }
 }

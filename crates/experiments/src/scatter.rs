@@ -9,7 +9,7 @@
 
 use crate::suite::SuiteData;
 use serde::{Deserialize, Serialize};
-use smt_sim::SmtLevel;
+use smt_sim::{Error, SmtLevel};
 use smt_stats::classify::{mispredicted, SpeedupCase};
 use smt_stats::corr::{pearson, spearman};
 use smt_stats::gini::GiniSweep;
@@ -63,6 +63,10 @@ pub struct ScatterFigure {
 
 impl ScatterFigure {
     /// Evaluate the template over a dataset.
+    ///
+    /// Fails with [`Error::MissingLevel`] when a benchmark lacks a
+    /// measurement at one of the requested levels (e.g. its job failed in
+    /// the engine sweep that collected `data`).
     pub fn evaluate(
         id: &str,
         title: &str,
@@ -70,11 +74,15 @@ impl ScatterFigure {
         metric_at: SmtLevel,
         hi: SmtLevel,
         lo: SmtLevel,
-    ) -> ScatterFigure {
+    ) -> Result<ScatterFigure, Error> {
         let points: Vec<ScatterPoint> = data
-            .scatter_points(metric_at, hi, lo)
+            .scatter_points(metric_at, hi, lo)?
             .into_iter()
-            .map(|(name, metric, speedup)| ScatterPoint { name, metric, speedup })
+            .map(|(name, metric, speedup)| ScatterPoint {
+                name,
+                metric,
+                speedup,
+            })
             .collect();
         let cases: Vec<SpeedupCase> = points
             .iter()
@@ -116,7 +124,7 @@ impl ScatterFigure {
             0.95,
             0x5eed,
         );
-        ScatterFigure {
+        Ok(ScatterFigure {
             id: id.to_string(),
             title: title.to_string(),
             metric_at,
@@ -134,7 +142,7 @@ impl ScatterFigure {
             spearman_rho: spearman(&xs, &ys),
             accuracy_ci,
             points,
-        }
+        })
     }
 
     /// The labeled cases (for threshold-method figures and success tables).
@@ -153,8 +161,17 @@ impl ScatterFigure {
                 p.name.clone(),
                 format!("{:.6}", p.metric),
                 format!("{:.6}", p.speedup),
-                if p.metric < self.threshold { "left" } else { "right" }.to_string(),
-                if p.speedup >= 1.0 { self.hi.to_string() } else { self.lo.to_string() },
+                if p.metric < self.threshold {
+                    "left"
+                } else {
+                    "right"
+                }
+                .to_string(),
+                if p.speedup >= 1.0 {
+                    self.hi.to_string()
+                } else {
+                    self.lo.to_string()
+                },
             ]);
         }
         t.to_csv()
@@ -170,13 +187,18 @@ impl ScatterFigure {
             "prefers",
         ]);
         let mut sorted = self.points.clone();
-        sorted.sort_by(|a, b| a.metric.partial_cmp(&b.metric).expect("no NaN"));
+        sorted.sort_by(|a, b| a.metric.total_cmp(&b.metric));
         for p in &sorted {
             t.row(vec![
                 p.name.clone(),
                 fnum(p.metric, 4),
                 fnum(p.speedup, 3),
-                if p.metric < self.threshold { "left" } else { "right" }.to_string(),
+                if p.metric < self.threshold {
+                    "left"
+                } else {
+                    "right"
+                }
+                .to_string(),
                 if p.speedup >= 1.0 {
                     self.hi.to_string()
                 } else {
@@ -185,7 +207,11 @@ impl ScatterFigure {
             ]);
         }
         let plot = crate::plot::ascii_scatter(
-            &self.points.iter().map(|p| (p.metric, p.speedup)).collect::<Vec<_>>(),
+            &self
+                .points
+                .iter()
+                .map(|p| (p.metric, p.speedup))
+                .collect::<Vec<_>>(),
             64,
             16,
             Some(self.threshold),
@@ -236,7 +262,11 @@ mod tests {
             perf,
             cycles: 1000,
             completed: true,
-            factors: SmtsmFactors { mix_deviation: metric, disp_held: 1.0, scalability: 1.0 },
+            factors: SmtsmFactors {
+                mix_deviation: metric,
+                disp_held: 1.0,
+                scalability: 1.0,
+            },
             naive: [0.0; 4],
         }
     }
@@ -246,9 +276,15 @@ mod tests {
         let mk = |name: &str, s41: f64, metric: f64| {
             let mut levels = BTreeMap::new();
             levels.insert(SmtLevel::Smt1, fake_level(SmtLevel::Smt1, 1.0, metric));
-            levels.insert(SmtLevel::Smt2, fake_level(SmtLevel::Smt2, (1.0 + s41) / 2.0, metric));
+            levels.insert(
+                SmtLevel::Smt2,
+                fake_level(SmtLevel::Smt2, (1.0 + s41) / 2.0, metric),
+            );
             levels.insert(SmtLevel::Smt4, fake_level(SmtLevel::Smt4, s41, metric));
-            BenchResult { name: name.into(), levels }
+            BenchResult {
+                name: name.into(),
+                levels,
+            }
         };
         SuiteData {
             machine: Machine::Power7OneChip,
@@ -271,12 +307,16 @@ mod tests {
             SmtLevel::Smt4,
             SmtLevel::Smt4,
             SmtLevel::Smt1,
-        );
+        )
+        .unwrap();
         assert_eq!(fig.points.len(), 4);
         assert_eq!(fig.accuracy, 1.0);
         assert!(fig.threshold > 0.03 && fig.threshold < 0.20);
         assert!(fig.mispredicted.is_empty());
-        assert!(fig.pearson_r.unwrap() < -0.5, "negative correlation expected");
+        assert!(
+            fig.pearson_r.unwrap() < -0.5,
+            "negative correlation expected"
+        );
     }
 
     #[test]
@@ -288,7 +328,8 @@ mod tests {
             SmtLevel::Smt4,
             SmtLevel::Smt4,
             SmtLevel::Smt1,
-        );
+        )
+        .unwrap();
         let s = fig.render();
         for name in ["win-a", "win-b", "lose-a", "lose-b"] {
             assert!(s.contains(name), "missing {name} in render");
@@ -306,7 +347,8 @@ mod tests {
             SmtLevel::Smt4,
             SmtLevel::Smt4,
             SmtLevel::Smt1,
-        );
+        )
+        .unwrap();
         let cases = fig.cases();
         assert_eq!(cases.len(), 4);
         assert_eq!(cases[0].name, "win-a");

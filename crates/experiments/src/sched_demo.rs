@@ -65,12 +65,7 @@ pub fn scenarios(scale: f64) -> Vec<(String, Vec<WorkloadSpec>)> {
 
 /// Run the scheduler demo with thresholds trained elsewhere (e.g. from the
 /// fig-6/fig-8 data).
-pub fn run(
-    scale: f64,
-    threshold_top: f64,
-    threshold_mid: f64,
-    max_cycles: u64,
-) -> SchedDemo {
+pub fn run(scale: f64, threshold_top: f64, threshold_mid: f64, max_cycles: u64) -> SchedDemo {
     let cfg = MachineConfig::power7(1);
     let selector = LevelSelector::three_level(
         ThresholdPredictor::fixed(threshold_top),
@@ -93,7 +88,11 @@ pub fn run(
             ctl,
             max_cycles,
         );
-        out.push(Scenario { name, phases: phase_names, comparison });
+        out.push(Scenario {
+            name,
+            phases: phase_names,
+            comparison,
+        });
     }
     SchedDemo {
         scenarios: out,
@@ -129,10 +128,18 @@ impl SchedDemo {
                 fnum(perf_at(SmtLevel::Smt1), 2),
                 fnum(perf_at(SmtLevel::Smt2), 2),
                 fnum(perf_at(SmtLevel::Smt4), 2),
-                format!("{} ({})", fnum(s.comparison.oracle_perf(), 2), s.comparison.oracle),
+                format!(
+                    "{} ({})",
+                    fnum(s.comparison.oracle_perf(), 2),
+                    s.comparison.oracle
+                ),
                 fnum(s.comparison.dynamic.perf, 2),
                 fnum(s.comparison.dynamic_vs_oracle(), 2),
-                format!("{} ({})", fnum(s.comparison.ipc_probe.1, 2), s.comparison.ipc_probe.0),
+                format!(
+                    "{} ({})",
+                    fnum(s.comparison.ipc_probe.1, 2),
+                    s.comparison.ipc_probe.0
+                ),
                 s.comparison.dynamic.switches.len().to_string(),
             ]);
         }

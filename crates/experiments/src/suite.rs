@@ -6,9 +6,10 @@
 //! collected once per invocation (every benchmark at every supported SMT
 //! level) and shared by the figure generators.
 
-use crate::runner::{run_suite, BenchResult};
+use crate::engine::{Engine, RunRequest};
+use crate::runner::BenchResult;
 use serde::{Deserialize, Serialize};
-use smt_sim::{MachineConfig, SmtLevel};
+use smt_sim::{Error, MachineConfig, SmtLevel};
 use smt_workloads::catalog;
 
 /// Which evaluation machine a dataset was collected on.
@@ -63,17 +64,31 @@ pub struct SuiteData {
 
 impl SuiteData {
     /// Collect the dataset: every suite benchmark at every supported SMT
-    /// level, scaled by `scale` (1.0 = full catalog work sizes).
-    pub fn collect(machine: Machine, scale: f64) -> SuiteData {
+    /// level, scaled by `scale` (1.0 = full catalog work sizes), on a
+    /// default (parallel, uncached, silent) [`Engine`].
+    pub fn collect(machine: Machine, scale: f64) -> Result<SuiteData, Error> {
+        SuiteData::collect_with(machine, scale, &Engine::new())
+    }
+
+    /// Collect the dataset on a caller-configured engine (cache, progress
+    /// sink, serial mode).
+    ///
+    /// Job failures do not abort the collection: a benchmark whose run
+    /// panicked or hit the cycle cap simply lacks that level (see
+    /// [`SuiteData::all_completed`]); the sweep's own error list is
+    /// reported through the engine's progress sink.
+    pub fn collect_with(machine: Machine, scale: f64, engine: &Engine) -> Result<SuiteData, Error> {
         let cfg = machine.config();
-        let specs: Vec<_> = machine
-            .suite()
-            .into_iter()
-            .map(|s| s.scaled(scale))
-            .collect();
-        let levels: Vec<SmtLevel> = cfg.smt_levels();
-        let results = run_suite(&cfg, &specs, &levels);
-        SuiteData { machine, scale, results }
+        let plan = RunRequest::new(cfg)
+            .benchmarks(machine.suite().into_iter().map(|s| s.scaled(scale)))
+            .all_levels()
+            .plan()?;
+        let sweep = engine.run(&plan);
+        Ok(SuiteData {
+            machine,
+            scale,
+            results: sweep.results,
+        })
     }
 
     /// Find one benchmark's results by name.
@@ -88,10 +103,10 @@ impl SuiteData {
         metric_at: SmtLevel,
         hi: SmtLevel,
         lo: SmtLevel,
-    ) -> Vec<(String, f64, f64)> {
+    ) -> Result<Vec<(String, f64, f64)>, Error> {
         self.results
             .iter()
-            .map(|r| (r.name.clone(), r.metric_at(metric_at), r.speedup(hi, lo)))
+            .map(|r| Ok((r.name.clone(), r.metric_at(metric_at)?, r.speedup(hi, lo)?)))
             .collect()
     }
 
@@ -120,12 +135,14 @@ mod tests {
     #[test]
     #[ignore = "slow: collects a real (tiny) suite; run with --ignored"]
     fn tiny_collection_has_all_levels() {
-        let data = SuiteData::collect(Machine::Nehalem, 0.01);
+        let data = SuiteData::collect(Machine::Nehalem, 0.01).unwrap();
         assert_eq!(data.results.len(), Machine::Nehalem.suite().len());
         for r in &data.results {
             assert_eq!(r.levels.len(), 2, "{}", r.name);
         }
-        let pts = data.scatter_points(SmtLevel::Smt2, SmtLevel::Smt2, SmtLevel::Smt1);
+        let pts = data
+            .scatter_points(SmtLevel::Smt2, SmtLevel::Smt2, SmtLevel::Smt1)
+            .unwrap();
         assert_eq!(pts.len(), data.results.len());
     }
 }

@@ -7,9 +7,11 @@
 //! characteristics do not) and reports how the trained threshold and the
 //! success rate move across replicas.
 
+use crate::engine::{Engine, RunRequest};
 use crate::figures;
 use crate::suite::{Machine, SuiteData};
 use serde::{Deserialize, Serialize};
+use smt_sim::Error;
 use smt_stats::table::{fnum, Table};
 use smt_stats::Summary;
 
@@ -39,24 +41,34 @@ pub struct Validation {
 
 /// Collect `n` replicas of the single-chip suite at `scale`, each with a
 /// different seed offset, and evaluate the fig-6 pipeline on each.
-pub fn run(n: usize, scale: f64) -> Validation {
-    assert!(n >= 1);
+///
+/// Replicas run through `engine`, so a cached engine skips every replica
+/// that is already on disk (each seed offset hashes to its own cache
+/// keys — replicas never alias each other's entries).
+pub fn run_with(n: usize, scale: f64, engine: &Engine) -> Result<Validation, Error> {
+    if n == 0 {
+        return Err(Error::InvalidMeasurement(
+            "validation needs at least one replica".into(),
+        ));
+    }
     let mut replicas = Vec::with_capacity(n);
     for k in 0..n {
         let offset = k as u64 * 7_919; // any fixed stride of seeds
         let machine = Machine::Power7OneChip;
-        let cfg = machine.config();
-        let specs: Vec<_> = machine
-            .suite()
-            .into_iter()
-            .map(|mut s| {
+        let plan = RunRequest::new(machine.config())
+            .benchmarks(machine.suite().into_iter().map(|mut s| {
                 s.seed = s.seed.wrapping_add(offset);
                 s.scaled(scale)
-            })
-            .collect();
-        let results = crate::runner::run_suite(&cfg, &specs, &cfg.smt_levels());
-        let data = SuiteData { machine, scale, results };
-        let fig = figures::fig6(&data);
+            }))
+            .all_levels()
+            .plan()?;
+        let sweep = engine.run(&plan);
+        let data = SuiteData {
+            machine,
+            scale,
+            results: sweep.results,
+        };
+        let fig = figures::fig6(&data)?;
         replicas.push(Replica {
             seed_offset: offset,
             threshold: fig.threshold,
@@ -66,11 +78,16 @@ pub fn run(n: usize, scale: f64) -> Validation {
     }
     let acc = Summary::of(&replicas.iter().map(|r| r.accuracy).collect::<Vec<_>>());
     let thr = Summary::of(&replicas.iter().map(|r| r.threshold).collect::<Vec<_>>());
-    Validation {
+    Ok(Validation {
         replicas,
         accuracy_summary: (acc.mean, acc.stddev),
         threshold_summary: (thr.mean, thr.stddev),
-    }
+    })
+}
+
+/// [`run_with`] on a default (parallel, uncached) engine.
+pub fn run(n: usize, scale: f64) -> Result<Validation, Error> {
+    run_with(n, scale, &Engine::new())
 }
 
 impl Validation {
@@ -82,7 +99,9 @@ impl Validation {
                 r.seed_offset.to_string(),
                 fnum(r.threshold, 4),
                 format!("{:.1}%", r.accuracy * 100.0),
-                r.pearson_r.map(|v| fnum(v, 3)).unwrap_or_else(|| "n/a".into()),
+                r.pearson_r
+                    .map(|v| fnum(v, 3))
+                    .unwrap_or_else(|| "n/a".into()),
             ]);
         }
         format!(
@@ -105,7 +124,7 @@ mod tests {
     #[test]
     #[ignore = "slow: collects multiple full suites; run with --ignored"]
     fn replicas_agree_on_the_shape() {
-        let v = run(2, 0.05);
+        let v = run(2, 0.05).unwrap();
         assert_eq!(v.replicas.len(), 2);
         for r in &v.replicas {
             assert!(r.accuracy >= 0.8, "replica accuracy {}", r.accuracy);

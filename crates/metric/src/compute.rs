@@ -66,7 +66,11 @@ mod tests {
 
     #[test]
     fn metric_is_product_of_factors() {
-        let f = SmtsmFactors { mix_deviation: 0.3, disp_held: 0.5, scalability: 2.0 };
+        let f = SmtsmFactors {
+            mix_deviation: 0.3,
+            disp_held: 0.5,
+            scalability: 2.0,
+        };
         assert!((f.value() - 0.3).abs() < 1e-12);
         assert!((f.value_without_disp_held() - 0.6).abs() < 1e-12);
         assert!((f.value_without_scalability() - 0.15).abs() < 1e-12);

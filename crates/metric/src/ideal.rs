@@ -39,12 +39,18 @@ pub struct MetricSpec {
 impl MetricSpec {
     /// Eq. 2 — the POWER7 instantiation.
     pub fn power7() -> MetricSpec {
-        MetricSpec { basis: MixBasis::Power7Classes, num_ports: 8 }
+        MetricSpec {
+            basis: MixBasis::Power7Classes,
+            num_ports: 8,
+        }
     }
 
     /// Eq. 3 — the Nehalem Core i7 instantiation.
     pub fn nehalem() -> MetricSpec {
-        MetricSpec { basis: MixBasis::UniformPorts, num_ports: 6 }
+        MetricSpec {
+            basis: MixBasis::UniformPorts,
+            num_ports: 6,
+        }
     }
 
     /// Port the metric to an arbitrary architecture descriptor (Section V:
@@ -108,7 +114,10 @@ impl MetricSpec {
             MixBasis::UniformPorts => {
                 let f = m.port_fractions();
                 let n = self.num_ports.max(1) as f64;
-                f.iter().map(|p| (p - 1.0 / n) * (p - 1.0 / n)).sum::<f64>().sqrt()
+                f.iter()
+                    .map(|p| (p - 1.0 / n) * (p - 1.0 / n))
+                    .sum::<f64>()
+                    .sqrt()
             }
         }
     }

@@ -32,19 +32,18 @@
 
 #![warn(missing_docs)]
 
+pub mod compute;
 pub mod ideal;
 pub mod naive;
 pub mod phase;
 pub mod predictor;
 pub mod sampler;
-pub mod compute;
 pub mod threshold;
 
+pub use compute::{smtsm, smtsm_factors, SmtsmFactors};
 pub use ideal::{MetricSpec, MixBasis};
 pub use naive::NaiveMetric;
 pub use phase::PhaseDetector;
 pub use predictor::{LevelSelector, SmtPreference, ThresholdPredictor, TrainingMethod};
 pub use sampler::OnlineSampler;
-pub use compute::{smtsm, smtsm_factors, SmtsmFactors};
 pub use threshold::{gini_sweep, PpiSweep};
-

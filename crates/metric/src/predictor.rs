@@ -41,7 +41,10 @@ pub struct ThresholdPredictor {
 impl ThresholdPredictor {
     /// Use a fixed threshold (e.g. the paper's 0.07 for POWER7 SMT4/SMT1).
     pub fn fixed(threshold: f64) -> ThresholdPredictor {
-        ThresholdPredictor { threshold, method: TrainingMethod::Gini }
+        ThresholdPredictor {
+            threshold,
+            method: TrainingMethod::Gini,
+        }
     }
 
     /// Train with the Gini-impurity method.
@@ -96,7 +99,10 @@ impl LevelSelector {
     /// A two-level selector (e.g. Nehalem SMT2/SMT1).
     pub fn two_level(top: SmtLevel, floor: SmtLevel, p: ThresholdPredictor) -> LevelSelector {
         assert!(top > floor);
-        LevelSelector { rungs: vec![(top, p)], floor }
+        LevelSelector {
+            rungs: vec![(top, p)],
+            floor,
+        }
     }
 
     /// A three-level POWER7-style selector: `p_top` decides SMT4-vs-SMT2

@@ -6,8 +6,8 @@
 //! packages that loop — fixed-length counter windows with exponential
 //! smoothing so a scheduler does not flap on transient phases.
 
-use crate::ideal::MetricSpec;
 use crate::compute::{smtsm_factors, SmtsmFactors};
+use crate::ideal::MetricSpec;
 use serde::{Deserialize, Serialize};
 use smt_sim::{Simulation, Workload};
 
@@ -30,7 +30,13 @@ impl OnlineSampler {
     pub fn new(spec: MetricSpec, window_cycles: u64, alpha: f64) -> OnlineSampler {
         assert!(window_cycles > 0, "window must be positive");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
-        OnlineSampler { spec, window_cycles, alpha, smoothed: None, samples: 0 }
+        OnlineSampler {
+            spec,
+            window_cycles,
+            alpha,
+            smoothed: None,
+            samples: 0,
+        }
     }
 
     /// Run one sampling window on the simulation and return the smoothed

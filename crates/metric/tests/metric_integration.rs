@@ -24,12 +24,20 @@ fn factors_track_workload_character_on_live_runs() {
 
     // SSCA2 under contention: spin-skewed mix, heavy dispatch hold.
     let ssca2 = measure(catalog::ssca2().scaled(0.5));
-    assert!(ssca2.mix_deviation > 0.4, "SSCA2 deviation {}", ssca2.mix_deviation);
+    assert!(
+        ssca2.mix_deviation > 0.4,
+        "SSCA2 deviation {}",
+        ssca2.mix_deviation
+    );
     assert!(ssca2.disp_held > 0.3, "SSCA2 held {}", ssca2.disp_held);
 
     // Dedup: blocking waits => scalability ratio well above 1.
     let dedup = measure(catalog::dedup().scaled(0.5));
-    assert!(dedup.scalability > 1.5, "dedup scalability {}", dedup.scalability);
+    assert!(
+        dedup.scalability > 1.5,
+        "dedup scalability {}",
+        dedup.scalability
+    );
 
     assert!(ssca2.value() > ep.value() * 5.0, "metric separation");
 }
@@ -49,7 +57,10 @@ fn metric_at_top_level_orders_levels_consistently() {
     };
     let at2 = measure_at(SmtLevel::Smt2);
     let at4 = measure_at(SmtLevel::Smt4);
-    assert!(at4 > at2, "contention metric must grow with SMT level: {at2} vs {at4}");
+    assert!(
+        at4 > at2,
+        "contention metric must grow with SMT level: {at2} vs {at4}"
+    );
 
     let selector = LevelSelector::three_level(
         ThresholdPredictor::fixed(0.15),

@@ -7,6 +7,7 @@
 //! crate derives the ideal SMT instruction mix from it.
 
 use crate::branch::BranchPredictorConfig;
+use crate::error::Error;
 use crate::isa::InstrClass;
 use serde::{Deserialize, Serialize};
 
@@ -47,7 +48,11 @@ impl SmtLevel {
 
     /// Levels supported by a core whose maximum is `max`, lowest first.
     pub fn up_to(max: SmtLevel) -> Vec<SmtLevel> {
-        SmtLevel::ALL.iter().copied().filter(|l| *l <= max).collect()
+        SmtLevel::ALL
+            .iter()
+            .copied()
+            .filter(|l| *l <= max)
+            .collect()
     }
 }
 
@@ -194,10 +199,22 @@ impl ArchDescriptor {
             dispatch_width: 6,
             ibuf_capacity: 24,
             queues: vec![
-                QueueDesc { name: "CRQ", capacity: 8 },
-                QueueDesc { name: "BRQ", capacity: 12 },
-                QueueDesc { name: "UQ0", capacity: 24 },
-                QueueDesc { name: "UQ1", capacity: 24 },
+                QueueDesc {
+                    name: "CRQ",
+                    capacity: 8,
+                },
+                QueueDesc {
+                    name: "BRQ",
+                    capacity: 12,
+                },
+                QueueDesc {
+                    name: "UQ0",
+                    capacity: 24,
+                },
+                QueueDesc {
+                    name: "UQ1",
+                    capacity: 24,
+                },
             ],
             ports: vec![
                 PortDesc::new("CR", 0, &[CondReg]),
@@ -246,7 +263,10 @@ impl ArchDescriptor {
             fetch_width: 4,
             dispatch_width: 4,
             ibuf_capacity: 16,
-            queues: vec![QueueDesc { name: "RS", capacity: 36 }],
+            queues: vec![QueueDesc {
+                name: "RS",
+                capacity: 36,
+            }],
             ports,
             max_smt: SmtLevel::Smt2,
             latencies: Latencies {
@@ -277,11 +297,26 @@ impl ArchDescriptor {
             dispatch_width: 5,
             ibuf_capacity: 16,
             queues: vec![
-                QueueDesc { name: "CRQ", capacity: 6 },
-                QueueDesc { name: "BRQ", capacity: 10 },
-                QueueDesc { name: "FXQ", capacity: 18 },
-                QueueDesc { name: "LSQ", capacity: 18 },
-                QueueDesc { name: "FPQ", capacity: 18 },
+                QueueDesc {
+                    name: "CRQ",
+                    capacity: 6,
+                },
+                QueueDesc {
+                    name: "BRQ",
+                    capacity: 10,
+                },
+                QueueDesc {
+                    name: "FXQ",
+                    capacity: 18,
+                },
+                QueueDesc {
+                    name: "LSQ",
+                    capacity: 18,
+                },
+                QueueDesc {
+                    name: "FPQ",
+                    capacity: 18,
+                },
             ],
             ports: vec![
                 PortDesc::new("CR", 0, &[CondReg]),
@@ -319,7 +354,10 @@ impl ArchDescriptor {
             fetch_width: 4,
             dispatch_width: 4,
             ibuf_capacity: 16,
-            queues: vec![QueueDesc { name: "IQ", capacity: 24 }],
+            queues: vec![QueueDesc {
+                name: "IQ",
+                capacity: 24,
+            }],
             ports: vec![
                 PortDesc::new("LS", 0, &[Load, Store]),
                 PortDesc::new("BR", 0, &[Branch, CondReg]),
@@ -373,26 +411,30 @@ impl ArchDescriptor {
     }
 
     /// Validate internal consistency; used by tests and on machine build.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
+        let invalid = |msg: String| Err(Error::InvalidMachine(msg));
         if self.fetch_width == 0 || self.dispatch_width == 0 {
-            return Err("zero pipeline width".into());
+            return invalid("zero pipeline width".into());
         }
         if self.queues.is_empty() || self.ports.is_empty() {
-            return Err("no queues or ports".into());
+            return invalid("no queues or ports".into());
         }
         if self.rob_window == 0 || self.rob_window > 128 {
-            return Err("rob_window must be in 1..=128 (dependency-ring bound)".into());
+            return invalid("rob_window must be in 1..=128 (dependency-ring bound)".into());
         }
         if self.lmq_capacity == 0 {
-            return Err("lmq_capacity must be nonzero".into());
+            return invalid("lmq_capacity must be nonzero".into());
         }
         for p in &self.ports {
             if p.queue >= self.queues.len() {
-                return Err(format!("port {} references missing queue {}", p.name, p.queue));
+                return invalid(format!(
+                    "port {} references missing queue {}",
+                    p.name, p.queue
+                ));
             }
             if let Some(pair) = p.store_pair {
                 if pair >= self.ports.len() {
-                    return Err(format!("port {} store_pair out of range", p.name));
+                    return invalid(format!("port {} store_pair out of range", p.name));
                 }
             }
         }
@@ -401,7 +443,7 @@ impl ArchDescriptor {
         // workloads architecture-agnostic.
         for class in InstrClass::ALL {
             if !self.ports.iter().any(|p| p.accepts(class)) {
-                return Err(format!("class {class:?} has no issue port"));
+                return invalid(format!("class {class:?} has no issue port"));
             }
         }
         Ok(())
@@ -425,7 +467,10 @@ mod tests {
     fn smt_level_ordering_and_up_to() {
         assert!(SmtLevel::Smt1 < SmtLevel::Smt2);
         assert!(SmtLevel::Smt2 < SmtLevel::Smt4);
-        assert_eq!(SmtLevel::up_to(SmtLevel::Smt2), vec![SmtLevel::Smt1, SmtLevel::Smt2]);
+        assert_eq!(
+            SmtLevel::up_to(SmtLevel::Smt2),
+            vec![SmtLevel::Smt1, SmtLevel::Smt2]
+        );
         assert_eq!(SmtLevel::up_to(SmtLevel::Smt4).len(), 3);
     }
 

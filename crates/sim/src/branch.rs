@@ -29,7 +29,10 @@ pub struct BranchPredictorConfig {
 impl BranchPredictorConfig {
     /// A modest core-sized predictor (4096 counters, 8 history bits).
     pub fn default_core() -> BranchPredictorConfig {
-        BranchPredictorConfig { table_bits: 12, history_bits: 8 }
+        BranchPredictorConfig {
+            table_bits: 12,
+            history_bits: 8,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ pub struct BranchPredictor {
 impl BranchPredictor {
     /// Build an empty predictor (counters start weakly not-taken).
     pub fn new(cfg: BranchPredictorConfig) -> BranchPredictor {
-        assert!(cfg.table_bits >= 4 && cfg.table_bits <= 24, "table 16..16M entries");
+        assert!(
+            cfg.table_bits >= 4 && cfg.table_bits <= 24,
+            "table 16..16M entries"
+        );
         assert!(cfg.history_bits as u32 <= 32);
         BranchPredictor {
             table: vec![1; 1 << cfg.table_bits], // weakly not-taken
@@ -119,7 +125,10 @@ mod tests {
         }
         // The first ~history-length iterations walk distinct gshare
         // indices; after that the branch is learned.
-        assert!(misses <= 12, "always-taken branch should be learned: {misses}");
+        assert!(
+            misses <= 12,
+            "always-taken branch should be learned: {misses}"
+        );
     }
 
     #[test]
@@ -154,7 +163,10 @@ mod tests {
             }
         }
         let rate = misses as f64 / 4000.0;
-        assert!((0.35..=0.65).contains(&rate), "random branches ~50%: {rate}");
+        assert!(
+            (0.35..=0.65).contains(&rate),
+            "random branches ~50%: {rate}"
+        );
     }
 
     #[test]
@@ -170,7 +182,11 @@ mod tests {
             for k in 0..2000u64 {
                 // Branch A at pc 0x10 always taken; branch B aliased to the
                 // same slot (for a 4-bit table) always not-taken.
-                let (pc, taken) = if k % 2 == 0 { (0x10u64, true) } else { (0x10 + (1 << 8), false) };
+                let (pc, taken) = if k % 2 == 0 {
+                    (0x10u64, true)
+                } else {
+                    (0x10 + (1 << 8), false)
+                };
                 if p.predict_and_update(pc, taken) {
                     misses += 1;
                 }

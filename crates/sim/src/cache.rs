@@ -67,7 +67,10 @@ pub struct Cache {
 impl Cache {
     /// Build an empty cache from its configuration.
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.assoc > 0, "associativity must be nonzero");
         let num_sets = cfg.num_sets();
         Cache {
@@ -143,7 +146,10 @@ impl MemoryController {
     /// Build a controller from memory parameters and the L3 line size
     /// (requests are line-sized).
     pub fn new(mem: MemConfig, line_bytes: u64) -> MemoryController {
-        assert!(mem.bytes_per_cycle > 0.0, "memory bandwidth must be positive");
+        assert!(
+            mem.bytes_per_cycle > 0.0,
+            "memory bandwidth must be positive"
+        );
         MemoryController {
             next_free: 0.0,
             cycles_per_request: line_bytes as f64 / mem.bytes_per_cycle,
@@ -161,7 +167,11 @@ impl MemoryController {
         self.requests += 1;
         start as u64
             + self.latency
-            + if from_remote_chip { self.remote_extra } else { 0 }
+            + if from_remote_chip {
+                self.remote_extra
+            } else {
+                0
+            }
     }
 
     /// Current queueing delay a request issued at `now` would see.
@@ -228,7 +238,9 @@ impl MemorySystem {
             l1i: (0..ncores).map(|_| Cache::new(l1i)).collect(),
             l2: (0..ncores).map(|_| Cache::new(l2)).collect(),
             l3: (0..chips).map(|_| Cache::new(l3)).collect(),
-            ctrl: (0..chips).map(|_| MemoryController::new(mem, l3.line_bytes)).collect(),
+            ctrl: (0..chips)
+                .map(|_| MemoryController::new(mem, l3.line_bytes))
+                .collect(),
             cores_per_chip,
             line_bytes: l1.line_bytes,
         }
@@ -329,15 +341,34 @@ mod tests {
     use super::*;
 
     fn small_l1() -> CacheConfig {
-        CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 2 }
+        CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 2,
+        }
     }
 
     fn cfgs() -> (CacheConfig, CacheConfig, CacheConfig, MemConfig) {
         (
             small_l1(),
-            CacheConfig { size_bytes: 4096, assoc: 4, line_bytes: 64, latency: 10 },
-            CacheConfig { size_bytes: 16384, assoc: 8, line_bytes: 64, latency: 30 },
-            MemConfig { latency: 100, bytes_per_cycle: 16.0, remote_extra_latency: 50 },
+            CacheConfig {
+                size_bytes: 4096,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 10,
+            },
+            CacheConfig {
+                size_bytes: 16384,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 30,
+            },
+            MemConfig {
+                latency: 100,
+                bytes_per_cycle: 16.0,
+                remote_extra_latency: 50,
+            },
         )
     }
 
@@ -382,7 +413,12 @@ mod tests {
 
     #[test]
     fn num_sets_at_least_one() {
-        let cfg = CacheConfig { size_bytes: 64, assoc: 4, line_bytes: 64, latency: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 1,
+        };
         assert_eq!(cfg.num_sets(), 1);
         Cache::new(cfg).access(0);
     }

@@ -217,7 +217,10 @@ impl Core {
     /// software thread `sw_ids[k]`.
     pub fn new(arch: &ArchDescriptor, id: usize, sw_ids: &[usize]) -> Core {
         let ways = sw_ids.len();
-        assert!(ways >= 1 && ways <= MAX_WAYS, "1..=4 hardware threads per core");
+        assert!(
+            (1..=MAX_WAYS).contains(&ways),
+            "1..=4 hardware threads per core"
+        );
         assert!(
             ways <= arch.max_smt.ways(),
             "core does not support {ways}-way SMT"
@@ -310,15 +313,12 @@ impl Core {
 
     /// The pipeline holds no in-flight instructions.
     pub fn drained(&self) -> bool {
-        self.ctxs.iter().all(|c| c.drained())
-            && self.queues.iter().all(|q| q.entries.is_empty())
+        self.ctxs.iter().all(|c| c.drained()) && self.queues.iter().all(|q| q.entries.is_empty())
     }
 
     /// All bound software threads have finished and drained.
     pub fn finished(&self) -> bool {
-        self.ctxs
-            .iter()
-            .all(|c| c.fetch_done && c.drained())
+        self.ctxs.iter().all(|c| c.fetch_done && c.drained())
     }
 
     /// Total occupancy of queue `qi` (diagnostics/tests).
@@ -346,9 +346,9 @@ impl Core {
             for e in &q.entries {
                 per_thread[e.hw as usize] += 1;
             }
-            for t in 0..self.ways {
+            for (t, &count) in per_thread.iter().enumerate().take(self.ways) {
                 assert_eq!(
-                    per_thread[t],
+                    count,
                     usize::from(q.per_thread[t]),
                     "queue {qi} per-thread occupancy out of sync for hw {t}"
                 );
@@ -378,7 +378,10 @@ impl Core {
                     ctx.dispatch_seq - oldest
                 );
             }
-            assert!(ctx.ibuf.len() <= ctx.ibuf_cap.max(1), "hw {t}: ibuf over cap");
+            assert!(
+                ctx.ibuf.len() <= ctx.ibuf_cap.max(1),
+                "hw {t}: ibuf over cap"
+            );
         }
         assert!(
             self.lmq.len() <= self.lmq_capacity,
@@ -475,10 +478,7 @@ impl Core {
             let mut i = 0usize;
             'queue: while i < self.queues[qi].entries.len() && scanned < arch.issue_scan_depth {
                 // Stop early if every port on this queue is taken.
-                if self.ports_by_queue[qi]
-                    .iter()
-                    .all(|&p| self.port_used[p])
-                {
+                if self.ports_by_queue[qi].iter().all(|&p| self.port_used[p]) {
                     break;
                 }
                 scanned += 1;
@@ -490,8 +490,7 @@ impl Core {
                     // POWER7's reject mechanism does, so miss dependents do
                     // not impersonate execution-resource congestion.
                     if e.instr.dep_dist > 0 && e.seq >= u64::from(e.instr.dep_dist) {
-                        let c = ctx.comp
-                            [((e.seq - u64::from(e.instr.dep_dist)) as usize) % RING];
+                        let c = ctx.comp[((e.seq - u64::from(e.instr.dep_dist)) as usize) % RING];
                         if c != PENDING && c > now + PARK_THRESHOLD {
                             let hw = e.hw as usize;
                             let q = &mut self.queues[qi];
@@ -697,7 +696,11 @@ impl Core {
                         ctx.comp[(seq as usize) % RING] = PENDING;
                         ctx.unissued.push_back(seq);
                         let q = &mut self.queues[qi];
-                        q.entries.push_back(QEntry { hw: t as u8, seq, instr });
+                        q.entries.push_back(QEntry {
+                            hw: t as u8,
+                            seq,
+                            instr,
+                        });
                         q.per_thread[t] += 1;
                         sw[ctx.sw_id].dispatched += 1;
                         dispatched += 1;
@@ -840,10 +843,29 @@ mod tests {
         MemorySystem::new(
             1,
             cores,
-            CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 2 },
-            CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 12 },
-            CacheConfig { size_bytes: 4 * 1024 * 1024, assoc: 16, line_bytes: 64, latency: 30 },
-            MemConfig { latency: 180, bytes_per_cycle: 16.0, remote_extra_latency: 120 },
+            CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 2,
+            },
+            CacheConfig {
+                size_bytes: 256 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 12,
+            },
+            CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 30,
+            },
+            MemConfig {
+                latency: 180,
+                bytes_per_cycle: 16.0,
+                remote_extra_latency: 120,
+            },
         )
     }
 
@@ -867,7 +889,9 @@ mod tests {
     #[test]
     fn single_thread_executes_script_to_completion() {
         let arch = ArchDescriptor::power7();
-        let script: Vec<Instr> = (0..100).map(|_| Instr::simple(InstrClass::FixedPoint)).collect();
+        let script: Vec<Instr> = (0..100)
+            .map(|_| Instr::simple(InstrClass::FixedPoint))
+            .collect();
         let mut w = ScriptedWorkload::new("fx", script);
         w.set_thread_count(1);
         let mut core = Core::new(&arch, 0, &[0]);
@@ -884,7 +908,9 @@ mod tests {
         // 1000 independent fixed-point instructions through 2 FX ports:
         // at best 2 per cycle, so >= ~500 cycles.
         let arch = ArchDescriptor::power7();
-        let script: Vec<Instr> = (0..1000).map(|_| Instr::simple(InstrClass::FixedPoint)).collect();
+        let script: Vec<Instr> = (0..1000)
+            .map(|_| Instr::simple(InstrClass::FixedPoint))
+            .collect();
         let mut w = ScriptedWorkload::new("fx", script);
         w.set_thread_count(1);
         let mut core = Core::new(&arch, 0, &[0]);
@@ -1030,7 +1056,9 @@ mod tests {
         // drain 2/cycle. Queues fill and the core-level dispatch-held
         // counter must engage.
         let arch = ArchDescriptor::power7();
-        let script: Vec<Instr> = (0..500).map(|_| Instr::simple(InstrClass::VectorScalar)).collect();
+        let script: Vec<Instr> = (0..500)
+            .map(|_| Instr::simple(InstrClass::VectorScalar))
+            .collect();
         let mut w = ScriptedWorkload::new("vsu", script);
         w.set_thread_count(4);
         let mut core = Core::new(&arch, 0, &[0, 1, 2, 3]);
@@ -1067,7 +1095,13 @@ mod tests {
         let mut sw = vec![ThreadCounters::new(arch.num_ports()); 1];
         run_core(&arch, &mut core, &mut w, &mut sw, 100_000);
         let held = core.counters.disp_held_cycles as f64 / core.counters.active_cycles as f64;
-        println!("HELD={held} q0={} q1={} q2={} q3={}", core.queue_len(0), core.queue_len(1), core.queue_len(2), core.queue_len(3));
+        println!(
+            "HELD={held} q0={} q1={} q2={} q3={}",
+            core.queue_len(0),
+            core.queue_len(1),
+            core.queue_len(2),
+            core.queue_len(3)
+        );
         assert!(held < 0.1, "ideal mix should not hold dispatch: {held}");
     }
 
@@ -1101,7 +1135,9 @@ mod tests {
     #[test]
     fn drain_mode_empties_pipeline_without_fetch() {
         let arch = ArchDescriptor::power7();
-        let script: Vec<Instr> = (0..64).map(|_| Instr::simple(InstrClass::FixedPoint)).collect();
+        let script: Vec<Instr> = (0..64)
+            .map(|_| Instr::simple(InstrClass::FixedPoint))
+            .collect();
         let mut w = ScriptedWorkload::new("fx", script);
         w.set_thread_count(1);
         let mut core = Core::new(&arch, 0, &[0]);
@@ -1130,9 +1166,7 @@ mod tests {
         // Random-ish strided loads over a huge range: every load misses to
         // memory, quickly exhausting the 16-entry LMQ.
         let arch = ArchDescriptor::power7();
-        let script: Vec<Instr> = (0..400u64)
-            .map(|k| Instr::load(k * 1024 * 1024))
-            .collect();
+        let script: Vec<Instr> = (0..400u64).map(|k| Instr::load(k * 1024 * 1024)).collect();
         let mut w = ScriptedWorkload::new("miss", script);
         w.set_thread_count(1);
         let mut core = Core::new(&arch, 0, &[0]);

@@ -225,8 +225,8 @@ impl WindowMeasurement {
         let total = agg.issued as f64;
         let mut f = [0.0; NUM_CLASSES];
         if total > 0.0 {
-            for i in 0..NUM_CLASSES {
-                f[i] = agg.class_issued[i] as f64 / total;
+            for (fi, &issued) in f.iter_mut().zip(&agg.class_issued) {
+                *fi = issued as f64 / total;
             }
         }
         f
@@ -335,8 +335,8 @@ impl WindowMeasurement {
         // Attribute unused capacity to resource holds first (capped by the
         // held thread-cycle fraction), the rest to idleness/stalls, so the
         // three components always partition 1.0.
-        let held_frac =
-            self.disp_held_fraction() * (self.cores.active_cycles as f64 / self.cores.cycles.max(1) as f64);
+        let held_frac = self.disp_held_fraction()
+            * (self.cores.active_cycles as f64 / self.cores.cycles.max(1) as f64);
         let held = held_frac.min(1.0 - used);
         let other = (1.0 - used - held).max(0.0);
         (used, held, other)

@@ -38,6 +38,7 @@ pub mod branch;
 pub mod cache;
 pub mod core;
 pub mod counters;
+pub mod error;
 pub mod isa;
 pub mod machine;
 pub mod workload;
@@ -46,6 +47,7 @@ pub use arch::{ArchDescriptor, Latencies, Partitioning, PortDesc, QueueDesc, Smt
 pub use branch::{BranchPredictor, BranchPredictorConfig};
 pub use cache::{AccessOutcome, Cache, CacheConfig, MemConfig, MemoryController, MemorySystem};
 pub use counters::{CoreCounters, ThreadCounters, WindowMeasurement};
+pub use error::Error;
 pub use isa::{Fetched, Instr, InstrClass, DEP_WINDOW, NUM_CLASSES};
 pub use machine::{MachineConfig, RunResult, Simulation};
 pub use workload::{ScriptedWorkload, Workload};

@@ -13,6 +13,7 @@ use crate::arch::{ArchDescriptor, SmtLevel};
 use crate::cache::{CacheConfig, MemConfig, MemorySystem};
 use crate::core::{Core, StepMode};
 use crate::counters::{CoreCounters, ThreadCounters, WindowMeasurement};
+use crate::error::Error;
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -46,11 +47,35 @@ impl MachineConfig {
             arch: ArchDescriptor::power7(),
             chips,
             cores_per_chip: 8,
-            l1: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 2 },
-            l1i: CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 128, latency: 2 },
-            l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 12 },
-            l3: CacheConfig { size_bytes: 16 * 1024 * 1024, assoc: 16, line_bytes: 64, latency: 30 },
-            mem: MemConfig { latency: 180, bytes_per_cycle: 16.0, remote_extra_latency: 120 },
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 4,
+                line_bytes: 128,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 12,
+            },
+            l3: CacheConfig {
+                size_bytes: 16 * 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 30,
+            },
+            mem: MemConfig {
+                latency: 180,
+                bytes_per_cycle: 16.0,
+                remote_extra_latency: 120,
+            },
         }
     }
 
@@ -61,11 +86,35 @@ impl MachineConfig {
             arch: ArchDescriptor::nehalem(),
             chips: 1,
             cores_per_chip: 4,
-            l1: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 2 },
-            l1i: CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
-            l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 10 },
-            l3: CacheConfig { size_bytes: 8 * 1024 * 1024, assoc: 16, line_bytes: 64, latency: 35 },
-            mem: MemConfig { latency: 150, bytes_per_cycle: 12.0, remote_extra_latency: 0 },
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 10,
+            },
+            l3: CacheConfig {
+                size_bytes: 8 * 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 35,
+            },
+            mem: MemConfig {
+                latency: 150,
+                bytes_per_cycle: 12.0,
+                remote_extra_latency: 0,
+            },
         }
     }
 
@@ -75,11 +124,35 @@ impl MachineConfig {
             arch: ArchDescriptor::generic(),
             chips: 1,
             cores_per_chip: cores,
-            l1: CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
-            l1i: CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
-            l2: CacheConfig { size_bytes: 128 * 1024, assoc: 8, line_bytes: 64, latency: 10 },
-            l3: CacheConfig { size_bytes: 2 * 1024 * 1024, assoc: 16, line_bytes: 64, latency: 25 },
-            mem: MemConfig { latency: 120, bytes_per_cycle: 8.0, remote_extra_latency: 0 },
+            l1: CacheConfig {
+                size_bytes: 16 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1i: CacheConfig {
+                size_bytes: 16 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 128 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 10,
+            },
+            l3: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 25,
+            },
+            mem: MemConfig {
+                latency: 120,
+                bytes_per_cycle: 8.0,
+                remote_extra_latency: 0,
+            },
         }
     }
 
@@ -99,10 +172,12 @@ impl MachineConfig {
     }
 
     /// Validate the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         self.arch.validate()?;
         if self.chips == 0 || self.cores_per_chip == 0 {
-            return Err("machine must have at least one core".into());
+            return Err(Error::InvalidMachine(
+                "machine must have at least one core".into(),
+            ));
         }
         Ok(())
     }
@@ -146,10 +221,7 @@ impl<W: Workload> Simulation<W> {
     /// `cfg.sw_threads_at(smt)` software threads.
     pub fn new(cfg: MachineConfig, smt: SmtLevel, mut workload: W) -> Simulation<W> {
         cfg.validate().expect("invalid machine config");
-        assert!(
-            smt <= cfg.arch.max_smt,
-            "machine does not support {smt}"
-        );
+        assert!(smt <= cfg.arch.max_smt, "machine does not support {smt}");
         let n = cfg.sw_threads_at(smt);
         workload.set_thread_count(n);
         let mem = MemorySystem::with_icache(
@@ -163,7 +235,15 @@ impl<W: Workload> Simulation<W> {
         );
         let cores = Self::build_cores(&cfg, smt);
         let sw = vec![ThreadCounters::new(cfg.arch.num_ports()); n];
-        Simulation { cfg, smt, cores, mem, workload, now: 0, sw }
+        Simulation {
+            cfg,
+            smt,
+            cores,
+            mem,
+            workload,
+            now: 0,
+            sw,
+        }
     }
 
     /// Hardware context `k` of core `c` is bound to software thread
@@ -173,8 +253,7 @@ impl<W: Workload> Simulation<W> {
         let ncores = cfg.total_cores();
         (0..ncores)
             .map(|c| {
-                let sw_ids: Vec<usize> =
-                    (0..smt.ways()).map(|k| k * ncores + c).collect();
+                let sw_ids: Vec<usize> = (0..smt.ways()).map(|k| k * ncores + c).collect();
                 Core::new(&cfg.arch, c, &sw_ids)
             })
             .collect()
@@ -337,7 +416,9 @@ mod tests {
     use crate::workload::ScriptedWorkload;
 
     fn fx_script(n: usize) -> Vec<Instr> {
-        (0..n).map(|_| Instr::simple(InstrClass::FixedPoint)).collect()
+        (0..n)
+            .map(|_| Instr::simple(InstrClass::FixedPoint))
+            .collect()
     }
 
     #[test]
@@ -466,7 +547,11 @@ mod tests {
         let mut sim = Simulation::new(cfg, SmtLevel::Smt1, w);
         let res = sim.run_until_finished(5_000_000);
         assert!(res.completed);
-        let remote: u64 = sim.thread_counters().iter().map(|t| t.remote_accesses).sum();
+        let remote: u64 = sim
+            .thread_counters()
+            .iter()
+            .map(|t| t.remote_accesses)
+            .sum();
         assert!(remote > 0, "expected remote accesses on a two-chip machine");
     }
 }

@@ -93,7 +93,14 @@ fn partitioning_cost_shows_up_for_single_hot_thread() {
     }
     let cfg = MachineConfig::generic(1);
     let run = |smt| {
-        let mut sim = Simulation::new(cfg.clone(), smt, OneHot { left: 3_000, threads: 0 });
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            smt,
+            OneHot {
+                left: 3_000,
+                threads: 0,
+            },
+        );
         let r = sim.run_until_finished(10_000_000);
         assert!(r.completed);
         r.cycles
@@ -135,7 +142,11 @@ fn window_measurement_factors_stay_in_range_over_time() {
     for _ in 0..8 {
         let m = sim.measure_window(10_000);
         let f = smtsm::smtsm_factors(&mspec, &m);
-        assert!((0.0..=1.0).contains(&f.disp_held), "disp_held {}", f.disp_held);
+        assert!(
+            (0.0..=1.0).contains(&f.disp_held),
+            "disp_held {}",
+            f.disp_held
+        );
         assert!(f.scalability >= 1.0);
         assert!(f.mix_deviation <= mspec.max_deviation() + 1e-9);
         if sim.finished() {
@@ -259,7 +270,14 @@ fn dynamic_partitioning_speeds_up_a_lone_thread_on_a_wide_level() {
     let run = |policy| {
         let mut cfg = MachineConfig::power7(1);
         cfg.arch.partitioning = policy;
-        let mut sim = Simulation::new(cfg, SmtLevel::Smt4, Lone { left: 6_000, threads: 0 });
+        let mut sim = Simulation::new(
+            cfg,
+            SmtLevel::Smt4,
+            Lone {
+                left: 6_000,
+                threads: 0,
+            },
+        );
         let r = sim.run_until_finished(10_000_000);
         assert!(r.completed);
         r.cycles
@@ -280,9 +298,19 @@ fn unpartitioned_queues_let_a_stalled_thread_starve_siblings() {
     // siblings' throughput.
     use smt_workloads::{AccessPattern, DepProfile, InstrMix, MemBehavior, WorkloadSpec};
     let mut spec = WorkloadSpec::new("mixed-pressure", 120_000);
-    spec.mix = InstrMix { load: 0.45, store: 0.05, branch: 0.05, cond_reg: 0.0, fixed: 0.4, vector: 0.05 }
-        .normalized();
-    spec.dep = DepProfile { prob: 0.95, max_dist: 2 };
+    spec.mix = InstrMix {
+        load: 0.45,
+        store: 0.05,
+        branch: 0.05,
+        cond_reg: 0.0,
+        fixed: 0.4,
+        vector: 0.05,
+    }
+    .normalized();
+    spec.dep = DepProfile {
+        prob: 0.95,
+        max_dist: 2,
+    };
     spec.mem = MemBehavior::private(8 << 20, AccessPattern::Random);
     let run = |policy| {
         let mut cfg = MachineConfig::power7(1);
@@ -321,7 +349,10 @@ fn icache_pressure_stalls_the_front_end() {
     };
     let (perf_small, miss_small) = run(4 * 1024);
     let (perf_big, miss_big) = run(1024 * 1024);
-    assert!(miss_big > miss_small * 10, "big code must miss the L1I: {miss_small} vs {miss_big}");
+    assert!(
+        miss_big > miss_small * 10,
+        "big code must miss the L1I: {miss_small} vs {miss_big}"
+    );
     assert!(
         perf_big < perf_small * 0.97,
         "front-end stalls must cost throughput: {perf_small} vs {perf_big}"
@@ -339,8 +370,7 @@ fn icache_stalls_are_smt_fillable() {
         let mut spec = WorkloadSpec::new("icache-smt", 200_000);
         spec.code_footprint = code;
         let run = |smt| {
-            let mut sim =
-                Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec.clone()));
+            let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec.clone()));
             let r = sim.run_until_finished(200_000_000);
             assert!(r.completed);
             r.perf()
@@ -365,7 +395,10 @@ fn predictor_model_produces_emergent_mispredictions() {
     // Bimodal configuration: at this (test-sized) run length a history-
     // indexed table would still be warming up; per-PC counters converge
     // fast enough to check the emergent rate.
-    cfg.arch.branch_predictor = Some(BranchPredictorConfig { table_bits: 14, history_bits: 0 });
+    cfg.arch.branch_predictor = Some(BranchPredictorConfig {
+        table_bits: 14,
+        history_bits: 0,
+    });
     let mut spec = WorkloadSpec::new("bpred", 120_000);
     spec.branch_mispredict_rate = 0.0; // flags all clear
     spec.code_footprint = 4 * 1024;
@@ -373,7 +406,11 @@ fn predictor_model_produces_emergent_mispredictions() {
     let r = sim.run_until_finished(200_000_000);
     assert!(r.completed);
     let branches: u64 = sim.thread_counters().iter().map(|t| t.branches).sum();
-    let misses: u64 = sim.thread_counters().iter().map(|t| t.branch_mispredicts).sum();
+    let misses: u64 = sim
+        .thread_counters()
+        .iter()
+        .map(|t| t.branch_mispredicts)
+        .sum();
     assert!(branches > 1_000);
     let rate = misses as f64 / branches as f64;
     // Mostly-biased branches with a data-dependent minority: a learned
@@ -387,7 +424,11 @@ fn predictor_model_produces_emergent_mispredictions() {
     let cfg = MachineConfig::power7(1);
     let mut sim = Simulation::new(cfg, SmtLevel::Smt2, SyntheticWorkload::new(spec));
     sim.run_until_finished(200_000_000);
-    let misses: u64 = sim.thread_counters().iter().map(|t| t.branch_mispredicts).sum();
+    let misses: u64 = sim
+        .thread_counters()
+        .iter()
+        .map(|t| t.branch_mispredicts)
+        .sum();
     assert_eq!(misses, 0);
 }
 
@@ -400,17 +441,23 @@ fn shared_predictor_takes_more_misses_at_higher_smt() {
     // *improve* when more threads share the predictor, and usually gets
     // worse — one of Section I's shared-resource contention channels.
     let mut cfg = MachineConfig::power7(1);
-    cfg.arch.branch_predictor = Some(BranchPredictorConfig { table_bits: 8, history_bits: 0 });
+    cfg.arch.branch_predictor = Some(BranchPredictorConfig {
+        table_bits: 8,
+        history_bits: 0,
+    });
     let rate_at = |smt| {
         let mut spec = WorkloadSpec::new("bpred-smt", 150_000);
         spec.branch_mispredict_rate = 0.0;
         spec.code_footprint = 8 * 1024;
-        let mut sim =
-            Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec));
+        let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec));
         let r = sim.run_until_finished(200_000_000);
         assert!(r.completed);
         let branches: u64 = sim.thread_counters().iter().map(|t| t.branches).sum();
-        let misses: u64 = sim.thread_counters().iter().map(|t| t.branch_mispredicts).sum();
+        let misses: u64 = sim
+            .thread_counters()
+            .iter()
+            .map(|t| t.branch_mispredicts)
+            .sum();
         misses as f64 / branches.max(1) as f64
     };
     let r1 = rate_at(SmtLevel::Smt1);

@@ -98,7 +98,7 @@ impl BinaryConfusion {
 
 /// Names of the mispredicted cases at `threshold` (for the per-figure
 /// reporting of "two of the evaluated benchmarks ... slightly worse").
-pub fn mispredicted<'a>(cases: &'a [SpeedupCase], threshold: f64) -> Vec<&'a str> {
+pub fn mispredicted(cases: &[SpeedupCase], threshold: f64) -> Vec<&str> {
     cases
         .iter()
         .filter(|c| !c.correct(threshold))

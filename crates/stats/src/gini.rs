@@ -110,10 +110,7 @@ impl GiniSweep {
             .iter()
             .map(|&s| gini_impurity_split(points, s))
             .collect();
-        let min_impurity = impurities
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min_impurity = impurities.iter().copied().fold(f64::INFINITY, f64::min);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for (&s, &i) in separators.iter().zip(&impurities) {

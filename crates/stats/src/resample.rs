@@ -123,8 +123,14 @@ mod tests {
     #[test]
     fn bootstrap_of_constant_sample_is_tight() {
         let xs = vec![2.0; 20];
-        let ci = bootstrap_ci(&xs, |s| Some(s.iter().sum::<f64>() / s.len() as f64), 200, 0.95, 42)
-            .unwrap();
+        let ci = bootstrap_ci(
+            &xs,
+            |s| Some(s.iter().sum::<f64>() / s.len() as f64),
+            200,
+            0.95,
+            42,
+        )
+        .unwrap();
         assert_eq!(ci.estimate, 2.0);
         assert_eq!(ci.lo, 2.0);
         assert_eq!(ci.hi, 2.0);
@@ -136,7 +142,10 @@ mod tests {
         let mean = |s: &[f64]| Some(s.iter().sum::<f64>() / s.len() as f64);
         let ci = bootstrap_ci(&xs, mean, 500, 0.95, 42).unwrap();
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
-        assert!(ci.hi - ci.lo > 1.0, "spread sample must have a real interval");
+        assert!(
+            ci.hi - ci.lo > 1.0,
+            "spread sample must have a real interval"
+        );
         assert!(ci.lo > 8.0 && ci.hi < 21.0, "interval around the mean 14.5");
     }
 
@@ -148,7 +157,10 @@ mod tests {
         let b = bootstrap_ci(&xs, mean, 300, 0.9, 9).unwrap();
         assert_eq!(a, b);
         let c = bootstrap_ci(&xs, mean, 300, 0.9, 10).unwrap();
-        assert!(a.lo != c.lo || a.hi != c.hi, "different seed, different resamples");
+        assert!(
+            a.lo != c.lo || a.hi != c.hi,
+            "different seed, different resamples"
+        );
     }
 
     #[test]

@@ -22,10 +22,7 @@ impl Summary {
     /// Compute summary statistics of `xs`. NaN values are rejected with a
     /// panic because every downstream consumer treats them as a logic error.
     pub fn of(xs: &[f64]) -> Summary {
-        assert!(
-            xs.iter().all(|x| !x.is_nan()),
-            "Summary::of: NaN in sample"
-        );
+        assert!(xs.iter().all(|x| !x.is_nan()), "Summary::of: NaN in sample");
         let n = xs.len();
         if n == 0 {
             return Summary {

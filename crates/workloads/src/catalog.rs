@@ -14,20 +14,12 @@
 //! simulated cycles on the 8-core POWER7-like machine; use
 //! [`WorkloadSpec::scaled`] for quicker tests or longer steady-state runs.
 
-use crate::spec::{
-    AccessPattern, DepProfile, InstrMix, MemBehavior, SyncSpec, WorkloadSpec,
-};
+use crate::spec::{AccessPattern, DepProfile, InstrMix, MemBehavior, SyncSpec, WorkloadSpec};
 
 const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
 
-fn entry(
-    name: &str,
-    suite: &str,
-    description: &str,
-    work: u64,
-    seed: u64,
-) -> WorkloadSpec {
+fn entry(name: &str, suite: &str, description: &str, work: u64, seed: u64) -> WorkloadSpec {
     let mut s = WorkloadSpec::new(name, work);
     s.suite = suite.into();
     s.description = description.into();
@@ -42,9 +34,26 @@ fn entry(
 /// IS — Integer Sort (bucket sort). Integer and memory heavy with random
 /// access; memory latency bound, so extra hardware threads hide misses well.
 pub fn is_nas() -> WorkloadSpec {
-    let mut s = entry("IS", "NAS", "Integer Sort: bucket sort for integers", 2_500_000, 101);
-    s.mix = InstrMix { load: 0.30, store: 0.16, branch: 0.10, cond_reg: 0.02, fixed: 0.40, vector: 0.02 }.normalized();
-    s.dep = DepProfile { prob: 0.85, max_dist: 8 };
+    let mut s = entry(
+        "IS",
+        "NAS",
+        "Integer Sort: bucket sort for integers",
+        2_500_000,
+        101,
+    );
+    s.mix = InstrMix {
+        load: 0.30,
+        store: 0.16,
+        branch: 0.10,
+        cond_reg: 0.02,
+        fixed: 0.40,
+        vector: 0.02,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.85,
+        max_dist: 8,
+    };
     s.mem = MemBehavior::private(8 * MB, AccessPattern::Random).with_locality(0.92);
     s.branch_mispredict_rate = 0.010;
     s
@@ -55,28 +64,68 @@ pub fn is_nas() -> WorkloadSpec {
 pub fn is_mpi() -> WorkloadSpec {
     let mut s = is_nas();
     s.name = "IS_MPI".into();
-    s.sync = SyncSpec::Barrier { interval: 40_000, imbalance: 0.10 };
+    s.sync = SyncSpec::Barrier {
+        interval: 40_000,
+        imbalance: 0.10,
+    };
     s.seed = 102;
     s
 }
 
 /// BT — Block-Tridiagonal PDE solver: dense FP with decent ILP.
 pub fn bt() -> WorkloadSpec {
-    let mut s = entry("BT", "NAS", "Block Tridiagonal: solves nonlinear PDEs", 4_000_000, 103);
-    s.mix = InstrMix { load: 0.22, store: 0.12, branch: 0.06, cond_reg: 0.01, fixed: 0.19, vector: 0.40 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 6 };
+    let mut s = entry(
+        "BT",
+        "NAS",
+        "Block Tridiagonal: solves nonlinear PDEs",
+        4_000_000,
+        103,
+    );
+    s.mix = InstrMix {
+        load: 0.22,
+        store: 0.12,
+        branch: 0.06,
+        cond_reg: 0.01,
+        fixed: 0.19,
+        vector: 0.40,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 6,
+    };
     s.mem = MemBehavior::private(256 * KB, AccessPattern::Strided(8)).with_locality(0.81);
     s.branch_mispredict_rate = 0.004;
-    s.sync = SyncSpec::Barrier { interval: 60_000, imbalance: 0.05 };
+    s.sync = SyncSpec::Barrier {
+        interval: 60_000,
+        imbalance: 0.05,
+    };
     s
 }
 
 /// LU — SSOR PDE solver: FP with longer dependency chains (the wavefront
 /// recurrence), which SMT fills nicely.
 pub fn lu_mpi() -> WorkloadSpec {
-    let mut s = entry("LU_MPI", "NAS", "Lower-Upper: SSOR solver for nonlinear PDEs", 3_500_000, 104);
-    s.mix = InstrMix { load: 0.24, store: 0.10, branch: 0.07, cond_reg: 0.01, fixed: 0.15, vector: 0.43 }.normalized();
-    s.dep = DepProfile { prob: 0.92, max_dist: 3 };
+    let mut s = entry(
+        "LU_MPI",
+        "NAS",
+        "Lower-Upper: SSOR solver for nonlinear PDEs",
+        3_500_000,
+        104,
+    );
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.10,
+        branch: 0.07,
+        cond_reg: 0.01,
+        fixed: 0.15,
+        vector: 0.43,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.92,
+        max_dist: 3,
+    };
     s.mem = MemBehavior::private(128 * KB, AccessPattern::Strided(8)).with_locality(0.86);
     s.branch_mispredict_rate = 0.004;
     s
@@ -85,9 +134,26 @@ pub fn lu_mpi() -> WorkloadSpec {
 /// CG — Conjugate Gradient: sparse matrix-vector products, indirect loads,
 /// memory-latency bound.
 pub fn cg_mpi() -> WorkloadSpec {
-    let mut s = entry("CG_MPI", "NAS", "Conjugate Gradient: eigenvalues of sparse matrices", 2_500_000, 105);
-    s.mix = InstrMix { load: 0.34, store: 0.08, branch: 0.10, cond_reg: 0.01, fixed: 0.15, vector: 0.32 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    let mut s = entry(
+        "CG_MPI",
+        "NAS",
+        "Conjugate Gradient: eigenvalues of sparse matrices",
+        2_500_000,
+        105,
+    );
+    s.mix = InstrMix {
+        load: 0.34,
+        store: 0.08,
+        branch: 0.10,
+        cond_reg: 0.01,
+        fixed: 0.15,
+        vector: 0.32,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 4,
+    };
     s.mem = MemBehavior::private(4 * MB, AccessPattern::Random).with_locality(0.90);
     s.branch_mispredict_rate = 0.006;
     s
@@ -96,8 +162,19 @@ pub fn cg_mpi() -> WorkloadSpec {
 /// FT — 3D FFT: vector heavy with large strided (transpose) traffic.
 pub fn ft_mpi() -> WorkloadSpec {
     let mut s = entry("FT_MPI", "NAS", "Fast Fourier Transform", 3_500_000, 106);
-    s.mix = InstrMix { load: 0.25, store: 0.14, branch: 0.06, cond_reg: 0.01, fixed: 0.09, vector: 0.45 }.normalized();
-    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    s.mix = InstrMix {
+        load: 0.25,
+        store: 0.14,
+        branch: 0.06,
+        cond_reg: 0.01,
+        fixed: 0.09,
+        vector: 0.45,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.88,
+        max_dist: 6,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Strided(64)).with_locality(0.93);
     s.branch_mispredict_rate = 0.003;
     s
@@ -106,9 +183,26 @@ pub fn ft_mpi() -> WorkloadSpec {
 /// MG — Multigrid Poisson solver: mixed FP/memory; the paper's Fig. 1 shows
 /// it nearly oblivious to the SMT level.
 pub fn mg() -> WorkloadSpec {
-    let mut s = entry("MG", "NAS", "MultiGrid: 3-D discrete Poisson equation", 3_000_000, 107);
-    s.mix = InstrMix { load: 0.28, store: 0.13, branch: 0.06, cond_reg: 0.01, fixed: 0.16, vector: 0.36 }.normalized();
-    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    let mut s = entry(
+        "MG",
+        "NAS",
+        "MultiGrid: 3-D discrete Poisson equation",
+        3_000_000,
+        107,
+    );
+    s.mix = InstrMix {
+        load: 0.28,
+        store: 0.13,
+        branch: 0.06,
+        cond_reg: 0.01,
+        fixed: 0.16,
+        vector: 0.36,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.88,
+        max_dist: 6,
+    };
     s.mem = MemBehavior::private(3 * MB, AccessPattern::Strided(64)).with_locality(0.93);
     s.branch_mispredict_rate = 0.004;
     s
@@ -118,7 +212,10 @@ pub fn mg() -> WorkloadSpec {
 pub fn mg_mpi() -> WorkloadSpec {
     let mut s = mg();
     s.name = "MG_MPI".into();
-    s.sync = SyncSpec::Barrier { interval: 50_000, imbalance: 0.08 };
+    s.sync = SyncSpec::Barrier {
+        interval: 50_000,
+        imbalance: 0.08,
+    };
     s.seed = 108;
     s
 }
@@ -126,9 +223,26 @@ pub fn mg_mpi() -> WorkloadSpec {
 /// EP — Embarrassingly Parallel random-number generation: small footprint,
 /// moderate chains, diverse compute mix; the paper's SMT4 poster child.
 pub fn ep() -> WorkloadSpec {
-    let mut s = entry("EP", "NAS", "Embarrassingly Parallel: pseudo-random numbers", 5_000_000, 109);
-    s.mix = InstrMix { load: 0.13, store: 0.07, branch: 0.12, cond_reg: 0.03, fixed: 0.33, vector: 0.32 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 8 };
+    let mut s = entry(
+        "EP",
+        "NAS",
+        "Embarrassingly Parallel: pseudo-random numbers",
+        5_000_000,
+        109,
+    );
+    s.mix = InstrMix {
+        load: 0.13,
+        store: 0.07,
+        branch: 0.12,
+        cond_reg: 0.03,
+        fixed: 0.33,
+        vector: 0.32,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 8,
+    };
     s.mem = MemBehavior::cache_resident();
     s.branch_mispredict_rate = 0.006;
     s
@@ -144,9 +258,26 @@ pub fn ep_mpi() -> WorkloadSpec {
 
 /// SP — Scalar Pentadiagonal solver (used in the Nehalem suite).
 pub fn sp() -> WorkloadSpec {
-    let mut s = entry("SP", "NAS", "Scalar Pentadiagonal PDE solver", 3_500_000, 111);
-    s.mix = InstrMix { load: 0.23, store: 0.12, branch: 0.06, cond_reg: 0.01, fixed: 0.17, vector: 0.41 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "SP",
+        "NAS",
+        "Scalar Pentadiagonal PDE solver",
+        3_500_000,
+        111,
+    );
+    s.mix = InstrMix {
+        load: 0.23,
+        store: 0.12,
+        branch: 0.06,
+        cond_reg: 0.01,
+        fixed: 0.17,
+        vector: 0.41,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(512 * KB, AccessPattern::Strided(8)).with_locality(0.82);
     s.branch_mispredict_rate = 0.004;
     s
@@ -154,9 +285,26 @@ pub fn sp() -> WorkloadSpec {
 
 /// UA — Unstructured Adaptive mesh: irregular memory access (Nehalem suite).
 pub fn ua() -> WorkloadSpec {
-    let mut s = entry("UA", "NAS", "Unstructured Adaptive mesh refinement", 2_500_000, 112);
-    s.mix = InstrMix { load: 0.30, store: 0.10, branch: 0.09, cond_reg: 0.01, fixed: 0.18, vector: 0.32 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    let mut s = entry(
+        "UA",
+        "NAS",
+        "Unstructured Adaptive mesh refinement",
+        2_500_000,
+        112,
+    );
+    s.mix = InstrMix {
+        load: 0.30,
+        store: 0.10,
+        branch: 0.09,
+        cond_reg: 0.01,
+        fixed: 0.18,
+        vector: 0.32,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 4,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.925);
     s.branch_mispredict_rate = 0.010;
     s
@@ -169,9 +317,26 @@ pub fn ua() -> WorkloadSpec {
 /// Blackscholes — option pricing: pure FP compute on a tiny working set with
 /// tight dependency chains; the biggest SMT4 winner in Fig. 7 (1.82x).
 pub fn blackscholes() -> WorkloadSpec {
-    let mut s = entry("Blackscholes", "Parsec", "Computes option prices", 4_500_000, 201);
-    s.mix = InstrMix { load: 0.17, store: 0.07, branch: 0.09, cond_reg: 0.02, fixed: 0.21, vector: 0.44 }.normalized();
-    s.dep = DepProfile { prob: 0.95, max_dist: 3 };
+    let mut s = entry(
+        "Blackscholes",
+        "Parsec",
+        "Computes option prices",
+        4_500_000,
+        201,
+    );
+    s.mix = InstrMix {
+        load: 0.17,
+        store: 0.07,
+        branch: 0.09,
+        cond_reg: 0.02,
+        fixed: 0.21,
+        vector: 0.44,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.95,
+        max_dist: 3,
+    };
     s.mem = MemBehavior::cache_resident();
     s.branch_mispredict_rate = 0.003;
     s
@@ -187,12 +352,32 @@ pub fn blackscholes_pthreads() -> WorkloadSpec {
 
 /// Bodytrack — person tracking: mixed compute with periodic barriers.
 pub fn bodytrack() -> WorkloadSpec {
-    let mut s = entry("bodytrack", "Parsec", "Motion tracking of a person", 3_000_000, 203);
-    s.mix = InstrMix { load: 0.22, store: 0.09, branch: 0.11, cond_reg: 0.02, fixed: 0.26, vector: 0.30 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "bodytrack",
+        "Parsec",
+        "Motion tracking of a person",
+        3_000_000,
+        203,
+    );
+    s.mix = InstrMix {
+        load: 0.22,
+        store: 0.09,
+        branch: 0.11,
+        cond_reg: 0.02,
+        fixed: 0.26,
+        vector: 0.30,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(512 * KB, AccessPattern::Strided(8)).with_locality(0.87);
     s.branch_mispredict_rate = 0.012;
-    s.sync = SyncSpec::Barrier { interval: 30_000, imbalance: 0.15 };
+    s.sync = SyncSpec::Barrier {
+        interval: 30_000,
+        imbalance: 0.15,
+    };
     s
 }
 
@@ -202,55 +387,140 @@ pub fn bodytrack_pthreads() -> WorkloadSpec {
     s.name = "bodytrack_pthreads".into();
     s.seed = 204;
     // The pthreads build synchronizes more finely than the OpenMP one.
-    s.sync = SyncSpec::Barrier { interval: 6_000, imbalance: 0.35 };
+    s.sync = SyncSpec::Barrier {
+        interval: 6_000,
+        imbalance: 0.35,
+    };
     s
 }
 
 /// Canneal — cache-aware simulated annealing: pointer chasing over a huge
 /// shared netlist (Nehalem suite).
 pub fn canneal() -> WorkloadSpec {
-    let mut s = entry("canneal", "Parsec", "Cache-aware simulated annealing", 1_500_000, 205);
-    s.mix = InstrMix { load: 0.35, store: 0.10, branch: 0.12, cond_reg: 0.02, fixed: 0.37, vector: 0.04 }.normalized();
-    s.dep = DepProfile { prob: 0.95, max_dist: 2 };
+    let mut s = entry(
+        "canneal",
+        "Parsec",
+        "Cache-aware simulated annealing",
+        1_500_000,
+        205,
+    );
+    s.mix = InstrMix {
+        load: 0.35,
+        store: 0.10,
+        branch: 0.12,
+        cond_reg: 0.02,
+        fixed: 0.37,
+        vector: 0.04,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.95,
+        max_dist: 2,
+    };
     s.mem = MemBehavior::private(256 * KB, AccessPattern::Random)
         .with_shared(24 * MB, 0.7, 0.3)
         .with_locality(0.86);
     s.branch_mispredict_rate = 0.015;
-    s.sync = SyncSpec::SpinLock { cs_interval: 380, cs_len: 8 };
+    s.sync = SyncSpec::SpinLock {
+        cs_interval: 380,
+        cs_len: 8,
+    };
     s
 }
 
 /// Dedup — pipelined compression/deduplication, heavy I/O and queue locks.
 pub fn dedup() -> WorkloadSpec {
-    let mut s = entry("Dedup", "Parsec", "Compression and deduplication; heavy I/O", 2_000_000, 206);
-    s.mix = InstrMix { load: 0.26, store: 0.14, branch: 0.13, cond_reg: 0.02, fixed: 0.40, vector: 0.05 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "Dedup",
+        "Parsec",
+        "Compression and deduplication; heavy I/O",
+        2_000_000,
+        206,
+    );
+    s.mix = InstrMix {
+        load: 0.26,
+        store: 0.14,
+        branch: 0.13,
+        cond_reg: 0.02,
+        fixed: 0.40,
+        vector: 0.05,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Strided(8)).with_locality(0.95);
     s.branch_mispredict_rate = 0.012;
-    s.sync = SyncSpec::BlockingLock { cs_interval: 1_900, cs_len: 40, wake_latency: 40 };
+    s.sync = SyncSpec::BlockingLock {
+        cs_interval: 1_900,
+        cs_len: 40,
+        wake_latency: 40,
+    };
     s
 }
 
 /// Facesim — facial simulation: FP heavy with barriers (Nehalem suite).
 pub fn facesim() -> WorkloadSpec {
-    let mut s = entry("facesim", "Parsec", "Simulates human facial motion", 3_000_000, 207);
-    s.mix = InstrMix { load: 0.22, store: 0.10, branch: 0.05, cond_reg: 0.01, fixed: 0.14, vector: 0.48 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
-    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(8)).with_locality(0.80);
+    let mut s = entry(
+        "facesim",
+        "Parsec",
+        "Simulates human facial motion",
+        3_000_000,
+        207,
+    );
+    s.mix = InstrMix {
+        load: 0.22,
+        store: 0.10,
+        branch: 0.05,
+        cond_reg: 0.01,
+        fixed: 0.14,
+        vector: 0.48,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
+    s.mem = MemBehavior::private(MB, AccessPattern::Strided(8)).with_locality(0.80);
     s.branch_mispredict_rate = 0.004;
-    s.sync = SyncSpec::Barrier { interval: 40_000, imbalance: 0.10 };
+    s.sync = SyncSpec::Barrier {
+        interval: 40_000,
+        imbalance: 0.10,
+    };
     s
 }
 
 /// Ferret — content-similarity pipeline: mixed stages with moderate locks
 /// (Nehalem suite).
 pub fn ferret() -> WorkloadSpec {
-    let mut s = entry("ferret", "Parsec", "Content similarity search pipeline", 2_500_000, 208);
-    s.mix = InstrMix { load: 0.26, store: 0.09, branch: 0.11, cond_reg: 0.02, fixed: 0.27, vector: 0.25 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
-    s.mem = MemBehavior::private(1 * MB, AccessPattern::Random).with_locality(0.96);
+    let mut s = entry(
+        "ferret",
+        "Parsec",
+        "Content similarity search pipeline",
+        2_500_000,
+        208,
+    );
+    s.mix = InstrMix {
+        load: 0.26,
+        store: 0.09,
+        branch: 0.11,
+        cond_reg: 0.02,
+        fixed: 0.27,
+        vector: 0.25,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
+    s.mem = MemBehavior::private(MB, AccessPattern::Random).with_locality(0.96);
     s.branch_mispredict_rate = 0.010;
-    s.sync = SyncSpec::BlockingLock { cs_interval: 500, cs_len: 20, wake_latency: 30 };
+    s.sync = SyncSpec::BlockingLock {
+        cs_interval: 500,
+        cs_len: 20,
+        wake_latency: 30,
+    };
     s.code_footprint = 96 * KB;
     s
 }
@@ -258,20 +528,57 @@ pub fn ferret() -> WorkloadSpec {
 /// Fluidanimate — SPH fluid dynamics: FP with fine-grained spin locks on
 /// cell lists; still a clear SMT4 winner (1.35x in Fig. 7).
 pub fn fluidanimate() -> WorkloadSpec {
-    let mut s = entry("Fluidanimate", "Parsec", "Fluid dynamics (SPH) with fine-grain locks", 3_500_000, 209);
-    s.mix = InstrMix { load: 0.23, store: 0.10, branch: 0.09, cond_reg: 0.02, fixed: 0.16, vector: 0.40 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "Fluidanimate",
+        "Parsec",
+        "Fluid dynamics (SPH) with fine-grain locks",
+        3_500_000,
+        209,
+    );
+    s.mix = InstrMix {
+        load: 0.23,
+        store: 0.10,
+        branch: 0.09,
+        cond_reg: 0.02,
+        fixed: 0.16,
+        vector: 0.40,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(512 * KB, AccessPattern::Strided(8)).with_locality(0.85);
     s.branch_mispredict_rate = 0.006;
-    s.sync = SyncSpec::SpinLock { cs_interval: 3_500, cs_len: 6 };
+    s.sync = SyncSpec::SpinLock {
+        cs_interval: 3_500,
+        cs_len: 6,
+    };
     s
 }
 
 /// Freqmine — frequent itemset mining: integer/memory heavy (Nehalem suite).
 pub fn freqmine() -> WorkloadSpec {
-    let mut s = entry("freqmine", "Parsec", "Frequent itemset mining", 2_500_000, 210);
-    s.mix = InstrMix { load: 0.30, store: 0.09, branch: 0.13, cond_reg: 0.02, fixed: 0.42, vector: 0.04 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    let mut s = entry(
+        "freqmine",
+        "Parsec",
+        "Frequent itemset mining",
+        2_500_000,
+        210,
+    );
+    s.mix = InstrMix {
+        load: 0.30,
+        store: 0.09,
+        branch: 0.13,
+        cond_reg: 0.02,
+        fixed: 0.42,
+        vector: 0.04,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 4,
+    };
     s.mem = MemBehavior::private(6 * MB, AccessPattern::Random).with_locality(0.91);
     s.branch_mispredict_rate = 0.014;
     s
@@ -280,8 +587,19 @@ pub fn freqmine() -> WorkloadSpec {
 /// Raytrace — ray tracing: FP with branchy traversal (Nehalem suite).
 pub fn raytrace() -> WorkloadSpec {
     let mut s = entry("raytrace", "Parsec", "Real-time raytracing", 3_000_000, 211);
-    s.mix = InstrMix { load: 0.24, store: 0.06, branch: 0.14, cond_reg: 0.02, fixed: 0.16, vector: 0.38 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.06,
+        branch: 0.14,
+        cond_reg: 0.02,
+        fixed: 0.16,
+        vector: 0.38,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 4,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.96);
     s.branch_mispredict_rate = 0.020;
     s
@@ -293,9 +611,26 @@ pub fn raytrace() -> WorkloadSpec {
 /// same footprint misses in the smaller L3, so SMT actually helps — the
 /// Fig. 10 outlier.
 pub fn streamcluster() -> WorkloadSpec {
-    let mut s = entry("Streamcluster", "Parsec", "Online data clustering; 40% loads", 2_000_000, 212);
-    s.mix = InstrMix { load: 0.40, store: 0.04, branch: 0.13, cond_reg: 0.01, fixed: 0.16, vector: 0.26 }.normalized();
-    s.dep = DepProfile { prob: 0.55, max_dist: 12 };
+    let mut s = entry(
+        "Streamcluster",
+        "Parsec",
+        "Online data clustering; 40% loads",
+        2_000_000,
+        212,
+    );
+    s.mix = InstrMix {
+        load: 0.40,
+        store: 0.04,
+        branch: 0.13,
+        cond_reg: 0.01,
+        fixed: 0.16,
+        vector: 0.26,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.55,
+        max_dist: 12,
+    };
     s.mem = MemBehavior::private(64 * KB, AccessPattern::Strided(8))
         .with_shared(12 * MB, 0.85, 0.3)
         .with_locality(0.97);
@@ -306,9 +641,26 @@ pub fn streamcluster() -> WorkloadSpec {
 /// Swaptions — Monte-Carlo swaption pricing: scalable FP compute
 /// (Nehalem suite).
 pub fn swaptions() -> WorkloadSpec {
-    let mut s = entry("swaptions", "Parsec", "Monte-Carlo pricing of swaptions", 4_000_000, 213);
-    s.mix = InstrMix { load: 0.15, store: 0.06, branch: 0.09, cond_reg: 0.02, fixed: 0.18, vector: 0.50 }.normalized();
-    s.dep = DepProfile { prob: 0.92, max_dist: 4 };
+    let mut s = entry(
+        "swaptions",
+        "Parsec",
+        "Monte-Carlo pricing of swaptions",
+        4_000_000,
+        213,
+    );
+    s.mix = InstrMix {
+        load: 0.15,
+        store: 0.06,
+        branch: 0.09,
+        cond_reg: 0.02,
+        fixed: 0.18,
+        vector: 0.50,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.92,
+        max_dist: 4,
+    };
     s.mem = MemBehavior::cache_resident();
     s.branch_mispredict_rate = 0.005;
     s
@@ -316,10 +668,27 @@ pub fn swaptions() -> WorkloadSpec {
 
 /// Vips — image processing pipeline: mixed compute (Nehalem suite).
 pub fn vips() -> WorkloadSpec {
-    let mut s = entry("vips", "Parsec", "Image processing pipeline", 3_000_000, 214);
-    s.mix = InstrMix { load: 0.24, store: 0.12, branch: 0.10, cond_reg: 0.02, fixed: 0.27, vector: 0.25 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 6 };
-    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(64)).with_locality(0.972);
+    let mut s = entry(
+        "vips",
+        "Parsec",
+        "Image processing pipeline",
+        3_000_000,
+        214,
+    );
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.12,
+        branch: 0.10,
+        cond_reg: 0.02,
+        fixed: 0.27,
+        vector: 0.25,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 6,
+    };
+    s.mem = MemBehavior::private(MB, AccessPattern::Strided(64)).with_locality(0.972);
     s.branch_mispredict_rate = 0.008;
     s
 }
@@ -328,9 +697,20 @@ pub fn vips() -> WorkloadSpec {
 /// (Nehalem suite).
 pub fn x264() -> WorkloadSpec {
     let mut s = entry("x264", "Parsec", "H.264 video encoding", 3_000_000, 215);
-    s.mix = InstrMix { load: 0.24, store: 0.10, branch: 0.13, cond_reg: 0.02, fixed: 0.28, vector: 0.23 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
-    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(8)).with_locality(0.72);
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.10,
+        branch: 0.13,
+        cond_reg: 0.02,
+        fixed: 0.28,
+        vector: 0.23,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
+    s.mem = MemBehavior::private(MB, AccessPattern::Strided(8)).with_locality(0.72);
     s.branch_mispredict_rate = 0.018;
     s
 }
@@ -342,8 +722,19 @@ pub fn x264() -> WorkloadSpec {
 /// Ammp — molecular dynamics: FP with irregular neighbor lists.
 pub fn ammp() -> WorkloadSpec {
     let mut s = entry("Ammp", "SPEC OMP2001", "Molecular dynamics", 2_500_000, 301);
-    s.mix = InstrMix { load: 0.24, store: 0.07, branch: 0.06, cond_reg: 0.01, fixed: 0.09, vector: 0.53 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.07,
+        branch: 0.06,
+        cond_reg: 0.01,
+        fixed: 0.09,
+        vector: 0.53,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.92);
     s.branch_mispredict_rate = 0.008;
     s
@@ -351,9 +742,26 @@ pub fn ammp() -> WorkloadSpec {
 
 /// Applu — parabolic/elliptic PDEs: FP with large strided sweeps.
 pub fn applu() -> WorkloadSpec {
-    let mut s = entry("Applu", "SPEC OMP2001", "Parabolic/elliptic PDE solver", 2_200_000, 302);
-    s.mix = InstrMix { load: 0.24, store: 0.09, branch: 0.04, cond_reg: 0.01, fixed: 0.07, vector: 0.55 }.normalized();
-    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    let mut s = entry(
+        "Applu",
+        "SPEC OMP2001",
+        "Parabolic/elliptic PDE solver",
+        2_200_000,
+        302,
+    );
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.09,
+        branch: 0.04,
+        cond_reg: 0.01,
+        fixed: 0.07,
+        vector: 0.55,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.88,
+        max_dist: 6,
+    };
     s.mem = MemBehavior::private(8 * MB, AccessPattern::Strided(64)).with_locality(0.855);
     s.branch_mispredict_rate = 0.003;
     s
@@ -361,10 +769,27 @@ pub fn applu() -> WorkloadSpec {
 
 /// Apsi — lake weather modeling: FP, moderate footprint.
 pub fn apsi() -> WorkloadSpec {
-    let mut s = entry("Apsi", "SPEC OMP2001", "Lake weather modeling", 2_500_000, 303);
-    s.mix = InstrMix { load: 0.22, store: 0.09, branch: 0.06, cond_reg: 0.01, fixed: 0.10, vector: 0.52 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
-    s.mem = MemBehavior::private(1 * MB, AccessPattern::Strided(8)).with_locality(0.74);
+    let mut s = entry(
+        "Apsi",
+        "SPEC OMP2001",
+        "Lake weather modeling",
+        2_500_000,
+        303,
+    );
+    s.mix = InstrMix {
+        load: 0.22,
+        store: 0.09,
+        branch: 0.06,
+        cond_reg: 0.01,
+        fixed: 0.10,
+        vector: 0.52,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
+    s.mem = MemBehavior::private(MB, AccessPattern::Strided(8)).with_locality(0.74);
     s.branch_mispredict_rate = 0.005;
     s
 }
@@ -372,43 +797,120 @@ pub fn apsi() -> WorkloadSpec {
 /// Equake — earthquake simulation: sparse FP over a large footprint; Fig. 1
 /// shows SMT4 *degrading* it badly.
 pub fn equake() -> WorkloadSpec {
-    let mut s = entry("Equake", "SPEC OMP2001", "Earthquake simulation (sparse FP)", 1_800_000, 304);
-    s.mix = InstrMix { load: 0.26, store: 0.08, branch: 0.05, cond_reg: 0.01, fixed: 0.08, vector: 0.52 }.normalized();
-    s.dep = DepProfile { prob: 0.85, max_dist: 10 };
+    let mut s = entry(
+        "Equake",
+        "SPEC OMP2001",
+        "Earthquake simulation (sparse FP)",
+        1_800_000,
+        304,
+    );
+    s.mix = InstrMix {
+        load: 0.26,
+        store: 0.08,
+        branch: 0.05,
+        cond_reg: 0.01,
+        fixed: 0.08,
+        vector: 0.52,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.85,
+        max_dist: 10,
+    };
     s.mem = MemBehavior::private(4 * MB, AccessPattern::Strided(64)).with_locality(0.91);
     s.branch_mispredict_rate = 0.004;
-    s.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.15, chunk: 4_000 };
+    s.sync = SyncSpec::AmdahlSerial {
+        serial_fraction: 0.15,
+        chunk: 4_000,
+    };
     s
 }
 
 /// Fma3d — finite-element crash simulation: FP with imbalanced elements.
 pub fn fma3d() -> WorkloadSpec {
-    let mut s = entry("Fma3d", "SPEC OMP2001", "Finite element crash simulation", 2_500_000, 305);
-    s.mix = InstrMix { load: 0.23, store: 0.09, branch: 0.07, cond_reg: 0.01, fixed: 0.11, vector: 0.49 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "Fma3d",
+        "SPEC OMP2001",
+        "Finite element crash simulation",
+        2_500_000,
+        305,
+    );
+    s.mix = InstrMix {
+        load: 0.23,
+        store: 0.09,
+        branch: 0.07,
+        cond_reg: 0.01,
+        fixed: 0.11,
+        vector: 0.49,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Strided(8)).with_locality(0.70);
     s.branch_mispredict_rate = 0.007;
-    s.sync = SyncSpec::Barrier { interval: 25_000, imbalance: 0.25 };
+    s.sync = SyncSpec::Barrier {
+        interval: 25_000,
+        imbalance: 0.25,
+    };
     s
 }
 
 /// Gafort — genetic algorithm: integer/branch heavy with lock-protected
 /// shuffles.
 pub fn gafort() -> WorkloadSpec {
-    let mut s = entry("Gafort", "SPEC OMP2001", "Genetic algorithm", 2_200_000, 306);
-    s.mix = InstrMix { load: 0.25, store: 0.12, branch: 0.15, cond_reg: 0.03, fixed: 0.36, vector: 0.09 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 4 };
-    s.mem = MemBehavior::private(1 * MB, AccessPattern::Random).with_locality(0.95);
+    let mut s = entry(
+        "Gafort",
+        "SPEC OMP2001",
+        "Genetic algorithm",
+        2_200_000,
+        306,
+    );
+    s.mix = InstrMix {
+        load: 0.25,
+        store: 0.12,
+        branch: 0.15,
+        cond_reg: 0.03,
+        fixed: 0.36,
+        vector: 0.09,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 4,
+    };
+    s.mem = MemBehavior::private(MB, AccessPattern::Random).with_locality(0.95);
     s.branch_mispredict_rate = 0.015;
-    s.sync = SyncSpec::SpinLock { cs_interval: 900, cs_len: 12 };
+    s.sync = SyncSpec::SpinLock {
+        cs_interval: 900,
+        cs_len: 12,
+    };
     s
 }
 
 /// Mgrid — multigrid solver: bandwidth-hungry stencil sweeps.
 pub fn mgrid() -> WorkloadSpec {
-    let mut s = entry("Mgrid", "SPEC OMP2001", "Multigrid differential equation solver", 1_800_000, 307);
-    s.mix = InstrMix { load: 0.28, store: 0.11, branch: 0.04, cond_reg: 0.01, fixed: 0.06, vector: 0.50 }.normalized();
-    s.dep = DepProfile { prob: 0.88, max_dist: 6 };
+    let mut s = entry(
+        "Mgrid",
+        "SPEC OMP2001",
+        "Multigrid differential equation solver",
+        1_800_000,
+        307,
+    );
+    s.mix = InstrMix {
+        load: 0.28,
+        store: 0.11,
+        branch: 0.04,
+        cond_reg: 0.01,
+        fixed: 0.06,
+        vector: 0.50,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.88,
+        max_dist: 6,
+    };
     s.mem = MemBehavior::private(12 * MB, AccessPattern::Strided(64)).with_locality(0.845);
     s.branch_mispredict_rate = 0.003;
     s
@@ -416,21 +918,58 @@ pub fn mgrid() -> WorkloadSpec {
 
 /// Swim — shallow-water modeling: the classic bandwidth burner.
 pub fn swim() -> WorkloadSpec {
-    let mut s = entry("Swim", "SPEC OMP2001", "Shallow water modeling (bandwidth bound)", 1_500_000, 308);
-    s.mix = InstrMix { load: 0.31, store: 0.16, branch: 0.03, cond_reg: 0.0, fixed: 0.05, vector: 0.45 }.normalized();
-    s.dep = DepProfile { prob: 0.80, max_dist: 10 };
+    let mut s = entry(
+        "Swim",
+        "SPEC OMP2001",
+        "Shallow water modeling (bandwidth bound)",
+        1_500_000,
+        308,
+    );
+    s.mix = InstrMix {
+        load: 0.31,
+        store: 0.16,
+        branch: 0.03,
+        cond_reg: 0.0,
+        fixed: 0.05,
+        vector: 0.45,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.80,
+        max_dist: 10,
+    };
     s.mem = MemBehavior::private(24 * MB, AccessPattern::Strided(64)).with_locality(0.85);
     s.branch_mispredict_rate = 0.002;
-    s.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.06, chunk: 3_000 };
+    s.sync = SyncSpec::AmdahlSerial {
+        serial_fraction: 0.06,
+        chunk: 3_000,
+    };
     s
 }
 
 /// Wupwise — quantum chromodynamics: FP compute with small footprint and
 /// chains; one of the SPEC OMP codes that does gain from SMT.
 pub fn wupwise() -> WorkloadSpec {
-    let mut s = entry("Wupwise", "SPEC OMP2001", "Quantum chromodynamics", 3_500_000, 309);
-    s.mix = InstrMix { load: 0.20, store: 0.09, branch: 0.07, cond_reg: 0.02, fixed: 0.17, vector: 0.45 }.normalized();
-    s.dep = DepProfile { prob: 0.92, max_dist: 4 };
+    let mut s = entry(
+        "Wupwise",
+        "SPEC OMP2001",
+        "Quantum chromodynamics",
+        3_500_000,
+        309,
+    );
+    s.mix = InstrMix {
+        load: 0.20,
+        store: 0.09,
+        branch: 0.07,
+        cond_reg: 0.02,
+        fixed: 0.17,
+        vector: 0.45,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.92,
+        max_dist: 4,
+    };
     s.mem = MemBehavior::private(256 * KB, AccessPattern::Strided(8)).with_locality(0.90);
     s.branch_mispredict_rate = 0.004;
     s
@@ -443,23 +982,52 @@ pub fn wupwise() -> WorkloadSpec {
 /// SSCA2 — graph analysis: integer, irregular shared accesses, lock heavy
 /// (Table I calls it out explicitly).
 pub fn ssca2() -> WorkloadSpec {
-    let mut s = entry("SSCA2", "SSCA", "Graph analysis; integer ops, lock heavy", 1_800_000, 401);
-    s.mix = InstrMix { load: 0.30, store: 0.10, branch: 0.16, cond_reg: 0.03, fixed: 0.39, vector: 0.02 }.normalized();
-    s.dep = DepProfile { prob: 0.92, max_dist: 3 };
+    let mut s = entry(
+        "SSCA2",
+        "SSCA",
+        "Graph analysis; integer ops, lock heavy",
+        1_800_000,
+        401,
+    );
+    s.mix = InstrMix {
+        load: 0.30,
+        store: 0.10,
+        branch: 0.16,
+        cond_reg: 0.03,
+        fixed: 0.39,
+        vector: 0.02,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.92,
+        max_dist: 3,
+    };
     s.mem = MemBehavior::private(128 * KB, AccessPattern::Random)
         .with_shared(12 * MB, 0.6, 0.3)
         .with_locality(0.925);
     s.branch_mispredict_rate = 0.018;
-    s.sync = SyncSpec::SpinLock { cs_interval: 450, cs_len: 12 };
+    s.sync = SyncSpec::SpinLock {
+        cs_interval: 450,
+        cs_len: 12,
+    };
     s
 }
 
 /// STREAM — synthetic memory-bandwidth benchmark: every access touches a
 /// new line of a huge array.
 pub fn stream() -> WorkloadSpec {
-    let mut s = entry("Stream", "Synthetic", "Streaming memory bandwidth (triad-style)", 1_200_000, 402);
+    let mut s = entry(
+        "Stream",
+        "Synthetic",
+        "Streaming memory bandwidth (triad-style)",
+        1_200_000,
+        402,
+    );
     s.mix = InstrMix::mem_stream();
-    s.dep = DepProfile { prob: 0.80, max_dist: 12 };
+    s.dep = DepProfile {
+        prob: 0.80,
+        max_dist: 12,
+    };
     s.mem = MemBehavior::private(32 * MB, AccessPattern::Strided(8));
     s.branch_mispredict_rate = 0.002;
     s
@@ -468,12 +1036,33 @@ pub fn stream() -> WorkloadSpec {
 /// SPECjbb2005 — server-side Java: diverse mix, light blocking locks,
 /// moderate footprint.
 pub fn specjbb() -> WorkloadSpec {
-    let mut s = entry("SPECjbb", "SPECjbb2005", "Server-side Java, per-thread warehouses", 3_000_000, 403);
-    s.mix = InstrMix { load: 0.24, store: 0.11, branch: 0.13, cond_reg: 0.02, fixed: 0.32, vector: 0.18 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "SPECjbb",
+        "SPECjbb2005",
+        "Server-side Java, per-thread warehouses",
+        3_000_000,
+        403,
+    );
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.11,
+        branch: 0.13,
+        cond_reg: 0.02,
+        fixed: 0.32,
+        vector: 0.18,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(3 * MB, AccessPattern::Random).with_locality(0.93);
     s.branch_mispredict_rate = 0.010;
-    s.sync = SyncSpec::BlockingLock { cs_interval: 900, cs_len: 15, wake_latency: 30 };
+    s.sync = SyncSpec::BlockingLock {
+        cs_interval: 900,
+        cs_len: 15,
+        wake_latency: 30,
+    };
     s.code_footprint = 192 * KB;
     s
 }
@@ -481,14 +1070,34 @@ pub fn specjbb() -> WorkloadSpec {
 /// SPECjbb-contention — the paper's custom single-warehouse variant: all
 /// worker threads hammer one lock; the heaviest SMT loser (0.25x in Fig. 7).
 pub fn specjbb_contention() -> WorkloadSpec {
-    let mut s = entry("SPECjbb_contention", "Custom", "SPECjbb with one shared warehouse; heavy lock contention", 1_200_000, 404);
-    s.mix = InstrMix { load: 0.24, store: 0.11, branch: 0.13, cond_reg: 0.02, fixed: 0.32, vector: 0.18 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "SPECjbb_contention",
+        "Custom",
+        "SPECjbb with one shared warehouse; heavy lock contention",
+        1_200_000,
+        404,
+    );
+    s.mix = InstrMix {
+        load: 0.24,
+        store: 0.11,
+        branch: 0.13,
+        cond_reg: 0.02,
+        fixed: 0.32,
+        vector: 0.18,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(512 * KB, AccessPattern::Random)
         .with_shared(2 * MB, 0.4, 0.3)
         .with_locality(0.94);
     s.branch_mispredict_rate = 0.010;
-    s.sync = SyncSpec::SpinLock { cs_interval: 180, cs_len: 22 };
+    s.sync = SyncSpec::SpinLock {
+        cs_interval: 180,
+        cs_len: 22,
+    };
     s.code_footprint = 192 * KB;
     s
 }
@@ -496,12 +1105,31 @@ pub fn specjbb_contention() -> WorkloadSpec {
 /// DayTrader — WebSphere trading benchmark: network I/O keeps threads
 /// blocked much of the time.
 pub fn daytrader() -> WorkloadSpec {
-    let mut s = entry("Daytrader", "Commercial", "Online stock trading emulation; heavy network I/O", 1_800_000, 405);
-    s.mix = InstrMix { load: 0.25, store: 0.11, branch: 0.14, cond_reg: 0.02, fixed: 0.31, vector: 0.17 }.normalized();
-    s.dep = DepProfile { prob: 0.90, max_dist: 5 };
+    let mut s = entry(
+        "Daytrader",
+        "Commercial",
+        "Online stock trading emulation; heavy network I/O",
+        1_800_000,
+        405,
+    );
+    s.mix = InstrMix {
+        load: 0.25,
+        store: 0.11,
+        branch: 0.14,
+        cond_reg: 0.02,
+        fixed: 0.31,
+        vector: 0.17,
+    }
+    .normalized();
+    s.dep = DepProfile {
+        prob: 0.90,
+        max_dist: 5,
+    };
     s.mem = MemBehavior::private(2 * MB, AccessPattern::Random).with_locality(0.94);
     s.branch_mispredict_rate = 0.012;
-    s.sync = SyncSpec::RateLimited { work_per_kcycle: 2_700 };
+    s.sync = SyncSpec::RateLimited {
+        work_per_kcycle: 2_700,
+    };
     s.code_footprint = 256 * KB;
     s
 }
@@ -612,15 +1240,37 @@ mod tests {
 
     #[test]
     fn power7_suite_matches_fig6_labels() {
-        let names: HashSet<String> =
-            power7_suite().into_iter().map(|s| s.name).collect();
+        let names: HashSet<String> = power7_suite().into_iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 28, "duplicate names");
         for expected in [
-            "Ammp", "Applu", "Apsi", "Equake", "Fma3d", "Gafort", "Mgrid",
-            "Swim", "Wupwise", "Blackscholes", "BT", "CG_MPI", "Dedup", "EP",
-            "EP_MPI", "Fluidanimate", "FT_MPI", "IS", "IS_MPI", "LU_MPI",
-            "MG", "MG_MPI", "SSCA2", "Stream", "Streamcluster", "SPECjbb",
-            "SPECjbb_contention", "Daytrader",
+            "Ammp",
+            "Applu",
+            "Apsi",
+            "Equake",
+            "Fma3d",
+            "Gafort",
+            "Mgrid",
+            "Swim",
+            "Wupwise",
+            "Blackscholes",
+            "BT",
+            "CG_MPI",
+            "Dedup",
+            "EP",
+            "EP_MPI",
+            "Fluidanimate",
+            "FT_MPI",
+            "IS",
+            "IS_MPI",
+            "LU_MPI",
+            "MG",
+            "MG_MPI",
+            "SSCA2",
+            "Stream",
+            "Streamcluster",
+            "SPECjbb",
+            "SPECjbb_contention",
+            "Daytrader",
         ] {
             assert!(names.contains(expected), "missing {expected}");
         }

@@ -155,7 +155,10 @@ impl SyntheticWorkload {
     pub fn new(spec: WorkloadSpec) -> SyntheticWorkload {
         spec.validate().expect("invalid workload spec");
         let amdahl_parallel = match spec.sync {
-            SyncSpec::AmdahlSerial { serial_fraction, chunk } => {
+            SyncSpec::AmdahlSerial {
+                serial_fraction,
+                chunk,
+            } => {
                 // serial_fraction = chunk / (chunk + parallel)
                 ((chunk as f64) * (1.0 - serial_fraction) / serial_fraction).max(1.0) as u64
             }
@@ -189,9 +192,13 @@ impl SyntheticWorkload {
 
     fn jittered_interval(spec: &WorkloadSpec, rng: &mut ChaCha8Rng) -> u64 {
         match spec.sync {
-            SyncSpec::SpinLock { cs_interval, .. }
-            | SyncSpec::BlockingLock { cs_interval, .. } => cs_interval,
-            SyncSpec::Barrier { interval, imbalance } => {
+            SyncSpec::SpinLock { cs_interval, .. } | SyncSpec::BlockingLock { cs_interval, .. } => {
+                cs_interval
+            }
+            SyncSpec::Barrier {
+                interval,
+                imbalance,
+            } => {
                 if imbalance <= 0.0 {
                     interval
                 } else {
@@ -253,7 +260,11 @@ impl SyntheticWorkload {
                     let shared =
                         mem.shared_fraction > 0.0 && g.rng.gen::<f64>() < mem.shared_fraction;
                     let (base, size, cursor) = if shared {
-                        (SHARED_BASE + 4096, mem.shared_working_set, &mut g.shared_cursor)
+                        (
+                            SHARED_BASE + 4096,
+                            mem.shared_working_set,
+                            &mut g.shared_cursor,
+                        )
                     } else {
                         // Cold private region sits above the hot set.
                         (
@@ -282,7 +293,7 @@ impl SyntheticWorkload {
                 // biased loop/guard branches, a minority are data-dependent
                 // coin flips.
                 let hb = h >> 40;
-                let bias = if hb % 8 == 0 { 0.55 } else { 0.93 };
+                let bias = if hb.is_multiple_of(8) { 0.55 } else { 0.93 };
                 instr.taken = g.rng.gen::<f64>() < bias;
             }
             _ => {}
@@ -363,9 +374,7 @@ impl Workload for SyntheticWorkload {
         }
         self.sync.serial_left = 0;
         self.sync.reset();
-        if matches!(self.spec.sync, SyncSpec::AmdahlSerial { .. })
-            && self.sync.parallel_left == 0
-        {
+        if matches!(self.spec.sync, SyncSpec::AmdahlSerial { .. }) && self.sync.parallel_left == 0 {
             self.sync.parallel_left = self.amdahl_parallel;
         }
         self.epoch += 1;
@@ -440,7 +449,9 @@ impl Workload for SyntheticWorkload {
                     SyncSpec::BlockingLock { wake_latency, .. } => wake_latency,
                     _ => POLL,
                 };
-                return Fetched::Sleep { until: now + wake.max(1) };
+                return Fetched::Sleep {
+                    until: now + wake.max(1),
+                };
             }
             Mode::InCs { left } => {
                 if left == 0 || !self.ensure_chunk(t) {
@@ -450,9 +461,8 @@ impl Workload for SyntheticWorkload {
                     debug_assert_eq!(self.sync.holder, Some(t));
                     self.sync.holder = None;
                     if self.sync.waiters > 0 {
-                        self.sync.lock_free_at = now
-                            + HANDOFF_BASE
-                            + HANDOFF_PER_WAITER * self.sync.waiters as u64;
+                        self.sync.lock_free_at =
+                            now + HANDOFF_BASE + HANDOFF_PER_WAITER * self.sync.waiters as u64;
                     }
                     self.threads[t].mode = Mode::Normal;
                     self.threads[t].work_since_sync = 0;
@@ -562,9 +572,7 @@ impl Workload for SyntheticWorkload {
                     self.threads[t].mode = Mode::SerialWait;
                     return self.fetch(t, now);
                 }
-                if self.sync.parallel_left == 0
-                    && self.threads[t].chunk_left == 0
-                    && self.pool > 0
+                if self.sync.parallel_left == 0 && self.threads[t].chunk_left == 0 && self.pool > 0
                 {
                     // Start a serial section.
                     let s = chunk.min(self.pool);
@@ -632,8 +640,8 @@ mod tests {
             if w.finished() && (0..threads).all(|t| matches!(w.fetch(t, now), Fetched::Finished)) {
                 break;
             }
-            for t in 0..threads {
-                if wake[t] > now {
+            for (t, wake_t) in wake.iter_mut().enumerate() {
+                if *wake_t > now {
                     continue;
                 }
                 match w.fetch(t, now) {
@@ -646,7 +654,7 @@ mod tests {
                     }
                     Fetched::Sleep { until } => {
                         sleeps += 1;
-                        wake[t] = until;
+                        *wake_t = until;
                     }
                     Fetched::Finished => {}
                 }
@@ -689,7 +697,10 @@ mod tests {
     #[test]
     fn spin_lock_emits_overhead_under_contention() {
         let mut spec = base_spec(20_000);
-        spec.sync = SyncSpec::SpinLock { cs_interval: 20, cs_len: 40 };
+        spec.sync = SyncSpec::SpinLock {
+            cs_interval: 20,
+            cs_len: 40,
+        };
         let mut w = SyntheticWorkload::new(spec);
         let (work, overhead, _) = drain(&mut w, 8, 400_000);
         assert_eq!(work, 20_000);
@@ -702,7 +713,10 @@ mod tests {
     #[test]
     fn spin_lock_no_contention_single_thread() {
         let mut spec = base_spec(5_000);
-        spec.sync = SyncSpec::SpinLock { cs_interval: 20, cs_len: 10 };
+        spec.sync = SyncSpec::SpinLock {
+            cs_interval: 20,
+            cs_len: 10,
+        };
         let mut w = SyntheticWorkload::new(spec);
         let (work, overhead, _) = drain(&mut w, 1, 200_000);
         assert_eq!(work, 5_000);
@@ -712,7 +726,11 @@ mod tests {
     #[test]
     fn blocking_lock_sleeps_instead_of_spinning() {
         let mut spec = base_spec(20_000);
-        spec.sync = SyncSpec::BlockingLock { cs_interval: 20, cs_len: 40, wake_latency: 30 };
+        spec.sync = SyncSpec::BlockingLock {
+            cs_interval: 20,
+            cs_len: 40,
+            wake_latency: 30,
+        };
         let mut w = SyntheticWorkload::new(spec);
         let (work, overhead, sleeps) = drain(&mut w, 8, 400_000);
         assert_eq!(work, 20_000);
@@ -723,7 +741,10 @@ mod tests {
     #[test]
     fn barrier_forces_waiting() {
         let mut spec = base_spec(20_000);
-        spec.sync = SyncSpec::Barrier { interval: 500, imbalance: 0.3 };
+        spec.sync = SyncSpec::Barrier {
+            interval: 500,
+            imbalance: 0.3,
+        };
         let mut w = SyntheticWorkload::new(spec);
         let (work, _, sleeps) = drain(&mut w, 4, 400_000);
         assert_eq!(work, 20_000);
@@ -733,7 +754,10 @@ mod tests {
     #[test]
     fn amdahl_serializes_some_work() {
         let mut spec = base_spec(20_000);
-        spec.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.3, chunk: 600 };
+        spec.sync = SyncSpec::AmdahlSerial {
+            serial_fraction: 0.3,
+            chunk: 600,
+        };
         let mut w = SyntheticWorkload::new(spec);
         let (work, _, sleeps) = drain(&mut w, 4, 400_000);
         assert_eq!(work, 20_000);
@@ -743,7 +767,10 @@ mod tests {
     #[test]
     fn periodic_idle_sleeps() {
         let mut spec = base_spec(5_000);
-        spec.sync = SyncSpec::PeriodicIdle { run: 100, idle: 200 };
+        spec.sync = SyncSpec::PeriodicIdle {
+            run: 100,
+            idle: 200,
+        };
         let mut w = SyntheticWorkload::new(spec);
         let (work, _, sleeps) = drain(&mut w, 2, 400_000);
         assert_eq!(work, 5_000);
@@ -789,8 +816,8 @@ mod tests {
             if w.finished() {
                 break;
             }
-            for t in 0..threads {
-                if wake[t] > now {
+            for (t, wake_t) in wake.iter_mut().enumerate() {
+                if *wake_t > now {
                     continue;
                 }
                 match w.fetch(t, now) {
@@ -803,7 +830,7 @@ mod tests {
                     }
                     Fetched::Sleep { until } => {
                         sleeps += 1;
-                        wake[t] = until;
+                        *wake_t = until;
                     }
                     Fetched::Finished => {}
                 }
@@ -842,8 +869,7 @@ mod tests {
         spec.mem = MemBehavior::private(1 << 16, crate::spec::AccessPattern::Random);
         let mut w = SyntheticWorkload::new(spec);
         w.set_thread_count(2);
-        let mut now = 0;
-        for _ in 0..2_000 {
+        for now in 0..2_000u64 {
             for t in 0..2 {
                 if let Fetched::Instr(i) = w.fetch(t, now) {
                     if i.class.is_mem() {
@@ -853,14 +879,16 @@ mod tests {
                     }
                 }
             }
-            now += 1;
         }
     }
 
     #[test]
     fn runs_on_a_simulated_machine_end_to_end() {
         let mut spec = base_spec(30_000);
-        spec.sync = SyncSpec::SpinLock { cs_interval: 50, cs_len: 30 };
+        spec.sync = SyncSpec::SpinLock {
+            cs_interval: 50,
+            cs_len: 30,
+        };
         let w = SyntheticWorkload::new(spec);
         let mut sim = Simulation::new(MachineConfig::generic(2), SmtLevel::Smt2, w);
         let res = sim.run_until_finished(5_000_000);
@@ -871,7 +899,11 @@ mod tests {
     #[test]
     fn reconfigure_mid_lock_does_not_wedge() {
         let mut spec = base_spec(40_000);
-        spec.sync = SyncSpec::BlockingLock { cs_interval: 30, cs_len: 50, wake_latency: 25 };
+        spec.sync = SyncSpec::BlockingLock {
+            cs_interval: 30,
+            cs_len: 50,
+            wake_latency: 25,
+        };
         let w = SyntheticWorkload::new(spec);
         let mut sim = Simulation::new(MachineConfig::generic(2), SmtLevel::Smt2, w);
         sim.run_cycles(3_000);

@@ -32,5 +32,5 @@ pub mod trace;
 pub use gen::SyntheticWorkload;
 pub use multi::MultiWorkload;
 pub use phases::PhasedWorkload;
-pub use trace::{capture, Trace, TraceEvent, TraceWorkload};
 pub use spec::{AccessPattern, DepProfile, InstrMix, MemBehavior, SyncSpec, WorkloadSpec};
+pub use trace::{capture, Trace, TraceEvent, TraceWorkload};

@@ -26,7 +26,11 @@ impl MultiWorkload {
     /// Build from member applications (at least one).
     pub fn new(name: impl Into<String>, apps: Vec<Box<dyn Workload>>) -> MultiWorkload {
         assert!(!apps.is_empty(), "need at least one member application");
-        MultiWorkload { name: name.into(), apps, assignment: Vec::new() }
+        MultiWorkload {
+            name: name.into(),
+            apps,
+            assignment: Vec::new(),
+        }
     }
 
     /// Number of member applications.
@@ -99,7 +103,10 @@ impl std::fmt::Debug for MultiWorkload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MultiWorkload")
             .field("name", &self.name)
-            .field("apps", &self.apps.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .field(
+                "apps",
+                &self.apps.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            )
             .field("threads", &self.assignment.len())
             .finish()
     }

@@ -14,7 +14,7 @@
 //! (sleeping / Amdahl).
 
 use serde::{Deserialize, Serialize};
-use smt_sim::{InstrClass, NUM_CLASSES};
+use smt_sim::{Error, InstrClass, NUM_CLASSES};
 
 /// Fractions of each instruction class emitted in normal execution.
 /// Normalized on construction; sampled per instruction.
@@ -178,18 +178,27 @@ impl DepProfile {
     /// High ILP: dependencies reach far back, leaving many chains in
     /// flight (vectorizable loops with unrolling).
     pub fn high_ilp() -> DepProfile {
-        DepProfile { prob: 0.85, max_dist: 12 }
+        DepProfile {
+            prob: 0.85,
+            max_dist: 12,
+        }
     }
 
     /// Moderate ILP — typical scalar code: nearly every instruction reads
     /// a recent result, with a handful of chains overlapping.
     pub fn moderate() -> DepProfile {
-        DepProfile { prob: 0.9, max_dist: 6 }
+        DepProfile {
+            prob: 0.9,
+            max_dist: 6,
+        }
     }
 
     /// Long serial chains (pointer chasing, recurrences).
     pub fn chain_bound() -> DepProfile {
-        DepProfile { prob: 0.95, max_dist: 2 }
+        DepProfile {
+            prob: 0.95,
+            max_dist: 2,
+        }
     }
 }
 
@@ -262,7 +271,12 @@ impl MemBehavior {
     /// Mark a fraction of cold accesses as going to a shared region of
     /// `shared_bytes`, of which `remote_fraction` are remote on multi-chip
     /// machines.
-    pub fn with_shared(mut self, shared_bytes: u64, fraction: f64, remote_fraction: f64) -> MemBehavior {
+    pub fn with_shared(
+        mut self,
+        shared_bytes: u64,
+        fraction: f64,
+        remote_fraction: f64,
+    ) -> MemBehavior {
         self.shared_working_set = shared_bytes;
         self.shared_fraction = fraction;
         self.remote_fraction = remote_fraction;
@@ -396,66 +410,102 @@ impl WorkloadSpec {
     }
 
     /// Validate parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), Error> {
         if self.total_work == 0 {
-            return Err("total_work must be positive".into());
+            return Err(Error::InvalidWorkload("total_work must be positive".into()));
         }
         if self.code_footprint < 64 {
-            return Err("code footprint must cover at least one cache line".into());
+            return Err(Error::InvalidWorkload(
+                "code footprint must cover at least one cache line".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.branch_mispredict_rate) {
-            return Err("branch_mispredict_rate out of [0,1]".into());
+            return Err(Error::InvalidWorkload(
+                "branch_mispredict_rate out of [0,1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.mem.shared_fraction)
             || !(0.0..=1.0).contains(&self.mem.remote_fraction)
             || !(0.0..=1.0).contains(&self.mem.locality)
         {
-            return Err("memory fractions out of [0,1]".into());
+            return Err(Error::InvalidWorkload(
+                "memory fractions out of [0,1]".into(),
+            ));
         }
         if self.mem.locality > 0.0 && self.mem.hot_set == 0 {
-            return Err("hot accesses require a hot set".into());
+            return Err(Error::InvalidWorkload(
+                "hot accesses require a hot set".into(),
+            ));
         }
         if self.mem.shared_fraction > 0.0 && self.mem.shared_working_set == 0 {
-            return Err("shared accesses require a shared working set".into());
+            return Err(Error::InvalidWorkload(
+                "shared accesses require a shared working set".into(),
+            ));
         }
         if self.mem.working_set == 0 && self.mem.shared_fraction < 1.0 {
-            let has_private_mem =
-                self.mix.load + self.mix.store > 0.0;
+            let has_private_mem = self.mix.load + self.mix.store > 0.0;
             if has_private_mem {
-                return Err("private accesses require a working set".into());
+                return Err(Error::InvalidWorkload(
+                    "private accesses require a working set".into(),
+                ));
             }
         }
         match self.sync {
-            SyncSpec::SpinLock { cs_interval, cs_len }
-            | SyncSpec::BlockingLock { cs_interval, cs_len, .. } => {
+            SyncSpec::SpinLock {
+                cs_interval,
+                cs_len,
+            }
+            | SyncSpec::BlockingLock {
+                cs_interval,
+                cs_len,
+                ..
+            } => {
                 if cs_interval == 0 || cs_len == 0 {
-                    return Err("lock intervals must be positive".into());
+                    return Err(Error::InvalidWorkload(
+                        "lock intervals must be positive".into(),
+                    ));
                 }
             }
-            SyncSpec::Barrier { interval, imbalance } => {
+            SyncSpec::Barrier {
+                interval,
+                imbalance,
+            } => {
                 if interval == 0 {
-                    return Err("barrier interval must be positive".into());
+                    return Err(Error::InvalidWorkload(
+                        "barrier interval must be positive".into(),
+                    ));
                 }
                 if !(0.0..=1.0).contains(&imbalance) {
-                    return Err("barrier imbalance out of [0,1]".into());
+                    return Err(Error::InvalidWorkload(
+                        "barrier imbalance out of [0,1]".into(),
+                    ));
                 }
             }
-            SyncSpec::AmdahlSerial { serial_fraction, chunk } => {
+            SyncSpec::AmdahlSerial {
+                serial_fraction,
+                chunk,
+            } => {
                 if !(0.0..1.0).contains(&serial_fraction) {
-                    return Err("serial_fraction out of [0,1)".into());
+                    return Err(Error::InvalidWorkload(
+                        "serial_fraction out of [0,1)".into(),
+                    ));
                 }
                 if chunk == 0 {
-                    return Err("serial chunk must be positive".into());
+                    return Err(Error::InvalidWorkload(
+                        "serial chunk must be positive".into(),
+                    ));
                 }
             }
             SyncSpec::PeriodicIdle { run, idle } => {
                 if run == 0 || idle == 0 {
-                    return Err("idle parameters must be positive".into());
+                    return Err(Error::InvalidWorkload(
+                        "idle parameters must be positive".into(),
+                    ));
                 }
             }
             SyncSpec::RateLimited { work_per_kcycle } => {
                 if work_per_kcycle == 0 {
-                    return Err("rate limit must be positive".into());
+                    return Err(Error::InvalidWorkload("rate limit must be positive".into()));
                 }
             }
             SyncSpec::None => {}
@@ -538,7 +588,10 @@ mod tests {
         assert!(s.validate().is_err());
 
         let mut s = WorkloadSpec::new("t", 1000);
-        s.sync = SyncSpec::SpinLock { cs_interval: 0, cs_len: 10 };
+        s.sync = SyncSpec::SpinLock {
+            cs_interval: 0,
+            cs_len: 10,
+        };
         assert!(s.validate().is_err());
 
         let mut s = WorkloadSpec::new("t", 1000);
@@ -547,14 +600,16 @@ mod tests {
         assert!(s.validate().is_err());
 
         let mut s = WorkloadSpec::new("t", 1000);
-        s.sync = SyncSpec::AmdahlSerial { serial_fraction: 1.0, chunk: 10 };
+        s.sync = SyncSpec::AmdahlSerial {
+            serial_fraction: 1.0,
+            chunk: 10,
+        };
         assert!(s.validate().is_err());
     }
 
     #[test]
     fn mem_behavior_builders() {
-        let m = MemBehavior::private(1 << 20, AccessPattern::Random)
-            .with_shared(1 << 16, 0.3, 0.5);
+        let m = MemBehavior::private(1 << 20, AccessPattern::Random).with_shared(1 << 16, 0.3, 0.5);
         assert_eq!(m.working_set, 1 << 20);
         assert_eq!(m.shared_working_set, 1 << 16);
         assert!((m.shared_fraction - 0.3).abs() < 1e-12);

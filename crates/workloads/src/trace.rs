@@ -41,7 +41,11 @@ impl Trace {
     pub fn len(&self) -> usize {
         self.streams
             .iter()
-            .map(|s| s.iter().filter(|e| matches!(e, TraceEvent::Instr(_))).count())
+            .map(|s| {
+                s.iter()
+                    .filter(|e| matches!(e, TraceEvent::Instr(_)))
+                    .count()
+            })
             .sum()
     }
 
@@ -113,7 +117,11 @@ pub fn capture<W: Workload>(
             break;
         }
     }
-    Trace { name, threads, streams }
+    Trace {
+        name,
+        threads,
+        streams,
+    }
 }
 
 /// Replays a [`Trace`] as a workload. Thread count is fixed to the
@@ -130,7 +138,11 @@ impl TraceWorkload {
     /// Build a replayer.
     pub fn new(trace: Trace) -> TraceWorkload {
         let threads = trace.threads;
-        TraceWorkload { trace, pos: vec![0; threads], emitted: 0 }
+        TraceWorkload {
+            trace,
+            pos: vec![0; threads],
+            emitted: 0,
+        }
     }
 
     /// The underlying trace.
@@ -228,8 +240,8 @@ mod tests {
         let mut spec = crate::WorkloadSpec::new("trace-l3", 120_000);
         // 4 threads x 256 KiB = 1 MiB total: inside the 2 MiB L3, far
         // outside the shrunken 256 KiB one.
-        spec.mem = crate::MemBehavior::private(1 << 18, crate::AccessPattern::Random)
-            .with_locality(0.7);
+        spec.mem =
+            crate::MemBehavior::private(1 << 18, crate::AccessPattern::Random).with_locality(0.7);
         let trace = capture(SyntheticWorkload::new(spec), 4, 1_000_000);
         let run = |cfg: MachineConfig| {
             let mut sim = Simulation::new(cfg, SmtLevel::Smt2, TraceWorkload::new(trace.clone()));
@@ -242,7 +254,10 @@ mod tests {
         let (w_big, c_big) = run(MachineConfig::generic(2));
         let (w_small, c_small) = run(small);
         assert_eq!(w_big, w_small, "identical streams");
-        assert!(c_small > c_big, "smaller L3 must be slower on the same trace: {c_big} vs {c_small}");
+        assert!(
+            c_small > c_big,
+            "smaller L3 must be slower on the same trace: {c_big} vs {c_small}"
+        );
     }
 
     #[test]
@@ -273,11 +288,7 @@ mod tests {
 
     #[test]
     fn event_cap_bounds_capture() {
-        let trace = capture(
-            SyntheticWorkload::new(catalog::ep().scaled(1.0)),
-            2,
-            500,
-        );
+        let trace = capture(SyntheticWorkload::new(catalog::ep().scaled(1.0)), 2, 500);
         for s in &trace.streams {
             assert!(s.len() <= 500);
         }

@@ -2,9 +2,7 @@
 //! must produce its characteristic signature when run on a real machine.
 
 use smt_sim::{MachineConfig, Simulation, SmtLevel, ThreadCounters};
-use smt_workloads::{
-    catalog, DepProfile, InstrMix, SyncSpec, SyntheticWorkload, WorkloadSpec,
-};
+use smt_workloads::{catalog, DepProfile, InstrMix, SyncSpec, SyntheticWorkload, WorkloadSpec};
 
 fn base(work: u64) -> WorkloadSpec {
     let mut s = WorkloadSpec::new("sync-test", work);
@@ -24,7 +22,10 @@ fn run(cfg: &MachineConfig, spec: WorkloadSpec, smt: SmtLevel) -> (f64, Vec<Thre
 fn spin_lock_signature_is_overhead_instructions_not_sleep() {
     let cfg = MachineConfig::power7(1);
     let mut spec = base(300_000);
-    spec.sync = SyncSpec::SpinLock { cs_interval: 150, cs_len: 20 };
+    spec.sync = SyncSpec::SpinLock {
+        cs_interval: 150,
+        cs_len: 20,
+    };
     let (_, counters, _) = run(&cfg, spec, SmtLevel::Smt4);
     let spins: u64 = counters.iter().map(|t| t.spin_instrs).sum();
     let sleeps: u64 = counters.iter().map(|t| t.sleep_cycles).sum();
@@ -43,7 +44,11 @@ fn spin_lock_signature_is_overhead_instructions_not_sleep() {
 fn blocking_lock_signature_is_sleep_not_overhead() {
     let cfg = MachineConfig::power7(1);
     let mut spec = base(300_000);
-    spec.sync = SyncSpec::BlockingLock { cs_interval: 150, cs_len: 20, wake_latency: 40 };
+    spec.sync = SyncSpec::BlockingLock {
+        cs_interval: 150,
+        cs_len: 20,
+        wake_latency: 40,
+    };
     let (_, counters, cycles) = run(&cfg, spec, SmtLevel::Smt4);
     let spins: u64 = counters.iter().map(|t| t.spin_instrs).sum();
     let sleeps: u64 = counters.iter().map(|t| t.sleep_cycles).sum();
@@ -59,7 +64,10 @@ fn spin_contention_grows_with_smt_level() {
     let cfg = MachineConfig::power7(1);
     // Moderate contention: unsaturated at 8 threads, saturated at 32.
     let mut spec = base(200_000);
-    spec.sync = SyncSpec::SpinLock { cs_interval: 1_500, cs_len: 15 };
+    spec.sync = SyncSpec::SpinLock {
+        cs_interval: 1_500,
+        cs_len: 15,
+    };
     let spin_frac = |smt| {
         let (_, counters, _) = run(&cfg, spec.clone(), smt);
         let spins: u64 = counters.iter().map(|t| t.spin_instrs).sum();
@@ -78,9 +86,13 @@ fn spin_contention_grows_with_smt_level() {
 fn rate_limited_caps_machine_throughput() {
     let cfg = MachineConfig::power7(1);
     let mut fast = base(400_000);
-    fast.sync = SyncSpec::RateLimited { work_per_kcycle: 100_000 }; // effectively uncapped
+    fast.sync = SyncSpec::RateLimited {
+        work_per_kcycle: 100_000,
+    }; // effectively uncapped
     let mut slow = base(400_000);
-    slow.sync = SyncSpec::RateLimited { work_per_kcycle: 3_000 };
+    slow.sync = SyncSpec::RateLimited {
+        work_per_kcycle: 3_000,
+    };
     let (p_fast, _, _) = run(&cfg, fast, SmtLevel::Smt4);
     let (p_slow, _, _) = run(&cfg, slow, SmtLevel::Smt4);
     assert!(
@@ -96,7 +108,9 @@ fn rate_limited_equalizes_smt_levels() {
     // level equivalent (within noise).
     let cfg = MachineConfig::power7(1);
     let mut spec = base(300_000);
-    spec.sync = SyncSpec::RateLimited { work_per_kcycle: 3_000 };
+    spec.sync = SyncSpec::RateLimited {
+        work_per_kcycle: 3_000,
+    };
     let (p1, _, _) = run(&cfg, spec.clone(), SmtLevel::Smt1);
     let (p4, _, _) = run(&cfg, spec, SmtLevel::Smt4);
     let ratio = p4 / p1;
@@ -110,7 +124,10 @@ fn rate_limited_equalizes_smt_levels() {
 fn amdahl_serial_fraction_limits_scaling() {
     let cfg = MachineConfig::power7(1);
     let mut serial = base(300_000);
-    serial.sync = SyncSpec::AmdahlSerial { serial_fraction: 0.25, chunk: 3_000 };
+    serial.sync = SyncSpec::AmdahlSerial {
+        serial_fraction: 0.25,
+        chunk: 3_000,
+    };
     let parallel = base(300_000);
 
     let s_serial = {
@@ -133,7 +150,10 @@ fn amdahl_serial_fraction_limits_scaling() {
 fn barrier_imbalance_accumulates_sleep() {
     let cfg = MachineConfig::power7(1);
     let mut spec = base(200_000);
-    spec.sync = SyncSpec::Barrier { interval: 2_000, imbalance: 0.4 };
+    spec.sync = SyncSpec::Barrier {
+        interval: 2_000,
+        imbalance: 0.4,
+    };
     let (_, counters, _) = run(&cfg, spec, SmtLevel::Smt2);
     let sleeps: u64 = counters.iter().map(|t| t.sleep_cycles).sum();
     assert!(sleeps > 0, "imbalanced barriers must make threads wait");
@@ -189,7 +209,10 @@ fn amdahl_endgame_never_livelocks() {
     let cfg = MachineConfig::power7(1);
     for (frac, chunk) in [(0.06, 3_000u64), (0.2, 500), (0.5, 100), (0.9, 2_000)] {
         let mut spec = base(60_000);
-        spec.sync = SyncSpec::AmdahlSerial { serial_fraction: frac, chunk };
+        spec.sync = SyncSpec::AmdahlSerial {
+            serial_fraction: frac,
+            chunk,
+        };
         for smt in [SmtLevel::Smt1, SmtLevel::Smt2, SmtLevel::Smt4] {
             let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec.clone()));
             let r = sim.run_until_finished(100_000_000);

@@ -41,7 +41,11 @@ fn main() {
             "  {}: {:.2} work/cycle{}",
             l.smt,
             l.result.perf(),
-            if l.smt == oracle.best { "  <- oracle" } else { "" }
+            if l.smt == oracle.best {
+                "  <- oracle"
+            } else {
+                ""
+            }
         );
     }
 
@@ -69,7 +73,10 @@ fn main() {
     for s in &report.switches {
         match s.metric {
             Some(m) => println!("  cycle {:>10}: -> {}  (SMTsm {:.4})", s.at_cycle, s.to, m),
-            None => println!("  cycle {:>10}: -> {}  (periodic top-level probe)", s.at_cycle, s.to),
+            None => println!(
+                "  cycle {:>10}: -> {}  (periodic top-level probe)",
+                s.at_cycle, s.to
+            ),
         }
     }
     println!();

@@ -25,19 +25,61 @@ fn zephyr() -> ArchDescriptor {
         dispatch_width: 5,
         ibuf_capacity: 20,
         queues: vec![
-            QueueDesc { name: "MEMQ", capacity: 20 },
-            QueueDesc { name: "EXQ", capacity: 28 },
+            QueueDesc {
+                name: "MEMQ",
+                capacity: 20,
+            },
+            QueueDesc {
+                name: "EXQ",
+                capacity: 28,
+            },
         ],
         ports: vec![
-            PortDesc { name: "LD", queue: 0, accepts: vec![Load], store_pair: None },
-            PortDesc { name: "ST", queue: 0, accepts: vec![Store], store_pair: None },
-            PortDesc { name: "BR", queue: 1, accepts: vec![Branch, CondReg], store_pair: None },
-            PortDesc { name: "IX0", queue: 1, accepts: vec![FixedPoint], store_pair: None },
-            PortDesc { name: "IX1", queue: 1, accepts: vec![FixedPoint], store_pair: None },
-            PortDesc { name: "FP", queue: 1, accepts: vec![VectorScalar], store_pair: None },
+            PortDesc {
+                name: "LD",
+                queue: 0,
+                accepts: vec![Load],
+                store_pair: None,
+            },
+            PortDesc {
+                name: "ST",
+                queue: 0,
+                accepts: vec![Store],
+                store_pair: None,
+            },
+            PortDesc {
+                name: "BR",
+                queue: 1,
+                accepts: vec![Branch, CondReg],
+                store_pair: None,
+            },
+            PortDesc {
+                name: "IX0",
+                queue: 1,
+                accepts: vec![FixedPoint],
+                store_pair: None,
+            },
+            PortDesc {
+                name: "IX1",
+                queue: 1,
+                accepts: vec![FixedPoint],
+                store_pair: None,
+            },
+            PortDesc {
+                name: "FP",
+                queue: 1,
+                accepts: vec![VectorScalar],
+                store_pair: None,
+            },
         ],
         max_smt: SmtLevel::Smt2,
-        latencies: Latencies { fixed_point: 1, vector_scalar: 5, branch: 1, cond_reg: 1, store: 1 },
+        latencies: Latencies {
+            fixed_point: 1,
+            vector_scalar: 5,
+            branch: 1,
+            cond_reg: 1,
+            store: 1,
+        },
         mispredict_penalty: 11,
         issue_scan_depth: 28,
         lmq_capacity: 12,
@@ -52,11 +94,35 @@ fn machine() -> MachineConfig {
         arch: zephyr(),
         chips: 1,
         cores_per_chip: 6,
-        l1: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 2 },
-        l1i: CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
-        l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 11 },
-        l3: CacheConfig { size_bytes: 12 * 1024 * 1024, assoc: 16, line_bytes: 64, latency: 28 },
-        mem: MemConfig { latency: 160, bytes_per_cycle: 14.0, remote_extra_latency: 0 },
+        l1: CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 2,
+        },
+        l1i: CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 2,
+        },
+        l2: CacheConfig {
+            size_bytes: 256 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 11,
+        },
+        l3: CacheConfig {
+            size_bytes: 12 * 1024 * 1024,
+            assoc: 16,
+            line_bytes: 64,
+            latency: 28,
+        },
+        mem: MemConfig {
+            latency: 160,
+            bytes_per_cycle: 14.0,
+            remote_extra_latency: 0,
+        },
     }
 }
 
@@ -88,14 +154,21 @@ fn main() {
     println!("\ntraining runs (SMT2 vs SMT1):");
     for wspec in &training {
         // Metric at the top level.
-        let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt2, SyntheticWorkload::new(wspec.clone()));
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            SmtLevel::Smt2,
+            SyntheticWorkload::new(wspec.clone()),
+        );
         sim.run_cycles(20_000);
         let window = sim.measure_window(50_000);
         let metric = smtsm(&spec, &window);
         // Ground truth.
         let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
         let speedup = oracle.perf_at(SmtLevel::Smt2) / oracle.perf_at(SmtLevel::Smt1);
-        println!("  {:<22} metric {:.4}  speedup {:.3}", wspec.name, metric, speedup);
+        println!(
+            "  {:<22} metric {:.4}  speedup {:.3}",
+            wspec.name, metric, speedup
+        );
         cases.push(SpeedupCase::new(wspec.name.clone(), metric, speedup));
     }
 
@@ -103,7 +176,11 @@ fn main() {
     let gini = ThresholdPredictor::train_gini(&cases);
     let ppi = ThresholdPredictor::train_ppi(&cases);
     let sweep = PpiSweep::run(&cases);
-    println!("\ngini threshold : {:.4} (accuracy {:.0}%)", gini.threshold, gini.accuracy(&cases) * 100.0);
+    println!(
+        "\ngini threshold : {:.4} (accuracy {:.0}%)",
+        gini.threshold,
+        gini.accuracy(&cases) * 100.0
+    );
     println!(
         "ppi threshold  : {:.4} (accuracy {:.0}%, avg improvement {:.1}%)",
         ppi.threshold,

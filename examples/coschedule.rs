@@ -54,13 +54,29 @@ fn report(cfg: &MachineConfig, a: &WorkloadSpec, b: &WorkloadSpec) {
 fn main() {
     let cfg = MachineConfig::power7(1);
     let scale = 0.15;
-    println!("co-scheduling on {} ({} cores)\n", cfg.arch.name, cfg.total_cores());
+    println!(
+        "co-scheduling on {} ({} cores)\n",
+        cfg.arch.name,
+        cfg.total_cores()
+    );
 
     // Complementary pair: compute-heavy + bandwidth-heavy.
-    report(&cfg, &catalog::ep().scaled(scale), &catalog::stream().scaled(scale));
+    report(
+        &cfg,
+        &catalog::ep().scaled(scale),
+        &catalog::stream().scaled(scale),
+    );
     // Homogeneous pairs for contrast.
-    report(&cfg, &catalog::ep().scaled(scale), &catalog::blackscholes().scaled(scale));
-    report(&cfg, &catalog::stream().scaled(scale), &catalog::swim().scaled(scale));
+    report(
+        &cfg,
+        &catalog::ep().scaled(scale),
+        &catalog::blackscholes().scaled(scale),
+    );
+    report(
+        &cfg,
+        &catalog::stream().scaled(scale),
+        &catalog::swim().scaled(scale),
+    );
 
     println!();
     println!("two symbiosis mechanisms are visible, both instances of the paper's");

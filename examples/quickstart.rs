@@ -23,7 +23,12 @@ fn main() {
     // around 0.15 for this machine.
     let predictor = ThresholdPredictor::fixed(0.15);
 
-    println!("machine: {} ({} cores, up to {})", cfg.arch.name, cfg.total_cores(), cfg.arch.max_smt);
+    println!(
+        "machine: {} ({} cores, up to {})",
+        cfg.arch.name,
+        cfg.total_cores(),
+        cfg.arch.max_smt
+    );
     println!();
 
     for wspec in candidates {
@@ -54,14 +59,21 @@ fn main() {
                 "  measured   : {} -> {:.2} work/cycle{}",
                 l.smt,
                 l.result.perf(),
-                if l.smt == oracle.best { "   <- best" } else { "" }
+                if l.smt == oracle.best {
+                    "   <- best"
+                } else {
+                    ""
+                }
             );
         }
         let correct = match prediction {
             SmtPreference::Higher => oracle.best == SmtLevel::Smt4,
             SmtPreference::Lower => oracle.best < SmtLevel::Smt4,
         };
-        println!("  verdict    : prediction {}", if correct { "CORRECT" } else { "wrong" });
+        println!(
+            "  verdict    : prediction {}",
+            if correct { "CORRECT" } else { "wrong" }
+        );
         println!();
     }
 }

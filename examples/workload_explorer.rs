@@ -15,7 +15,11 @@ use smt_select::prelude::*;
 
 fn measure(cfg: &MachineConfig, wspec: &WorkloadSpec) -> (f64, f64) {
     let spec = MetricSpec::for_arch(&cfg.arch);
-    let mut sim = Simulation::new(cfg.clone(), SmtLevel::Smt4, SyntheticWorkload::new(wspec.clone()));
+    let mut sim = Simulation::new(
+        cfg.clone(),
+        SmtLevel::Smt4,
+        SyntheticWorkload::new(wspec.clone()),
+    );
     sim.run_cycles(20_000);
     let window = sim.measure_window(40_000);
     let metric = smtsm(&spec, &window);
@@ -32,7 +36,14 @@ fn main() {
     for k in 0..=5 {
         let alpha = k as f64 / 5.0;
         let ideal = InstrMix::ideal_p7();
-        let fp = InstrMix { load: 0.1, store: 0.04, branch: 0.02, cond_reg: 0.0, fixed: 0.04, vector: 0.8 };
+        let fp = InstrMix {
+            load: 0.1,
+            store: 0.04,
+            branch: 0.02,
+            cond_reg: 0.0,
+            fixed: 0.04,
+            vector: 0.8,
+        };
         let mix = InstrMix {
             load: ideal.load * (1.0 - alpha) + fp.load * alpha,
             store: ideal.store * (1.0 - alpha) + fp.store * alpha,
@@ -51,16 +62,26 @@ fn main() {
 
     println!();
     println!("sweep 2: lock-contention intensity (critical section every N work instructions)");
-    println!("{:<10} {:>10} {:>12}", "interval", "SMTsm@SMT4", "SMT4/SMT1");
+    println!(
+        "{:<10} {:>10} {:>12}",
+        "interval", "SMTsm@SMT4", "SMT4/SMT1"
+    );
     for &interval in &[0u64, 6_000, 2_000, 800, 400, 200] {
         let mut w = WorkloadSpec::new(format!("lock-{interval}"), 400_000);
         w.mix = InstrMix::balanced();
         w.dep = DepProfile::moderate();
         if interval > 0 {
-            w.sync = SyncSpec::SpinLock { cs_interval: interval, cs_len: 16 };
+            w.sync = SyncSpec::SpinLock {
+                cs_interval: interval,
+                cs_len: 16,
+            };
         }
         let (metric, speedup) = measure(&cfg, &w);
-        let label = if interval == 0 { "none".to_string() } else { interval.to_string() };
+        let label = if interval == 0 {
+            "none".to_string()
+        } else {
+            interval.to_string()
+        };
         println!("{:<10} {:>10.4} {:>12.3}", label, metric, speedup);
     }
 

@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench targets compiling and running without the real crate:
+//! each benchmark times its routine over a fixed number of samples and
+//! prints the median per-iteration time (plus throughput when declared).
+//! No statistical analysis, HTML reports, or baseline comparison — just
+//! honest wall-clock numbers suitable for spotting order-of-magnitude
+//! regressions.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point used by `b.iter(|| black_box(...))` call sites.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` style id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Convert into the concrete id.
+    fn into_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Declared work per iteration, for ops/sec style reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not differentiated).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A named set of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = self.qualify(id.into_id());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            if let Some(per_iter) = b.per_iter() {
+                samples.push(per_iter);
+            }
+        }
+        report(&label, &mut samples, self.throughput);
+        self
+    }
+
+    /// Time one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn qualify(&self, id: BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.label
+        } else {
+            format!("{}/{}", self.name, id.label)
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let per_iter = median.as_secs_f64();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / per_iter),
+        Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / per_iter),
+    });
+    println!(
+        "{label:<40} median {median:>12?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over an auto-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: run until ~2ms elapsed or 1000 iterations.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 1_000 && start.elapsed() < Duration::from_millis(2) {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<S, O, Setup, F>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: F,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        for _ in 0..5 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn per_iter(&self) -> Option<Duration> {
+        (self.iters > 0).then(|| self.elapsed / self.iters.max(1) as u32)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,459 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available
+//! offline) and generates `Serialize`/`Deserialize` impls against the
+//! shim's `Value` data model. Supported shapes — which cover everything in
+//! this workspace — are non-generic structs with named fields, tuple
+//! structs, and enums with unit, tuple, and struct variants, using serde's
+//! externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip `#[...]` attributes (including expanded doc comments) and
+/// visibility qualifiers starting at `i`; returns the next index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 1; // '#'
+            if i < tokens.len() {
+                i += 1; // the [...] group
+            }
+            continue;
+        }
+        if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Skip a type expression until a `,` at angle-bracket depth zero (or end
+/// of tokens); returns the index of the comma or `tokens.len()`.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i = skip_type(&tokens, i + 1);
+        i += 1; // past the comma (or end)
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant from its paren group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        n += 1;
+        i = skip_type(&tokens, i);
+        i += 1;
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive: expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive: expected `struct` or `enum`, got {:?}",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive shim does not support generic types ({name})");
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            } else {
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        Some(other) => panic!("serde_derive: unsupported item body {other:?}"),
+        None => Item::Struct {
+            name,
+            fields: Vec::new(),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pairs = String::new();
+            for f in fields {
+                pairs.push_str(&format!(
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(::std::vec![{pairs}])\
+                     }}\
+                 }}"
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                  ::serde::Value::Object(::std::vec![{}]))]),",
+                            fields.join(","),
+                            pairs.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(__pairs, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         let __pairs = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object for struct {name}\"))?;\
+                         ::std::result::Result::Ok({name} {{ {} }})\
+                     }}\
+                 }}",
+                inits.join(",")
+            ));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let gets: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "let __items = v.as_array().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected array for {name}\"))?;\
+                     if __items.len() != {arity} {{\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong tuple arity for {name}\"));\
+                     }}\
+                     ::std::result::Result::Ok({name}({}))",
+                    gets.join(",")
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         {body}\
+                     }}\
+                 }}"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                     ::serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_array().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\
+                                 if __items.len() != {n} {{\
+                                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                                         \"wrong arity for {name}::{vn}\"));\
+                                 }}\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                gets.join(",")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {body},"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::get_field(__fields, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __fields = __inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         if let ::serde::Value::Str(__s) = v {{\
+                             return match __s.as_str() {{\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant {{__other}} of {name}\"))),\
+                             }};\
+                         }}\
+                         let __pairs = v.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected tagged object for enum {name}\"))?;\
+                         if __pairs.len() != 1 {{\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected single-key tagged object for enum {name}\"));\
+                         }}\
+                         let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\
+                         let _ = __inner;\
+                         match __tag.as_str() {{\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant {{__other}} of {name}\"))),\
+                         }}\
+                     }}\
+                 }}"
+            ));
+        }
+    }
+    out
+}
+
+/// Derive the shim's `Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive the shim's `Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}

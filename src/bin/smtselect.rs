@@ -69,9 +69,24 @@ fn parse(args: &[String]) -> Opts {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--machine" => o.machine = it.next().expect("--machine takes a value").clone(),
-            "--scale" => o.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale takes a number"),
-            "--threshold" => o.threshold = it.next().and_then(|v| v.parse().ok()).expect("--threshold takes a number"),
-            "--mid" => o.mid = it.next().and_then(|v| v.parse().ok()).expect("--mid takes a number"),
+            "--scale" => {
+                o.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a number")
+            }
+            "--threshold" => {
+                o.threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold takes a number")
+            }
+            "--mid" => {
+                o.mid = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--mid takes a number")
+            }
             "--out" => o.out = Some(it.next().expect("--out takes a path").clone()),
             "--verify" => o.verify = true,
             other => o.positional.push(other.to_string()),
@@ -84,7 +99,10 @@ fn cmd_list() {
     let mut seen = std::collections::HashSet::new();
     println!("{:<22} {:<14} description", "benchmark", "suite");
     println!("{}", "-".repeat(78));
-    for s in catalog::power7_suite().into_iter().chain(catalog::nehalem_suite()) {
+    for s in catalog::power7_suite()
+        .into_iter()
+        .chain(catalog::nehalem_suite())
+    {
         if seen.insert(s.name.clone()) {
             println!("{:<22} {:<14} {}", s.name, s.suite, s.description);
         }
@@ -109,8 +127,15 @@ fn cmd_analyze(o: &Opts) {
     let pref = predictor.predict(f.value());
 
     println!("benchmark : {} on {label} @ {top}", spec.name);
-    println!("factors   : mix-deviation {:.4}  disp-held {:.4}  scalability {:.4}", f.mix_deviation, f.disp_held, f.scalability);
-    println!("SMTsm     : {:.4}  (threshold {:.4})", f.value(), o.threshold);
+    println!(
+        "factors   : mix-deviation {:.4}  disp-held {:.4}  scalability {:.4}",
+        f.mix_deviation, f.disp_held, f.scalability
+    );
+    println!(
+        "SMTsm     : {:.4}  (threshold {:.4})",
+        f.value(),
+        o.threshold
+    );
     println!(
         "verdict   : prefer {} SMT",
         match pref {
@@ -119,7 +144,12 @@ fn cmd_analyze(o: &Opts) {
         }
     );
     let (used, held, other) = window.utilization_breakdown(cfg.arch.dispatch_width as u64);
-    println!("dispatch  : {:.0}% used, {:.0}% held, {:.0}% idle/stalled", used * 100.0, held * 100.0, other * 100.0);
+    println!(
+        "dispatch  : {:.0}% used, {:.0}% held, {:.0}% idle/stalled",
+        used * 100.0,
+        held * 100.0,
+        other * 100.0
+    );
 
     if o.verify {
         println!("\nverify (full runs):");
@@ -129,14 +159,21 @@ fn cmd_analyze(o: &Opts) {
                 "  {}: {:.2} work/cycle{}",
                 l.smt,
                 l.result.perf(),
-                if l.smt == oracle.best { "   <- best" } else { "" }
+                if l.smt == oracle.best {
+                    "   <- best"
+                } else {
+                    ""
+                }
             );
         }
         let correct = match pref {
             SmtPreference::Higher => oracle.best == top,
             SmtPreference::Lower => oracle.best < top,
         };
-        println!("  prediction was {}", if correct { "CORRECT" } else { "WRONG" });
+        println!(
+            "  prediction was {}",
+            if correct { "CORRECT" } else { "WRONG" }
+        );
     }
 }
 
@@ -152,16 +189,39 @@ fn cmd_train(o: &Opts) {
     let levels = cfg.smt_levels();
     let top = *levels.last().expect("levels");
     let bottom = levels[0];
-    eprintln!("training on {} benchmarks ({label}, {top} vs {bottom})...", specs.len());
-    let results = smt_select::experiments::run_suite(&cfg, &specs, &levels);
-    let cases: Vec<SpeedupCase> = results
+    eprintln!(
+        "training on {} benchmarks ({label}, {top} vs {bottom})...",
+        specs.len()
+    );
+    let plan = RunRequest::new(cfg)
+        .benchmarks(specs)
+        .levels(levels)
+        .plan()
+        .unwrap_or_else(|e| {
+            eprintln!("invalid training request: {e}");
+            std::process::exit(2);
+        });
+    let sweep = Engine::cached().run(&plan);
+    for err in &sweep.errors {
+        eprintln!("job failed: {err}");
+    }
+    let cases: Vec<SpeedupCase> = sweep
+        .results
         .iter()
-        .map(|r| SpeedupCase::new(r.name.clone(), r.metric_at(top), r.speedup(top, bottom)))
+        .filter_map(|r| {
+            let metric = r.metric_at(top).ok()?;
+            let speedup = r.speedup(top, bottom).ok()?;
+            Some(SpeedupCase::new(r.name.clone(), metric, speedup))
+        })
         .collect();
     let gini = ThresholdPredictor::train_gini(&cases);
     let ppi = ThresholdPredictor::train_ppi(&cases);
     let sweep = PpiSweep::run(&cases);
-    println!("gini threshold : {:.4} (accuracy {:.1}%)", gini.threshold, gini.accuracy(&cases) * 100.0);
+    println!(
+        "gini threshold : {:.4} (accuracy {:.1}%)",
+        gini.threshold,
+        gini.accuracy(&cases) * 100.0
+    );
     println!(
         "ppi threshold  : {:.4} (accuracy {:.1}%, avg improvement {:.1}%)",
         ppi.threshold,
@@ -176,8 +236,11 @@ fn cmd_train(o: &Opts) {
             "ppi": ppi,
             "cases": cases,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&body).expect("serialize"))
-            .expect("write thresholds");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&body).expect("serialize"),
+        )
+        .expect("write thresholds");
         eprintln!("wrote {path}");
     }
 }
@@ -234,7 +297,9 @@ fn main() {
         "tune" => cmd_tune(&opts),
         "-h" | "--help" => {
             println!("smtselect — SMT-level selection via the SMTsm metric (IPDPS'12)");
-            println!("commands: list | analyze <bench> [--verify] | train [--out F] | tune <bench>");
+            println!(
+                "commands: list | analyze <bench> [--verify] | train [--out F] | tune <bench>"
+            );
             println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
         }
         other => {

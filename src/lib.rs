@@ -56,19 +56,23 @@ pub use smtsm as metric;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use smt_experiments::{
+        Engine, EngineMetrics, JobError, ProgressEvent, ProgressSink, ProtocolConfig, ResultCache,
+        RunPlan, RunRequest, SweepResult,
+    };
     pub use smt_sched::{
         compare, ipc_probe_run, oracle_sweep, tune, ControllerConfig, DynamicSmtController,
     };
     pub use smt_sim::{
-        ArchDescriptor, Instr, InstrClass, MachineConfig, RunResult, ScriptedWorkload,
-        Simulation, SmtLevel, WindowMeasurement, Workload,
+        ArchDescriptor, Instr, InstrClass, MachineConfig, RunResult, ScriptedWorkload, Simulation,
+        SmtLevel, WindowMeasurement, Workload,
     };
     pub use smt_workloads::{
         catalog, AccessPattern, DepProfile, InstrMix, MemBehavior, MultiWorkload, PhasedWorkload,
         SyncSpec, SyntheticWorkload, WorkloadSpec,
     };
     pub use smtsm::{
-        gini_sweep, smtsm, smtsm_factors, LevelSelector, MetricSpec, NaiveMetric,
-        OnlineSampler, PpiSweep, SmtPreference, SmtsmFactors, ThresholdPredictor,
+        gini_sweep, smtsm, smtsm_factors, LevelSelector, MetricSpec, NaiveMetric, OnlineSampler,
+        PpiSweep, SmtPreference, SmtsmFactors, ThresholdPredictor,
     };
 }

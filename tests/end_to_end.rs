@@ -22,16 +22,20 @@ fn metric_and_speedup(
     // Metric window on a fresh run at the top level.
     let mut m_sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(wspec.clone()));
     let total = hi.cycles;
-    m_sim.run_cycles((total / 5).min(30_000).max(1));
-    let window = m_sim.measure_window((total / 2).min(60_000).max(1));
+    m_sim.run_cycles((total / 5).clamp(1, 30_000));
+    let window = m_sim.measure_window((total / 2).clamp(1, 60_000));
     (smtsm(&mspec, &window), hi.perf() / lo_res.perf())
 }
 
 #[test]
 fn metric_separates_the_extremes_on_power7() {
     let cfg = MachineConfig::power7(1);
-    let (m_good, s_good) =
-        metric_and_speedup(&cfg, &catalog::ep().scaled(0.15), SmtLevel::Smt4, SmtLevel::Smt1);
+    let (m_good, s_good) = metric_and_speedup(
+        &cfg,
+        &catalog::ep().scaled(0.15),
+        SmtLevel::Smt4,
+        SmtLevel::Smt1,
+    );
     let (m_bad, s_bad) = metric_and_speedup(
         &cfg,
         &catalog::specjbb_contention().scaled(0.15),
@@ -65,7 +69,10 @@ fn metric_orders_a_mini_suite_with_negative_correlation() {
         ys.push(s);
     }
     let r = smt_select::stats::corr::spearman(&xs, &ys).expect("defined");
-    assert!(r < -0.5, "expected clear negative rank correlation, got {r}");
+    assert!(
+        r < -0.5,
+        "expected clear negative rank correlation, got {r}"
+    );
 }
 
 #[test]
@@ -104,7 +111,12 @@ fn nehalem_machine_agrees_with_metric_spec_port_basis() {
     let cfg = MachineConfig::nehalem();
     let spec = MetricSpec::for_arch(&cfg.arch);
     assert_eq!(spec.num_ports, 6);
-    let (m, s) = metric_and_speedup(&cfg, &catalog::ep().scaled(0.1), SmtLevel::Smt2, SmtLevel::Smt1);
+    let (m, s) = metric_and_speedup(
+        &cfg,
+        &catalog::ep().scaled(0.1),
+        SmtLevel::Smt2,
+        SmtLevel::Smt1,
+    );
     assert!(s > 1.05, "EP gains on Nehalem too: {s}");
     assert!(m < 0.15, "EP metric small on Nehalem: {m}");
 }
@@ -168,7 +180,10 @@ fn reconfiguration_preserves_work_accounting_across_crates() {
     sim.reconfigure(SmtLevel::Smt2);
     let res = sim.run_until_finished(500_000_000);
     assert!(res.completed);
-    assert_eq!(res.work_done, total, "work lost or duplicated across switches");
+    assert_eq!(
+        res.work_done, total,
+        "work lost or duplicated across switches"
+    );
 }
 
 #[test]

@@ -6,23 +6,43 @@ use proptest::prelude::*;
 use smt_select::prelude::*;
 
 fn arb_mix() -> impl Strategy<Value = InstrMix> {
-    (0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0, 0.0f64..0.3, 0.01f64..1.0, 0.01f64..1.0).prop_map(
-        |(load, store, branch, cond_reg, fixed, vector)| {
-            InstrMix { load, store, branch, cond_reg, fixed, vector }.normalized()
-        },
+    (
+        0.01f64..1.0,
+        0.01f64..1.0,
+        0.01f64..1.0,
+        0.0f64..0.3,
+        0.01f64..1.0,
+        0.01f64..1.0,
     )
+        .prop_map(|(load, store, branch, cond_reg, fixed, vector)| {
+            InstrMix {
+                load,
+                store,
+                branch,
+                cond_reg,
+                fixed,
+                vector,
+            }
+            .normalized()
+        })
 }
 
 fn arb_sync() -> impl Strategy<Value = SyncSpec> {
     prop_oneof![
         Just(SyncSpec::None),
-        (50u64..2000, 4u64..60).prop_map(|(i, c)| SyncSpec::SpinLock { cs_interval: i, cs_len: c }),
+        (50u64..2000, 4u64..60).prop_map(|(i, c)| SyncSpec::SpinLock {
+            cs_interval: i,
+            cs_len: c
+        }),
         (50u64..2000, 4u64..60, 10u64..80).prop_map(|(i, c, w)| SyncSpec::BlockingLock {
             cs_interval: i,
             cs_len: c,
             wake_latency: w
         }),
-        (500u64..20_000, 0.0f64..0.5).prop_map(|(i, b)| SyncSpec::Barrier { interval: i, imbalance: b }),
+        (500u64..20_000, 0.0f64..0.5).prop_map(|(i, b)| SyncSpec::Barrier {
+            interval: i,
+            imbalance: b
+        }),
         (0.02f64..0.5, 100u64..3000).prop_map(|(f, c)| SyncSpec::AmdahlSerial {
             serial_fraction: f,
             chunk: c
@@ -35,20 +55,26 @@ fn arb_sync() -> impl Strategy<Value = SyncSpec> {
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
         arb_mix(),
-        0.5f64..1.0,             // dep prob
-        1u8..16,                 // dep dist
-        10u64..24,               // log2 working set (1 KiB .. 16 MiB)
-        0.0f64..1.0,             // locality
-        prop_oneof![Just(AccessPattern::Random), (8u64..128).prop_map(AccessPattern::Strided)],
-        0.0f64..0.05,            // mispredict rate
+        0.5f64..1.0, // dep prob
+        1u8..16,     // dep dist
+        10u64..24,   // log2 working set (1 KiB .. 16 MiB)
+        0.0f64..1.0, // locality
+        prop_oneof![
+            Just(AccessPattern::Random),
+            (8u64..128).prop_map(AccessPattern::Strided)
+        ],
+        0.0f64..0.05, // mispredict rate
         arb_sync(),
-        20_000u64..80_000,       // total work
-        any::<u64>(),            // seed
+        20_000u64..80_000, // total work
+        any::<u64>(),      // seed
     )
         .prop_map(|(mix, dp, dd, ws, loc, pat, mis, sync, work, seed)| {
             let mut s = WorkloadSpec::new("prop", work);
             s.mix = mix;
-            s.dep = DepProfile { prob: dp, max_dist: dd };
+            s.dep = DepProfile {
+                prob: dp,
+                max_dist: dd,
+            };
             s.mem = MemBehavior::private(1 << ws, pat).with_locality(loc);
             s.branch_mispredict_rate = mis;
             s.sync = sync;
