@@ -3,8 +3,15 @@
 //! Reported in simulated cycles per wall-second equivalents (criterion
 //! measures time per fixed simulated window), across SMT levels, machine
 //! sizes, and workload classes, plus cache/generator hot paths.
+//!
+//! Besides the human-readable criterion lines, the bench can append a
+//! machine-readable run to the repo's perf trajectory: set
+//! `BENCH_SIM_JSON=BENCH_sim.json` (the output path) and it measures the
+//! fixed `smt_experiments::perf` matrix after the criterion groups finish.
+//! `BENCH_SIM_QUICK=1` selects the CI smoke settings and
+//! `BENCH_SIM_LABEL=...` overrides the stored run label.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use smt_sim::{Cache, CacheConfig, MachineConfig, Simulation, SmtLevel, Workload};
 use smt_workloads::{catalog, SyntheticWorkload};
 
@@ -149,4 +156,35 @@ criterion_group!(
     bench_reconfigure,
     bench_hot_paths
 );
-criterion_main!(benches);
+
+/// Measure the perf matrix and append it to the trajectory file named by
+/// `BENCH_SIM_JSON`, creating the file if it does not exist yet.
+fn emit_perf_json(path: &str) {
+    use smt_experiments::perf::{format_run, run_perf, PerfOptions, PerfReport};
+
+    let quick = std::env::var_os("BENCH_SIM_QUICK").is_some_and(|v| v != "0");
+    let opts = if quick {
+        PerfOptions::quick()
+    } else {
+        PerfOptions::full()
+    };
+    let label = std::env::var("BENCH_SIM_LABEL").unwrap_or_else(|_| opts.label.clone());
+    let run = run_perf(&opts.label(label));
+    print!("{}", format_run(&run));
+
+    let mut report = if std::path::Path::new(path).exists() {
+        PerfReport::load(path).expect("unreadable perf trajectory")
+    } else {
+        PerfReport::new()
+    };
+    report.push(run);
+    report.save(path).expect("cannot write perf trajectory");
+    println!("appended run to {path}");
+}
+
+fn main() {
+    benches();
+    if let Ok(path) = std::env::var("BENCH_SIM_JSON") {
+        emit_perf_json(&path);
+    }
+}

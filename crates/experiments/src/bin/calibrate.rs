@@ -36,8 +36,8 @@ fn run() -> Result<(), Error> {
         ),
     };
     let top = *levels.last().unwrap_or(&SmtLevel::Smt1);
-    let plan = RunRequest::new(cfg)
-        .benchmarks(suite.into_iter().map(|s| s.scaled(scale)))
+    let plan = RunRequest::on(cfg)
+        .workloads(suite.into_iter().map(|s| s.scaled(scale)))
         .levels(levels)
         .plan()?;
     let t0 = std::time::Instant::now();

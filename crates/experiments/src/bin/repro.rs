@@ -14,8 +14,16 @@
 //!   ablation                    Eq.-1 factor study (single-chip data)
 //!   validate                    seed-robustness replicas (not in `all`)
 //!   sched                       Section-V dynamic-selection demo
+//!   perf                        simulator throughput harness (not in `all`)
 //!   all                         everything above
 //! ```
+//!
+//! `repro perf` measures the fixed simulator benchmark matrix and prints a
+//! cycles/sec table. Extra flags: `--quick` (smaller windows, for CI),
+//! `--label NAME` (run label), `--out FILE` (append the run to a
+//! `BENCH_sim.json` trajectory), `--check FILE` (exit non-zero if any case
+//! regressed more than `--tolerance`, default 0.2, vs. the file's latest
+//! run).
 //!
 //! `--scale` scales every workload's total work (default 0.3; 1.0 matches
 //! the catalog's full sizes and takes several minutes per machine on one
@@ -43,6 +51,11 @@ struct Args {
     cache_dir: Option<String>,
     serial: bool,
     verbose: bool,
+    quick: bool,
+    label: Option<String>,
+    perf_out: Option<String>,
+    perf_check: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +68,11 @@ fn parse_args() -> Args {
         cache_dir: None,
         serial: false,
         verbose: false,
+        quick: false,
+        label: None,
+        perf_out: None,
+        perf_check: None,
+        tolerance: 0.2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,6 +98,22 @@ fn parse_args() -> Args {
             }
             "--serial" => args.serial = true,
             "--verbose" => args.verbose = true,
+            "--quick" => args.quick = true,
+            "--label" => {
+                args.label = Some(it.next().unwrap_or_else(|| die("--label takes a name")));
+            }
+            "--out" => {
+                args.perf_out = Some(it.next().unwrap_or_else(|| die("--out takes a file")));
+            }
+            "--check" => {
+                args.perf_check = Some(it.next().unwrap_or_else(|| die("--check takes a file")));
+            }
+            "--tolerance" => {
+                args.tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance takes a fraction"));
+            }
             "-h" | "--help" => {
                 eprintln!(
                     "usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR] \
@@ -168,7 +202,67 @@ fn main() {
     }
 }
 
+/// `repro perf`: measure simulator throughput, optionally gate on a
+/// committed baseline and append to the trajectory file.
+fn run_perf_cmd(args: &Args) -> Result<(), Error> {
+    use smt_experiments::perf;
+    let mut opts = if args.quick {
+        perf::PerfOptions::quick()
+    } else {
+        perf::PerfOptions::full()
+    };
+    if let Some(label) = &args.label {
+        opts = opts.label(label.clone());
+    }
+    eprintln!(
+        "[repro] measuring simulator throughput ({} cycles/window, best of {})...",
+        opts.window, opts.samples
+    );
+    let run = perf::run_perf(&opts);
+    print!("{}", perf::format_run(&run));
+
+    if let Some(check) = &args.perf_check {
+        let baseline = perf::PerfReport::load(check)?;
+        let base_run = baseline.latest().ok_or_else(|| {
+            Error::InvalidMeasurement(format!("{check} contains no runs to check against"))
+        })?;
+        let regs = perf::check_regression(&run, base_run, args.tolerance);
+        if regs.is_empty() {
+            eprintln!(
+                "[repro] perf check OK vs `{}` (tolerance {:.0}%)",
+                base_run.label,
+                args.tolerance * 100.0
+            );
+        } else {
+            for r in &regs {
+                eprintln!(
+                    "[repro] REGRESSION {}: {:.0} -> {:.0} cycles/sec ({:.1}% slower)",
+                    r.case,
+                    r.baseline,
+                    r.current,
+                    r.slowdown() * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+    if let Some(out) = &args.perf_out {
+        let mut report = if std::path::Path::new(out).exists() {
+            perf::PerfReport::load(out)?
+        } else {
+            perf::PerfReport::new()
+        };
+        report.push(run);
+        report.save(out)?;
+        eprintln!("[repro] appended run to {out}");
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), Error> {
+    if args.artifact == "perf" {
+        return run_perf_cmd(args);
+    }
     let sink: Arc<dyn ProgressSink> = if args.verbose {
         Arc::new(StderrSink)
     } else {

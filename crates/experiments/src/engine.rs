@@ -43,8 +43,9 @@ pub struct RunRequest {
 }
 
 impl RunRequest {
-    /// A request on `machine` with no benchmarks or levels yet.
-    pub fn new(machine: MachineConfig) -> RunRequest {
+    /// Start a request on `machine` — the head of the fluent chain:
+    /// `RunRequest::on(machine).workloads(..).levels(..).protocol(..)`.
+    pub fn on(machine: MachineConfig) -> RunRequest {
         RunRequest {
             machine,
             benchmarks: Vec::new(),
@@ -53,16 +54,26 @@ impl RunRequest {
         }
     }
 
+    /// Thin alias of [`RunRequest::on`], kept for one release.
+    pub fn new(machine: MachineConfig) -> RunRequest {
+        RunRequest::on(machine)
+    }
+
     /// Add one benchmark.
     pub fn benchmark(mut self, spec: WorkloadSpec) -> RunRequest {
         self.benchmarks.push(spec);
         self
     }
 
-    /// Add a batch of benchmarks.
-    pub fn benchmarks(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> RunRequest {
+    /// Add a batch of workloads to measure.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> RunRequest {
         self.benchmarks.extend(specs);
         self
+    }
+
+    /// Thin alias of [`RunRequest::workloads`], kept for one release.
+    pub fn benchmarks(self, specs: impl IntoIterator<Item = WorkloadSpec>) -> RunRequest {
+        self.workloads(specs)
     }
 
     /// Set the SMT levels every benchmark is measured at.
@@ -338,6 +349,12 @@ impl Engine {
         Engine::new().with_cache(ResultCache::new(ResultCache::default_dir()))
     }
 
+    /// Cache results under `dir` — fluent shorthand for
+    /// `with_cache(ResultCache::new(dir))`.
+    pub fn cache_dir(self, dir: impl Into<std::path::PathBuf>) -> Engine {
+        self.with_cache(ResultCache::new(dir.into()))
+    }
+
     /// Attach a result cache.
     pub fn with_cache(mut self, cache: ResultCache) -> Engine {
         self.cache = Some(cache);
@@ -355,7 +372,15 @@ impl Engine {
         self.cache.as_ref()
     }
 
-    /// Attach a progress sink.
+    /// Attach a progress sink (fluent form; wraps the sink for the
+    /// worker threads).
+    pub fn sink(mut self, sink: impl ProgressSink + 'static) -> Engine {
+        self.sink = Arc::new(sink);
+        self
+    }
+
+    /// Attach an already-shared progress sink. Thin alias of
+    /// [`Engine::sink`] for callers that keep their own handle.
     pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Engine {
         self.sink = sink;
         self

@@ -16,6 +16,8 @@
 //! - [`sched_demo`] — the Section-V dynamic-selection experiment.
 //! - [`ablation`] — the Eq.-1 factor study (full product vs. each factor
 //!   removed).
+//! - [`perf`] — the simulator perf-trajectory harness behind `repro perf`
+//!   and the committed `BENCH_sim.json`.
 //!
 //! The `repro` binary drives everything:
 //! `cargo run --release -p smt-experiments --bin repro -- all --scale 0.3`.
@@ -26,6 +28,7 @@ pub mod ablation;
 pub mod cache;
 pub mod engine;
 pub mod figures;
+pub mod perf;
 pub mod plot;
 pub mod progress;
 pub mod runner;
@@ -36,9 +39,8 @@ pub mod validation;
 
 pub use cache::ResultCache;
 pub use engine::{Engine, EngineMetrics, JobError, RunPlan, RunRequest, SweepResult};
+pub use perf::{check_regression, run_perf, PerfEntry, PerfOptions, PerfReport, PerfRun};
 pub use progress::{JobOutcome, NullSink, ProgressEvent, ProgressSink, StderrSink};
 pub use runner::{measure_level, BenchResult, LevelMeasurement, ProtocolConfig};
-#[allow(deprecated)]
-pub use runner::{run_benchmark, run_level, run_suite};
 pub use scatter::{ScatterFigure, ScatterPoint};
 pub use suite::{Machine, SuiteData};

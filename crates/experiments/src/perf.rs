@@ -1,0 +1,414 @@
+//! Perf-trajectory harness: machine-readable simulator throughput numbers.
+//!
+//! The ROADMAP's bar is that every PR makes a hot path measurably faster,
+//! which is only checkable if the repo carries its own trajectory. This
+//! module measures a fixed matrix of catalog workloads × SMT levels ×
+//! machine sizes (the same cases as `benches/simulator.rs`), reports
+//! simulated **cycles per wall-second**, and appends the run to
+//! `BENCH_sim.json` so successive PRs accumulate a before/after history.
+//!
+//! Entry points:
+//!
+//! - [`run_perf`] — measure the matrix, returning a [`PerfRun`].
+//! - [`PerfReport::load`] / [`PerfReport::save`] — the on-disk trajectory.
+//! - [`check_regression`] — compare a fresh run against the last committed
+//!   one and list cases whose throughput dropped more than a tolerance
+//!   (used by the CI `bench-smoke` job and `repro perf --check`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{Error, MachineConfig, Simulation, SmtLevel};
+use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
+
+/// Bumped when the JSON layout of [`PerfReport`] changes shape.
+pub const PERF_SCHEMA_VERSION: u32 = 1;
+
+/// Cycles simulated before the timed window, so cold-start effects
+/// (empty caches, empty queues) don't pollute the steady-state rate.
+const WARMUP_CYCLES: u64 = 2_000;
+
+/// One measured case: a workload on a machine at an SMT level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Case name, e.g. `p7_ep` or `p7x2_mg`.
+    pub bench: String,
+    /// Hardware threads per core during the measurement.
+    pub smt: usize,
+    /// Simulated cycles in the timed window.
+    pub cycles: u64,
+    /// Best-of-samples wall time for the window, in seconds.
+    pub wall_secs: f64,
+    /// Throughput: `cycles / wall_secs`.
+    pub cycles_per_sec: f64,
+}
+
+impl PerfEntry {
+    /// Stable identity of the case within a run (`bench` × `smt`).
+    pub fn case_id(&self) -> String {
+        format!("{}/smt{}", self.bench, self.smt)
+    }
+}
+
+/// One full sweep over the measurement matrix, labeled for the trajectory
+/// (e.g. `"pr2-before"`, `"pr2-after"`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRun {
+    /// Human-chosen label identifying when/why this run was taken.
+    pub label: String,
+    /// Measured cases, in matrix order.
+    pub entries: Vec<PerfEntry>,
+    /// Optional end-to-end number: cold `repro all --scale 0.05` wall
+    /// seconds, recorded out-of-band when available.
+    pub repro_all_wall_secs: Option<f64>,
+}
+
+impl PerfRun {
+    /// Look up a case by its [`PerfEntry::case_id`].
+    pub fn entry(&self, case_id: &str) -> Option<&PerfEntry> {
+        self.entries.iter().find(|e| e.case_id() == case_id)
+    }
+
+    /// Geometric mean of cycles/sec across all cases — the single number
+    /// quoted in the perf table.
+    pub fn geomean_cycles_per_sec(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self
+            .entries
+            .iter()
+            .map(|e| e.cycles_per_sec.max(f64::MIN_POSITIVE).ln())
+            .sum();
+        (log_sum / self.entries.len() as f64).exp()
+    }
+}
+
+/// The on-disk trajectory: an append-only list of [`PerfRun`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Layout version, for forward-compatible readers.
+    pub schema: u32,
+    /// Runs in chronological order; the last one is "current".
+    pub runs: Vec<PerfRun>,
+}
+
+impl PerfReport {
+    /// An empty report at the current schema version.
+    pub fn new() -> PerfReport {
+        PerfReport {
+            schema: PERF_SCHEMA_VERSION,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Read a report from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<PerfReport, Error> {
+        let path = path.as_ref();
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        serde_json::from_str(&body).map_err(|e| Error::Serde(format!("{}: {e}", path.display())))
+    }
+
+    /// Write the report to `path` as pretty-printed JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let path = path.as_ref();
+        let body = serde_json::to_string_pretty(self).map_err(|e| Error::Serde(e.to_string()))?;
+        std::fs::write(path, body + "\n").map_err(|e| Error::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// The most recent run, if any.
+    pub fn latest(&self) -> Option<&PerfRun> {
+        self.runs.last()
+    }
+
+    /// Append `run` to the trajectory.
+    pub fn push(&mut self, run: PerfRun) {
+        self.runs.push(run);
+    }
+}
+
+/// Knobs for [`run_perf`].
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Label stored on the resulting [`PerfRun`].
+    pub label: String,
+    /// Simulated cycles in each timed window.
+    pub window: u64,
+    /// Timing samples per case; the fastest is kept (minimum wall time is
+    /// the standard noise-robust estimator for a deterministic workload).
+    pub samples: usize,
+}
+
+impl PerfOptions {
+    /// Full-fidelity settings: 100k-cycle windows, best of 5.
+    pub fn full() -> PerfOptions {
+        PerfOptions {
+            label: "local".to_string(),
+            window: 100_000,
+            samples: 5,
+        }
+    }
+
+    /// Quick settings for CI smoke runs: 20k-cycle windows, best of 3.
+    pub fn quick() -> PerfOptions {
+        PerfOptions {
+            label: "quick".to_string(),
+            window: 20_000,
+            samples: 3,
+        }
+    }
+
+    /// Replace the label, builder-style.
+    pub fn label(mut self, label: impl Into<String>) -> PerfOptions {
+        self.label = label.into();
+        self
+    }
+}
+
+/// One row of the fixed measurement matrix.
+struct PerfCase {
+    bench: &'static str,
+    machine: fn() -> MachineConfig,
+    smt: SmtLevel,
+    spec: fn() -> WorkloadSpec,
+}
+
+/// The measurement matrix, mirroring `benches/simulator.rs`: EP across SMT
+/// levels, a compute/memory/contended trio at SMT4, and a two-chip machine.
+fn matrix() -> Vec<PerfCase> {
+    fn p7() -> MachineConfig {
+        MachineConfig::power7(1)
+    }
+    fn p7x2() -> MachineConfig {
+        MachineConfig::power7(2)
+    }
+    vec![
+        PerfCase {
+            bench: "p7_ep",
+            machine: p7,
+            smt: SmtLevel::Smt1,
+            spec: catalog::ep,
+        },
+        PerfCase {
+            bench: "p7_ep",
+            machine: p7,
+            smt: SmtLevel::Smt2,
+            spec: catalog::ep,
+        },
+        PerfCase {
+            bench: "p7_ep",
+            machine: p7,
+            smt: SmtLevel::Smt4,
+            spec: catalog::ep,
+        },
+        PerfCase {
+            bench: "p7_blackscholes",
+            machine: p7,
+            smt: SmtLevel::Smt4,
+            spec: catalog::blackscholes,
+        },
+        PerfCase {
+            bench: "p7_stream",
+            machine: p7,
+            smt: SmtLevel::Smt4,
+            spec: catalog::stream,
+        },
+        PerfCase {
+            bench: "p7_specjbb_contention",
+            machine: p7,
+            smt: SmtLevel::Smt4,
+            spec: catalog::specjbb_contention,
+        },
+        PerfCase {
+            bench: "p7x2_mg",
+            machine: p7x2,
+            smt: SmtLevel::Smt4,
+            spec: catalog::mg,
+        },
+    ]
+}
+
+/// Measure the fixed matrix and return a labeled [`PerfRun`].
+///
+/// Each case builds a fresh simulation, warms it past cold start, then
+/// times `opts.window` simulated cycles `opts.samples` times, keeping the
+/// fastest sample. Workloads are deterministic, so the spread between
+/// samples is pure host noise.
+pub fn run_perf(opts: &PerfOptions) -> PerfRun {
+    let mut entries = Vec::new();
+    for case in matrix() {
+        let mut best = f64::INFINITY;
+        let mut cycles = 0;
+        for _ in 0..opts.samples {
+            let mut sim = Simulation::new(
+                (case.machine)(),
+                case.smt,
+                SyntheticWorkload::new((case.spec)()),
+            );
+            sim.run_cycles(WARMUP_CYCLES);
+            let start = Instant::now();
+            cycles = sim.run_cycles(opts.window);
+            let wall = start.elapsed().as_secs_f64();
+            if wall < best {
+                best = wall;
+            }
+        }
+        let best = best.max(f64::MIN_POSITIVE);
+        entries.push(PerfEntry {
+            bench: case.bench.to_string(),
+            smt: case.smt.ways(),
+            cycles,
+            wall_secs: best,
+            cycles_per_sec: cycles as f64 / best,
+        });
+    }
+    PerfRun {
+        label: opts.label.clone(),
+        entries,
+        repro_all_wall_secs: None,
+    }
+}
+
+/// One case whose throughput regressed past the tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The case id (`bench/smtN`).
+    pub case: String,
+    /// Baseline cycles/sec (from the committed report).
+    pub baseline: f64,
+    /// Freshly measured cycles/sec.
+    pub current: f64,
+}
+
+impl Regression {
+    /// Fractional slowdown, e.g. `0.25` for a 25% throughput drop.
+    pub fn slowdown(&self) -> f64 {
+        1.0 - self.current / self.baseline
+    }
+}
+
+/// Compare `current` against `baseline`, returning every case whose
+/// cycles/sec dropped by more than `tolerance` (a fraction, e.g. `0.2`).
+/// Cases present on only one side are ignored — the matrix is allowed to
+/// grow between PRs.
+pub fn check_regression(current: &PerfRun, baseline: &PerfRun, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for b in &baseline.entries {
+        if b.cycles_per_sec <= 0.0 {
+            continue;
+        }
+        if let Some(c) = current.entry(&b.case_id()) {
+            if c.cycles_per_sec < b.cycles_per_sec * (1.0 - tolerance) {
+                out.push(Regression {
+                    case: b.case_id(),
+                    baseline: b.cycles_per_sec,
+                    current: c.cycles_per_sec,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render a run as an aligned human-readable table.
+pub fn format_run(run: &PerfRun) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "perf run `{}`", run.label);
+    let _ = writeln!(
+        s,
+        "  {:<24} {:>4} {:>12} {:>12} {:>14}",
+        "bench", "smt", "cycles", "wall (ms)", "cycles/sec"
+    );
+    for e in &run.entries {
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>4} {:>12} {:>12.3} {:>14.0}",
+            e.bench,
+            e.smt,
+            e.cycles,
+            e.wall_secs * 1e3,
+            e.cycles_per_sec
+        );
+    }
+    let _ = writeln!(
+        s,
+        "  geomean {:.0} cycles/sec over {} cases",
+        run.geomean_cycles_per_sec(),
+        run.entries.len()
+    );
+    if let Some(w) = run.repro_all_wall_secs {
+        let _ = writeln!(s, "  repro all --scale 0.05 (cold): {w:.1}s");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, smt: usize, rate: f64) -> PerfEntry {
+        PerfEntry {
+            bench: bench.to_string(),
+            smt,
+            cycles: 1000,
+            wall_secs: 1000.0 / rate,
+            cycles_per_sec: rate,
+        }
+    }
+
+    fn run_with(rates: &[(&str, usize, f64)]) -> PerfRun {
+        PerfRun {
+            label: "test".to_string(),
+            entries: rates.iter().map(|&(b, s, r)| entry(b, s, r)).collect(),
+            repro_all_wall_secs: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = PerfReport::new();
+        report.push(run_with(&[("p7_ep", 1, 1e6), ("p7_ep", 4, 5e5)]));
+        report.runs[0].repro_all_wall_secs = Some(32.5);
+        let dir = std::env::temp_dir().join("smt_perf_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        report.save(&path).unwrap();
+        let loaded = PerfReport::load(&path).unwrap();
+        assert_eq!(loaded, report);
+        assert_eq!(loaded.latest().unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn regression_check_flags_only_past_tolerance() {
+        let base = run_with(&[("a", 1, 1000.0), ("b", 4, 1000.0), ("gone", 2, 1000.0)]);
+        let cur = run_with(&[("a", 1, 850.0), ("b", 4, 700.0), ("new", 2, 10.0)]);
+        let regs = check_regression(&cur, &base, 0.2);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].case, "b/smt4");
+        assert!((regs[0].slowdown() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_run_measures_every_case() {
+        let opts = PerfOptions {
+            label: "unit".to_string(),
+            window: 500,
+            samples: 1,
+        };
+        let run = run_perf(&opts);
+        assert_eq!(run.entries.len(), matrix().len());
+        for e in &run.entries {
+            assert!(e.cycles > 0, "{} simulated nothing", e.bench);
+            assert!(e.cycles_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn geomean_is_scale_stable() {
+        let run = run_with(&[("a", 1, 100.0), ("b", 1, 400.0)]);
+        assert!((run.geomean_cycles_per_sec() - 200.0).abs() < 1e-6);
+    }
+}

@@ -67,14 +67,21 @@ impl ProgressSink for NullSink {
 }
 
 /// Prints one line per job and a summary line per sweep to stderr.
+///
+/// Each event is formatted into a buffer first and emitted with a single
+/// `write_all`: stderr is unbuffered, so `eprintln!` would issue one
+/// `write(2)` per format fragment, and fragments from concurrent worker
+/// threads (or a child process sharing the descriptor) can interleave
+/// mid-line. One syscall per event keeps every line atomic in practice.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StderrSink;
 
 impl ProgressSink for StderrSink {
     fn on_event(&self, event: &ProgressEvent<'_>) {
-        match event {
+        use std::io::Write;
+        let line = match event {
             ProgressEvent::SweepStarted { jobs_total } => {
-                eprintln!("[engine] sweep started: {jobs_total} jobs");
+                format!("[engine] sweep started: {jobs_total} jobs\n")
             }
             ProgressEvent::JobFinished {
                 benchmark,
@@ -89,14 +96,15 @@ impl ProgressSink for StderrSink {
                     JobOutcome::CacheHit => "hit",
                     JobOutcome::Failed => "FAILED",
                 };
-                eprintln!(
-                    "[engine] [{jobs_done}/{jobs_total}] {tag:>6} {benchmark} @ {level} ({elapsed:.1?})"
-                );
+                format!(
+                    "[engine] [{jobs_done}/{jobs_total}] {tag:>6} {benchmark} @ {level} ({elapsed:.1?})\n"
+                )
             }
             ProgressEvent::SweepFinished { metrics } => {
-                eprintln!("[engine] {}", metrics.summary());
+                format!("[engine] {}\n", metrics.summary())
             }
-        }
+        };
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
     }
 }
 

@@ -6,10 +6,9 @@
 //! counters after a warm-up period. [`measure_level`] executes the
 //! two-pass protocol for one (machine, workload, SMT level) job under a
 //! [`ProtocolConfig`]; batch execution across levels, benchmarks, and
-//! host cores lives in [`crate::engine`].
-//!
-//! The old free functions [`run_level`], [`run_benchmark`], and
-//! [`run_suite`] remain as thin deprecated wrappers over the engine.
+//! host cores lives in [`crate::engine`] — build a
+//! [`crate::engine::RunRequest`] and hand the plan to
+//! [`crate::engine::Engine::run`].
 
 use serde::{Deserialize, Serialize};
 use smt_sim::{Error, MachineConfig, Simulation, SmtLevel, Workload};
@@ -201,68 +200,6 @@ pub fn measure_level(
     }
 }
 
-/// Run one benchmark at one SMT level with the default protocol.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `measure_level` with an explicit `ProtocolConfig`, or drive a \
-            whole job matrix through `smt_experiments::Engine`"
-)]
-pub fn run_level(cfg: &MachineConfig, spec: &WorkloadSpec, smt: SmtLevel) -> LevelMeasurement {
-    measure_level(cfg, spec, smt, &ProtocolConfig::default())
-}
-
-/// Run one benchmark across several SMT levels.
-///
-/// Preserves the historical contract: invalid input panics. New code
-/// should build a [`crate::engine::RunRequest`] and inspect the structured
-/// errors in the returned sweep instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `RunRequest` for `smt_experiments::Engine` instead; \
-            `Engine::run` reports per-job failures as `JobError` values \
-            rather than panicking"
-)]
-pub fn run_benchmark(cfg: &MachineConfig, spec: &WorkloadSpec, levels: &[SmtLevel]) -> BenchResult {
-    let plan = crate::engine::RunRequest::new(cfg.clone())
-        .benchmark(spec.clone())
-        .levels(levels.to_vec())
-        .plan()
-        .unwrap_or_else(|e| panic!("invalid run request: {e}"));
-    let mut sweep = crate::engine::Engine::new().run(&plan);
-    if let Some(err) = sweep.errors.first() {
-        panic!("job failed: {err}");
-    }
-    sweep.results.swap_remove(0)
-}
-
-/// Run a whole suite in parallel across (benchmark x level) pairs.
-///
-/// Preserves the historical contract: invalid input panics. New code
-/// should build a [`crate::engine::RunRequest`] and inspect the structured
-/// errors in the returned sweep instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `RunRequest` for `smt_experiments::Engine` instead; the \
-            engine adds result caching, per-job fault isolation, and \
-            progress reporting"
-)]
-pub fn run_suite(
-    cfg: &MachineConfig,
-    specs: &[WorkloadSpec],
-    levels: &[SmtLevel],
-) -> Vec<BenchResult> {
-    let plan = crate::engine::RunRequest::new(cfg.clone())
-        .benchmarks(specs.to_vec())
-        .levels(levels.to_vec())
-        .plan()
-        .unwrap_or_else(|e| panic!("invalid run request: {e}"));
-    let sweep = crate::engine::Engine::new().run(&plan);
-    if let Some(err) = sweep.errors.first() {
-        panic!("job failed: {err}");
-    }
-    sweep.results
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,11 +217,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_engine_output() {
+    fn engine_sweep_matches_direct_measurement() {
         let cfg = MachineConfig::generic(2);
         let spec = catalog::blackscholes().scaled(0.05);
-        let r = run_benchmark(&cfg, &spec, &[SmtLevel::Smt1, SmtLevel::Smt2]);
+        let plan = crate::engine::RunRequest::on(cfg.clone())
+            .benchmark(spec.clone())
+            .levels(vec![SmtLevel::Smt1, SmtLevel::Smt2])
+            .plan()
+            .unwrap();
+        let mut sweep = crate::engine::Engine::new().run(&plan);
+        assert!(
+            sweep.errors.is_empty(),
+            "jobs must succeed: {:?}",
+            sweep.errors
+        );
+        let r = sweep.results.swap_remove(0);
         assert_eq!(r.levels.len(), 2);
         let s = r.speedup(SmtLevel::Smt2, SmtLevel::Smt1).unwrap();
         assert!(s > 0.2 && s < 5.0, "speedup {s} out of sane range");
@@ -296,14 +243,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_suite_parallel_matches_shape() {
+    fn engine_parallel_suite_matches_shape() {
         let cfg = MachineConfig::generic(2);
         let specs = vec![catalog::ep().scaled(0.01), catalog::ssca2().scaled(0.01)];
-        let rs = run_suite(&cfg, &specs, &[SmtLevel::Smt1, SmtLevel::Smt2]);
-        assert_eq!(rs.len(), 2);
-        assert_eq!(rs[0].name, "EP");
-        for r in &rs {
+        let plan = crate::engine::RunRequest::on(cfg)
+            .workloads(specs)
+            .levels(vec![SmtLevel::Smt1, SmtLevel::Smt2])
+            .plan()
+            .unwrap();
+        let sweep = crate::engine::Engine::new().run(&plan);
+        assert!(sweep.errors.is_empty());
+        assert_eq!(sweep.results.len(), 2);
+        assert_eq!(sweep.results[0].name, "EP");
+        for r in &sweep.results {
             assert_eq!(r.levels.len(), 2);
         }
     }

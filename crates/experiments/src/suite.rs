@@ -79,8 +79,8 @@ impl SuiteData {
     /// reported through the engine's progress sink.
     pub fn collect_with(machine: Machine, scale: f64, engine: &Engine) -> Result<SuiteData, Error> {
         let cfg = machine.config();
-        let plan = RunRequest::new(cfg)
-            .benchmarks(machine.suite().into_iter().map(|s| s.scaled(scale)))
+        let plan = RunRequest::on(cfg)
+            .workloads(machine.suite().into_iter().map(|s| s.scaled(scale)))
             .all_levels()
             .plan()?;
         let sweep = engine.run(&plan);

@@ -55,8 +55,8 @@ pub fn run_with(n: usize, scale: f64, engine: &Engine) -> Result<Validation, Err
     for k in 0..n {
         let offset = k as u64 * 7_919; // any fixed stride of seeds
         let machine = Machine::Power7OneChip;
-        let plan = RunRequest::new(machine.config())
-            .benchmarks(machine.suite().into_iter().map(|mut s| {
+        let plan = RunRequest::on(machine.config())
+            .workloads(machine.suite().into_iter().map(|mut s| {
                 s.seed = s.seed.wrapping_add(offset);
                 s.scaled(scale)
             }))

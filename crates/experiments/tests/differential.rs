@@ -1,0 +1,138 @@
+//! Differential proof for the fast-forward stepper: over catalog
+//! workloads × SMT levels × machines, [`Stepping::FastForward`] must
+//! produce **bit-identical** per-thread and core counter snapshots,
+//! completion cycles, and work totals to the naive one-cycle-at-a-time
+//! reference — the acceptance bar that lets every figure in the repo run
+//! on the optimized stepper without re-validating the science.
+
+use proptest::prelude::*;
+use smt_sim::{
+    CoreCounters, MachineConfig, RunResult, Simulation, SmtLevel, Stepping, ThreadCounters,
+};
+use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
+
+/// Cycle cap: generous enough that every scaled-down case completes.
+const MAX_CYCLES: u64 = 4_000_000;
+
+/// One end-state snapshot, containing everything an experiment can
+/// observe from a finished simulation.
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    result: RunResult,
+    now: u64,
+    per_thread: Vec<ThreadCounters>,
+    cores: CoreCounters,
+    skipped: u64,
+}
+
+fn run_with(
+    cfg: &MachineConfig,
+    smt: SmtLevel,
+    spec: &WorkloadSpec,
+    stepping: Stepping,
+) -> Snapshot {
+    let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec.clone()));
+    sim.set_stepping(stepping);
+    let result = sim.run_until_finished(MAX_CYCLES);
+    Snapshot {
+        result,
+        now: sim.now(),
+        per_thread: sim.thread_counters().to_vec(),
+        cores: sim.core_counters(),
+        skipped: sim.idle_cycles_skipped(),
+    }
+}
+
+/// A POWER7-style core pair: exercises SMT4, dynamic partitioning, and
+/// the multi-queue issue topology without the full 8-core machine cost.
+fn small_power7() -> MachineConfig {
+    let mut cfg = MachineConfig::power7(1);
+    cfg.cores_per_chip = 2;
+    cfg
+}
+
+/// The differential case matrix: machines spanning every descriptor
+/// family (generic single-queue, POWER7 multi-queue/dynamic-partitioned,
+/// Nehalem store-pair ports) × workloads spanning every synchronization
+/// and memory regime in the catalog.
+fn machines() -> Vec<(MachineConfig, SmtLevel)> {
+    vec![
+        (MachineConfig::generic(1), SmtLevel::Smt1),
+        (MachineConfig::generic(2), SmtLevel::Smt2),
+        (small_power7(), SmtLevel::Smt4),
+        (small_power7(), SmtLevel::Smt2),
+        (MachineConfig::nehalem(), SmtLevel::Smt2),
+    ]
+}
+
+fn specs() -> Vec<WorkloadSpec> {
+    vec![
+        catalog::ep().scaled(0.004),               // compute-bound
+        catalog::stream().scaled(0.004),           // memory-bound (long stalls)
+        catalog::specjbb_contention().scaled(0.2), // lock contention (sleeps)
+        catalog::mg().scaled(0.004),               // barriers + memory
+        catalog::blackscholes().scaled(0.004),     // mixed parallel
+        catalog::specjbb().scaled(0.1),            // rate-limited (idle gaps)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+    #[test]
+    fn fast_forward_matches_naive_bit_for_bit(
+        machine_idx in 0usize..5,
+        spec_idx in 0usize..6,
+    ) {
+        let (cfg, smt) = machines().swap_remove(machine_idx);
+        let spec = specs().swap_remove(spec_idx);
+        let naive = run_with(&cfg, smt, &spec, Stepping::Naive);
+        let fast = run_with(&cfg, smt, &spec, Stepping::FastForward);
+        prop_assert!(naive.result.completed, "naive run hit the cycle cap");
+        prop_assert_eq!(naive.skipped, 0);
+        prop_assert_eq!(&naive.result, &fast.result);
+        prop_assert_eq!(naive.now, fast.now);
+        prop_assert_eq!(&naive.cores, &fast.cores);
+        prop_assert_eq!(&naive.per_thread, &fast.per_thread);
+    }
+}
+
+/// The equivalence must also hold mid-run, where experiments read
+/// counters through sampling windows rather than at completion.
+#[test]
+fn windowed_counters_match_naive() {
+    let cfg = small_power7();
+    let spec = catalog::stream().scaled(0.01);
+    let mut naive = Simulation::new(
+        cfg.clone(),
+        SmtLevel::Smt4,
+        SyntheticWorkload::new(spec.clone()),
+    );
+    naive.set_stepping(Stepping::Naive);
+    let mut fast = Simulation::new(cfg, SmtLevel::Smt4, SyntheticWorkload::new(spec));
+    for _ in 0..4 {
+        let a = naive.measure_window(5_000);
+        let b = fast.measure_window(5_000);
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.per_thread, b.per_thread);
+        assert_eq!(a.cores, b.cores);
+    }
+    assert_eq!(naive.now(), fast.now());
+}
+
+/// The fast path must actually engage on stall-heavy work — otherwise
+/// the differential proof is vacuous.
+#[test]
+fn fast_forward_skips_cycles_on_stalled_work() {
+    let spec = catalog::specjbb_contention().scaled(0.3);
+    let mut sim = Simulation::new(
+        MachineConfig::generic(1),
+        SmtLevel::Smt1,
+        SyntheticWorkload::new(spec),
+    );
+    let res = sim.run_until_finished(MAX_CYCLES);
+    assert!(res.completed);
+    assert!(
+        sim.idle_cycles_skipped() > 0,
+        "expected fast-forward jumps on a contended workload"
+    );
+}

@@ -8,7 +8,7 @@
 
 use crate::branch::BranchPredictorConfig;
 use crate::error::Error;
-use crate::isa::InstrClass;
+use crate::isa::{InstrClass, NUM_CLASSES};
 use serde::{Deserialize, Serialize};
 
 /// An SMT level: how many hardware contexts share one core.
@@ -384,6 +384,22 @@ impl ArchDescriptor {
     /// Number of issue ports.
     pub fn num_ports(&self) -> usize {
         self.ports.len()
+    }
+
+    /// Precomputed port-acceptance table: for each instruction class, a
+    /// bitmask of the ports that can issue it (bit `p` set means
+    /// `ports[p].accepts(class)`). Built once per core so the per-cycle
+    /// issue and congestion scans test a bit instead of walking each
+    /// port's accept list.
+    pub fn class_port_masks(&self) -> [u32; NUM_CLASSES] {
+        debug_assert!(self.ports.len() <= 32, "port mask is a u32");
+        let mut masks = [0u32; NUM_CLASSES];
+        for (pi, port) in self.ports.iter().enumerate() {
+            for &class in &port.accepts {
+                masks[class.index()] |= 1 << pi;
+            }
+        }
+        masks
     }
 
     /// Latency of a non-load class.

@@ -158,8 +158,22 @@ impl HwContext {
 struct QEntry {
     hw: u8,
     seq: u64,
+    /// Memoized earliest cycle the register dependency can be satisfied.
+    /// Once a producer has issued, its completion cycle never changes
+    /// ([`HwContext::rob_full`] prevents ring aliasing while the consumer
+    /// is in flight), so the scan can skip the ring lookup until then.
+    /// `0` means not yet known — re-derive from the completion ring.
+    ready_at: u64,
     instr: Instr,
 }
+
+/// `QEntry::hw` sentinel marking a tombstoned (logically removed) entry.
+/// Issue removes entries from the *middle* of a queue; physically shifting
+/// the tail on every issue dominated the scan cost, so removal just marks
+/// the slot dead. Dead slots are invisible to every consumer and are
+/// reclaimed from the queue front (where issued-oldest-first makes them
+/// cluster) at the start of each scan.
+const TOMBSTONE: u8 = u8::MAX;
 
 /// An issue queue feeding one or more ports.
 #[derive(Debug, Clone)]
@@ -169,11 +183,23 @@ struct IssueQueue {
     /// Occupancy by hardware thread (SMT partitioning).
     per_thread: [u16; MAX_WAYS],
     per_thread_cap: usize,
+    /// The whole queue is provably idle until this cycle: the last scan
+    /// found *every* entry waiting on a producer with a known completion,
+    /// and the earliest of those completions is this value. Any mutation
+    /// of the queue (dispatch, unpark) resets it to `0` (= must scan).
+    quiet_until: u64,
+    /// Tombstoned entries still physically present in `entries`.
+    dead: usize,
 }
 
 impl IssueQueue {
+    /// Live (non-tombstoned) occupancy.
+    fn live_len(&self) -> usize {
+        self.entries.len() - self.dead
+    }
+
     fn full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.live_len() >= self.capacity
     }
 
     fn thread_share_full(&self, hw: usize) -> bool {
@@ -196,10 +222,16 @@ pub struct Core {
     disp_rr: usize,
     /// Candidate queues per instruction class.
     class_queues: [Vec<usize>; NUM_CLASSES],
+    /// Port-acceptance bitmasks per instruction class (bit `p` set when
+    /// port `p` can issue the class), precomputed from the descriptor so
+    /// the issue scan does not walk `PortDesc::accepts` vectors.
+    class_port_mask: [u32; NUM_CLASSES],
     /// Ports fed by each queue.
     ports_by_queue: Vec<Vec<usize>>,
-    /// Scratch: port busy flags for the current cycle.
-    port_used: Vec<bool>,
+    /// Bitmask of the ports fed by each queue.
+    queue_port_mask: Vec<u32>,
+    /// Scratch: port busy bitmask for the current cycle.
+    port_used: u32,
     /// Scratch: queue had a load rejected for want of an LMQ slot this
     /// cycle.
     queue_lmq_reject: Vec<bool>,
@@ -236,6 +268,8 @@ impl Core {
             .iter()
             .map(|q| IssueQueue {
                 entries: VecDeque::with_capacity(q.capacity),
+                quiet_until: 0,
+                dead: 0,
                 capacity: q.capacity,
                 per_thread: [0; MAX_WAYS],
                 per_thread_cap: arch.per_thread_cap(q.capacity, ways),
@@ -267,8 +301,13 @@ impl Core {
             fetch_rr: 0,
             disp_rr: 0,
             class_queues,
+            class_port_mask: arch.class_port_masks(),
+            queue_port_mask: ports_by_queue
+                .iter()
+                .map(|ps| ps.iter().fold(0u32, |m, &p| m | (1 << p)))
+                .collect(),
             ports_by_queue,
-            port_used: vec![false; arch.ports.len()],
+            port_used: 0,
             queue_lmq_reject: vec![false; arch.queues.len()],
             caps_for_active: 0,
             bpred: arch.branch_predictor.map(BranchPredictor::new),
@@ -313,7 +352,7 @@ impl Core {
 
     /// The pipeline holds no in-flight instructions.
     pub fn drained(&self) -> bool {
-        self.ctxs.iter().all(|c| c.drained()) && self.queues.iter().all(|q| q.entries.is_empty())
+        self.ctxs.iter().all(|c| c.drained()) && self.queues.iter().all(|q| q.live_len() == 0)
     }
 
     /// All bound software threads have finished and drained.
@@ -323,7 +362,7 @@ impl Core {
 
     /// Total occupancy of queue `qi` (diagnostics/tests).
     pub fn queue_len(&self, qi: usize) -> usize {
-        self.queues[qi].entries.len()
+        self.queues[qi].live_len()
     }
 
     /// Check internal bookkeeping invariants; called every cycle in debug
@@ -337,14 +376,21 @@ impl Core {
         let max_parked: usize = self.ctxs.iter().map(|c| c.rob_cap as usize).sum();
         for (qi, q) in self.queues.iter().enumerate() {
             assert!(
-                q.entries.len() <= q.capacity + max_parked,
+                q.live_len() <= q.capacity + max_parked,
                 "queue {qi} over hard bound: {} > {} + {max_parked}",
-                q.entries.len(),
+                q.live_len(),
                 q.capacity
+            );
+            assert_eq!(
+                q.dead,
+                q.entries.iter().filter(|e| e.hw == TOMBSTONE).count(),
+                "queue {qi} dead-count out of sync"
             );
             let mut per_thread = [0usize; MAX_WAYS];
             for e in &q.entries {
-                per_thread[e.hw as usize] += 1;
+                if e.hw != TOMBSTONE {
+                    per_thread[e.hw as usize] += 1;
+                }
             }
             for (t, &count) in per_thread.iter().enumerate().take(self.ways) {
                 assert_eq!(
@@ -392,6 +438,13 @@ impl Core {
     }
 
     /// Advance one cycle.
+    ///
+    /// Returns an *activity count*: the number of state-changing events
+    /// this cycle (wakes, unparks, retires, issues, parks, LMQ rejections,
+    /// dispatches, fetch results). A return of zero means the cycle was
+    /// pure bookkeeping — nothing architectural moved — which is the
+    /// precondition [`Simulation`](crate::machine::Simulation) uses before
+    /// asking [`Core::quiet_until`] how far it can fast-forward.
     pub fn step<W: Workload + ?Sized>(
         &mut self,
         arch: &ArchDescriptor,
@@ -400,40 +453,34 @@ impl Core {
         workload: &mut W,
         mem: &mut MemorySystem,
         sw: &mut [ThreadCounters],
-    ) {
-        self.wake_and_retire(now);
+    ) -> u32 {
+        let mut activity = self.wake_and_retire(now);
         self.refresh_dynamic_caps(arch);
-        self.issue(arch, now, mem, sw);
-        self.dispatch(arch, now, mode, sw);
+        activity += self.issue(arch, now, mem, sw);
+        activity += self.dispatch(arch, now, mode, sw);
         if mode == StepMode::Normal {
-            self.fetch(arch, now, workload, mem, sw);
+            activity += self.fetch(arch, now, workload, mem, sw);
         }
         self.account(now, sw);
         #[cfg(debug_assertions)]
         self.check_invariants();
+        activity
     }
 
     /// Whether queue `qi` is congested from the point of view of an
     /// instruction of `class`: every port of the queue that could issue the
     /// class was busy this cycle, or (for loads) the queue had a load
     /// rejected because the load-miss queue was full.
-    fn queue_congested_for(&self, arch: &ArchDescriptor, qi: usize, class: InstrClass) -> bool {
+    fn queue_congested_for(&self, qi: usize, class: InstrClass) -> bool {
         if class.is_mem() && self.queue_lmq_reject[qi] {
             return true;
         }
-        let mut any = false;
-        for &p in &self.ports_by_queue[qi] {
-            if arch.ports[p].accepts(class) {
-                any = true;
-                if !self.port_used[p] {
-                    return false;
-                }
-            }
-        }
-        any
+        let accepts = self.class_port_mask[class.index()] & self.queue_port_mask[qi];
+        accepts != 0 && accepts & !self.port_used == 0
     }
 
-    fn wake_and_retire(&mut self, now: u64) {
+    fn wake_and_retire(&mut self, now: u64) -> u32 {
+        let mut activity = 0;
         self.lmq.retain(|&t| t > now);
         for hw in 0..self.ctxs.len() {
             // Re-insert parked instructions whose producer data arrived.
@@ -449,19 +496,26 @@ impl Core {
                     let q = &mut self.queues[qi];
                     q.entries.push_front(e);
                     q.per_thread[hw] += 1;
+                    q.quiet_until = 0;
+                    activity += 1;
                 } else {
                     i += 1;
                 }
             }
             let ctx = &mut self.ctxs[hw];
             match ctx.state {
-                CtxState::Sleeping(until) if now >= until => ctx.state = CtxState::Running,
+                CtxState::Sleeping(until) if now >= until => {
+                    ctx.state = CtxState::Running;
+                    activity += 1;
+                }
                 CtxState::Running if ctx.fetch_done && ctx.drained() => {
-                    ctx.state = CtxState::Finished
+                    ctx.state = CtxState::Finished;
+                    activity += 1;
                 }
                 _ => {}
             }
         }
+        activity
     }
 
     fn issue(
@@ -470,47 +524,128 @@ impl Core {
         now: u64,
         mem: &mut MemorySystem,
         sw: &mut [ThreadCounters],
-    ) {
-        self.port_used.iter_mut().for_each(|b| *b = false);
+    ) -> u32 {
+        let mut activity = 0;
+        self.port_used = 0;
         self.queue_lmq_reject.iter_mut().for_each(|b| *b = false);
         for qi in 0..self.queues.len() {
+            // Scan-skip: the previous scan proved every entry is waiting on
+            // a producer whose (immutable) completion lies in the future,
+            // and nothing was added to the queue since. A scan now would
+            // inspect each entry, change nothing, and issue nothing —
+            // identical to not scanning at all.
+            if self.queues[qi].quiet_until > now {
+                continue;
+            }
+            {
+                let q = &mut self.queues[qi];
+                while q.entries.front().is_some_and(|e| e.hw == TOMBSTONE) {
+                    q.entries.pop_front();
+                    q.dead -= 1;
+                }
+                // Parking punches holes mid-queue that front-draining can't
+                // reach; compact before they make the physical walk longer
+                // than the live one.
+                if q.dead >= 8 {
+                    q.entries.retain(|e| e.hw != TOMBSTONE);
+                    q.dead = 0;
+                }
+            }
             let mut scanned = 0usize;
             let mut i = 0usize;
+            // A scan is "pure waiting" when every inspected entry was
+            // provably un-ready with a *known* producer completion and the
+            // scan covered the whole queue; only then may the next scans be
+            // skipped, until the earliest of those completions.
+            let mut all_waiting = true;
+            let mut next_ready = u64::MAX;
             'queue: while i < self.queues[qi].entries.len() && scanned < arch.issue_scan_depth {
                 // Stop early if every port on this queue is taken.
-                if self.ports_by_queue[qi].iter().all(|&p| self.port_used[p]) {
+                if self.port_used & self.queue_port_mask[qi] == self.queue_port_mask[qi] {
+                    all_waiting = false;
                     break;
                 }
+                // Read only the scalars the waiting paths need — a full
+                // `QEntry` copy per inspection is measurable traffic at
+                // tens of inspections per core-cycle.
+                let ent = &self.queues[qi].entries[i];
+                let hw8 = ent.hw;
+                if hw8 == TOMBSTONE {
+                    i += 1;
+                    continue;
+                }
                 scanned += 1;
-                let e = self.queues[qi].entries[i];
-                let ctx = &self.ctxs[e.hw as usize];
-                if !ctx.dep_ready(e.seq, e.instr.dep_dist, now) {
+                let ready_at = ent.ready_at;
+                if ready_at > now {
+                    // Still waiting on its memoized producer completion.
+                    next_ready = next_ready.min(ready_at);
+                    i += 1;
+                    continue;
+                }
+                let seq = ent.seq;
+                let dep_dist = ent.instr.dep_dist;
+                let ctx = &self.ctxs[hw8 as usize];
+                // `ready_at` in 1..=now means readiness was already proven
+                // on an earlier scan (completions are immutable and
+                // readiness is monotone in `now`), so the dependence check
+                // can be skipped for ready-but-portless entries that get
+                // re-inspected every cycle.
+                let known_ready = ready_at != 0;
+                if !known_ready && !ctx.dep_ready(seq, dep_dist, now) {
                     // Waiting on a long-latency producer (a cache miss)?
                     // Park it out of the queue until the data returns, as
                     // POWER7's reject mechanism does, so miss dependents do
                     // not impersonate execution-resource congestion.
-                    if e.instr.dep_dist > 0 && e.seq >= u64::from(e.instr.dep_dist) {
-                        let c = ctx.comp[((e.seq - u64::from(e.instr.dep_dist)) as usize) % RING];
-                        if c != PENDING && c > now + PARK_THRESHOLD {
-                            let hw = e.hw as usize;
-                            let q = &mut self.queues[qi];
-                            q.entries.remove(i);
-                            q.per_thread[hw] -= 1;
-                            self.ctxs[hw].parked.push((c, qi, e));
-                            continue; // entry shifted into position i
+                    if dep_dist > 0 && seq >= u64::from(dep_dist) {
+                        let c = ctx.comp[((seq - u64::from(dep_dist)) as usize) % RING];
+                        if c != PENDING {
+                            if c > now + PARK_THRESHOLD {
+                                let hw = hw8 as usize;
+                                let q = &mut self.queues[qi];
+                                let e = q.entries[i];
+                                q.entries[i].hw = TOMBSTONE;
+                                q.dead += 1;
+                                q.per_thread[hw] -= 1;
+                                self.ctxs[hw].parked.push((c, qi, e));
+                                activity += 1;
+                                all_waiting = false;
+                                i += 1;
+                                continue;
+                            }
+                            // Completion known and near: memoize it.
+                            self.queues[qi].entries[i].ready_at = c;
+                            next_ready = next_ready.min(c);
+                            i += 1;
+                            continue;
                         }
                     }
+                    // Producer not yet issued: readiness unknowable ahead
+                    // of time, so this queue must be rescanned every cycle.
+                    all_waiting = false;
                     i += 1;
                     continue;
                 }
+                all_waiting = false;
+                if !known_ready {
+                    // Memoize proven readiness (`now.max(1)` keeps the
+                    // marker out of the 0 = unknown encoding at cycle 0).
+                    self.queues[qi].entries[i].ready_at = now.max(1);
+                }
+                let e = self.queues[qi].entries[i];
                 // Pick a free compatible port (and its pair for stores).
+                let accepts = self.class_port_mask[e.instr.class.index()];
+                if accepts & self.queue_port_mask[qi] & !self.port_used == 0 {
+                    // No compatible port free this cycle.
+                    i += 1;
+                    continue;
+                }
                 let mut chosen: Option<usize> = None;
                 for &p in &self.ports_by_queue[qi] {
-                    if self.port_used[p] || !arch.ports[p].accepts(e.instr.class) {
+                    if self.port_used & (1 << p) != 0 || accepts & (1 << p) == 0 {
                         continue;
                     }
                     if let Some(pair) = arch.ports[p].store_pair {
-                        if e.instr.class == InstrClass::Store && self.port_used[pair] {
+                        if e.instr.class == InstrClass::Store && self.port_used & (1 << pair) != 0 {
                             continue;
                         }
                     }
@@ -534,6 +669,7 @@ impl Core {
                             // cycle; leave it queued.
                             self.counters.lmq_rejections += 1;
                             self.queue_lmq_reject[qi] = true;
+                            activity += 1;
                             i += 1;
                             continue 'queue;
                         }
@@ -560,6 +696,7 @@ impl Core {
                         if !l1_hit && self.lmq.len() >= self.lmq_capacity {
                             self.counters.lmq_rejections += 1;
                             self.queue_lmq_reject[qi] = true;
+                            activity += 1;
                             i += 1;
                             continue 'queue;
                         }
@@ -584,7 +721,8 @@ impl Core {
                 let hw = e.hw as usize;
                 let ctx = &mut self.ctxs[hw];
                 ctx.comp[(e.seq as usize) % RING] = completion;
-                if let Some(pos) = ctx.unissued.iter().position(|&s| s == e.seq) {
+                // `unissued` is kept in ascending dispatch order.
+                if let Ok(pos) = ctx.unissued.binary_search(&e.seq) {
                     ctx.unissued.remove(pos);
                 }
                 let t = &mut sw[ctx.sw_id];
@@ -604,21 +742,33 @@ impl Core {
                         ctx.fetch_blocked_until = completion + arch.mispredict_penalty;
                     }
                 }
-                self.port_used[port] = true;
+                self.port_used |= 1 << port;
                 self.counters.issue_slots_used += 1;
                 if instr.class == InstrClass::Store {
                     if let Some(pair) = arch.ports[port].store_pair {
-                        self.port_used[pair] = true;
+                        self.port_used |= 1 << pair;
                         t.port_issued[pair] += 1;
                         self.counters.issue_slots_used += 1;
                     }
                 }
                 let q = &mut self.queues[qi];
-                q.entries.remove(i);
+                q.entries[i].hw = TOMBSTONE;
+                q.dead += 1;
                 q.per_thread[hw] -= 1;
-                // Do not advance `i`: the next entry shifted into place.
+                activity += 1;
+                i += 1;
+            }
+            // Pure-waiting scan that covered the whole queue: nothing can
+            // issue, park, or reject before the earliest memoized producer
+            // completion, so skip scanning until then. (An empty queue is
+            // quiet forever; dispatch/unpark insertions reset the mark.)
+            let q = &mut self.queues[qi];
+            if all_waiting && i >= q.entries.len() {
+                debug_assert!(next_ready > now);
+                q.quiet_until = next_ready;
             }
         }
+        activity
     }
 
     fn dispatch(
@@ -627,7 +777,7 @@ impl Core {
         _now: u64,
         mode: StepMode,
         sw: &mut [ThreadCounters],
-    ) {
+    ) -> u32 {
         let width = arch.dispatch_width;
         let mut dispatched = 0usize;
         let mut thread_had = [false; MAX_WAYS];
@@ -677,13 +827,13 @@ impl Core {
                         // full of instructions *waiting on operands* is a
                         // latency problem SMT can hide, not a resource
                         // shortage.
-                        if self.queue_congested_for(arch, qi, class) {
+                        if self.queue_congested_for(qi, class) {
                             blocked_by_congested_queue = true;
                         }
                         continue;
                     }
                     best = match best {
-                        Some(b) if self.queues[b].entries.len() <= q.entries.len() => Some(b),
+                        Some(b) if self.queues[b].live_len() <= q.live_len() => Some(b),
                         _ => Some(qi),
                     };
                 }
@@ -699,9 +849,11 @@ impl Core {
                         q.entries.push_back(QEntry {
                             hw: t as u8,
                             seq,
+                            ready_at: 0,
                             instr,
                         });
                         q.per_thread[t] += 1;
+                        q.quiet_until = 0;
                         sw[ctx.sw_id].dispatched += 1;
                         dispatched += 1;
                         thread_dispatched[t] += 1;
@@ -743,6 +895,7 @@ impl Core {
         if held {
             self.counters.disp_held_cycles += 1;
         }
+        dispatched as u32
     }
 
     fn fetch<W: Workload + ?Sized>(
@@ -752,7 +905,8 @@ impl Core {
         workload: &mut W,
         mem: &mut MemorySystem,
         sw: &mut [ThreadCounters],
-    ) {
+    ) -> u32 {
+        let mut activity = 0;
         // Pick the next eligible thread, round-robin.
         let mut chosen = None;
         for k in 0..self.ways {
@@ -768,12 +922,13 @@ impl Core {
                 break;
             }
         }
-        let Some(t) = chosen else { return };
+        let Some(t) = chosen else { return activity };
         for _ in 0..arch.fetch_width {
             let ctx = &mut self.ctxs[t];
             if ctx.ibuf.len() >= ctx.ibuf_cap {
                 break;
             }
+            activity += 1; // every workload.fetch advances generator state
             match workload.fetch(ctx.sw_id, now) {
                 Fetched::Instr(i) => {
                     // Instruction-cache check (once per 64-byte code line):
@@ -809,6 +964,7 @@ impl Core {
                 }
             }
         }
+        activity
     }
 
     fn account(&mut self, _now: u64, sw: &mut [ThreadCounters]) {
@@ -829,6 +985,131 @@ impl Core {
         if active {
             self.counters.active_cycles += 1;
         }
+    }
+
+    /// If stepping this core under [`StepMode::Normal`] is provably a
+    /// no-op for every cycle in `now..e`, return the first cycle `e` at
+    /// which something *could* happen (a sleep expiring, a parked
+    /// instruction's data returning, a mispredict bubble ending, or a
+    /// queued instruction's producer completing within the issue scan
+    /// window). Return `None` when the core could act *this* cycle.
+    ///
+    /// Intended to be called only after a step that reported zero
+    /// activity, but sound on its own: every condition that could make
+    /// a cycle do work is checked directly. `Some(u64::MAX)` means the
+    /// core can never act again without external input (all threads
+    /// finished, or a true dependency deadlock the naive loop would also
+    /// spin on forever); the caller bounds the jump.
+    pub fn quiet_until(&self, arch: &ArchDescriptor, now: u64) -> Option<u64> {
+        let mut next = u64::MAX;
+        for (t, ctx) in self.ctxs.iter().enumerate() {
+            match ctx.state {
+                CtxState::Sleeping(until) => {
+                    if until <= now {
+                        return None; // would wake this cycle
+                    }
+                    next = next.min(until);
+                }
+                CtxState::Running => {
+                    if ctx.fetch_done && ctx.drained() {
+                        return None; // would retire to Finished
+                    }
+                    if !ctx.fetch_done && ctx.ibuf.len() < ctx.ibuf_cap {
+                        if now >= ctx.fetch_blocked_until {
+                            return None; // fetch-eligible
+                        }
+                        next = next.min(ctx.fetch_blocked_until);
+                    }
+                    // Could the front of the fetch buffer dispatch?
+                    if let Some(front) = ctx.ibuf.front() {
+                        if !ctx.rob_full() {
+                            for &qi in &self.class_queues[front.class.index()] {
+                                let q = &self.queues[qi];
+                                if !q.full() && !q.thread_share_full(t) {
+                                    return None; // would dispatch
+                                }
+                            }
+                        }
+                    }
+                }
+                CtxState::Finished => {}
+            }
+            for &(wake, _, _) in &ctx.parked {
+                if wake <= now {
+                    return None; // would unpark this cycle
+                }
+                next = next.min(wake);
+            }
+        }
+        // Queued instructions: only the first `issue_scan_depth` entries of
+        // each queue are visible to the issue stage, and with no issues or
+        // parks happening the visible prefix cannot change, so deeper
+        // entries need no events. A visible entry whose producer already
+        // completed would issue (or hit the LMQ-reject path) right now; one
+        // completing in the future issues — or parks — at completion.
+        // Producers still `PENDING` need no event: their own issue is
+        // activity that re-arms the analysis.
+        for q in &self.queues {
+            // A queue the issue stage has proven quiet needs no per-entry
+            // walk: its earliest possible event is the memoized mark (an
+            // earlier wake-up than strictly necessary is always safe).
+            if q.quiet_until > now {
+                if q.quiet_until != u64::MAX {
+                    next = next.min(q.quiet_until);
+                }
+                continue;
+            }
+            let mut seen = 0usize;
+            for e in q.entries.iter() {
+                if e.hw == TOMBSTONE {
+                    continue;
+                }
+                if seen >= arch.issue_scan_depth {
+                    break;
+                }
+                seen += 1;
+                if e.ready_at > now {
+                    next = next.min(e.ready_at);
+                    continue;
+                }
+                let ctx = &self.ctxs[e.hw as usize];
+                if ctx.dep_ready(e.seq, e.instr.dep_dist, now) {
+                    return None; // would issue (or LMQ-reject) this cycle
+                }
+                if e.instr.dep_dist > 0 && e.seq >= u64::from(e.instr.dep_dist) {
+                    let c = ctx.comp[((e.seq - u64::from(e.instr.dep_dist)) as usize) % RING];
+                    if c != PENDING {
+                        next = next.min(c);
+                    }
+                }
+            }
+        }
+        debug_assert!(next > now);
+        Some(next)
+    }
+
+    /// Charge `k` provably-idle cycles in one step, exactly as `k` naive
+    /// [`Core::step`] calls would have: wall cycles, per-thread CPU/sleep
+    /// time, core active time, and the dispatch round-robin pointer (which
+    /// the naive loop advances every cycle regardless of progress). All
+    /// other state is untouched because an idle cycle touches nothing
+    /// else.
+    pub fn charge_idle(&mut self, k: u64, sw: &mut [ThreadCounters]) {
+        let mut active = false;
+        for ctx in &self.ctxs {
+            match ctx.state {
+                CtxState::Running => {
+                    active = true;
+                    sw[ctx.sw_id].cpu_cycles += k;
+                }
+                CtxState::Sleeping(_) => {
+                    sw[ctx.sw_id].sleep_cycles += k;
+                }
+                CtxState::Finished => {}
+            }
+        }
+        self.counters.charge_idle(k, active);
+        self.disp_rr = (self.disp_rr + (k % self.ways as u64) as usize) % self.ways;
     }
 }
 

@@ -156,6 +156,18 @@ pub struct CoreCounters {
 }
 
 impl CoreCounters {
+    /// Charge `k` cycles in which the core provably did nothing, exactly
+    /// as `k` single-cycle accounting passes would: wall cycles always,
+    /// active cycles when a runnable thread existed. The event counters
+    /// (dispatch, issue, held, rejections) stay put — an idle cycle has
+    /// no events by definition. Used by the fast-forward stepper.
+    pub fn charge_idle(&mut self, k: u64, any_running: bool) {
+        self.cycles += k;
+        if any_running {
+            self.active_cycles += k;
+        }
+    }
+
     /// Elementwise `self - earlier`.
     pub fn delta(&self, earlier: &CoreCounters) -> CoreCounters {
         CoreCounters {

@@ -205,6 +205,21 @@ impl RunResult {
     }
 }
 
+/// How [`Simulation::run_cycles`] and [`Simulation::run_until_finished`]
+/// advance time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stepping {
+    /// Step every cycle individually (the reference semantics).
+    Naive,
+    /// After a cycle in which no core did any work, ask every core for the
+    /// next cycle at which it *could* act ([`Core::quiet_until`]) and jump
+    /// there in one step, batch-charging the idle cycles. Produces
+    /// bit-identical counters and completion cycles to [`Stepping::Naive`]
+    /// (proven by the differential test suite) while skipping the long
+    /// all-stalled stretches of memory- and synchronization-bound phases.
+    FastForward,
+}
+
 /// A machine executing a workload.
 pub struct Simulation<W: Workload> {
     cfg: MachineConfig,
@@ -214,6 +229,18 @@ pub struct Simulation<W: Workload> {
     workload: W,
     now: u64,
     sw: Vec<ThreadCounters>,
+    stepping: Stepping,
+    /// Cycles advanced via fast-forward jumps (diagnostics/tests).
+    idle_skipped: u64,
+    /// Per-core quiescence marks: core `i` provably cannot act before
+    /// cycle `quiet_cache[i]`, so its step is replaced by a 1-cycle idle
+    /// charge until then. Populated from [`Core::quiet_until`] whenever a
+    /// step reports zero activity; sound because every cached event is an
+    /// absolute, core-local time (sleep/park wakes, producer completions,
+    /// fetch stalls) that no other core can pull earlier — any path that
+    /// could consult shared state (workload fetch, a drained retire)
+    /// makes `quiet_until` return `None` instead of a mark.
+    quiet_cache: Vec<u64>,
 }
 
 impl<W: Workload> Simulation<W> {
@@ -234,6 +261,7 @@ impl<W: Workload> Simulation<W> {
             cfg.mem,
         );
         let cores = Self::build_cores(&cfg, smt);
+        let ncores = cores.len();
         let sw = vec![ThreadCounters::new(cfg.arch.num_ports()); n];
         Simulation {
             cfg,
@@ -243,6 +271,9 @@ impl<W: Workload> Simulation<W> {
             workload,
             now: 0,
             sw,
+            stepping: Stepping::FastForward,
+            idle_skipped: 0,
+            quiet_cache: vec![0; ncores],
         }
     }
 
@@ -295,10 +326,44 @@ impl<W: Workload> Simulation<W> {
         self.workload.finished() && self.cores.iter().all(Core::drained)
     }
 
+    /// Select how the run loops advance time. The default is
+    /// [`Stepping::FastForward`]; [`Stepping::Naive`] exists for the
+    /// differential tests that prove the two produce identical results.
+    pub fn set_stepping(&mut self, stepping: Stepping) {
+        // Marks cached under the previous mode may predate naive-mode
+        // steps that changed core state; drop them rather than reason
+        // about staleness across mode switches.
+        self.quiet_cache.fill(0);
+        self.stepping = stepping;
+    }
+
+    /// Cycles covered by fast-forward jumps so far (zero under
+    /// [`Stepping::Naive`]). Diagnostics: how much of the run the
+    /// quiescence analysis actually elided.
+    pub fn idle_cycles_skipped(&self) -> u64 {
+        self.idle_skipped
+    }
+
     /// Advance a single cycle.
     pub fn step(&mut self) {
-        for core in &mut self.cores {
-            core.step(
+        self.step_once();
+    }
+
+    /// Advance one cycle and report the machine-wide activity count (zero
+    /// means every core's cycle was provably a no-op).
+    fn step_once(&mut self) -> u32 {
+        let fast = self.stepping == Stepping::FastForward;
+        let mut activity = 0;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            // A core inside its quiescence window pays one idle charge
+            // (~ns) instead of a full pipeline step (~µs) even while
+            // other cores stay busy — the per-core analogue of
+            // `fast_forward_to`, which needs *every* core quiet.
+            if fast && self.quiet_cache[i] > self.now {
+                core.charge_idle(1, &mut self.sw);
+                continue;
+            }
+            let act = core.step(
                 &self.cfg.arch,
                 self.now,
                 StepMode::Normal,
@@ -306,19 +371,62 @@ impl<W: Workload> Simulation<W> {
                 &mut self.mem,
                 &mut self.sw,
             );
+            if fast && act == 0 {
+                self.quiet_cache[i] = core.quiet_until(&self.cfg.arch, self.now + 1).unwrap_or(0);
+            }
+            activity += act;
         }
         self.now += 1;
+        activity
+    }
+
+    /// After a zero-activity cycle, jump straight to the next cycle at
+    /// which any core could act (bounded by `end`), charging the skipped
+    /// idle cycles exactly as naive stepping would. No-op if any core has
+    /// work available now or next cycle.
+    fn fast_forward_to(&mut self, end: u64) {
+        let now = self.now;
+        let mut target = end;
+        for (i, core) in self.cores.iter().enumerate() {
+            if self.quiet_cache[i] > now {
+                target = target.min(self.quiet_cache[i]);
+                continue;
+            }
+            match core.quiet_until(&self.cfg.arch, now) {
+                Some(event) => target = target.min(event),
+                None => return,
+            }
+        }
+        if target <= now {
+            return;
+        }
+        let k = target - now;
+        for core in &mut self.cores {
+            core.charge_idle(k, &mut self.sw);
+        }
+        self.idle_skipped += k;
+        self.now = target;
     }
 
     /// Run exactly `n` cycles (or fewer if the workload finishes).
     /// Returns cycles actually run.
     pub fn run_cycles(&mut self, n: u64) -> u64 {
         let start = self.now;
-        for _ in 0..n {
-            if self.finished() {
-                break;
+        let end = start.saturating_add(n);
+        if self.finished() {
+            return 0;
+        }
+        while self.now < end {
+            let activity = self.step_once();
+            if activity > 0 {
+                // `finished()` can only change on a cycle that did work,
+                // so quiet cycles skip the (all-cores) drain scan.
+                if self.finished() {
+                    break;
+                }
+            } else if self.stepping == Stepping::FastForward && self.now < end {
+                self.fast_forward_to(end);
             }
-            self.step();
         }
         self.now - start
     }
@@ -326,8 +434,18 @@ impl<W: Workload> Simulation<W> {
     /// Run until the workload completes or `max_cycles` elapse.
     pub fn run_until_finished(&mut self, max_cycles: u64) -> RunResult {
         let start = self.now;
-        while self.now - start < max_cycles && !self.finished() {
-            self.step();
+        let end = start.saturating_add(max_cycles);
+        if !self.finished() {
+            while self.now < end {
+                let activity = self.step_once();
+                if activity > 0 {
+                    if self.finished() {
+                        break;
+                    }
+                } else if self.stepping == Stepping::FastForward && self.now < end {
+                    self.fast_forward_to(end);
+                }
+            }
         }
         RunResult {
             cycles: self.now - start,
@@ -404,6 +522,7 @@ impl<W: Workload> Simulation<W> {
         let n = self.cfg.sw_threads_at(smt);
         self.workload.set_thread_count(n);
         self.cores = Self::build_cores(&self.cfg, smt);
+        self.quiet_cache = vec![0; self.cores.len()];
         self.sw = vec![ThreadCounters::new(self.cfg.arch.num_ports()); n];
         drained_in
     }

@@ -15,10 +15,17 @@
 use crate::spec::{AccessPattern, SyncSpec, WorkloadSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use smt_sim::{Fetched, Instr, InstrClass, Workload};
+use smt_sim::{Fetched, Instr, InstrBlock, InstrClass, Workload};
 
 /// Work units claimed from the pool at a time.
 const CHUNK: u64 = 256;
+
+/// Work instructions decoded ahead per thread into its [`InstrBlock`].
+/// Decoding is a pure function of per-thread generator state (RNG and
+/// cursors), so running it in batches emits the exact same stream as
+/// decoding on demand — the accounting that *is* demand-coupled (chunk
+/// and rate-limit bookkeeping) happens at serve time instead.
+const DECODE_BATCH: usize = 64;
 
 /// Poll interval (cycles) for sleeping waiters (barrier / serial phases).
 const POLL: u64 = 50;
@@ -96,6 +103,8 @@ struct ThreadGen {
     shared_cursor: u64,
     /// The workload told the machine this thread is finished.
     done: bool,
+    /// Decoded-ahead work instructions, served FIFO.
+    block: InstrBlock,
 }
 
 /// Shared synchronization state.
@@ -218,24 +227,43 @@ impl SyntheticWorkload {
         c
     }
 
-    /// Generate one ordinary instruction for thread `t`, consuming one work
-    /// unit from its chunk.
+    /// Serve one ordinary instruction for thread `t`, consuming one work
+    /// unit from its chunk. Decoding runs [`DECODE_BATCH`] instructions
+    /// ahead into the thread's [`InstrBlock`]; only the accounting here is
+    /// tied to the serve cycle.
     fn gen_work_instr(&mut self, t: usize) -> Instr {
-        let spec_mix = self.spec.mix;
-        let dep = self.spec.dep;
-        let mem = self.spec.mem;
-        let mis_rate = self.spec.branch_mispredict_rate;
+        let spec = &self.spec;
         let g = &mut self.threads[t];
         debug_assert!(g.chunk_left > 0);
         g.chunk_left -= 1;
         self.emitted += 1;
+        if g.block.is_empty() {
+            g.block.clear();
+            for _ in 0..DECODE_BATCH {
+                let i = Self::decode_work_instr(spec, t, g);
+                g.block.push(i);
+            }
+        }
+        g.block.pop().expect("refilled block cannot be empty")
+    }
+
+    /// Decode the next work instruction of thread `t`'s stream: a pure
+    /// function of the spec and the thread's generator state (RNG, PC and
+    /// address cursors) — independent of simulation time, sync mode, and
+    /// chunk accounting, which is what makes batched decode-ahead emit a
+    /// bit-identical stream.
+    fn decode_work_instr(spec: &WorkloadSpec, t: usize, g: &mut ThreadGen) -> Instr {
+        let spec_mix = spec.mix;
+        let dep = spec.dep;
+        let mem = spec.mem;
+        let mis_rate = spec.branch_mispredict_rate;
 
         // Program counter first: code is a real artifact, so the
         // instruction *class* at a given PC is a fixed property of the
         // program text (hashed from the PC, so the mix fractions still
         // hold in aggregate). This is what gives the optional branch-
         // predictor model stable static branches to learn.
-        let footprint = self.spec.code_footprint.max(64);
+        let footprint = spec.code_footprint.max(64);
         let pc = CODE_BASE + g.pc_cursor;
         let h = pc.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let class = spec_mix.sample((h >> 11) as f64 / (1u64 << 53) as f64);
@@ -398,6 +426,7 @@ impl Workload for SyntheticWorkload {
                     pc_cursor: 0,
                     shared_cursor: 0,
                     done: false,
+                    block: InstrBlock::with_capacity(DECODE_BATCH),
                 }
             })
             .collect();

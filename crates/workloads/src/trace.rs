@@ -14,7 +14,11 @@
 //! replayed relative to the replay clock.
 
 use serde::{Deserialize, Serialize};
-use smt_sim::{Fetched, Instr, Workload};
+use smt_sim::{Fetched, Instr, InstrBlock, Workload};
+
+/// Tag bit marking a replay op as a sleep (low bits index the sleep
+/// table) rather than an instruction (low bits index the instr block).
+const SLEEP_TAG: u32 = 1 << 31;
 
 /// One recorded fetch event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,19 +131,60 @@ pub fn capture<W: Workload>(
 /// Replays a [`Trace`] as a workload. Thread count is fixed to the
 /// capture's; `set_thread_count` restarts the replay from the top and
 /// requires the same count.
+///
+/// At construction the event streams are pre-decoded into flat replay
+/// tables — a tagged op word per event plus a struct-of-arrays
+/// [`InstrBlock`] and a sleep-duration table per thread — so the fetch
+/// hot path reads dense arrays instead of walking enum-sized
+/// [`TraceEvent`] records. The serialized [`Trace`] format is unchanged.
 #[derive(Debug, Clone)]
 pub struct TraceWorkload {
     trace: Trace,
+    /// Per-thread op words: `SLEEP_TAG | i` → `sleeps[t][i]`, else an
+    /// index into `blocks[t]`.
+    ops: Vec<Vec<u32>>,
+    blocks: Vec<InstrBlock>,
+    sleeps: Vec<Vec<u64>>,
     pos: Vec<usize>,
     emitted: u64,
 }
 
 impl TraceWorkload {
-    /// Build a replayer.
+    /// Build a replayer (pre-decodes the trace into replay tables).
     pub fn new(trace: Trace) -> TraceWorkload {
         let threads = trace.threads;
+        let mut ops: Vec<Vec<u32>> = Vec::with_capacity(threads);
+        let mut blocks: Vec<InstrBlock> = Vec::with_capacity(threads);
+        let mut sleeps: Vec<Vec<u64>> = Vec::with_capacity(threads);
+        for stream in &trace.streams {
+            assert!(
+                stream.len() < SLEEP_TAG as usize,
+                "trace stream too long to index with tagged u32 ops"
+            );
+            let mut op = Vec::with_capacity(stream.len());
+            let mut block = InstrBlock::with_capacity(stream.len());
+            let mut sl = Vec::new();
+            for ev in stream {
+                match ev {
+                    TraceEvent::Instr(i) => {
+                        op.push(block.total() as u32);
+                        block.push(*i);
+                    }
+                    TraceEvent::Sleep(dur) => {
+                        op.push(SLEEP_TAG | sl.len() as u32);
+                        sl.push(*dur);
+                    }
+                }
+            }
+            ops.push(op);
+            blocks.push(block);
+            sleeps.push(sl);
+        }
         TraceWorkload {
             trace,
+            ops,
+            blocks,
+            sleeps,
             pos: vec![0; threads],
             emitted: 0,
         }
@@ -157,18 +202,17 @@ impl Workload for TraceWorkload {
     }
 
     fn fetch(&mut self, thread: usize, now: u64) -> Fetched {
-        let stream = &self.trace.streams[thread];
-        match stream.get(self.pos[thread]) {
-            None => Fetched::Finished,
-            Some(TraceEvent::Instr(i)) => {
-                self.pos[thread] += 1;
-                self.emitted += u64::from(i.work);
-                Fetched::Instr(*i)
-            }
-            Some(TraceEvent::Sleep(dur)) => {
-                self.pos[thread] += 1;
-                Fetched::Sleep { until: now + dur }
-            }
+        let Some(&op) = self.ops[thread].get(self.pos[thread]) else {
+            return Fetched::Finished;
+        };
+        self.pos[thread] += 1;
+        if op & SLEEP_TAG != 0 {
+            let dur = self.sleeps[thread][(op & !SLEEP_TAG) as usize];
+            Fetched::Sleep { until: now + dur }
+        } else {
+            let i = self.blocks[thread].get(op as usize);
+            self.emitted += u64::from(i.work);
+            Fetched::Instr(i)
         }
     }
 

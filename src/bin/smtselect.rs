@@ -193,8 +193,8 @@ fn cmd_train(o: &Opts) {
         "training on {} benchmarks ({label}, {top} vs {bottom})...",
         specs.len()
     );
-    let plan = RunRequest::new(cfg)
-        .benchmarks(specs)
+    let plan = RunRequest::on(cfg)
+        .workloads(specs)
         .levels(levels)
         .plan()
         .unwrap_or_else(|e| {

@@ -57,8 +57,9 @@ pub use smtsm as metric;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use smt_experiments::{
-        Engine, EngineMetrics, JobError, ProgressEvent, ProgressSink, ProtocolConfig, ResultCache,
-        RunPlan, RunRequest, SweepResult,
+        check_regression, run_perf, Engine, EngineMetrics, JobError, PerfEntry, PerfOptions,
+        PerfReport, PerfRun, ProgressEvent, ProgressSink, ProtocolConfig, ResultCache, RunPlan,
+        RunRequest, SweepResult,
     };
     pub use smt_sched::{
         compare, ipc_probe_run, oracle_sweep, tune, ControllerConfig, DynamicSmtController,
