@@ -401,7 +401,7 @@ fn run(args: &Args) -> Result<(), Error> {
             (f6.threshold, f8.threshold)
         };
         eprintln!("[repro] sched: trained thresholds top={t_top:.4} mid={t_mid:.4}");
-        let demo = sched_demo::run(data.scale.min(0.2), t_top, t_mid, 2_000_000_000);
+        let demo = sched_demo::run(data.scale.min(0.2), t_top, t_mid, 2_000_000_000)?;
         println!("{}", demo.render());
         dump_json(&args.json_dir, "sched", &demo)?;
         emitted = true;

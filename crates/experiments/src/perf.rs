@@ -50,6 +50,29 @@ impl PerfEntry {
     pub fn case_id(&self) -> String {
         format!("{}/smt{}", self.bench, self.smt)
     }
+
+    /// Build an entry from a generic event rate — `events` observed over
+    /// `wall_secs` — so non-simulator harnesses (e.g. the `smtd` load
+    /// generator, which counts requests instead of cycles) can record into
+    /// the same trajectory format. `cycles` holds the event count and
+    /// `cycles_per_sec` the rate, which is exactly what
+    /// [`check_regression`] compares, so a rate drop is flagged like any
+    /// simulator slowdown.
+    pub fn from_rate(
+        bench: impl Into<String>,
+        smt: usize,
+        events: u64,
+        wall_secs: f64,
+    ) -> PerfEntry {
+        let wall_secs = wall_secs.max(f64::MIN_POSITIVE);
+        PerfEntry {
+            bench: bench.into(),
+            smt,
+            cycles: events,
+            wall_secs,
+            cycles_per_sec: events as f64 / wall_secs,
+        }
+    }
 }
 
 /// One full sweep over the measurement matrix, labeled for the trajectory

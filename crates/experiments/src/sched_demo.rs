@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use smt_sched::{compare, ControllerConfig, PolicyComparison};
-use smt_sim::{MachineConfig, SmtLevel};
+use smt_sim::{Error, MachineConfig, SmtLevel};
 use smt_stats::table::{fnum, Table};
 use smt_workloads::{catalog, PhasedWorkload, WorkloadSpec};
 use smtsm::{LevelSelector, ThresholdPredictor};
@@ -65,7 +65,12 @@ pub fn scenarios(scale: f64) -> Vec<(String, Vec<WorkloadSpec>)> {
 
 /// Run the scheduler demo with thresholds trained elsewhere (e.g. from the
 /// fig-6/fig-8 data).
-pub fn run(scale: f64, threshold_top: f64, threshold_mid: f64, max_cycles: u64) -> SchedDemo {
+pub fn run(
+    scale: f64,
+    threshold_top: f64,
+    threshold_mid: f64,
+    max_cycles: u64,
+) -> Result<SchedDemo, Error> {
     let cfg = MachineConfig::power7(1);
     let selector = LevelSelector::three_level(
         ThresholdPredictor::fixed(threshold_top),
@@ -87,17 +92,17 @@ pub fn run(scale: f64, threshold_top: f64, threshold_mid: f64, max_cycles: u64) 
             selector.clone(),
             ctl,
             max_cycles,
-        );
+        )?;
         out.push(Scenario {
             name,
             phases: phase_names,
             comparison,
         });
     }
-    SchedDemo {
+    Ok(SchedDemo {
         scenarios: out,
         thresholds: (threshold_top, threshold_mid),
-    }
+    })
 }
 
 impl SchedDemo {
@@ -130,11 +135,11 @@ impl SchedDemo {
                 fnum(perf_at(SmtLevel::Smt4), 2),
                 format!(
                     "{} ({})",
-                    fnum(s.comparison.oracle_perf(), 2),
+                    fnum(s.comparison.oracle_perf().unwrap_or(f64::NAN), 2),
                     s.comparison.oracle
                 ),
                 fnum(s.comparison.dynamic.perf, 2),
-                fnum(s.comparison.dynamic_vs_oracle(), 2),
+                fnum(s.comparison.dynamic_vs_oracle().unwrap_or(f64::NAN), 2),
                 format!(
                     "{} ({})",
                     fnum(s.comparison.ipc_probe.1, 2),
@@ -173,15 +178,15 @@ mod tests {
     #[test]
     #[ignore = "slow: full scheduler demo; run with --ignored"]
     fn demo_runs_and_dynamic_is_reasonable() {
-        let demo = run(0.05, 0.10, 0.15, 500_000_000);
+        let demo = run(0.05, 0.10, 0.15, 500_000_000).unwrap();
         assert_eq!(demo.scenarios.len(), 3);
         for s in &demo.scenarios {
             assert!(s.comparison.dynamic.completed, "{} incomplete", s.name);
             assert!(
-                s.comparison.dynamic_vs_oracle() > 0.6,
+                s.comparison.dynamic_vs_oracle().unwrap() > 0.6,
                 "{}: dynamic at {:.2} of oracle",
                 s.name,
-                s.comparison.dynamic_vs_oracle()
+                s.comparison.dynamic_vs_oracle().unwrap()
             );
         }
         assert!(demo.render().contains("dyn/oracle"));

@@ -9,7 +9,7 @@
 use crate::compute::{smtsm_factors, SmtsmFactors};
 use crate::ideal::MetricSpec;
 use serde::{Deserialize, Serialize};
-use smt_sim::{Simulation, Workload};
+use smt_sim::{Simulation, WindowMeasurement, Workload};
 
 /// Periodic sampler with exponential smoothing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,7 +43,17 @@ impl OnlineSampler {
     /// metric value plus the raw factors from this window.
     pub fn sample<W: Workload>(&mut self, sim: &mut Simulation<W>) -> (f64, SmtsmFactors) {
         let m = sim.measure_window(self.window_cycles);
-        let f = smtsm_factors(&self.spec, &m);
+        self.push_window(&m)
+    }
+
+    /// Fold one detached counter-window delta into the sampler — the path a
+    /// remote client uses when it streams counter snapshots to a daemon
+    /// instead of owning the `Simulation`. Equivalent to [`sample`] given
+    /// the same window (see `detached_window_matches_in_process_path`).
+    ///
+    /// [`sample`]: OnlineSampler::sample
+    pub fn push_window(&mut self, m: &WindowMeasurement) -> (f64, SmtsmFactors) {
+        let f = smtsm_factors(&self.spec, m);
         (self.push(f.value()), f)
     }
 
@@ -106,6 +116,36 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn alpha_zero_rejected() {
         OnlineSampler::new(MetricSpec::power7(), 100, 0.0);
+    }
+
+    #[test]
+    fn detached_window_matches_in_process_path() {
+        // Two identical simulations: one sampled in-process, one whose
+        // counter windows are detached first and fed back via push_window
+        // (the daemon-ingestion path). Both must produce identical smoothed
+        // values and factors.
+        let cfg = MachineConfig::power7(1);
+        let spec = MetricSpec::for_arch(&cfg.arch);
+        let make = || {
+            Simulation::new(
+                cfg.clone(),
+                SmtLevel::Smt4,
+                SyntheticWorkload::new(catalog::mg().scaled(0.1)),
+            )
+        };
+        let mut sim_a = make();
+        let mut sim_b = make();
+        let mut in_process = OnlineSampler::new(spec, 15_000, 0.5);
+        let mut detached = OnlineSampler::new(spec, 15_000, 0.5);
+        for _ in 0..6 {
+            let (va, fa) = in_process.sample(&mut sim_a);
+            let window = sim_b.measure_window(15_000);
+            let (vb, fb) = detached.push_window(&window);
+            assert_eq!(va, vb);
+            assert_eq!(fa, fb);
+        }
+        assert_eq!(in_process.current(), detached.current());
+        assert_eq!(in_process.samples(), detached.samples());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! one, which is also what lets it follow phase changes.
 
 use serde::{Deserialize, Serialize};
-use smt_sim::{Simulation, SmtLevel, Workload};
+use smt_sim::{Simulation, SmtLevel, WindowMeasurement, Workload};
 use smtsm::{LevelSelector, MetricSpec, OnlineSampler, PhaseDetector};
 
 /// Controller tuning knobs.
@@ -72,6 +72,22 @@ pub struct ControllerReport {
     pub windows: u64,
 }
 
+/// What the controller wants after observing one counter window — the
+/// streaming analogue of one iteration of [`DynamicSmtController::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamDecision {
+    /// Level the machine should run at for the next window.
+    pub level: SmtLevel,
+    /// Smoothed metric value, when the window was measured at the top
+    /// level (the only place the metric is meaningful).
+    pub metric: Option<f64>,
+    /// This window triggered a level switch.
+    pub switched: bool,
+    /// The switch (if any) is a probe return to the top level rather than
+    /// a metric-driven decision.
+    pub probe: bool,
+}
+
 /// Samples the metric online and reconfigures the machine's SMT level.
 #[derive(Debug, Clone)]
 pub struct DynamicSmtController {
@@ -99,6 +115,76 @@ impl DynamicSmtController {
         }
     }
 
+    /// Fold one counter window into the controller and decide what level
+    /// the machine should run at next. The window carries the level it was
+    /// measured at (`m.smt`); windows at the top level feed the metric,
+    /// windows below it feed only the parked IPC phase watcher.
+    ///
+    /// This is the whole decision core: [`run`] drives it from an owned
+    /// `Simulation`, while a recommendation daemon drives it from counter
+    /// snapshots streamed by remote clients — both see identical decisions
+    /// for identical window streams.
+    ///
+    /// [`run`]: DynamicSmtController::run
+    pub fn observe(&mut self, m: &WindowMeasurement) -> StreamDecision {
+        let top = self.top_level();
+        if m.smt == top {
+            let (metric, _) = self.sampler.push_window(m);
+            let want = self.selector.recommend(metric);
+            if want != m.smt {
+                let n = match self.pending {
+                    Some((lvl, n)) if lvl == want => n + 1,
+                    _ => 1,
+                };
+                self.pending = Some((want, n));
+                if n >= self.cfg.hysteresis {
+                    self.sampler.reset();
+                    self.detector.reset();
+                    self.pending = None;
+                    self.parked_windows = 0;
+                    return StreamDecision {
+                        level: want,
+                        metric: Some(metric),
+                        switched: true,
+                        probe: false,
+                    };
+                }
+            } else {
+                self.pending = None;
+            }
+            StreamDecision {
+                level: top,
+                metric: Some(metric),
+                switched: false,
+                probe: false,
+            }
+        } else {
+            // Parked at a lower level: the metric is not meaningful down
+            // here (Figs. 11/12), so watch only the IPC for phase changes,
+            // and periodically re-probe the top level regardless.
+            self.parked_windows += 1;
+            let phase_changed = self.cfg.phase_detect && self.detector.push(m.ipc());
+            if phase_changed || self.parked_windows >= self.cfg.probe_interval {
+                self.sampler.reset();
+                self.detector.reset();
+                self.parked_windows = 0;
+                StreamDecision {
+                    level: top,
+                    metric: None,
+                    switched: true,
+                    probe: true,
+                }
+            } else {
+                StreamDecision {
+                    level: m.smt,
+                    metric: None,
+                    switched: false,
+                    probe: false,
+                }
+            }
+        }
+    }
+
     /// Drive `sim` until the workload finishes or `max_cycles` elapse,
     /// sampling and switching as configured. The simulation should start at
     /// the machine's top SMT level.
@@ -113,53 +199,21 @@ impl DynamicSmtController {
         let mut windows = 0u64;
 
         while !sim.finished() && sim.now() - start < max_cycles {
-            if sim.smt() == top {
-                let (metric, _) = self.sampler.sample(sim);
-                windows += 1;
-                let want = self.selector.recommend(metric);
-                if want != sim.smt() {
-                    let n = match self.pending {
-                        Some((lvl, n)) if lvl == want => n + 1,
-                        _ => 1,
-                    };
-                    self.pending = Some((want, n));
-                    if n >= self.cfg.hysteresis {
-                        sim.reconfigure(want);
-                        switches.push(SwitchEvent {
-                            at_cycle: sim.now(),
-                            to: want,
-                            metric: Some(metric),
-                        });
-                        self.sampler.reset();
-                        self.detector.reset();
-                        self.pending = None;
-                        self.parked_windows = 0;
-                    }
-                } else {
-                    self.pending = None;
-                }
-            } else {
-                // Parked at a lower level: the metric is not meaningful
-                // down here (Figs. 11/12), so run windows watching only the
-                // IPC for phase changes, and periodically re-probe the top
-                // level regardless.
-                let m = sim.measure_window(self.cfg.window_cycles);
-                windows += 1;
-                self.parked_windows += 1;
-                let phase_changed = self.cfg.phase_detect && self.detector.push(m.ipc());
-                if (phase_changed || self.parked_windows >= self.cfg.probe_interval)
-                    && !sim.finished()
-                {
-                    sim.reconfigure(top);
-                    switches.push(SwitchEvent {
-                        at_cycle: sim.now(),
-                        to: top,
-                        metric: None,
-                    });
-                    self.sampler.reset();
-                    self.detector.reset();
-                    self.parked_windows = 0;
-                }
+            let parked = sim.smt() != top;
+            let m = sim.measure_window(self.cfg.window_cycles);
+            windows += 1;
+            if parked && sim.finished() {
+                // A probe return would only burn drain cycles now.
+                break;
+            }
+            let d = self.observe(&m);
+            if d.switched {
+                sim.reconfigure(d.level);
+                switches.push(SwitchEvent {
+                    at_cycle: sim.now(),
+                    to: d.level,
+                    metric: d.metric,
+                });
             }
         }
 
@@ -185,6 +239,21 @@ impl DynamicSmtController {
             .first()
             .map(|(l, _)| *l)
             .unwrap_or(self.selector.floor)
+    }
+
+    /// The trained selector driving decisions.
+    pub fn selector(&self) -> &LevelSelector {
+        &self.selector
+    }
+
+    /// The controller's tuning knobs.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// The online sampler (exposes the current smoothed metric).
+    pub fn sampler(&self) -> &OnlineSampler {
+        &self.sampler
     }
 }
 
@@ -254,6 +323,48 @@ mod tests {
         assert_eq!(report.work_done, total);
         assert!(report.perf > 0.0);
         assert!(report.windows > 0);
+    }
+
+    #[test]
+    fn streamed_windows_match_sim_driven_run() {
+        // Drive one controller from an owned simulation via run(), and a
+        // second from the window stream the first one saw, via observe().
+        // Decisions must be identical — this is what lets a daemon serve
+        // remote clients with the exact offline decision core.
+        let spec = catalog::specjbb_contention().scaled(0.3);
+        let mut sim = Simulation::new(
+            MachineConfig::power7(1),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(spec.clone()),
+        );
+        let mut replica = DynamicSmtController::new(selector(), MetricSpec::power7(), small_cfg());
+
+        // Re-implement run()'s loop, capturing each window and feeding it
+        // to the replica before applying the original decision to the sim.
+        let mut ctl = DynamicSmtController::new(selector(), MetricSpec::power7(), small_cfg());
+        let top = ctl.top_level();
+        let mut switches = Vec::new();
+        let mut replica_level = top;
+        while !sim.finished() && sim.now() < 100_000_000 {
+            let parked = sim.smt() != top;
+            let m = sim.measure_window(ctl.config().window_cycles);
+            if parked && sim.finished() {
+                break;
+            }
+            let d = ctl.observe(&m);
+            let r = replica.observe(&m);
+            assert_eq!(d, r, "replica diverged");
+            replica_level = r.level;
+            if d.switched {
+                sim.reconfigure(d.level);
+                switches.push(d.level);
+            }
+        }
+        assert!(
+            switches.iter().any(|&l| l < SmtLevel::Smt4),
+            "contended stream must switch down: {switches:?}"
+        );
+        assert_eq!(replica_level, sim.smt());
     }
 
     #[test]

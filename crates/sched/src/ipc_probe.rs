@@ -10,7 +10,7 @@
 //! the scheduler-comparison experiment) demonstrate.
 
 use serde::{Deserialize, Serialize};
-use smt_sim::{Simulation, SmtLevel, Workload};
+use smt_sim::{Error, Simulation, SmtLevel, Workload};
 
 /// Result of an IPC-probed run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,12 +31,13 @@ pub struct IpcProbeReport {
 
 /// Probe each supported level for `probe_cycles`, pick the highest-IPC
 /// level, and run the remainder of the workload there (bounded by
-/// `max_cycles` total).
+/// `max_cycles` total). Fails only on a machine descriptor with no SMT
+/// levels to probe.
 pub fn ipc_probe_run<W: Workload>(
     sim: &mut Simulation<W>,
     probe_cycles: u64,
     max_cycles: u64,
-) -> IpcProbeReport {
+) -> Result<IpcProbeReport, Error> {
     let start = sim.now();
     let levels = sim.config().smt_levels();
     let mut probed_ipc = Vec::new();
@@ -52,9 +53,9 @@ pub fn ipc_probe_run<W: Workload>(
     }
     let chosen = probed_ipc
         .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN ipc"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(l, _)| *l)
-        .expect("at least one probe");
+        .ok_or_else(|| Error::InvalidMachine("machine has no SMT levels to probe".to_string()))?;
     if !sim.finished() && sim.smt() != chosen {
         sim.reconfigure(chosen);
     }
@@ -62,7 +63,7 @@ pub fn ipc_probe_run<W: Workload>(
         sim.run_cycles(10_000);
     }
     let cycles = sim.now() - start;
-    IpcProbeReport {
+    Ok(IpcProbeReport {
         probed_ipc,
         chosen,
         cycles,
@@ -73,7 +74,7 @@ pub fn ipc_probe_run<W: Workload>(
             0.0
         },
         completed: sim.finished(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -86,7 +87,7 @@ mod tests {
     fn probe_picks_smt4_for_scalable_work() {
         let w = SyntheticWorkload::new(catalog::ep().scaled(0.2));
         let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt1, w);
-        let report = ipc_probe_run(&mut sim, 15_000, 100_000_000);
+        let report = ipc_probe_run(&mut sim, 15_000, 100_000_000).unwrap();
         assert!(report.completed);
         assert_eq!(report.chosen, SmtLevel::Smt4);
         assert_eq!(report.probed_ipc.len(), 3);
@@ -100,13 +101,14 @@ mod tests {
         let spec = catalog::specjbb_contention().scaled(0.3);
         let w = SyntheticWorkload::new(spec.clone());
         let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt1, w);
-        let report = ipc_probe_run(&mut sim, 15_000, 200_000_000);
+        let report = ipc_probe_run(&mut sim, 15_000, 200_000_000).unwrap();
         assert!(report.completed);
         let oracle = crate::oracle::oracle_sweep(
             &MachineConfig::power7(1),
             || SyntheticWorkload::new(spec.clone()),
             200_000_000,
-        );
+        )
+        .unwrap();
         assert!(
             report.chosen > oracle.best,
             "IPC probe should over-select SMT under spinning (probe {:?}, oracle {:?})",

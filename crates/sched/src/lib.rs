@@ -11,6 +11,8 @@
 //!   the best); also the source of ground-truth labels.
 //! - [`ipc_probe`] — the online IPC-comparison baseline the paper
 //!   critiques, complete with its spin-contention failure mode.
+//! - [`recommend`] — the recommendation record shared by the offline CLI
+//!   and the `smtd` daemon, so both render byte-identical JSON answers.
 
 #![warn(missing_docs)]
 
@@ -18,8 +20,12 @@ pub mod controller;
 pub mod ipc_probe;
 pub mod optimizer;
 pub mod oracle;
+pub mod recommend;
 
-pub use controller::{ControllerConfig, ControllerReport, DynamicSmtController, SwitchEvent};
+pub use controller::{
+    ControllerConfig, ControllerReport, DynamicSmtController, StreamDecision, SwitchEvent,
+};
 pub use ipc_probe::{ipc_probe_run, IpcProbeReport};
 pub use optimizer::{compare, tune, PolicyComparison};
 pub use oracle::{oracle_sweep, OracleLevel, OracleReport};
+pub use recommend::Recommendation;

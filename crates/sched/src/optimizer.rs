@@ -11,8 +11,15 @@ use crate::controller::{ControllerConfig, ControllerReport, DynamicSmtController
 use crate::ipc_probe::ipc_probe_run;
 use crate::oracle::oracle_sweep;
 use serde::{Deserialize, Serialize};
-use smt_sim::{MachineConfig, Simulation, SmtLevel, Workload};
+use smt_sim::{Error, MachineConfig, Simulation, SmtLevel, Workload};
 use smtsm::{LevelSelector, MetricSpec};
+
+fn top_level(cfg: &MachineConfig) -> Result<SmtLevel, Error> {
+    cfg.smt_levels()
+        .last()
+        .copied()
+        .ok_or_else(|| Error::InvalidMachine("machine supports no SMT levels".to_string()))
+}
 
 /// Run one application under dynamic SMT selection, starting from the
 /// machine's top level.
@@ -22,16 +29,16 @@ pub fn tune<W, F>(
     selector: LevelSelector,
     ctl_cfg: ControllerConfig,
     max_cycles: u64,
-) -> ControllerReport
+) -> Result<ControllerReport, Error>
 where
     W: Workload,
     F: FnOnce() -> W,
 {
-    let top = *cfg.smt_levels().last().expect("machine has levels");
+    let top = top_level(cfg)?;
     let mut sim = Simulation::new(cfg.clone(), top, make_workload());
     let spec = MetricSpec::for_arch(&cfg.arch);
     let mut ctl = DynamicSmtController::new(selector, spec, ctl_cfg);
-    ctl.run(&mut sim, max_cycles)
+    Ok(ctl.run(&mut sim, max_cycles))
 }
 
 /// Side-by-side comparison of SMT-selection policies on one workload.
@@ -49,17 +56,26 @@ pub struct PolicyComparison {
 
 impl PolicyComparison {
     /// Oracle throughput.
-    pub fn oracle_perf(&self) -> f64 {
+    pub fn oracle_perf(&self) -> Result<f64, Error> {
         self.static_perf
             .iter()
             .find(|(l, _)| *l == self.oracle)
-            .expect("oracle level present")
-            .1
+            .map(|(_, p)| *p)
+            .ok_or(Error::MissingLevel {
+                benchmark: "policy comparison".to_string(),
+                level: self.oracle,
+            })
     }
 
     /// Dynamic throughput as a fraction of the oracle's.
-    pub fn dynamic_vs_oracle(&self) -> f64 {
-        self.dynamic.perf / self.oracle_perf()
+    pub fn dynamic_vs_oracle(&self) -> Result<f64, Error> {
+        let oracle = self.oracle_perf()?;
+        if oracle.is_nan() || oracle <= 0.0 {
+            return Err(Error::InvalidMeasurement(format!(
+                "non-positive oracle throughput {oracle}"
+            )));
+        }
+        Ok(self.dynamic.perf / oracle)
     }
 
     /// Worst static throughput (the cost of picking the wrong level).
@@ -78,30 +94,30 @@ pub fn compare<W, F>(
     selector: LevelSelector,
     ctl_cfg: ControllerConfig,
     max_cycles: u64,
-) -> PolicyComparison
+) -> Result<PolicyComparison, Error>
 where
     W: Workload,
     F: Fn() -> W,
 {
-    let oracle = oracle_sweep(cfg, &make_workload, max_cycles);
+    let oracle = oracle_sweep(cfg, &make_workload, max_cycles)?;
     let static_perf: Vec<(SmtLevel, f64)> = oracle
         .levels
         .iter()
         .map(|l| (l.smt, l.result.perf()))
         .collect();
 
-    let dynamic = tune(cfg, &make_workload, selector, ctl_cfg, max_cycles);
+    let dynamic = tune(cfg, &make_workload, selector, ctl_cfg, max_cycles)?;
 
-    let top = *cfg.smt_levels().last().expect("levels");
+    let top = top_level(cfg)?;
     let mut sim = Simulation::new(cfg.clone(), top, make_workload());
-    let probe = ipc_probe_run(&mut sim, ctl_cfg.window_cycles / 2, max_cycles);
+    let probe = ipc_probe_run(&mut sim, ctl_cfg.window_cycles / 2, max_cycles)?;
 
-    PolicyComparison {
+    Ok(PolicyComparison {
         static_perf,
         oracle: oracle.best,
         dynamic,
         ipc_probe: (probe.chosen, probe.perf),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -131,15 +147,16 @@ mod tests {
                 ..ControllerConfig::default()
             },
             100_000_000,
-        );
+        )
+        .unwrap();
         assert_eq!(cmp.static_perf.len(), 3);
         assert!(cmp.dynamic.completed);
-        assert!(cmp.oracle_perf() > 0.0);
+        assert!(cmp.oracle_perf().unwrap() > 0.0);
         // EP: dynamic should track the oracle closely (no switching needed).
         assert!(
-            cmp.dynamic_vs_oracle() > 0.85,
+            cmp.dynamic_vs_oracle().unwrap() > 0.85,
             "dynamic at {:.2} of oracle",
-            cmp.dynamic_vs_oracle()
+            cmp.dynamic_vs_oracle().unwrap()
         );
     }
 
@@ -159,7 +176,8 @@ mod tests {
                 alpha: 0.6,
             },
             200_000_000,
-        );
+        )
+        .unwrap();
         assert!(cmp.dynamic.completed);
         assert!(
             cmp.dynamic.perf > cmp.worst_static_perf() * 1.2,

@@ -9,7 +9,7 @@
 //! and the ground-truth labels used to train thresholds.
 
 use serde::{Deserialize, Serialize};
-use smt_sim::{MachineConfig, RunResult, Simulation, SmtLevel, Workload};
+use smt_sim::{Error, MachineConfig, RunResult, Simulation, SmtLevel, Workload};
 
 /// Per-level outcome of an oracle sweep.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -31,34 +31,46 @@ pub struct OracleReport {
 
 impl OracleReport {
     /// Throughput at a given level.
-    pub fn perf_at(&self, smt: SmtLevel) -> f64 {
+    pub fn perf_at(&self, smt: SmtLevel) -> Result<f64, Error> {
         self.levels
             .iter()
             .find(|l| l.smt == smt)
-            .expect("level not swept")
-            .result
-            .perf()
+            .map(|l| l.result.perf())
+            .ok_or(Error::MissingLevel {
+                benchmark: "oracle sweep".to_string(),
+                level: smt,
+            })
     }
 
     /// Best throughput.
-    pub fn best_perf(&self) -> f64 {
+    pub fn best_perf(&self) -> Result<f64, Error> {
         self.perf_at(self.best)
     }
 
     /// Speedup of the best level over the worst.
-    pub fn best_over_worst(&self) -> f64 {
+    pub fn best_over_worst(&self) -> Result<f64, Error> {
         let worst = self
             .levels
             .iter()
             .map(|l| l.result.perf())
             .fold(f64::INFINITY, f64::min);
-        self.best_perf() / worst
+        if worst.is_nan() || worst <= 0.0 {
+            return Err(Error::InvalidMeasurement(format!(
+                "non-positive worst-level throughput {worst}"
+            )));
+        }
+        Ok(self.best_perf()? / worst)
     }
 }
 
 /// Run `make_workload()` to completion at every level the machine
-/// supports and report the best. `max_cycles` bounds each run.
-pub fn oracle_sweep<W, F>(cfg: &MachineConfig, make_workload: F, max_cycles: u64) -> OracleReport
+/// supports and report the best. `max_cycles` bounds each run. Fails only
+/// on a machine descriptor with no SMT levels.
+pub fn oracle_sweep<W, F>(
+    cfg: &MachineConfig,
+    make_workload: F,
+    max_cycles: u64,
+) -> Result<OracleReport, Error>
 where
     W: Workload,
     F: Fn() -> W,
@@ -71,15 +83,10 @@ where
     }
     let best = levels
         .iter()
-        .max_by(|a, b| {
-            a.result
-                .perf()
-                .partial_cmp(&b.result.perf())
-                .expect("no NaN perf")
-        })
-        .expect("at least one level")
+        .max_by(|a, b| a.result.perf().total_cmp(&b.result.perf()))
+        .ok_or_else(|| Error::InvalidMachine("machine supports no SMT levels".to_string()))?
         .smt;
-    OracleReport { levels, best }
+    Ok(OracleReport { levels, best })
 }
 
 #[cfg(test)]
@@ -91,17 +98,19 @@ mod tests {
     fn oracle_prefers_smt4_for_ep() {
         let cfg = MachineConfig::power7(1);
         let spec = catalog::ep().scaled(0.08);
-        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000);
+        let report =
+            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000).unwrap();
         assert_eq!(report.levels.len(), 3);
         assert_eq!(report.best, SmtLevel::Smt4, "EP scales with SMT");
-        assert!(report.best_over_worst() >= 1.0);
+        assert!(report.best_over_worst().unwrap() >= 1.0);
     }
 
     #[test]
     fn oracle_prefers_low_smt_under_heavy_contention() {
         let cfg = MachineConfig::power7(1);
         let spec = catalog::specjbb_contention().scaled(0.2);
-        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 100_000_000);
+        let report =
+            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 100_000_000).unwrap();
         assert!(
             report.best < SmtLevel::Smt4,
             "contention must prefer a lower level, got {:?}",
@@ -113,11 +122,25 @@ mod tests {
     fn perf_at_matches_levels() {
         let cfg = MachineConfig::nehalem();
         let spec = catalog::ep().scaled(0.05);
-        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000);
+        let report =
+            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000).unwrap();
         assert_eq!(report.levels.len(), 2);
         for l in &report.levels {
-            assert!(report.perf_at(l.smt) > 0.0);
+            assert!(report.perf_at(l.smt).unwrap() > 0.0);
         }
-        assert!(report.best_perf() >= report.perf_at(SmtLevel::Smt1));
+        assert!(report.best_perf().unwrap() >= report.perf_at(SmtLevel::Smt1).unwrap());
+    }
+
+    #[test]
+    fn perf_at_missing_level_is_an_error_not_a_panic() {
+        let cfg = MachineConfig::nehalem();
+        let spec = catalog::ep().scaled(0.05);
+        let report =
+            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000).unwrap();
+        // Nehalem has no SMT4; a daemon asking for it must get an Error.
+        assert!(matches!(
+            report.perf_at(SmtLevel::Smt4),
+            Err(Error::MissingLevel { .. })
+        ));
     }
 }

@@ -1,0 +1,125 @@
+//! The shared recommendation record.
+//!
+//! Offline (`smtselect analyze --json` / `tune --json`) and online (the
+//! `smtd` daemon's `recommend` verb) answers are both rendered from this
+//! one struct, so the two paths are byte-comparable in tests: same
+//! selector + same metric state → the same JSON, regardless of whether the
+//! counters came from an owned `Simulation` or a streamed client window.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::SmtLevel;
+use smtsm::{LevelSelector, SmtsmFactors};
+
+/// One SMT-level recommendation with its evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Recommended SMT level.
+    pub level: SmtLevel,
+    /// Smoothed SMTsm value the recommendation was made from.
+    pub smtsm: f64,
+    /// Raw Eq.-1 factors of the most recent counter window.
+    pub factors: SmtsmFactors,
+    /// Margin-based confidence in `[0, 1]`: the metric's distance from the
+    /// nearest decision threshold, relative to that threshold. Near 0 the
+    /// workload sits on a decision boundary; near 1 the call is clear-cut.
+    pub confidence: f64,
+    /// Counter windows folded into the smoothed value.
+    pub windows: u64,
+}
+
+impl Recommendation {
+    /// Build a recommendation from a smoothed metric value and the factors
+    /// of the window that produced it.
+    pub fn from_metric(
+        selector: &LevelSelector,
+        smtsm: f64,
+        factors: SmtsmFactors,
+        windows: u64,
+    ) -> Recommendation {
+        Recommendation {
+            level: selector.recommend(smtsm),
+            smtsm,
+            factors,
+            confidence: confidence(selector, smtsm),
+            windows,
+        }
+    }
+}
+
+/// Distance of `metric` from the nearest rung threshold, normalized by
+/// that threshold and clamped to `[0, 1]`. A NaN metric (no windows yet)
+/// yields zero confidence.
+fn confidence(selector: &LevelSelector, metric: f64) -> f64 {
+    let mut nearest = f64::INFINITY;
+    let mut scale = 1.0;
+    for (_, p) in &selector.rungs {
+        let d = (metric - p.threshold).abs();
+        if d < nearest {
+            nearest = d;
+            scale = p.threshold.abs().max(f64::MIN_POSITIVE);
+        }
+    }
+    if !nearest.is_finite() {
+        return 0.0;
+    }
+    (nearest / scale).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsm::ThresholdPredictor;
+
+    fn selector() -> LevelSelector {
+        LevelSelector::three_level(
+            ThresholdPredictor::fixed(0.10),
+            ThresholdPredictor::fixed(0.20),
+        )
+    }
+
+    fn factors() -> SmtsmFactors {
+        SmtsmFactors {
+            mix_deviation: 0.3,
+            disp_held: 0.2,
+            scalability: 1.5,
+        }
+    }
+
+    #[test]
+    fn recommendation_tracks_selector() {
+        let r = Recommendation::from_metric(&selector(), 0.01, factors(), 3);
+        assert_eq!(r.level, SmtLevel::Smt4);
+        assert_eq!(r.windows, 3);
+        let r = Recommendation::from_metric(&selector(), 0.15, factors(), 3);
+        assert_eq!(r.level, SmtLevel::Smt2);
+        let r = Recommendation::from_metric(&selector(), 0.50, factors(), 3);
+        assert_eq!(r.level, SmtLevel::Smt1);
+    }
+
+    #[test]
+    fn confidence_grows_with_margin_and_clamps() {
+        let on_boundary = Recommendation::from_metric(&selector(), 0.10, factors(), 1);
+        let clear = Recommendation::from_metric(&selector(), 0.01, factors(), 1);
+        let far = Recommendation::from_metric(&selector(), 5.0, factors(), 1);
+        assert_eq!(on_boundary.confidence, 0.0);
+        assert!(clear.confidence > on_boundary.confidence);
+        assert_eq!(far.confidence, 1.0);
+    }
+
+    #[test]
+    fn nan_metric_degrades_to_floor_with_zero_confidence() {
+        let r = Recommendation::from_metric(&selector(), f64::NAN, factors(), 0);
+        assert_eq!(r.level, SmtLevel::Smt1);
+        assert_eq!(r.confidence, 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let r = Recommendation::from_metric(&selector(), 0.042, factors(), 7);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: Recommendation = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        // Byte-comparability contract: re-serializing is identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), text);
+    }
+}

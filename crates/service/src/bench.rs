@@ -1,0 +1,305 @@
+//! Load-test harness for `smtd` (`smtselect bench-serve`).
+//!
+//! Spawns N client connections, each streaming genuine counter windows
+//! pre-generated from its own simulated workload (the simulation runs
+//! before the timed phase, so the numbers measure the server, not the
+//! client's simulator). Every request's service time is recorded, and the
+//! run is summarized as throughput plus p50/p99 latency and exported in
+//! the PR 2 perf-trajectory format (`BENCH_serve.json`) so CI can flag
+//! serving regressions the same way it flags simulator slowdowns.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use smt_experiments::perf::{PerfEntry, PerfRun};
+use smt_sim::{Error, Simulation, SmtLevel};
+use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
+
+use crate::client::Client;
+use crate::protocol::SessionSpec;
+use crate::session::machine_by_name;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests per connection (ingest batches; each fifth request also
+    /// reads a recommendation).
+    pub requests: usize,
+    /// Counter windows per ingest batch.
+    pub windows_per_ingest: usize,
+    /// Label stored on the resulting perf run.
+    pub label: String,
+}
+
+impl BenchOptions {
+    /// Full-fidelity settings: 8 connections × 200 requests.
+    pub fn full() -> BenchOptions {
+        BenchOptions {
+            connections: 8,
+            requests: 200,
+            windows_per_ingest: 4,
+            label: "local".to_string(),
+        }
+    }
+
+    /// Quick settings for CI smoke runs: 4 connections × 40 requests.
+    pub fn quick() -> BenchOptions {
+        BenchOptions {
+            connections: 4,
+            requests: 40,
+            windows_per_ingest: 4,
+            label: "quick".to_string(),
+        }
+    }
+
+    /// Replace the label, builder-style.
+    pub fn label(mut self, label: impl Into<String>) -> BenchOptions {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Label of the run.
+    pub label: String,
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests answered across all connections.
+    pub requests_total: u64,
+    /// Counter windows streamed across all connections.
+    pub windows_total: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Aggregate request throughput.
+    pub requests_per_sec: f64,
+    /// Median request latency, seconds.
+    pub p50_secs: f64,
+    /// 99th-percentile request latency, seconds.
+    pub p99_secs: f64,
+}
+
+impl BenchSummary {
+    /// Export the summary in the perf-trajectory format. Latencies are
+    /// encoded as rates (`1 / latency`), so `check_regression` flags a
+    /// latency *increase* exactly like a throughput *drop*.
+    pub fn to_perf_run(&self) -> PerfRun {
+        PerfRun {
+            label: self.label.clone(),
+            entries: vec![
+                PerfEntry::from_rate("serve_throughput", 1, self.requests_total, self.wall_secs),
+                PerfEntry::from_rate("serve_p50_inv_latency", 1, 1, self.p50_secs),
+                PerfEntry::from_rate("serve_p99_inv_latency", 1, 1, self.p99_secs),
+            ],
+            repro_all_wall_secs: None,
+        }
+    }
+
+    /// Render the summary as a short human-readable block.
+    pub fn render(&self) -> String {
+        format!(
+            "bench-serve `{}`: {} connections, {} requests ({} windows) in {:.2}s\n  \
+             throughput {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
+            self.label,
+            self.connections,
+            self.requests_total,
+            self.windows_total,
+            self.wall_secs,
+            self.requests_per_sec,
+            self.p50_secs * 1e3,
+            self.p99_secs * 1e3,
+        )
+    }
+}
+
+/// The workload each connection streams, rotating through a mix of
+/// scalable, memory-bound, and contended behaviors so the server sees
+/// sessions that genuinely disagree about the right SMT level.
+fn workload_for(conn: usize) -> WorkloadSpec {
+    let specs: [fn() -> WorkloadSpec; 6] = [
+        catalog::ep,
+        catalog::specjbb_contention,
+        catalog::mg,
+        catalog::stream,
+        catalog::blackscholes,
+        catalog::bt,
+    ];
+    specs[conn % specs.len()]().scaled(0.3)
+}
+
+/// Windows pre-generated per connection and replayed cyclically, so the
+/// timed phase measures the *server*, not the client's simulator.
+const POOL_WINDOWS: usize = 24;
+
+/// Drive a running server at `addr` with `opts.connections` concurrent
+/// clients and summarize what happened.
+///
+/// Each client first simulates its own workload at the top SMT level to
+/// pre-generate a pool of genuine counter windows (untimed), then all
+/// clients release together from a barrier and replay their pools through
+/// `hello`/`ingest`/`recommend`, timing every request. The run's wall
+/// time is the longest timed phase, so throughput reflects what the
+/// server sustained while every connection was live.
+pub fn run_bench(addr: &str, opts: &BenchOptions) -> Result<BenchSummary, Error> {
+    let connections = opts.connections.max(1);
+    let barrier = Arc::new(Barrier::new(connections));
+    let mut threads = Vec::new();
+    for conn in 0..connections {
+        let addr = addr.to_string();
+        let opts = opts.clone();
+        let barrier = Arc::clone(&barrier);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("bench-conn-{conn}"))
+                .spawn(move || drive_connection(&addr, conn, &opts, &barrier))
+                .map_err(|e| Error::Io(format!("spawn bench thread: {e}")))?,
+        );
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut windows_total = 0u64;
+    let mut wall_secs = 0f64;
+    for t in threads {
+        let (lat, windows, timed) = t
+            .join()
+            .map_err(|_| Error::Io("bench thread panicked".to_string()))??;
+        latencies.extend(lat);
+        windows_total += windows;
+        wall_secs = wall_secs.max(timed);
+    }
+    let wall_secs = wall_secs.max(f64::MIN_POSITIVE);
+
+    latencies.sort_by(f64::total_cmp);
+    let requests_total = latencies.len() as u64;
+    Ok(BenchSummary {
+        label: opts.label.clone(),
+        connections,
+        requests_total,
+        windows_total,
+        wall_secs,
+        requests_per_sec: requests_total as f64 / wall_secs,
+        p50_secs: quantile(&latencies, 0.50),
+        p99_secs: quantile(&latencies, 0.99),
+    })
+}
+
+/// One client: pre-generate a window pool, sync on the barrier, then
+/// stream the pool through the server timing every request. Returns the
+/// request latencies, windows streamed, and the timed-phase duration.
+fn drive_connection(
+    addr: &str,
+    conn: usize,
+    opts: &BenchOptions,
+    barrier: &Barrier,
+) -> Result<(Vec<f64>, u64, f64), Error> {
+    let spec = SessionSpec::power7();
+    let machine = machine_by_name(&spec.machine)?;
+    let mut sim = Simulation::new(
+        machine,
+        SmtLevel::Smt4,
+        SyntheticWorkload::new(workload_for(conn)),
+    );
+    let mut pool = Vec::with_capacity(POOL_WINDOWS);
+    while pool.len() < POOL_WINDOWS && !sim.finished() {
+        pool.push(sim.measure_window(spec.window_cycles));
+    }
+    if pool.is_empty() {
+        return Err(Error::InvalidWorkload(format!(
+            "connection {conn}: workload finished before producing any windows"
+        )));
+    }
+
+    let mut client = Client::connect(addr, Duration::from_secs(10))?;
+    let mut latencies = Vec::with_capacity(opts.requests + 2);
+    let mut windows_streamed = 0u64;
+    let per_batch = opts.windows_per_ingest.max(1);
+
+    barrier.wait();
+    let timed = Instant::now();
+
+    let t = Instant::now();
+    client.hello(&spec)?;
+    latencies.push(t.elapsed().as_secs_f64());
+
+    let mut next = 0usize;
+    for req in 0..opts.requests {
+        let mut batch = Vec::with_capacity(per_batch);
+        for _ in 0..per_batch {
+            batch.push(pool[next].clone());
+            next = (next + 1) % pool.len();
+        }
+        windows_streamed += batch.len() as u64;
+
+        let t = Instant::now();
+        client.ingest(&batch)?;
+        latencies.push(t.elapsed().as_secs_f64());
+
+        if req % 5 == 4 {
+            let t = Instant::now();
+            client.recommend()?;
+            latencies.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    let t = Instant::now();
+    client.recommend()?;
+    latencies.push(t.elapsed().as_secs_f64());
+
+    Ok((latencies, windows_streamed, timed.elapsed().as_secs_f64()))
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&xs, 0.50), 50.0);
+        assert_eq!(quantile(&xs, 0.99), 99.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn perf_run_encodes_latency_as_inverse_rate() {
+        let s = BenchSummary {
+            label: "t".to_string(),
+            connections: 2,
+            requests_total: 500,
+            windows_total: 2000,
+            wall_secs: 2.0,
+            requests_per_sec: 250.0,
+            p50_secs: 0.001,
+            p99_secs: 0.010,
+        };
+        let run = s.to_perf_run();
+        let thr = run.entry("serve_throughput/smt1").unwrap();
+        assert!((thr.cycles_per_sec - 250.0).abs() < 1e-9);
+        let p50 = run.entry("serve_p50_inv_latency/smt1").unwrap();
+        assert!((p50.cycles_per_sec - 1000.0).abs() < 1e-6);
+        let p99 = run.entry("serve_p99_inv_latency/smt1").unwrap();
+        assert!((p99.cycles_per_sec - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workloads_rotate_and_stay_distinct() {
+        let a = workload_for(0);
+        let b = workload_for(1);
+        assert_ne!(a.name, b.name);
+        assert_eq!(workload_for(0).name, workload_for(6).name);
+    }
+}

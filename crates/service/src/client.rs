@@ -1,0 +1,152 @@
+//! A blocking `smtd` client.
+//!
+//! [`Client`] speaks the typed protocol ([`Client::hello`],
+//! [`Client::ingest`], ...); [`Client::send_raw_line`] bypasses the
+//! encoder so tests can send garbage and watch the server answer with a
+//! structured error instead of dying.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use smt_sched::Recommendation;
+use smt_sim::{Error, SmtLevel, WindowMeasurement};
+
+use crate::protocol::{
+    decode_line, encode_line, IngestSummary, Request, Response, SessionSpec, StatsReport,
+    PROTOCOL_VERSION,
+};
+
+/// Either transport, buffered for line reads.
+enum Transport {
+    Tcp(BufReader<TcpStream>),
+    Unix(BufReader<UnixStream>),
+}
+
+/// A blocking protocol client over TCP or a Unix socket.
+pub struct Client {
+    transport: Transport,
+}
+
+impl Client {
+    /// Connect over TCP, e.g. `127.0.0.1:7099`.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, Error> {
+        let stream = TcpStream::connect(addr).map_err(|e| Error::Io(format!("{addr}: {e}")))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| Error::Io(format!("{addr}: {e}")))?;
+        Ok(Client {
+            transport: Transport::Tcp(BufReader::new(stream)),
+        })
+    }
+
+    /// Connect over a Unix socket path.
+    pub fn connect_unix(path: &Path, timeout: Duration) -> Result<Client, Error> {
+        let stream =
+            UnixStream::connect(path).map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        Ok(Client {
+            transport: Transport::Unix(BufReader::new(stream)),
+        })
+    }
+
+    /// Send one request and read its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, Error> {
+        let line = encode_line(request)?;
+        self.send_raw_line(&line)
+    }
+
+    /// Send a raw line (appending `\n` if missing) and read one response
+    /// line. This is the garbage-injection escape hatch: the line does not
+    /// have to be a valid request, or even JSON.
+    pub fn send_raw_line(&mut self, line: &str) -> Result<Response, Error> {
+        let mut out = line.trim_end_matches(['\r', '\n']).to_string();
+        out.push('\n');
+        let reply = match &mut self.transport {
+            Transport::Tcp(r) => {
+                r.get_mut()
+                    .write_all(out.as_bytes())
+                    .map_err(|e| Error::Io(format!("write: {e}")))?;
+                read_line(r)?
+            }
+            Transport::Unix(r) => {
+                r.get_mut()
+                    .write_all(out.as_bytes())
+                    .map_err(|e| Error::Io(format!("write: {e}")))?;
+                read_line(r)?
+            }
+        };
+        decode_line(&reply)
+    }
+
+    /// Open a session; returns `(session id, top SMT level)`.
+    pub fn hello(&mut self, spec: &SessionSpec) -> Result<(u64, SmtLevel), Error> {
+        match self.call(&Request::Hello {
+            proto: PROTOCOL_VERSION,
+            spec: spec.clone(),
+        })? {
+            Response::Welcome { session, top, .. } => Ok((session, top)),
+            other => Err(unexpected("welcome", &other)),
+        }
+    }
+
+    /// Stream a batch of counter windows into the session.
+    pub fn ingest(&mut self, windows: &[WindowMeasurement]) -> Result<IngestSummary, Error> {
+        match self.call(&Request::Ingest {
+            windows: windows.to_vec(),
+        })? {
+            Response::Ingested(summary) => Ok(summary),
+            other => Err(unexpected("ingested", &other)),
+        }
+    }
+
+    /// Read the session's current recommendation.
+    pub fn recommend(&mut self) -> Result<Recommendation, Error> {
+        match self.call(&Request::Recommend)? {
+            Response::Recommendation(r) => Ok(r),
+            other => Err(unexpected("recommendation", &other)),
+        }
+    }
+
+    /// Read server-wide operational metrics.
+    pub fn stats(&mut self) -> Result<StatsReport, Error> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Ask the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), Error> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("bye", &other)),
+        }
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, Error> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| Error::Io(format!("read: {e}")))?;
+    if n == 0 {
+        return Err(Error::Io("connection closed by server".to_string()));
+    }
+    Ok(line)
+}
+
+/// Map a wrong-variant (or server-error) response to a client error that
+/// preserves the server's code and message.
+fn unexpected(wanted: &str, got: &Response) -> Error {
+    match got {
+        Response::Error { code, message } => Error::Io(format!("server error {code:?}: {message}")),
+        other => Error::Serde(format!("expected {wanted} response, got {other:?}")),
+    }
+}

@@ -1,0 +1,43 @@
+//! `smt-service`: `smtd`, an online SMT-recommendation daemon.
+//!
+//! The paper's controller decides from a stream of hardware-counter
+//! windows; nothing about that decision requires living in the same
+//! process as the workload. This crate lifts the decision core behind a
+//! small wire protocol so many machines (or many simulated clients) can
+//! stream their counters to one recommendation service:
+//!
+//! - [`protocol`] — newline-delimited JSON requests/responses: `hello`
+//!   opens a session, `ingest` streams counter windows, `recommend` reads
+//!   the current answer, `stats`/`shutdown` are ops verbs.
+//! - [`session`] — per-connection state: one
+//!   [`DynamicSmtController`](smt_sched::DynamicSmtController), the exact
+//!   decision core offline runs use, so online and offline answers agree
+//!   by construction.
+//! - [`server`] — the daemon: std-only accept loops over TCP and Unix
+//!   sockets, a bounded worker pool, busy-shedding backpressure, and
+//!   per-request panic isolation.
+//! - [`metrics`] — the shared operational registry behind the `stats`
+//!   verb (sessions, requests, p50/p99 service time, recommendations by
+//!   level) plus the [`ServiceSink`](metrics::ServiceSink) observer hook.
+//! - [`client`] — a blocking typed client, with a raw-line escape hatch
+//!   for fault-injection tests.
+//! - [`bench`] — the `bench-serve` load generator; results land in the
+//!   PR 2 perf-trajectory format (`BENCH_serve.json`).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use bench::{run_bench, BenchOptions, BenchSummary};
+pub use client::Client;
+pub use metrics::{NullSink, ServiceMetrics, ServiceSink, StderrSink};
+pub use protocol::{
+    ErrorCode, IngestSummary, Request, Response, SessionSpec, StatsReport, PROTOCOL_VERSION,
+};
+pub use server::{spawn, spawn_with_sink, ServerConfig, ServerHandle};
+pub use session::Session;

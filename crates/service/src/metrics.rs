@@ -1,0 +1,233 @@
+//! Server-wide operational metrics.
+//!
+//! A [`ServiceMetrics`] registry is shared (behind an `Arc`) by every
+//! worker thread. Counters are relaxed atomics — the numbers are for
+//! operators, not for synchronization. Request latency goes into a
+//! log-spaced bucket histogram so `p50`/`p99` cost a fixed 64 words of
+//! memory regardless of request volume.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use smt_sim::SmtLevel;
+
+use crate::protocol::StatsReport;
+
+/// Latency histogram buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, except the last which is open-ended.
+const LATENCY_BUCKETS: usize = 32;
+
+/// Events worth observing from outside the server — the service-side
+/// analogue of the experiment engine's `ProgressSink`. The default
+/// implementation ignores everything; tests install a recording sink and
+/// `smtd --verbose` installs a stderr logger.
+pub trait ServiceSink: Send + Sync {
+    /// A session was opened.
+    fn session_opened(&self, _session: u64) {}
+    /// A session ended (its connection closed).
+    fn session_closed(&self, _session: u64) {}
+    /// A request was answered. `ok` is false for `Error` responses.
+    fn request_served(&self, _verb: &'static str, _ok: bool, _elapsed: Duration) {}
+    /// A connection was shed because the server is at capacity.
+    fn connection_shed(&self) {}
+    /// A handler panicked; the payload is the panic message.
+    fn handler_panicked(&self, _message: &str) {}
+}
+
+/// The do-nothing sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ServiceSink for NullSink {}
+
+/// A sink that logs lifecycle events to stderr (`smtd --verbose`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl ServiceSink for StderrSink {
+    fn session_opened(&self, session: u64) {
+        eprintln!("smtd: session {session} opened");
+    }
+    fn session_closed(&self, session: u64) {
+        eprintln!("smtd: session {session} closed");
+    }
+    fn connection_shed(&self) {
+        eprintln!("smtd: connection shed (busy)");
+    }
+    fn handler_panicked(&self, message: &str) {
+        eprintln!("smtd: handler panicked: {message}");
+    }
+}
+
+/// Shared counters and the latency histogram.
+pub struct ServiceMetrics {
+    started: Instant,
+    sessions_active: AtomicU64,
+    sessions_total: AtomicU64,
+    requests_total: AtomicU64,
+    errors_total: AtomicU64,
+    busy_rejections: AtomicU64,
+    windows_ingested: AtomicU64,
+    /// Recommendations handed out, indexed by `SmtLevel::ALL` position.
+    recommendations: [AtomicU64; SmtLevel::ALL.len()],
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// A fresh registry with the uptime clock started now.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            started: Instant::now(),
+            sessions_active: AtomicU64::new(0),
+            sessions_total: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            windows_ingested: AtomicU64::new(0),
+            recommendations: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record a session open.
+    pub fn session_opened(&self) {
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
+        self.sessions_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a session close.
+    pub fn session_closed(&self) {
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record one answered request and its service time.
+    pub fn request_served(&self, ok: bool, elapsed: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a shed connection.
+    pub fn connection_shed(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record ingested windows.
+    pub fn windows_ingested(&self, n: u64) {
+        self.windows_ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a recommendation handed out at `level`.
+    pub fn recommended(&self, level: SmtLevel) {
+        if let Some(i) = SmtLevel::ALL.iter().position(|&l| l == level) {
+            self.recommendations[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot everything into a wire-format report.
+    pub fn report(&self) -> StatsReport {
+        StatsReport {
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            errors_total: self.errors_total.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            windows_ingested: self.windows_ingested.load(Ordering::Relaxed),
+            recommendations: SmtLevel::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.ways(), self.recommendations[i].load(Ordering::Relaxed)))
+                .collect(),
+            p50_us: self.latency_quantile(0.50),
+            p99_us: self.latency_quantile(0.99),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Upper bound (in microseconds) of the bucket holding quantile `q`.
+    fn latency_quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_report() {
+        let m = ServiceMetrics::new();
+        m.session_opened();
+        m.session_opened();
+        m.session_closed();
+        m.request_served(true, Duration::from_micros(10));
+        m.request_served(false, Duration::from_micros(10));
+        m.connection_shed();
+        m.windows_ingested(42);
+        m.recommended(SmtLevel::Smt4);
+        m.recommended(SmtLevel::Smt4);
+        m.recommended(SmtLevel::Smt1);
+        let r = m.report();
+        assert_eq!(r.sessions_active, 1);
+        assert_eq!(r.sessions_total, 2);
+        assert_eq!(r.requests_total, 2);
+        assert_eq!(r.errors_total, 1);
+        assert_eq!(r.busy_rejections, 1);
+        assert_eq!(r.windows_ingested, 42);
+        assert_eq!(r.recommendations, vec![(1, 1), (2, 0), (4, 2)]);
+    }
+
+    #[test]
+    fn latency_quantiles_split_fast_and_slow_requests() {
+        let m = ServiceMetrics::new();
+        // 99 fast requests (~8 us) and one slow outlier (~8 ms).
+        for _ in 0..99 {
+            m.request_served(true, Duration::from_micros(8));
+        }
+        m.request_served(true, Duration::from_micros(8_000));
+        let r = m.report();
+        assert!(
+            r.p50_us <= 16,
+            "p50 {} should sit in the fast bucket",
+            r.p50_us
+        );
+        assert!(r.p99_us <= 16, "p99 {} rank 99 is still fast", r.p99_us);
+        // The slow sample dominates only the very tail.
+        assert!(m.latency_quantile(1.0) >= 8_192);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let m = ServiceMetrics::new();
+        let r = m.report();
+        assert_eq!(r.p50_us, 0);
+        assert_eq!(r.p99_us, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The `smtd` wire protocol: newline-delimited JSON.
+//!
+//! Each line a client sends is one [`Request`]; each line the server sends
+//! back is one [`Response`]. Framing is a single `\n` (requests must not
+//! contain raw newlines — JSON string escapes keep that invariant for
+//! free). The protocol is strictly request/response in order, so a client
+//! can pipeline lines and match replies positionally.
+//!
+//! A connection owns at most one *session* — created by `hello`, which
+//! instantiates the per-client decision state (a [`MetricSpec`]-driven
+//! `OnlineSampler`, a `PhaseDetector`, and a trained `LevelSelector`
+//! wrapped in a `DynamicSmtController`). `ingest` folds streamed counter
+//! windows into that state; `recommend` reads the current answer without
+//! advancing it; `stats` and `shutdown` are ops verbs that work with or
+//! without a session.
+//!
+//! [`MetricSpec`]: smtsm::MetricSpec
+
+use serde::{Deserialize, Serialize};
+use smt_sched::{Recommendation, StreamDecision};
+use smt_sim::{SmtLevel, WindowMeasurement};
+
+/// Protocol revision carried in `hello`/`welcome`. Bumped on any wire
+/// change a previous client could not parse.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Session parameters a client proposes in `hello`. Mirrors the knobs of
+/// the offline controller so online and offline decisions are comparable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Target machine model: `p7`, `p7x2`, or `nhm`.
+    pub machine: String,
+    /// Threshold for the top rung (SMT4-vs-SMT2 on POWER7).
+    pub threshold: f64,
+    /// Threshold for the middle rung (SMT2-vs-SMT1); ignored on two-level
+    /// machines.
+    pub mid: f64,
+    /// Counter-window length in cycles the client intends to stream.
+    pub window_cycles: u64,
+    /// EWMA smoothing factor in (0, 1].
+    pub alpha: f64,
+    /// Consecutive windows that must agree before a switch.
+    pub hysteresis: u64,
+    /// Probe the top level after this many parked windows.
+    pub probe_interval: u64,
+    /// Watch parked IPC for phase changes.
+    pub phase_detect: bool,
+}
+
+impl SessionSpec {
+    /// Defaults matching `ControllerConfig::default()` on a single-chip
+    /// POWER7 with the paper's fixed thresholds.
+    pub fn power7() -> SessionSpec {
+        SessionSpec {
+            machine: "p7".to_string(),
+            threshold: 0.15,
+            mid: 0.20,
+            window_cycles: 50_000,
+            alpha: 0.5,
+            hysteresis: 2,
+            probe_interval: 8,
+            phase_detect: true,
+        }
+    }
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Open a session with the given decision parameters.
+    Hello {
+        /// Client's protocol revision.
+        proto: u32,
+        /// Requested session parameters.
+        spec: SessionSpec,
+    },
+    /// Stream counter windows into the session, in measurement order.
+    Ingest {
+        /// Counter-window deltas, each tagged with the SMT level it was
+        /// measured at.
+        windows: Vec<WindowMeasurement>,
+    },
+    /// Read the session's current recommendation.
+    Recommend,
+    /// Read server-wide operational metrics.
+    Stats,
+    /// Ask the daemon to stop accepting connections and exit its accept
+    /// loop once in-flight requests finish.
+    Shutdown,
+    /// Test-only fault injection (disabled unless the server opts in):
+    /// `op == "panic"` panics the handler mid-request to exercise
+    /// per-connection fault isolation.
+    Debug {
+        /// Fault to inject.
+        op: String,
+    },
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The line was not a parseable `Request`.
+    BadRequest,
+    /// The verb needs a session but `hello` has not succeeded yet.
+    NoSession,
+    /// A `hello` was sent on a connection that already has a session.
+    SessionExists,
+    /// The server is at its session limit; retry later.
+    Busy,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The handler failed internally (e.g. panicked); the connection
+    /// survives.
+    Internal,
+    /// The client's protocol revision is not supported.
+    Unsupported,
+}
+
+/// Summary of one `ingest` batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestSummary {
+    /// Windows folded into the session by this request.
+    pub accepted: u64,
+    /// Total windows folded over the session's lifetime.
+    pub total_windows: u64,
+    /// Level the session wants the client's machine at after this batch.
+    pub level: SmtLevel,
+    /// Decisions (switch/probe events) triggered within this batch.
+    pub switches: Vec<StreamDecision>,
+}
+
+/// Server-wide operational metrics, served by `stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Sessions currently open.
+    pub sessions_active: u64,
+    /// Sessions opened since start.
+    pub sessions_total: u64,
+    /// Requests handled since start (all verbs, including errors).
+    pub requests_total: u64,
+    /// Requests answered with an `Error` response.
+    pub errors_total: u64,
+    /// Connections shed with `busy` before a session was opened.
+    pub busy_rejections: u64,
+    /// Counter windows ingested since start.
+    pub windows_ingested: u64,
+    /// Recommendations handed out per SMT level, `(ways, count)`.
+    pub recommendations: Vec<(usize, u64)>,
+    /// Median request service time, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request service time, microseconds.
+    pub p99_us: u64,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Session opened.
+    Welcome {
+        /// Server-assigned session id (unique for the server's lifetime).
+        session: u64,
+        /// Server's protocol revision.
+        proto: u32,
+        /// Top SMT level of the session's machine model — the level the
+        /// client should measure at for the metric to be meaningful.
+        top: SmtLevel,
+    },
+    /// Ingest result.
+    Ingested(IngestSummary),
+    /// Current recommendation.
+    Recommendation(Recommendation),
+    /// Operational metrics.
+    Stats(StatsReport),
+    /// Shutdown acknowledged; the connection will close after this line.
+    Bye,
+    /// The request failed; the session (if any) is untouched.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Encode one protocol message as a line (JSON + `\n`).
+pub fn encode_line<T: serde::Serialize>(msg: &T) -> Result<String, smt_sim::Error> {
+    let mut s = serde_json::to_string(msg).map_err(|e| smt_sim::Error::Serde(e.to_string()))?;
+    s.push('\n');
+    Ok(s)
+}
+
+/// Decode one protocol line (with or without its trailing newline).
+pub fn decode_line<T: serde::Deserialize>(line: &str) -> Result<T, smt_sim::Error> {
+    serde_json::from_str(line.trim_end_matches(['\r', '\n']))
+        .map_err(|e| smt_sim::Error::Serde(e.to_string()))
+}

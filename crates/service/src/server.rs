@@ -1,0 +1,560 @@
+//! The `smtd` daemon: accept loops, a bounded worker pool, and the
+//! request handler.
+//!
+//! Threading model (no async runtime — the workspace is offline and
+//! vendors no executor):
+//!
+//! - one accept thread per listener (TCP, plus an optional Unix socket)
+//!   running a nonblocking accept/poll loop so shutdown is observed
+//!   promptly;
+//! - a fixed pool of worker threads fed over a bounded
+//!   [`std::sync::mpsc::sync_channel`]; each worker owns one connection at
+//!   a time for its whole life (session state is connection-local, so a
+//!   connection is the natural unit of work);
+//! - backpressure: when `max_sessions` connections are already admitted,
+//!   new ones are shed *at accept time* with a structured `busy` error
+//!   line instead of being queued into unbounded memory;
+//! - fault isolation: every request runs under
+//!   [`catch_unwind`], mirroring the experiment engine's worker loop — a
+//!   panicking handler answers `internal` and the connection (and every
+//!   other session) lives on.
+//!
+//! [`catch_unwind`]: std::panic::catch_unwind
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smt_sim::Error;
+
+use crate::metrics::{NullSink, ServiceMetrics, ServiceSink};
+use crate::protocol::{decode_line, encode_line, ErrorCode, Request, Response, PROTOCOL_VERSION};
+use crate::session::Session;
+
+/// How often accept loops and idle workers re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP bind address, e.g. `127.0.0.1:7099`. Port 0 picks a free port
+    /// (the bound address is reported by [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Also listen on this Unix socket path (removed and re-created).
+    pub unix_path: Option<PathBuf>,
+    /// Worker threads, i.e. connections served concurrently.
+    pub workers: usize,
+    /// Admitted-connection ceiling; beyond it new connections are shed
+    /// with a `busy` error. Admitted-but-unserved connections wait in the
+    /// bounded hand-off queue.
+    pub max_sessions: usize,
+    /// Close a connection that sends nothing for this long.
+    pub read_timeout: Duration,
+    /// Give up writing a response after this long.
+    pub write_timeout: Duration,
+    /// Allow the test-only `debug` verb (fault injection).
+    pub enable_debug: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            unix_path: None,
+            workers: 8,
+            max_sessions: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            enable_debug: false,
+        }
+    }
+}
+
+/// One admitted connection, either transport.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+/// Socket-level read timeout. Reads wake this often so a blocked worker
+/// can observe the shutdown flag and the connection's idle budget
+/// (`cfg.read_timeout`) without being pinned for the whole budget.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+impl Conn {
+    fn apply_timeouts(&self, cfg: &ServerConfig) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_POLL))?;
+                s.set_write_timeout(Some(cfg.write_timeout))
+            }
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_POLL))?;
+                s.set_write_timeout(Some(cfg.write_timeout))
+            }
+        }
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    cfg: ServerConfig,
+    metrics: Arc<ServiceMetrics>,
+    sink: Arc<dyn ServiceSink>,
+    shutdown: AtomicBool,
+    /// Connections admitted and not yet closed.
+    active: AtomicUsize,
+    next_session: AtomicU64,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::trigger_shutdown`] (or send the `shutdown` verb) and
+/// then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The TCP address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> Arc<ServiceMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Ask every loop to wind down. Idempotent; returns immediately.
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by this handle or a client).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the accept loops and workers to finish. In-flight
+    /// connections are given until their next read timeout to notice.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.shared.cfg.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Bind the listeners and spawn the accept loops and worker pool.
+pub fn spawn(cfg: ServerConfig) -> Result<ServerHandle, Error> {
+    spawn_with_sink(cfg, Arc::new(NullSink))
+}
+
+/// [`spawn`] with an observer for lifecycle events.
+pub fn spawn_with_sink(
+    cfg: ServerConfig,
+    sink: Arc<dyn ServiceSink>,
+) -> Result<ServerHandle, Error> {
+    let tcp =
+        TcpListener::bind(&cfg.addr).map_err(|e| Error::Io(format!("bind {}: {e}", cfg.addr)))?;
+    let local_addr = tcp
+        .local_addr()
+        .map_err(|e| Error::Io(format!("local_addr: {e}")))?;
+    tcp.set_nonblocking(true)
+        .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+
+    let unix = match &cfg.unix_path {
+        Some(path) => {
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)
+                .map_err(|e| Error::Io(format!("bind {}: {e}", path.display())))?;
+            l.set_nonblocking(true)
+                .map_err(|e| Error::Io(format!("set_nonblocking: {e}")))?;
+            Some(l)
+        }
+        None => None,
+    };
+
+    let shared = Arc::new(Shared {
+        cfg: cfg.clone(),
+        metrics: Arc::new(ServiceMetrics::new()),
+        sink,
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        next_session: AtomicU64::new(1),
+    });
+
+    // The hand-off queue is bounded by max_sessions; the `active` counter
+    // guarantees we never try_send into a full queue, but the bound caps
+    // memory even if that invariant were broken.
+    let (tx, rx) = sync_channel::<Conn>(cfg.max_sessions.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::new();
+    for i in 0..cfg.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let rx = Arc::clone(&rx);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("smtd-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))
+                .map_err(|e| Error::Io(format!("spawn worker: {e}")))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("smtd-accept-tcp".to_string())
+                .spawn(move || accept_loop_tcp(&shared, &tcp, &tx))
+                .map_err(|e| Error::Io(format!("spawn accept: {e}")))?,
+        );
+    }
+    if let Some(listener) = unix {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("smtd-accept-unix".to_string())
+                .spawn(move || accept_loop_unix(&shared, &listener, &tx))
+                .map_err(|e| Error::Io(format!("spawn accept: {e}")))?,
+        );
+    }
+    drop(tx); // workers exit once every accept loop has dropped its sender
+
+    Ok(ServerHandle {
+        shared,
+        local_addr,
+        threads,
+    })
+}
+
+fn accept_loop_tcp(shared: &Shared, listener: &TcpListener, tx: &SyncSender<Conn>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, Conn::Tcp(stream), tx),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn accept_loop_unix(shared: &Shared, listener: &UnixListener, tx: &SyncSender<Conn>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => admit(shared, Conn::Unix(stream), tx),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Admit a fresh connection into the worker queue, or shed it with a
+/// structured `busy` line when the server is at capacity.
+fn admit(shared: &Shared, conn: Conn, tx: &SyncSender<Conn>) {
+    if conn.apply_timeouts(&shared.cfg).is_err() {
+        return;
+    }
+    // Reserve a slot first so two racing accepts cannot both slip past the
+    // ceiling; release it on any shed path.
+    let admitted = shared.active.fetch_add(1, Ordering::SeqCst) < shared.cfg.max_sessions;
+    if admitted {
+        if let Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) = tx.try_send(conn)
+        {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shed(shared, conn);
+        }
+    } else {
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shed(shared, conn);
+    }
+}
+
+fn shed(shared: &Shared, conn: Conn) {
+    shared.metrics.connection_shed();
+    shared.sink.connection_shed();
+    let line = encode_line(&Response::error(
+        ErrorCode::Busy,
+        format!(
+            "server at capacity ({} sessions); retry later",
+            shared.cfg.max_sessions
+        ),
+    ))
+    .unwrap_or_else(|_| "{\"Error\":{\"code\":\"Busy\",\"message\":\"\"}}\n".to_string());
+    match conn {
+        Conn::Tcp(mut s) => {
+            let _ = s.write_all(line.as_bytes());
+        }
+        Conn::Unix(mut s) => {
+            let _ = s.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Conn>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the connection.
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            guard.recv_timeout(POLL_INTERVAL)
+        };
+        match next {
+            Ok(conn) => {
+                match conn {
+                    Conn::Tcp(s) => serve_connection(shared, s),
+                    Conn::Unix(s) => serve_connection(shared, s),
+                }
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection until EOF, idle timeout, `shutdown`, or a write
+/// error.
+fn serve_connection<S: Read + Write>(shared: &Shared, stream: S) {
+    let mut reader = BufReader::new(stream);
+    let mut session: Option<Session> = None;
+    let mut line = String::new();
+
+    'conn: loop {
+        line.clear();
+        // Accumulate one full line. The socket read timeout is READ_POLL,
+        // so each wakeup can observe shutdown and the idle budget; on a
+        // timeout, bytes read so far stay in `line` and the next call
+        // appends (read_until semantics).
+        let mut last_activity = Instant::now();
+        let mut bytes_seen = 0usize;
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break 'conn, // EOF
+                Ok(_) => {
+                    if line.ends_with('\n') {
+                        break;
+                    }
+                    break 'conn; // EOF mid-line
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                    if line.len() > bytes_seen {
+                        // A partial line arrived: that is progress, not
+                        // idleness. Keep the bytes and keep accumulating.
+                        bytes_seen = line.len();
+                        last_activity = Instant::now();
+                    } else if last_activity.elapsed() >= shared.cfg.read_timeout {
+                        // Idle past the budget: drop the connection
+                        // rather than pin a worker forever.
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+
+        let started = Instant::now();
+        // The handler mutates only connection-local state (the session)
+        // plus monotone atomic counters, so observing a half-applied
+        // ingest after a panic is benign — hence AssertUnwindSafe, same
+        // justification as the experiment engine's worker loop.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_line(shared, &mut session, &line)
+        }));
+        let (response, close) = match outcome {
+            Ok(pair) => pair,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                shared.sink.handler_panicked(&msg);
+                (
+                    Response::error(ErrorCode::Internal, format!("handler panicked: {msg}")),
+                    false,
+                )
+            }
+        };
+
+        let ok = !matches!(response, Response::Error { .. });
+        shared.metrics.request_served(ok, started.elapsed());
+        shared
+            .sink
+            .request_served(verb_of(&response), ok, started.elapsed());
+
+        let encoded = match encode_line(&response) {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        if reader.get_mut().write_all(encoded.as_bytes()).is_err() {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+
+    if let Some(s) = session {
+        shared.metrics.session_closed();
+        shared.sink.session_closed(s.id());
+    }
+}
+
+/// Decode and dispatch one request line. Returns the response and whether
+/// the connection should close afterwards.
+fn handle_line(shared: &Shared, session: &mut Option<Session>, line: &str) -> (Response, bool) {
+    let request: Request = match decode_line(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::error(ErrorCode::BadRequest, format!("unparseable request: {e}")),
+                false,
+            );
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (
+            Response::error(ErrorCode::ShuttingDown, "server is draining"),
+            true,
+        );
+    }
+    match request {
+        Request::Hello { proto, spec } => {
+            if proto != PROTOCOL_VERSION {
+                return (
+                    Response::error(
+                        ErrorCode::Unsupported,
+                        format!("protocol {proto} unsupported (server speaks {PROTOCOL_VERSION})"),
+                    ),
+                    false,
+                );
+            }
+            if session.is_some() {
+                return (
+                    Response::error(ErrorCode::SessionExists, "connection already has a session"),
+                    false,
+                );
+            }
+            let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+            match Session::new(id, &spec) {
+                Ok(s) => {
+                    let top = s.top();
+                    *session = Some(s);
+                    shared.metrics.session_opened();
+                    shared.sink.session_opened(id);
+                    (
+                        Response::Welcome {
+                            session: id,
+                            proto: PROTOCOL_VERSION,
+                            top,
+                        },
+                        false,
+                    )
+                }
+                Err(e) => (
+                    Response::error(ErrorCode::BadRequest, format!("bad session spec: {e}")),
+                    false,
+                ),
+            }
+        }
+        Request::Ingest { windows } => match session.as_mut() {
+            Some(s) => {
+                let summary = s.ingest(&windows);
+                shared.metrics.windows_ingested(summary.accepted);
+                (Response::Ingested(summary), false)
+            }
+            None => (
+                Response::error(
+                    ErrorCode::NoSession,
+                    "ingest requires a session (send hello)",
+                ),
+                false,
+            ),
+        },
+        Request::Recommend => match session.as_ref() {
+            Some(s) => {
+                let r = s.recommend();
+                shared.metrics.recommended(r.level);
+                (Response::Recommendation(r), false)
+            }
+            None => (
+                Response::error(
+                    ErrorCode::NoSession,
+                    "recommend requires a session (send hello)",
+                ),
+                false,
+            ),
+        },
+        Request::Stats => (Response::Stats(shared.metrics.report()), false),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (Response::Bye, true)
+        }
+        Request::Debug { op } => {
+            if !shared.cfg.enable_debug {
+                return (
+                    Response::error(ErrorCode::BadRequest, "debug verb is disabled"),
+                    false,
+                );
+            }
+            match op.as_str() {
+                "panic" => panic!("injected debug panic"),
+                other => (
+                    Response::error(ErrorCode::BadRequest, format!("unknown debug op {other:?}")),
+                    false,
+                ),
+            }
+        }
+    }
+}
+
+fn verb_of(response: &Response) -> &'static str {
+    match response {
+        Response::Welcome { .. } => "hello",
+        Response::Ingested(_) => "ingest",
+        Response::Recommendation(_) => "recommend",
+        Response::Stats(_) => "stats",
+        Response::Bye => "shutdown",
+        Response::Error { .. } => "error",
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

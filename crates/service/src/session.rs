@@ -1,0 +1,233 @@
+//! Per-connection session state.
+//!
+//! A session wraps one [`DynamicSmtController`] — the *same* decision core
+//! the offline simulator-driven runs use — plus the bookkeeping the
+//! protocol needs on top: the factors of the most recent top-level window
+//! (for `recommend` evidence), the level the decision core currently wants
+//! the client's machine at, and a lifetime window count.
+
+use smt_sched::{ControllerConfig, DynamicSmtController, Recommendation};
+use smt_sim::{Error, MachineConfig, SmtLevel, WindowMeasurement};
+use smtsm::{smtsm_factors, LevelSelector, MetricSpec, SmtsmFactors, ThresholdPredictor};
+
+use crate::protocol::{IngestSummary, SessionSpec};
+
+/// One client's streaming decision state.
+#[derive(Debug)]
+pub struct Session {
+    id: u64,
+    controller: DynamicSmtController,
+    spec: MetricSpec,
+    top: SmtLevel,
+    /// Level the decision core currently wants the client's machine at.
+    level: SmtLevel,
+    /// Eq.-1 factors of the most recent top-level window.
+    last_factors: SmtsmFactors,
+    windows: u64,
+}
+
+impl Session {
+    /// Validate a client's `hello` parameters and build the session.
+    pub fn new(id: u64, spec: &SessionSpec) -> Result<Session, Error> {
+        let machine = machine_by_name(&spec.machine)?;
+        machine.validate()?;
+        if !(spec.alpha > 0.0 && spec.alpha <= 1.0) {
+            return Err(Error::InvalidMeasurement(format!(
+                "alpha must be in (0, 1], got {}",
+                spec.alpha
+            )));
+        }
+        if !spec.threshold.is_finite() || !spec.mid.is_finite() {
+            return Err(Error::InvalidMeasurement(
+                "thresholds must be finite".to_string(),
+            ));
+        }
+        if spec.window_cycles == 0 || spec.hysteresis == 0 || spec.probe_interval == 0 {
+            return Err(Error::InvalidMeasurement(
+                "window_cycles, hysteresis, and probe_interval must be positive".to_string(),
+            ));
+        }
+        let top = *machine
+            .smt_levels()
+            .last()
+            .ok_or_else(|| Error::InvalidMachine("machine has no SMT levels".to_string()))?;
+        let selector = if top == SmtLevel::Smt4 {
+            LevelSelector::three_level(
+                ThresholdPredictor::fixed(spec.threshold),
+                ThresholdPredictor::fixed(spec.mid),
+            )
+        } else {
+            LevelSelector::two_level(
+                top,
+                SmtLevel::Smt1,
+                ThresholdPredictor::fixed(spec.threshold),
+            )
+        };
+        let metric_spec = MetricSpec::for_arch(&machine.arch);
+        let cfg = ControllerConfig {
+            window_cycles: spec.window_cycles,
+            alpha: spec.alpha,
+            hysteresis: spec.hysteresis,
+            probe_interval: spec.probe_interval,
+            phase_detect: spec.phase_detect,
+        };
+        Ok(Session {
+            id,
+            controller: DynamicSmtController::new(selector, metric_spec, cfg),
+            spec: metric_spec,
+            top,
+            level: top,
+            last_factors: SmtsmFactors {
+                mix_deviation: 0.0,
+                disp_held: 0.0,
+                scalability: 0.0,
+            },
+            windows: 0,
+        })
+    }
+
+    /// Server-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Top SMT level of the session's machine model.
+    pub fn top(&self) -> SmtLevel {
+        self.top
+    }
+
+    /// Level the decision core currently wants the client's machine at.
+    pub fn level(&self) -> SmtLevel {
+        self.level
+    }
+
+    /// Windows folded over the session's lifetime.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Fold a batch of streamed counter windows into the decision core, in
+    /// order, and summarize what happened.
+    pub fn ingest(&mut self, windows: &[WindowMeasurement]) -> IngestSummary {
+        let mut switches = Vec::new();
+        for m in windows {
+            if m.smt == self.top {
+                self.last_factors = smtsm_factors(&self.spec, m);
+            }
+            let d = self.controller.observe(m);
+            self.level = d.level;
+            if d.switched {
+                switches.push(d);
+            }
+            self.windows += 1;
+        }
+        IngestSummary {
+            accepted: windows.len() as u64,
+            total_windows: self.windows,
+            level: self.level,
+            switches,
+        }
+    }
+
+    /// The session's current answer. The level is the decision core's —
+    /// hysteresis- and probe-aware — not a raw re-read of the selector, so
+    /// it is exactly what an offline controller run over the same window
+    /// stream would have left the machine at.
+    ///
+    /// The record is kept JSON-clean: NaN has no JSON encoding, so an
+    /// empty sampler (fresh session, or right after a switch reset) is
+    /// reported as `smtsm: 0.0` with zero confidence instead of NaN.
+    pub fn recommend(&self) -> Recommendation {
+        let mut r = match self.controller.sampler().current() {
+            Some(smtsm) if smtsm.is_finite() => Recommendation::from_metric(
+                self.controller.selector(),
+                smtsm,
+                self.last_factors,
+                self.windows,
+            ),
+            _ => Recommendation {
+                level: self.level,
+                smtsm: 0.0,
+                factors: self.last_factors,
+                confidence: 0.0,
+                windows: self.windows,
+            },
+        };
+        r.level = self.level;
+        r
+    }
+}
+
+/// Resolve a protocol machine name to a machine model.
+pub fn machine_by_name(name: &str) -> Result<MachineConfig, Error> {
+    match name {
+        "p7" => Ok(MachineConfig::power7(1)),
+        "p7x2" => Ok(MachineConfig::power7(2)),
+        "nhm" => Ok(MachineConfig::nehalem()),
+        other => Err(Error::InvalidMachine(format!(
+            "unknown machine {other:?} (expected p7, p7x2, or nhm)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::Simulation;
+    use smt_workloads::{catalog, SyntheticWorkload};
+
+    #[test]
+    fn bad_hello_parameters_are_errors() {
+        let mut spec = SessionSpec::power7();
+        spec.machine = "power9".to_string();
+        assert!(Session::new(1, &spec).is_err());
+        let mut spec = SessionSpec::power7();
+        spec.alpha = 0.0;
+        assert!(Session::new(1, &spec).is_err());
+        let mut spec = SessionSpec::power7();
+        spec.hysteresis = 0;
+        assert!(Session::new(1, &spec).is_err());
+        let mut spec = SessionSpec::power7();
+        spec.threshold = f64::NAN;
+        assert!(Session::new(1, &spec).is_err());
+    }
+
+    #[test]
+    fn fresh_session_recommends_top_with_zero_confidence() {
+        let s = Session::new(7, &SessionSpec::power7()).unwrap();
+        assert_eq!(s.top(), SmtLevel::Smt4);
+        let r = s.recommend();
+        assert_eq!(r.level, SmtLevel::Smt4);
+        assert_eq!(r.windows, 0);
+        assert_eq!(r.confidence, 0.0);
+    }
+
+    #[test]
+    fn session_tracks_offline_controller_over_a_streamed_run() {
+        // Feed the session the window stream an offline controller-managed
+        // simulation produces, applying the session's level answers back to
+        // the simulation — the closed loop a real client would run.
+        let spec = SessionSpec::power7();
+        let mut session = Session::new(1, &spec).unwrap();
+        let machine = machine_by_name(&spec.machine).unwrap();
+        let mut sim = Simulation::new(
+            machine,
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(catalog::specjbb_contention().scaled(0.3)),
+        );
+        let mut saw_switch = false;
+        while !sim.finished() && sim.now() < 100_000_000 {
+            let m = sim.measure_window(spec.window_cycles);
+            let summary = session.ingest(std::slice::from_ref(&m));
+            saw_switch |= !summary.switches.is_empty();
+            if sim.smt() != summary.level {
+                sim.reconfigure(summary.level);
+            }
+        }
+        assert!(saw_switch, "contended run must switch at least once");
+        assert_eq!(session.level(), sim.smt());
+        let r = session.recommend();
+        assert_eq!(r.level, sim.smt());
+        assert_eq!(r.windows, session.windows());
+    }
+}

@@ -1,0 +1,247 @@
+//! Wire-protocol tests: every verb round-trips through the line codec,
+//! and a live server answers malformed/truncated lines with a structured
+//! error while the connection's session stays usable.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use smt_service::protocol::{
+    decode_line, encode_line, ErrorCode, IngestSummary, Request, Response, SessionSpec,
+    StatsReport, PROTOCOL_VERSION,
+};
+use smt_service::{Client, ServerConfig};
+use smt_sim::{MachineConfig, Simulation, SmtLevel, WindowMeasurement};
+use smt_workloads::{catalog, SyntheticWorkload};
+
+fn sample_window() -> WindowMeasurement {
+    let mut sim = Simulation::new(
+        MachineConfig::power7(1),
+        SmtLevel::Smt4,
+        SyntheticWorkload::new(catalog::ep().scaled(0.05)),
+    );
+    sim.measure_window(5_000)
+}
+
+fn round_trip_request(req: &Request) {
+    let line = encode_line(req).expect("encode");
+    assert!(line.ends_with('\n'), "line framing");
+    assert!(
+        !line[..line.len() - 1].contains('\n'),
+        "one line per message"
+    );
+    let back: Request = decode_line(&line).expect("decode");
+    assert_eq!(&back, req);
+}
+
+fn round_trip_response(resp: &Response) {
+    let line = encode_line(resp).expect("encode");
+    let back: Response = decode_line(&line).expect("decode");
+    assert_eq!(&back, resp);
+}
+
+#[test]
+fn every_request_verb_round_trips() {
+    round_trip_request(&Request::Hello {
+        proto: PROTOCOL_VERSION,
+        spec: SessionSpec::power7(),
+    });
+    round_trip_request(&Request::Ingest {
+        windows: vec![sample_window(), sample_window()],
+    });
+    round_trip_request(&Request::Ingest { windows: vec![] });
+    round_trip_request(&Request::Recommend);
+    round_trip_request(&Request::Stats);
+    round_trip_request(&Request::Shutdown);
+    round_trip_request(&Request::Debug {
+        op: "panic".to_string(),
+    });
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    round_trip_response(&Response::Welcome {
+        session: 42,
+        proto: PROTOCOL_VERSION,
+        top: SmtLevel::Smt4,
+    });
+    round_trip_response(&Response::Ingested(IngestSummary {
+        accepted: 4,
+        total_windows: 12,
+        level: SmtLevel::Smt2,
+        switches: vec![smt_sched::StreamDecision {
+            level: SmtLevel::Smt2,
+            metric: Some(0.31),
+            switched: true,
+            probe: false,
+        }],
+    }));
+    round_trip_response(&Response::Stats(StatsReport {
+        sessions_active: 1,
+        sessions_total: 3,
+        requests_total: 100,
+        errors_total: 2,
+        busy_rejections: 1,
+        windows_ingested: 400,
+        recommendations: vec![(1, 5), (2, 0), (4, 20)],
+        p50_us: 128,
+        p99_us: 4096,
+        uptime_secs: 1.5,
+    }));
+    round_trip_response(&Response::Bye);
+    for code in [
+        ErrorCode::BadRequest,
+        ErrorCode::NoSession,
+        ErrorCode::SessionExists,
+        ErrorCode::Busy,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+        ErrorCode::Unsupported,
+    ] {
+        round_trip_response(&Response::error(code, "detail"));
+    }
+}
+
+#[test]
+fn recommendation_response_round_trips() {
+    let mut session = smt_service::Session::new(1, &SessionSpec::power7()).unwrap();
+    session.ingest(&[sample_window()]);
+    round_trip_response(&Response::Recommendation(session.recommend()));
+}
+
+/// One server shared by all proptest cases (each case opens its own
+/// connection). Never shut down: the process exit reaps it.
+fn shared_server_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let handle = smt_service::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        })
+        .expect("spawn shared server");
+        let addr = handle.local_addr().to_string();
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+/// Corrupt a valid request line so it can no longer parse as a `Request`,
+/// without ever producing an empty line or embedded newlines (both are
+/// framing non-events, not protocol errors).
+fn corrupt(valid: &str, mode: u8, at: usize, junk: u64) -> String {
+    let body = valid.trim_end_matches('\n');
+    let s = match mode % 4 {
+        // Truncate: any strict prefix of a JSON object is invalid.
+        0 => {
+            let cut = 1 + at % (body.len() - 1);
+            body[..cut].to_string()
+        }
+        // Prefix garbage: never valid JSON.
+        1 => format!("@#!{body}"),
+        // Unbalance the braces.
+        2 => format!("{body}}}"),
+        // Pure junk derived from the seed (non-empty, no whitespace).
+        _ => format!("junk-{junk:x}-{{oops"),
+    };
+    s.replace(['\n', '\r'], " ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Garbage in, structured error out — and the session survives it.
+    #[test]
+    fn malformed_lines_get_structured_errors_and_spare_the_session(
+        mode in 0u8..4,
+        at in 0usize..4096,
+        junk in 0u64..u64::MAX,
+    ) {
+        let addr = shared_server_addr();
+        let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+        client.hello(&SessionSpec::power7()).expect("hello");
+        let window = sample_window();
+        client.ingest(std::slice::from_ref(&window)).expect("first ingest");
+
+        let valid = encode_line(&Request::Ingest { windows: vec![window.clone()] }).unwrap();
+        let bad = corrupt(&valid, mode, at, junk);
+        match client.send_raw_line(&bad).expect("server must answer the bad line") {
+            Response::Error { code, .. } => prop_assert_eq!(code, ErrorCode::BadRequest),
+            other => prop_assert!(false, "expected structured error, got {:?}", other),
+        }
+
+        // The session is untouched: state built before the garbage is
+        // still there and further ingests keep counting from it.
+        let summary = client.ingest(std::slice::from_ref(&window)).expect("session survived");
+        prop_assert_eq!(summary.total_windows, 2);
+        client.recommend().expect("recommend after garbage");
+    }
+}
+
+#[test]
+fn verbs_out_of_order_get_structured_errors() {
+    let addr = shared_server_addr();
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    // Session verbs before hello.
+    match client.call(&Request::Recommend).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSession),
+        other => panic!("expected NoSession, got {other:?}"),
+    }
+    match client.call(&Request::Ingest { windows: vec![] }).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSession),
+        other => panic!("expected NoSession, got {other:?}"),
+    }
+
+    // Unsupported protocol revision.
+    match client
+        .call(&Request::Hello {
+            proto: PROTOCOL_VERSION + 1,
+            spec: SessionSpec::power7(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unsupported),
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+
+    // Double hello.
+    client.hello(&SessionSpec::power7()).expect("hello");
+    match client
+        .call(&Request::Hello {
+            proto: PROTOCOL_VERSION,
+            spec: SessionSpec::power7(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::SessionExists),
+        other => panic!("expected SessionExists, got {other:?}"),
+    }
+
+    // Bad session parameters.
+    let mut bad = SessionSpec::power7();
+    bad.machine = "vax".to_string();
+    let mut fresh = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    match fresh
+        .call(&Request::Hello {
+            proto: PROTOCOL_VERSION,
+            spec: bad,
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // Debug verbs are rejected unless the server opts in.
+    match client
+        .call(&Request::Debug {
+            op: "panic".to_string(),
+        })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+}

@@ -193,7 +193,7 @@ impl CoreCounters {
 
 /// A complete counter reading over one sampling window: the input to the
 /// SMT-selection metric and to every baseline metric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WindowMeasurement {
     /// Wall-clock cycles covered by the window (`TotalTime` in Eq. 1).
     pub wall_cycles: u64,

@@ -35,7 +35,7 @@ fn main() {
 
     // --- static baselines ---------------------------------------------
     println!("static levels:");
-    let oracle = oracle_sweep(&cfg, phased, 2_000_000_000);
+    let oracle = oracle_sweep(&cfg, phased, 2_000_000_000).expect("oracle sweep");
     for l in &oracle.levels {
         println!(
             "  {}: {:.2} work/cycle{}",
@@ -80,14 +80,15 @@ fn main() {
         }
     }
     println!();
+    let best = oracle.best_perf().expect("oracle sweep has levels");
+    let worst = oracle
+        .levels
+        .iter()
+        .map(|l| l.result.perf())
+        .fold(f64::INFINITY, f64::min);
     println!(
         "dynamic achieves {:.0}% of the oracle and {:.2}x the worst static level",
-        report.perf / oracle.best_perf() * 100.0,
-        report.perf
-            / oracle
-                .levels
-                .iter()
-                .map(|l| l.result.perf())
-                .fold(f64::INFINITY, f64::min)
+        report.perf / best * 100.0,
+        report.perf / worst
     );
 }

@@ -163,8 +163,10 @@ fn main() {
         let window = sim.measure_window(50_000);
         let metric = smtsm(&spec, &window);
         // Ground truth.
-        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
-        let speedup = oracle.perf_at(SmtLevel::Smt2) / oracle.perf_at(SmtLevel::Smt1);
+        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000)
+            .expect("oracle sweep");
+        let speedup = oracle.perf_at(SmtLevel::Smt2).expect("smt2")
+            / oracle.perf_at(SmtLevel::Smt1).expect("smt1");
         println!(
             "  {:<22} metric {:.4}  speedup {:.3}",
             wspec.name, metric, speedup

@@ -43,7 +43,8 @@ fn main() {
         let prediction = predictor.predict(f.value());
 
         // --- ground truth: run every level to completion ----------------
-        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
+        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000)
+            .expect("oracle sweep");
 
         println!("== {} ==", wspec.name);
         println!(

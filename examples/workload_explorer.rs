@@ -23,8 +23,10 @@ fn measure(cfg: &MachineConfig, wspec: &WorkloadSpec) -> (f64, f64) {
     sim.run_cycles(20_000);
     let window = sim.measure_window(40_000);
     let metric = smtsm(&spec, &window);
-    let oracle = oracle_sweep(cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000);
-    let speedup = oracle.perf_at(SmtLevel::Smt4) / oracle.perf_at(SmtLevel::Smt1);
+    let oracle =
+        oracle_sweep(cfg, || SyntheticWorkload::new(wspec.clone()), 500_000_000).expect("sweep");
+    let speedup = oracle.perf_at(SmtLevel::Smt4).expect("smt4")
+        / oracle.perf_at(SmtLevel::Smt1).expect("smt1");
     (metric, speedup)
 }
 

@@ -18,9 +18,32 @@
 //!                [--threshold T] [--mid T]
 //!     Run the benchmark under the dynamic SMT controller and print the
 //!     switch log and final throughput.
+//!
+//! smtselect serve [--addr HOST:PORT] [--unix PATH] [--workers N]
+//!                 [--max-sessions N] [--debug-verbs] [--verbose]
+//!     Run smtd, the recommendation daemon: clients stream counter windows
+//!     over newline-delimited JSON and get SMT-level answers back. Returns
+//!     when a client sends the shutdown verb.
+//!
+//! smtselect bench-serve [--addr HOST:PORT | --spawn] [--quick]
+//!                       [--connections N] [--requests N] [--label L]
+//!                       [--check FILE] [--tolerance F] [--out FILE]
+//!                       [--shutdown]
+//!     Load-test a running smtd (or an in-process one with --spawn) and
+//!     report throughput and latency percentiles; --check gates on a
+//!     committed BENCH_serve.json baseline, --out appends the run to the
+//!     trajectory, --shutdown stops the server afterwards.
+//!
+//! `analyze` and `tune` also take `--json`: the recommendation is printed
+//! as one JSON line rendered from the same `Recommendation` struct the
+//! daemon serves, so offline and online answers are byte-comparable.
 //! ```
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use smt_select::prelude::*;
+use smt_select::service;
 
 fn machine_by_name(name: &str) -> (MachineConfig, &'static str) {
     match name {
@@ -52,6 +75,21 @@ struct Opts {
     mid: f64,
     out: Option<String>,
     verify: bool,
+    json: bool,
+    addr: String,
+    unix: Option<String>,
+    workers: usize,
+    max_sessions: usize,
+    debug_verbs: bool,
+    verbose: bool,
+    quick: bool,
+    spawn: bool,
+    shutdown: bool,
+    connections: Option<usize>,
+    requests: Option<usize>,
+    label: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
     positional: Vec<String>,
 }
 
@@ -63,6 +101,21 @@ fn parse(args: &[String]) -> Opts {
         mid: 0.20,
         out: None,
         verify: false,
+        json: false,
+        addr: "127.0.0.1:7099".into(),
+        unix: None,
+        workers: 8,
+        max_sessions: 64,
+        debug_verbs: false,
+        verbose: false,
+        quick: false,
+        spawn: false,
+        shutdown: false,
+        connections: None,
+        requests: None,
+        label: None,
+        check: None,
+        tolerance: 0.2,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -89,10 +142,61 @@ fn parse(args: &[String]) -> Opts {
             }
             "--out" => o.out = Some(it.next().expect("--out takes a path").clone()),
             "--verify" => o.verify = true,
+            "--json" => o.json = true,
+            "--addr" => o.addr = it.next().expect("--addr takes host:port").clone(),
+            "--unix" => o.unix = Some(it.next().expect("--unix takes a path").clone()),
+            "--workers" => {
+                o.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers takes a count")
+            }
+            "--max-sessions" => {
+                o.max_sessions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-sessions takes a count")
+            }
+            "--debug-verbs" => o.debug_verbs = true,
+            "--verbose" => o.verbose = true,
+            "--quick" => o.quick = true,
+            "--spawn" => o.spawn = true,
+            "--shutdown" => o.shutdown = true,
+            "--connections" => {
+                o.connections = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--connections takes a count"),
+                )
+            }
+            "--requests" => {
+                o.requests = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--requests takes a count"),
+                )
+            }
+            "--label" => o.label = Some(it.next().expect("--label takes a value").clone()),
+            "--check" => o.check = Some(it.next().expect("--check takes a path").clone()),
+            "--tolerance" => {
+                o.tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance takes a fraction")
+            }
             other => o.positional.push(other.to_string()),
         }
     }
     o
+}
+
+/// The session parameters the CLI's offline paths and `smtd` clients share.
+fn session_spec(o: &Opts) -> service::SessionSpec {
+    let mut spec = service::SessionSpec::power7();
+    spec.machine = o.machine.clone();
+    spec.threshold = o.threshold;
+    spec.mid = o.mid;
+    spec
 }
 
 fn cmd_list() {
@@ -118,6 +222,30 @@ fn cmd_analyze(o: &Opts) {
     let spec = find_spec(name).scaled(o.scale);
     let top = *cfg.smt_levels().last().expect("levels");
     let mspec = MetricSpec::for_arch(&cfg.arch);
+
+    if o.json {
+        // Offline analysis through the daemon's own session type: stream
+        // top-level windows into a Session and print its recommendation,
+        // so this line is byte-identical to what `smtd` would serve for
+        // the same counter stream.
+        let sspec = session_spec(o);
+        let mut session = service::Session::new(0, &sspec).unwrap_or_else(|e| {
+            eprintln!("bad session parameters: {e}");
+            std::process::exit(2);
+        });
+        let mut sim = Simulation::new(cfg, top, SyntheticWorkload::new(spec));
+        sim.run_cycles(25_000);
+        for _ in 0..8 {
+            if sim.finished() {
+                break;
+            }
+            let m = sim.measure_window(sspec.window_cycles);
+            session.ingest(std::slice::from_ref(&m));
+        }
+        let line = serde_json::to_string(&session.recommend()).expect("serialize");
+        println!("{line}");
+        return;
+    }
 
     let mut sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(spec.clone()));
     sim.run_cycles(25_000);
@@ -153,7 +281,11 @@ fn cmd_analyze(o: &Opts) {
 
     if o.verify {
         println!("\nverify (full runs):");
-        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 2_000_000_000);
+        let oracle = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 2_000_000_000)
+            .unwrap_or_else(|e| {
+                eprintln!("oracle sweep failed: {e}");
+                std::process::exit(1);
+            });
         for l in &oracle.levels {
             println!(
                 "  {}: {:.2} work/cycle{}",
@@ -261,6 +393,29 @@ fn cmd_tune(o: &Opts) {
     } else {
         LevelSelector::two_level(top, SmtLevel::Smt1, ThresholdPredictor::fixed(o.threshold))
     };
+    if o.json {
+        // Closed-loop tuning through the daemon's session type: the local
+        // simulation plays the client's machine, applying each level the
+        // session answers with, and the final recommendation is printed
+        // exactly as `smtd` would serve it.
+        let sspec = session_spec(o);
+        let mut session = service::Session::new(0, &sspec).unwrap_or_else(|e| {
+            eprintln!("bad session parameters: {e}");
+            std::process::exit(2);
+        });
+        let mut sim = Simulation::new(cfg, top, SyntheticWorkload::new(spec));
+        while !sim.finished() && sim.now() < 5_000_000_000 {
+            let m = sim.measure_window(sspec.window_cycles);
+            let summary = session.ingest(std::slice::from_ref(&m));
+            if sim.smt() != summary.level && !sim.finished() {
+                sim.reconfigure(summary.level);
+            }
+        }
+        let line = serde_json::to_string(&session.recommend()).expect("serialize");
+        println!("{line}");
+        return;
+    }
+
     let mut sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(spec.clone()));
     let mut ctl = DynamicSmtController::new(
         selector,
@@ -283,10 +438,143 @@ fn cmd_tune(o: &Opts) {
     }
 }
 
+fn cmd_serve(o: &Opts) {
+    let cfg = service::ServerConfig {
+        addr: o.addr.clone(),
+        unix_path: o.unix.clone().map(std::path::PathBuf::from),
+        workers: o.workers,
+        max_sessions: o.max_sessions,
+        enable_debug: o.debug_verbs,
+        ..service::ServerConfig::default()
+    };
+    let sink: Arc<dyn ServiceSink> = if o.verbose {
+        Arc::new(service::StderrSink)
+    } else {
+        Arc::new(service::NullSink)
+    };
+    let handle = service::spawn_with_sink(cfg, sink).unwrap_or_else(|e| {
+        eprintln!("smtd failed to start: {e}");
+        std::process::exit(1);
+    });
+    println!("smtd listening on {}", handle.local_addr());
+    if let Some(path) = &o.unix {
+        println!("smtd listening on unix:{path}");
+    }
+    handle.join();
+    eprintln!("smtd: shut down");
+}
+
+fn cmd_bench_serve(o: &Opts) {
+    let mut bench = if o.quick {
+        BenchOptions::quick()
+    } else {
+        BenchOptions::full()
+    };
+    if let Some(label) = &o.label {
+        bench = bench.label(label.clone());
+    }
+    if let Some(n) = o.connections {
+        bench.connections = n;
+    }
+    if let Some(n) = o.requests {
+        bench.requests = n;
+    }
+
+    // --spawn runs the server in-process on a free port; otherwise drive
+    // an already-running daemon at --addr.
+    let spawned = if o.spawn {
+        let cfg = service::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: bench.connections.max(4),
+            max_sessions: bench.connections.max(4) * 2,
+            ..service::ServerConfig::default()
+        };
+        Some(service::spawn(cfg).unwrap_or_else(|e| {
+            eprintln!("smtd failed to start: {e}");
+            std::process::exit(1);
+        }))
+    } else {
+        None
+    };
+    let addr = match &spawned {
+        Some(h) => h.local_addr().to_string(),
+        None => o.addr.clone(),
+    };
+
+    let summary = run_bench(&addr, &bench).unwrap_or_else(|e| {
+        eprintln!("bench-serve failed against {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", summary.render());
+    let run = summary.to_perf_run();
+
+    if let Some(check) = &o.check {
+        let baseline = PerfReport::load(check).unwrap_or_else(|e| {
+            eprintln!("cannot load baseline {check}: {e}");
+            std::process::exit(1);
+        });
+        let Some(base_run) = baseline.latest() else {
+            eprintln!("{check} contains no runs to check against");
+            std::process::exit(1);
+        };
+        let regs = check_regression(&run, base_run, o.tolerance);
+        if regs.is_empty() {
+            eprintln!(
+                "bench-serve check OK vs `{}` (tolerance {:.0}%)",
+                base_run.label,
+                o.tolerance * 100.0
+            );
+        } else {
+            for r in &regs {
+                eprintln!(
+                    "bench-serve REGRESSION {}: {:.1} -> {:.1} ({:.1}% worse)",
+                    r.case,
+                    r.baseline,
+                    r.current,
+                    r.slowdown() * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(out) = &o.out {
+        let mut report = if std::path::Path::new(out).exists() {
+            PerfReport::load(out).unwrap_or_else(|e| {
+                eprintln!("cannot load {out}: {e}");
+                std::process::exit(1);
+            })
+        } else {
+            PerfReport::new()
+        };
+        report.push(run);
+        if let Err(e) = report.save(out) {
+            eprintln!("cannot save {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("appended run to {out}");
+    }
+
+    if o.shutdown || spawned.is_some() {
+        let mut client = Client::connect(&addr, Duration::from_secs(5)).unwrap_or_else(|e| {
+            eprintln!("cannot connect for shutdown: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = client.shutdown() {
+            eprintln!("shutdown failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("server shut down");
+    }
+    if let Some(handle) = spawned {
+        handle.join();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: smtselect <list|analyze|train|tune> ...; see --help");
+        eprintln!("usage: smtselect <list|analyze|train|tune|serve|bench-serve> ...; see --help");
         std::process::exit(2);
     };
     let opts = parse(&args[1..]);
@@ -295,12 +583,23 @@ fn main() {
         "analyze" => cmd_analyze(&opts),
         "train" => cmd_train(&opts),
         "tune" => cmd_tune(&opts),
+        "serve" => cmd_serve(&opts),
+        "bench-serve" => cmd_bench_serve(&opts),
         "-h" | "--help" => {
             println!("smtselect — SMT-level selection via the SMTsm metric (IPDPS'12)");
             println!(
-                "commands: list | analyze <bench> [--verify] | train [--out F] | tune <bench>"
+                "commands: list | analyze <bench> [--verify] [--json] | train [--out F] | \
+                 tune <bench> [--json] | serve | bench-serve"
             );
             println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
+            println!(
+                "serve   : --addr HOST:PORT  --unix PATH  --workers N  --max-sessions N  \
+                 --debug-verbs  --verbose"
+            );
+            println!(
+                "bench   : --addr HOST:PORT | --spawn  --quick  --connections N  --requests N  \
+                 --label L  --check FILE  --tolerance F  --out FILE  --shutdown"
+            );
         }
         other => {
             eprintln!("unknown command {other:?}; try --help");

@@ -22,6 +22,7 @@
 //! | [`sched`] (`smt-sched`) | dynamic SMT-level controller, user-level optimizer, oracle and IPC-probe baselines |
 //! | [`stats`] (`smt-stats`) | Gini impurity, correlation, classification accounting |
 //! | [`experiments`] (`smt-experiments`) | regenerates every paper table and figure (`repro` binary) |
+//! | [`service`] (`smt-service`) | `smtd`: an online recommendation daemon — clients stream counter windows over TCP/Unix sockets and get SMT-level answers from the same decision core the offline controller uses |
 //!
 //! # Quick start
 //!
@@ -49,6 +50,7 @@
 
 pub use smt_experiments as experiments;
 pub use smt_sched as sched;
+pub use smt_service as service;
 pub use smt_sim as sim;
 pub use smt_stats as stats;
 pub use smt_workloads as workloads;
@@ -63,6 +65,11 @@ pub mod prelude {
     };
     pub use smt_sched::{
         compare, ipc_probe_run, oracle_sweep, tune, ControllerConfig, DynamicSmtController,
+        Recommendation, StreamDecision,
+    };
+    pub use smt_service::{
+        run_bench, BenchOptions, Client, ServerConfig, ServerHandle, ServiceMetrics, ServiceSink,
+        SessionSpec,
     };
     pub use smt_sim::{
         ArchDescriptor, Instr, InstrClass, MachineConfig, RunResult, ScriptedWorkload, Simulation,

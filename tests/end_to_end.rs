@@ -149,7 +149,8 @@ fn dynamic_controller_tracks_oracle_on_a_phase_change() {
             phase_detect: true,
         },
         1_000_000_000,
-    );
+    )
+    .expect("policy comparison");
     assert!(cmp.dynamic.completed);
     assert!(
         cmp.dynamic.perf >= cmp.worst_static_perf(),
@@ -158,9 +159,9 @@ fn dynamic_controller_tracks_oracle_on_a_phase_change() {
         cmp.worst_static_perf()
     );
     assert!(
-        cmp.dynamic_vs_oracle() > 0.6,
+        cmp.dynamic_vs_oracle().expect("oracle perf") > 0.6,
         "dynamic too far from oracle: {:.2}",
-        cmp.dynamic_vs_oracle()
+        cmp.dynamic_vs_oracle().unwrap()
     );
     assert!(
         !cmp.dynamic.switches.is_empty(),
