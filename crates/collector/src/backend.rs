@@ -1,0 +1,240 @@
+//! The [`CounterBackend`] trait and the [`Collector`] driver.
+//!
+//! A backend is anything that yields counter windows in measurement order:
+//! a live PMU ([`crate::PerfBackend`]), the simulator
+//! ([`crate::SimBackend`]), or a recorded trace
+//! ([`crate::TraceBackend`]). The [`Collector`] drives one backend,
+//! optionally teeing every window into a [`TraceWriter`] so a live session
+//! doubles as a reproducible offline corpus.
+
+use smt_sim::{Error, WindowMeasurement};
+
+use crate::trace::{TraceMeta, TraceWriter};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+
+/// A source of counter windows.
+///
+/// `next_window` is pull-based: the caller decides the cadence (for live
+/// backends `window_cycles` sets the sampling interval; replay backends
+/// return windows exactly as recorded and ignore it). `Ok(None)` means the
+/// source is exhausted — the workload finished, the traced process exited,
+/// or the trace reached its recorded end. Errors are *structured*, never
+/// panics: an unreadable PMU or a corrupt trace reports through
+/// [`smt_sim::Error`] so callers can fall back.
+pub trait CounterBackend {
+    /// Short backend identifier (`"perf"`, `"sim"`, `"trace"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description of what is being collected.
+    fn describe(&self) -> String;
+
+    /// Produce the next counter window, or `Ok(None)` when exhausted.
+    fn next_window(&mut self, window_cycles: u64) -> Result<Option<WindowMeasurement>, Error>;
+}
+
+/// Iterator adapter over a backend — the shape `Client::ingest_stream`
+/// and other sinks consume.
+pub struct WindowIter<'a> {
+    backend: &'a mut dyn CounterBackend,
+    window_cycles: u64,
+    done: bool,
+}
+
+impl<'a> WindowIter<'a> {
+    /// Iterate `backend` at the given window length until exhaustion or
+    /// the first error (iteration stops after yielding the error).
+    pub fn new(backend: &'a mut dyn CounterBackend, window_cycles: u64) -> WindowIter<'a> {
+        WindowIter {
+            backend,
+            window_cycles,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for WindowIter<'_> {
+    type Item = Result<WindowMeasurement, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.backend.next_window(self.window_cycles) {
+            Ok(Some(w)) => Some(Ok(w)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Summary of one collection run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CollectReport {
+    /// Backend that produced the windows.
+    pub backend: String,
+    /// Windows collected.
+    pub windows: u64,
+    /// Whether the source was exhausted (vs. stopping at the window cap).
+    pub exhausted: bool,
+    /// Trace file the run was recorded to, if any.
+    pub recorded_to: Option<String>,
+}
+
+/// Drives a [`CounterBackend`], optionally recording every window.
+pub struct Collector {
+    backend: Box<dyn CounterBackend>,
+    recorder: Option<(TraceWriter<BufWriter<File>>, String)>,
+    collected: u64,
+    exhausted: bool,
+}
+
+impl Collector {
+    /// Wrap a backend with no recording.
+    pub fn new(backend: Box<dyn CounterBackend>) -> Collector {
+        Collector {
+            backend,
+            recorder: None,
+            collected: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Tee every collected window into a trace file at `path`.
+    pub fn record_to(
+        mut self,
+        path: impl AsRef<Path>,
+        meta: TraceMeta,
+    ) -> Result<Collector, Error> {
+        let path = path.as_ref();
+        let writer = TraceWriter::create(path, meta)?;
+        self.recorder = Some((writer, path.display().to_string()));
+        Ok(self)
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &dyn CounterBackend {
+        &*self.backend
+    }
+
+    /// Pull up to `max_windows` windows of `window_cycles` each, recording
+    /// them if a recorder is attached. Returns the windows collected by
+    /// *this* call; a source that dries up earlier just yields fewer.
+    pub fn collect(
+        &mut self,
+        max_windows: u64,
+        window_cycles: u64,
+    ) -> Result<Vec<WindowMeasurement>, Error> {
+        let mut out = Vec::new();
+        while (out.len() as u64) < max_windows {
+            match self.backend.next_window(window_cycles)? {
+                Some(w) => {
+                    if let Some((rec, _)) = &mut self.recorder {
+                        rec.append(&w)?;
+                    }
+                    out.push(w);
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        self.collected += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Finish the run: finalize the trace file (patching the window count
+    /// and header checksum) and summarize.
+    pub fn finish(self) -> Result<CollectReport, Error> {
+        let recorded_to = match self.recorder {
+            Some((rec, path)) => {
+                rec.finalize()?;
+                Some(path)
+            }
+            None => None,
+        };
+        Ok(CollectReport {
+            backend: self.backend.name().to_string(),
+            windows: self.collected,
+            exhausted: self.exhausted,
+            recorded_to,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A backend yielding `n` canned windows.
+    struct Canned {
+        left: u64,
+        fail_at: Option<u64>,
+    }
+
+    fn window(seq: u64) -> WindowMeasurement {
+        let mut t = smt_sim::ThreadCounters::new(4);
+        t.cpu_cycles = 1000 + seq;
+        t.issued = 10 * seq;
+        WindowMeasurement {
+            wall_cycles: 1000,
+            smt: smt_sim::SmtLevel::Smt2,
+            per_thread: vec![t],
+            cores: smt_sim::CoreCounters::default(),
+        }
+    }
+
+    impl CounterBackend for Canned {
+        fn name(&self) -> &'static str {
+            "canned"
+        }
+        fn describe(&self) -> String {
+            format!("{} canned windows", self.left)
+        }
+        fn next_window(&mut self, _wc: u64) -> Result<Option<WindowMeasurement>, Error> {
+            if self.fail_at == Some(self.left) {
+                return Err(Error::InvalidMeasurement("injected".into()));
+            }
+            if self.left == 0 {
+                return Ok(None);
+            }
+            self.left -= 1;
+            Ok(Some(window(self.left)))
+        }
+    }
+
+    #[test]
+    fn collector_stops_at_cap_and_at_exhaustion() -> Result<(), Error> {
+        let mut c = Collector::new(Box::new(Canned {
+            left: 5,
+            fail_at: None,
+        }));
+        assert_eq!(c.collect(3, 100)?.len(), 3);
+        assert_eq!(c.collect(10, 100)?.len(), 2);
+        let report = c.finish()?;
+        assert_eq!(report.windows, 5);
+        assert!(report.exhausted);
+        assert_eq!(report.recorded_to, None);
+        Ok(())
+    }
+
+    #[test]
+    fn window_iter_yields_error_once_then_ends() {
+        let mut b = Canned {
+            left: 4,
+            fail_at: Some(2),
+        };
+        let results: Vec<_> = WindowIter::new(&mut b, 100).collect();
+        assert_eq!(results.len(), 3); // two windows, then the error
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert!(results[2].is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Structured capability reporting for live collection.
+//!
+//! `perf_event_open` fails for many benign reasons — containers mask the
+//! syscall, `perf_event_paranoid` denies unprivileged users, a PMU may not
+//! implement a raw encoding. Collection must *report* those outcomes, not
+//! panic on them: the probe opens every event an [`crate::EventMap`]
+//! describes and returns one [`CapabilityReport`] the CLI prints and CI
+//! inspects (skip-if-unsupported).
+
+use serde::Serialize;
+
+/// Outcome of probing one event on the host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum SupportStatus {
+    /// The event opened and counted.
+    Supported,
+    /// The kernel denied access (EPERM/EACCES — `perf_event_paranoid`,
+    /// seccomp, or missing CAP_PERFMON).
+    Denied {
+        /// Errno from `perf_event_open`.
+        errno: i32,
+    },
+    /// The kernel or PMU does not implement the event (ENOENT/ENODEV/
+    /// EOPNOTSUPP/EINVAL).
+    Missing {
+        /// Errno from `perf_event_open`.
+        errno: i32,
+    },
+    /// `perf_event_open` itself is unavailable (ENOSYS, or a non-Linux /
+    /// non-x86_64 build of this crate).
+    UnsupportedPlatform,
+}
+
+impl SupportStatus {
+    /// Whether the event can be counted.
+    pub fn ok(&self) -> bool {
+        matches!(self, SupportStatus::Supported)
+    }
+}
+
+/// Probe outcome for one event.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventSupport {
+    /// Vendor mnemonic from the event map.
+    pub name: String,
+    /// `(type, config)` encoding that was tried.
+    pub perf_type: u32,
+    /// Raw config value.
+    pub config: u64,
+    /// Whether collection can proceed without it.
+    pub optional: bool,
+    /// What happened.
+    pub status: SupportStatus,
+}
+
+/// What live collection can do on this host.
+#[derive(Debug, Clone, Serialize)]
+pub struct CapabilityReport {
+    /// Backend probed (`"perf"`).
+    pub backend: String,
+    /// `target_os`/`target_arch` the probe ran on.
+    pub platform: String,
+    /// Event map the probe used.
+    pub event_map: String,
+    /// True when every *required* event is supported — live collection can
+    /// produce metric-grade windows.
+    pub usable: bool,
+    /// Per-event outcomes.
+    pub events: Vec<EventSupport>,
+    /// Human-readable context (paranoid level, fallback advice).
+    pub notes: Vec<String>,
+}
+
+impl CapabilityReport {
+    /// Compute `usable` from the event list: all required events OK.
+    pub fn finish(mut self) -> CapabilityReport {
+        self.usable =
+            !self.events.is_empty() && self.events.iter().all(|e| e.optional || e.status.ok());
+        self
+    }
+
+    /// Render the report as an aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf capability on {} (map: {}): {}\n",
+            self.platform,
+            self.event_map,
+            if self.usable { "USABLE" } else { "UNAVAILABLE" }
+        ));
+        for e in &self.events {
+            let status = match &e.status {
+                SupportStatus::Supported => "ok".to_string(),
+                SupportStatus::Denied { errno } => format!("denied (errno {errno})"),
+                SupportStatus::Missing { errno } => format!("missing (errno {errno})"),
+                SupportStatus::UnsupportedPlatform => "no perf_event_open".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<28} type {} config {:#x}{}  {}\n",
+                e.name,
+                e.perf_type,
+                e.config,
+                if e.optional { " (optional)" } else { "" },
+                status
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn support(name: &str, optional: bool, status: SupportStatus) -> EventSupport {
+        EventSupport {
+            name: name.to_string(),
+            perf_type: 0,
+            config: 0,
+            optional,
+            status,
+        }
+    }
+
+    #[test]
+    fn usable_requires_all_required_events() {
+        let r = CapabilityReport {
+            backend: "perf".into(),
+            platform: "test".into(),
+            event_map: "generic".into(),
+            usable: false,
+            events: vec![
+                support("a", false, SupportStatus::Supported),
+                support("b", true, SupportStatus::Denied { errno: 1 }),
+            ],
+            notes: vec![],
+        }
+        .finish();
+        assert!(r.usable);
+
+        let r2 = CapabilityReport {
+            events: vec![support("a", false, SupportStatus::Missing { errno: 2 })],
+            ..r.clone()
+        }
+        .finish();
+        assert!(!r2.usable);
+
+        let empty = CapabilityReport {
+            events: vec![],
+            ..r.clone()
+        }
+        .finish();
+        assert!(!empty.usable);
+    }
+
+    #[test]
+    fn render_mentions_every_event_and_note() {
+        let r = CapabilityReport {
+            backend: "perf".into(),
+            platform: "linux/x86_64".into(),
+            event_map: "nehalem-like".into(),
+            usable: false,
+            events: vec![support(
+                "INST_RETIRED.ANY",
+                false,
+                SupportStatus::UnsupportedPlatform,
+            )],
+            notes: vec!["falling back to --backend sim".into()],
+        };
+        let text = r.render();
+        assert!(text.contains("INST_RETIRED.ANY"));
+        assert!(text.contains("UNAVAILABLE"));
+        assert!(text.contains("falling back"));
+    }
+}

@@ -1,0 +1,602 @@
+//! Event descriptors and the [`EventMap`]: how raw PMU readings become
+//! Eq.-1 factors.
+//!
+//! The paper's metric needs four observables per window: the instruction
+//! mix over issue ports (mix-deviation factor), resource-stall cycles
+//! (DispHeld factor), per-thread CPU time (scalability factor), and
+//! instructions/cycles for normalization. Real PMUs expose these under
+//! architecture-specific encodings; an [`EventMap`] is the per-architecture
+//! table translating generic [`EventKind`]s into `perf_event_open`
+//! `(type, config)` pairs, plus the arithmetic that folds scaled counts
+//! into a [`WindowMeasurement`].
+//!
+//! Everything here is pure data + arithmetic — unit-testable without a PMU.
+//! The syscall layer lives in [`crate::perf`].
+
+use serde::Serialize;
+use smt_sim::{Error, SmtLevel, ThreadCounters, WindowMeasurement};
+
+/// `perf_event_attr.type` for generalized hardware events.
+pub const PERF_TYPE_HARDWARE: u32 = 0;
+/// `perf_event_attr.type` for software events (task-clock & co).
+pub const PERF_TYPE_SOFTWARE: u32 = 1;
+/// `perf_event_attr.type` for raw, architecture-specific encodings.
+pub const PERF_TYPE_RAW: u32 = 4;
+
+/// `PERF_COUNT_HW_*` configs for [`PERF_TYPE_HARDWARE`].
+pub mod hw {
+    /// Unhalted reference cycles.
+    pub const CPU_CYCLES: u64 = 0;
+    /// Retired instructions.
+    pub const INSTRUCTIONS: u64 = 1;
+    /// Retired branch instructions.
+    pub const BRANCH_INSTRUCTIONS: u64 = 4;
+    /// Mispredicted branches.
+    pub const BRANCH_MISSES: u64 = 5;
+    /// Backend stall cycles (resource stalls), where the kernel generalizes
+    /// them.
+    pub const STALLED_CYCLES_BACKEND: u64 = 8;
+}
+
+/// `PERF_COUNT_SW_*` configs for [`PERF_TYPE_SOFTWARE`].
+pub mod sw {
+    /// Nanoseconds the task was running on a CPU.
+    pub const TASK_CLOCK: u64 = 1;
+}
+
+/// The generic observables the metric needs, independent of encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// Retired instructions → [`ThreadCounters::issued`] (and work units).
+    Instructions,
+    /// Unhalted cycles the thread ran → [`ThreadCounters::cpu_cycles`].
+    Cycles,
+    /// Cycles dispatch was held by saturated execution resources
+    /// (`RESOURCE_STALLS.ANY` / `PM_DISP_CLB_HELD_RES`) →
+    /// [`ThreadCounters::disp_held_cycles`].
+    ResourceStallCycles,
+    /// Retired branches → [`ThreadCounters::branches`].
+    Branches,
+    /// Mispredicted branches → [`ThreadCounters::branch_mispredicts`].
+    BranchMisses,
+    /// L1D misses → [`ThreadCounters::l1d_misses`].
+    L1dMisses,
+    /// Uops dispatched through issue port *n* →
+    /// `ThreadCounters::port_issued[n]`.
+    PortUops(u8),
+    /// Nanoseconds on-CPU (software clock); the scalability factor's
+    /// denominator on hosts where [`EventKind::Cycles`] multiplexes badly.
+    TaskClockNs,
+}
+
+/// One PMU event: a generic kind plus its encoding on a concrete host.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventDesc {
+    /// What the event measures.
+    pub kind: EventKind,
+    /// Vendor mnemonic, for probe reports and docs.
+    pub name: &'static str,
+    /// `perf_event_attr.type`.
+    pub perf_type: u32,
+    /// `perf_event_attr.config`.
+    pub config: u64,
+    /// Whether collection can proceed (degraded) without this event.
+    pub optional: bool,
+}
+
+impl EventDesc {
+    fn new(kind: EventKind, name: &'static str, perf_type: u32, config: u64) -> EventDesc {
+        EventDesc {
+            kind,
+            name,
+            perf_type,
+            config,
+            optional: false,
+        }
+    }
+
+    fn optional(mut self) -> EventDesc {
+        self.optional = true;
+        self
+    }
+}
+
+/// Per-architecture event table + conversion into counter windows.
+#[derive(Debug, Clone, Serialize)]
+pub struct EventMap {
+    /// Architecture the encodings target (`"nehalem-like"`, `"power7-like"`,
+    /// `"generic"`).
+    pub arch: &'static str,
+    /// Issue-port count of the target (length of `port_issued`).
+    pub nports: usize,
+    /// Nominal clock in GHz: converts a window length in cycles into a
+    /// sampling interval, and task-clock nanoseconds back into cycles.
+    pub nominal_ghz: f64,
+    /// The events to program, group leader first.
+    pub events: Vec<EventDesc>,
+}
+
+impl EventMap {
+    /// A Nehalem-like (Core i7) host: six issue ports, per-port uop counts
+    /// via raw `UOPS_EXECUTED.PORT*` encodings (event 0xB1, one umask bit
+    /// per port), resource stalls via `RESOURCE_STALLS.ANY` (0xA2/0x01).
+    pub fn nehalem_like() -> EventMap {
+        let port = |p: u8| {
+            EventDesc::new(
+                EventKind::PortUops(p),
+                [
+                    "UOPS_EXECUTED.PORT0",
+                    "UOPS_EXECUTED.PORT1",
+                    "UOPS_EXECUTED.PORT2",
+                    "UOPS_EXECUTED.PORT3",
+                    "UOPS_EXECUTED.PORT4",
+                    "UOPS_EXECUTED.PORT5",
+                ][p as usize],
+                PERF_TYPE_RAW,
+                ((1u64 << p) << 8) | 0xB1,
+            )
+            .optional()
+        };
+        EventMap {
+            arch: "nehalem-like",
+            nports: 6,
+            nominal_ghz: 2.8,
+            events: vec![
+                EventDesc::new(
+                    EventKind::Instructions,
+                    "INST_RETIRED.ANY",
+                    PERF_TYPE_HARDWARE,
+                    hw::INSTRUCTIONS,
+                ),
+                EventDesc::new(
+                    EventKind::Cycles,
+                    "CPU_CLK_UNHALTED.THREAD",
+                    PERF_TYPE_HARDWARE,
+                    hw::CPU_CYCLES,
+                ),
+                EventDesc::new(
+                    EventKind::ResourceStallCycles,
+                    "RESOURCE_STALLS.ANY",
+                    PERF_TYPE_RAW,
+                    0x01A2,
+                ),
+                EventDesc::new(
+                    EventKind::TaskClockNs,
+                    "task-clock",
+                    PERF_TYPE_SOFTWARE,
+                    sw::TASK_CLOCK,
+                ),
+                EventDesc::new(
+                    EventKind::Branches,
+                    "BR_INST_RETIRED.ALL_BRANCHES",
+                    PERF_TYPE_HARDWARE,
+                    hw::BRANCH_INSTRUCTIONS,
+                )
+                .optional(),
+                EventDesc::new(
+                    EventKind::BranchMisses,
+                    "BR_MISP_RETIRED.ALL_BRANCHES",
+                    PERF_TYPE_HARDWARE,
+                    hw::BRANCH_MISSES,
+                )
+                .optional(),
+                port(0),
+                port(1),
+                port(2),
+                port(3),
+                port(4),
+                port(5),
+            ],
+        }
+    }
+
+    /// A POWER7-like host: the metric's class-mix basis is fed from the
+    /// port counters of the eight issue ports; dispatch holds come from
+    /// `PM_DISP_CLB_HELD_RES`, the event the paper's DispHeld factor is
+    /// defined on. Encodings are the POWER7 PMU's raw event codes.
+    pub fn power7_like() -> EventMap {
+        let port_names = [
+            "PM_ISSUE_PORT0",
+            "PM_ISSUE_PORT1",
+            "PM_ISSUE_PORT2",
+            "PM_ISSUE_PORT3",
+            "PM_ISSUE_PORT4",
+            "PM_ISSUE_PORT5",
+            "PM_ISSUE_PORT6",
+            "PM_ISSUE_PORT7",
+        ];
+        let mut events = vec![
+            EventDesc::new(
+                EventKind::Instructions,
+                "PM_RUN_INST_CMPL",
+                PERF_TYPE_RAW,
+                0x500FA,
+            ),
+            EventDesc::new(EventKind::Cycles, "PM_RUN_CYC", PERF_TYPE_RAW, 0x600F4),
+            EventDesc::new(
+                EventKind::ResourceStallCycles,
+                "PM_DISP_CLB_HELD_RES",
+                PERF_TYPE_RAW,
+                0x2003A,
+            ),
+            EventDesc::new(
+                EventKind::TaskClockNs,
+                "task-clock",
+                PERF_TYPE_SOFTWARE,
+                sw::TASK_CLOCK,
+            ),
+            EventDesc::new(
+                EventKind::BranchMisses,
+                "PM_BR_MPRED",
+                PERF_TYPE_RAW,
+                0x400F6,
+            )
+            .optional(),
+            EventDesc::new(
+                EventKind::L1dMisses,
+                "PM_LD_MISS_L1",
+                PERF_TYPE_RAW,
+                0x400F0,
+            )
+            .optional(),
+        ];
+        for (p, name) in port_names.iter().enumerate() {
+            events.push(
+                EventDesc::new(
+                    EventKind::PortUops(p as u8),
+                    name,
+                    PERF_TYPE_RAW,
+                    0x30000 + p as u64,
+                )
+                .optional(),
+            );
+        }
+        EventMap {
+            arch: "power7-like",
+            nports: 8,
+            nominal_ghz: 3.55,
+            events,
+        }
+    }
+
+    /// Portable fallback: only kernel-generalized events, no raw encodings.
+    /// Port attribution is unavailable, so the mix-deviation factor
+    /// degrades to zero and SMTsm reduces to DispHeld × scalability — the
+    /// probe report says so instead of fabricating a mix.
+    pub fn generic() -> EventMap {
+        EventMap {
+            arch: "generic",
+            nports: 0,
+            nominal_ghz: 2.0,
+            events: vec![
+                EventDesc::new(
+                    EventKind::Instructions,
+                    "instructions",
+                    PERF_TYPE_HARDWARE,
+                    hw::INSTRUCTIONS,
+                ),
+                EventDesc::new(
+                    EventKind::Cycles,
+                    "cycles",
+                    PERF_TYPE_HARDWARE,
+                    hw::CPU_CYCLES,
+                ),
+                EventDesc::new(
+                    EventKind::ResourceStallCycles,
+                    "stalled-cycles-backend",
+                    PERF_TYPE_HARDWARE,
+                    hw::STALLED_CYCLES_BACKEND,
+                )
+                .optional(),
+                EventDesc::new(
+                    EventKind::TaskClockNs,
+                    "task-clock",
+                    PERF_TYPE_SOFTWARE,
+                    sw::TASK_CLOCK,
+                ),
+            ],
+        }
+    }
+
+    /// Pick a map by CLI name.
+    pub fn by_name(name: &str) -> Result<EventMap, Error> {
+        match name {
+            "nhm" | "nehalem" => Ok(EventMap::nehalem_like()),
+            "p7" | "power7" => Ok(EventMap::power7_like()),
+            "generic" => Ok(EventMap::generic()),
+            other => Err(Error::InvalidMachine(format!(
+                "unknown event map {other:?} (expected nhm, p7, or generic)"
+            ))),
+        }
+    }
+
+    /// Fold one window of per-thread scaled counts into a
+    /// [`WindowMeasurement`]. `elapsed_ns` is the wall-clock length of the
+    /// sampling interval; wall cycles are derived from it at the nominal
+    /// clock so the scalability factor compares like with like.
+    pub fn window_from_samples(
+        &self,
+        samples: &[ThreadSample],
+        elapsed_ns: u64,
+        smt: SmtLevel,
+    ) -> Result<WindowMeasurement, Error> {
+        if samples.is_empty() {
+            return Err(Error::InvalidMeasurement(
+                "window has no thread samples".to_string(),
+            ));
+        }
+        let wall_cycles = (elapsed_ns as f64 * self.nominal_ghz).round() as u64;
+        let mut per_thread = Vec::with_capacity(samples.len());
+        for s in samples {
+            let mut t = ThreadCounters::new(self.nports);
+            for c in &s.counts {
+                let v = scale_multiplexed(c.value, c.time_enabled, c.time_running)?;
+                match c.kind {
+                    EventKind::Instructions => {
+                        t.issued = v;
+                        t.dispatched = v;
+                        t.fetched = v;
+                        // A real PMU cannot see "work units"; treat every
+                        // retired instruction as useful work.
+                        t.work_units = v;
+                    }
+                    EventKind::Cycles => t.cpu_cycles = v,
+                    EventKind::TaskClockNs => {
+                        // Prefer hardware cycles when both are present.
+                        if t.cpu_cycles == 0 {
+                            t.cpu_cycles = (v as f64 * self.nominal_ghz).round() as u64;
+                        }
+                    }
+                    EventKind::ResourceStallCycles => t.disp_held_cycles = v,
+                    EventKind::Branches => t.branches = v,
+                    EventKind::BranchMisses => t.branch_mispredicts = v,
+                    EventKind::L1dMisses => t.l1d_misses = v,
+                    EventKind::PortUops(p) => {
+                        if (p as usize) < t.port_issued.len() {
+                            t.port_issued[p as usize] = v;
+                        }
+                    }
+                }
+            }
+            // A stall counter can exceed observed on-CPU cycles when the
+            // cycle event was multiplex-scaled down; clamp so DispHeld
+            // stays a fraction.
+            if t.disp_held_cycles > t.cpu_cycles {
+                t.disp_held_cycles = t.cpu_cycles;
+            }
+            per_thread.push(t);
+        }
+        Ok(WindowMeasurement {
+            wall_cycles: wall_cycles.max(1),
+            smt,
+            per_thread,
+            cores: Default::default(),
+        })
+    }
+}
+
+/// One scaled counter reading for one event on one thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledCount {
+    /// Which observable this is.
+    pub kind: EventKind,
+    /// Raw count delta over the window.
+    pub value: u64,
+    /// Nanoseconds the event was enabled over the window.
+    pub time_enabled: u64,
+    /// Nanoseconds the event was actually counting (≤ enabled under
+    /// multiplexing).
+    pub time_running: u64,
+}
+
+/// All counter readings for one software thread over one window.
+#[derive(Debug, Clone)]
+pub struct ThreadSample {
+    /// Kernel thread id the counts are attributed to.
+    pub tid: u32,
+    /// Scaled per-event deltas.
+    pub counts: Vec<ScaledCount>,
+}
+
+/// Correct a counter delta for wrap-around. Hardware counters are
+/// typically 48 bits wide; a reading that went "backwards" wrapped, and
+/// the true delta is the distance around the `2^width` ring. A `width` of
+/// 64 treats any decrease as a torn read instead (there is no ring to
+/// complete) and errors.
+pub fn counter_delta(prev: u64, now: u64, width_bits: u32) -> Result<u64, Error> {
+    if now >= prev {
+        return Ok(now - prev);
+    }
+    if width_bits >= 64 {
+        return Err(Error::InvalidMeasurement(format!(
+            "counter moved backwards ({prev} -> {now}) with no wrap width"
+        )));
+    }
+    let modulus = 1u64 << width_bits;
+    if prev >= modulus {
+        return Err(Error::InvalidMeasurement(format!(
+            "counter value {prev} exceeds the declared {width_bits}-bit width"
+        )));
+    }
+    Ok(modulus - prev + now)
+}
+
+/// Scale a multiplexed count to the full window:
+/// `value × time_enabled / time_running`. A group that was never scheduled
+/// (`time_running == 0`) carries no information — its count must also be
+/// zero, and scales to zero; a nonzero count with zero running time, or
+/// `time_running > time_enabled`, is a torn read and errors.
+pub fn scale_multiplexed(value: u64, time_enabled: u64, time_running: u64) -> Result<u64, Error> {
+    if time_running > time_enabled {
+        return Err(Error::InvalidMeasurement(format!(
+            "torn counter read: time_running {time_running} > time_enabled {time_enabled}"
+        )));
+    }
+    if time_running == 0 {
+        if value != 0 {
+            return Err(Error::InvalidMeasurement(format!(
+                "torn counter read: count {value} with zero running time"
+            )));
+        }
+        return Ok(0);
+    }
+    if time_enabled == time_running {
+        return Ok(value);
+    }
+    let scaled = (value as u128 * time_enabled as u128) / time_running as u128;
+    Ok(u64::try_from(scaled).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_handles_48_bit_wrap() -> Result<(), Error> {
+        let near_top = (1u64 << 48) - 10;
+        assert_eq!(counter_delta(near_top, 5, 48)?, 15);
+        assert_eq!(counter_delta(100, 250, 48)?, 150);
+        Ok(())
+    }
+
+    #[test]
+    fn delta_rejects_backwards_full_width() {
+        assert!(counter_delta(100, 50, 64).is_err());
+        assert!(counter_delta(1 << 50, 5, 48).is_err());
+    }
+
+    #[test]
+    fn multiplex_scaling() -> Result<(), Error> {
+        // Counted half the window: the estimate doubles.
+        assert_eq!(scale_multiplexed(500, 1000, 500)?, 1000);
+        // Fully scheduled: exact.
+        assert_eq!(scale_multiplexed(777, 1000, 1000)?, 777);
+        // Never scheduled with a zero count: zero, not an error.
+        assert_eq!(scale_multiplexed(0, 1000, 0)?, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn torn_reads_are_errors() {
+        assert!(scale_multiplexed(10, 1000, 0).is_err());
+        assert!(scale_multiplexed(10, 500, 1000).is_err());
+    }
+
+    #[test]
+    fn maps_have_the_core_events() {
+        for map in [
+            EventMap::nehalem_like(),
+            EventMap::power7_like(),
+            EventMap::generic(),
+        ] {
+            let kinds: Vec<_> = map.events.iter().map(|e| e.kind).collect();
+            assert!(kinds.contains(&EventKind::Instructions), "{}", map.arch);
+            assert!(kinds.contains(&EventKind::Cycles), "{}", map.arch);
+            assert!(kinds.contains(&EventKind::TaskClockNs), "{}", map.arch);
+            // The group leader must be a required event.
+            assert!(!map.events[0].optional, "{}", map.arch);
+        }
+        assert!(EventMap::by_name("nope").is_err());
+        assert_eq!(EventMap::by_name("nhm").map(|m| m.nports), Ok(6));
+    }
+
+    #[test]
+    fn nehalem_port_umasks_are_one_hot() {
+        let map = EventMap::nehalem_like();
+        for e in &map.events {
+            if let EventKind::PortUops(p) = e.kind {
+                assert_eq!(e.config & 0xFF, 0xB1);
+                assert_eq!(e.config >> 8, 1 << p, "{}", e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_fold_into_a_window() -> Result<(), Error> {
+        let map = EventMap::nehalem_like();
+        let mk = |kind, value| ScaledCount {
+            kind,
+            value,
+            time_enabled: 1000,
+            time_running: 1000,
+        };
+        let samples = vec![
+            ThreadSample {
+                tid: 101,
+                counts: vec![
+                    mk(EventKind::Instructions, 50_000),
+                    mk(EventKind::Cycles, 100_000),
+                    mk(EventKind::ResourceStallCycles, 20_000),
+                    mk(EventKind::PortUops(0), 9_000),
+                    mk(EventKind::PortUops(1), 8_000),
+                ],
+            },
+            ThreadSample {
+                tid: 102,
+                counts: vec![
+                    mk(EventKind::Instructions, 10_000),
+                    mk(EventKind::Cycles, 50_000),
+                ],
+            },
+        ];
+        // 100 µs at 2.8 GHz ≈ 280k cycles of wall clock.
+        let w = map.window_from_samples(&samples, 100_000, SmtLevel::Smt2)?;
+        assert_eq!(w.per_thread.len(), 2);
+        assert_eq!(w.wall_cycles, 280_000);
+        assert_eq!(w.per_thread[0].issued, 50_000);
+        assert_eq!(w.per_thread[0].cpu_cycles, 100_000);
+        assert_eq!(w.per_thread[0].disp_held_cycles, 20_000);
+        assert_eq!(w.per_thread[0].port_issued[0], 9_000);
+        assert!(w.scalability_ratio() > 1.0);
+        Ok(())
+    }
+
+    #[test]
+    fn stalls_clamped_to_cpu_cycles() -> Result<(), Error> {
+        let map = EventMap::generic();
+        let samples = vec![ThreadSample {
+            tid: 1,
+            counts: vec![
+                ScaledCount {
+                    kind: EventKind::Cycles,
+                    value: 1_000,
+                    time_enabled: 1000,
+                    time_running: 1000,
+                },
+                ScaledCount {
+                    kind: EventKind::ResourceStallCycles,
+                    value: 4_000,
+                    time_enabled: 1000,
+                    time_running: 250,
+                },
+            ],
+        }];
+        let w = map.window_from_samples(&samples, 1_000, SmtLevel::Smt1)?;
+        assert_eq!(w.per_thread[0].disp_held_cycles, 1_000);
+        assert!(w.disp_held_fraction() <= 1.0);
+        Ok(())
+    }
+
+    #[test]
+    fn empty_sample_set_is_an_error() {
+        let map = EventMap::generic();
+        assert!(map.window_from_samples(&[], 1_000, SmtLevel::Smt1).is_err());
+    }
+
+    #[test]
+    fn task_clock_backfills_cycles() -> Result<(), Error> {
+        let map = EventMap::generic(); // 2.0 GHz nominal
+        let samples = vec![ThreadSample {
+            tid: 1,
+            counts: vec![ScaledCount {
+                kind: EventKind::TaskClockNs,
+                value: 500, // ns on-CPU
+                time_enabled: 1000,
+                time_running: 1000,
+            }],
+        }];
+        let w = map.window_from_samples(&samples, 1_000, SmtLevel::Smt1)?;
+        assert_eq!(w.per_thread[0].cpu_cycles, 1_000);
+        Ok(())
+    }
+}

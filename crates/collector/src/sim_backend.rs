@@ -1,0 +1,138 @@
+//! [`SimBackend`]: the simulator as a counter source.
+//!
+//! Wraps a [`Simulation`] behind [`CounterBackend`], so the whole
+//! collect → record → replay → recommend pipeline runs deterministically
+//! in CI with no PMU. The windows are *exactly* what
+//! `Simulation::measure_window` produces — the same bits the batch engine
+//! and `smtd` sessions consume — so a recorded sim trace replays
+//! bit-identically through every downstream path.
+
+use smt_sim::{Error, Simulation, SmtLevel, WindowMeasurement, Workload};
+
+use crate::backend::CounterBackend;
+
+/// Deterministic counter source backed by the in-tree simulator.
+pub struct SimBackend<W: Workload> {
+    sim: Simulation<W>,
+    label: String,
+    /// Cycles to run before the first window (cache/branch warmup), applied
+    /// lazily on the first `next_window` call.
+    warmup_cycles: u64,
+    warmed: bool,
+}
+
+impl<W: Workload> SimBackend<W> {
+    /// Wrap a simulation with no warmup.
+    pub fn new(label: impl Into<String>, sim: Simulation<W>) -> SimBackend<W> {
+        SimBackend {
+            sim,
+            label: label.into(),
+            warmup_cycles: 0,
+            warmed: false,
+        }
+    }
+
+    /// Run `cycles` before the first measured window, so early windows
+    /// measure steady state rather than cold caches.
+    pub fn warmup(mut self, cycles: u64) -> SimBackend<W> {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// The wrapped simulation — e.g. to `reconfigure` the SMT level in a
+    /// closed collection loop.
+    pub fn sim_mut(&mut self) -> &mut Simulation<W> {
+        &mut self.sim
+    }
+
+    /// Read-only view of the wrapped simulation.
+    pub fn sim(&self) -> &Simulation<W> {
+        &self.sim
+    }
+
+    /// Current SMT level of the simulated machine.
+    pub fn smt(&self) -> SmtLevel {
+        self.sim.smt()
+    }
+}
+
+impl<W: Workload> CounterBackend for SimBackend<W> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (simulated, {})", self.label, self.sim.smt())
+    }
+
+    fn next_window(&mut self, window_cycles: u64) -> Result<Option<WindowMeasurement>, Error> {
+        if window_cycles == 0 {
+            return Err(Error::InvalidMeasurement(
+                "window_cycles must be positive".to_string(),
+            ));
+        }
+        if !self.warmed {
+            self.warmed = true;
+            if self.warmup_cycles > 0 {
+                self.sim.run_cycles(self.warmup_cycles);
+            }
+        }
+        if self.sim.finished() {
+            return Ok(None);
+        }
+        Ok(Some(self.sim.measure_window(window_cycles)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::MachineConfig;
+    use smt_workloads::{catalog, SyntheticWorkload};
+
+    fn backend(scale: f64) -> SimBackend<SyntheticWorkload> {
+        let sim = Simulation::new(
+            MachineConfig::power7(1),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(catalog::ep().scaled(scale)),
+        );
+        SimBackend::new("ep", sim).warmup(10_000)
+    }
+
+    #[test]
+    fn windows_match_a_bare_simulation() -> Result<(), Error> {
+        let mut b = backend(1.0);
+        let mut sim = Simulation::new(
+            MachineConfig::power7(1),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(catalog::ep().scaled(1.0)),
+        );
+        sim.run_cycles(10_000);
+        for _ in 0..4 {
+            let via_backend = b.next_window(20_000)?.expect("backend window");
+            let direct = sim.measure_window(20_000);
+            assert_eq!(via_backend, direct);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn exhausts_when_the_workload_finishes() -> Result<(), Error> {
+        // Large enough to outlive the warmup, small enough to drain fast.
+        let mut b = backend(0.2);
+        let mut produced = 0u64;
+        while b.next_window(20_000)?.is_some() {
+            produced += 1;
+            assert!(produced < 10_000, "workload never finished");
+        }
+        assert!(produced > 0);
+        // Stays exhausted.
+        assert!(b.next_window(20_000)?.is_none());
+        Ok(())
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        assert!(backend(1.0).next_window(0).is_err());
+    }
+}

@@ -18,6 +18,8 @@
 //!   removed).
 //! - [`perf`] — the simulator perf-trajectory harness behind `repro perf`
 //!   and the committed `BENCH_sim.json`.
+//! - [`corpus`] — directories of recorded `.smtc` counter traces replayed
+//!   through the dynamic-selection decision core under a chosen policy.
 //!
 //! The `repro` binary drives everything:
 //! `cargo run --release -p smt-experiments --bin repro -- all --scale 0.3`.
@@ -26,6 +28,7 @@
 
 pub mod ablation;
 pub mod cache;
+pub mod corpus;
 pub mod engine;
 pub mod figures;
 pub mod perf;
@@ -38,6 +41,7 @@ pub mod suite;
 pub mod validation;
 
 pub use cache::ResultCache;
+pub use corpus::{replay_dir, replay_trace, CorpusReport, ReplayPolicy, TraceReplay};
 pub use engine::{Engine, EngineMetrics, JobError, RunPlan, RunRequest, SweepResult};
 pub use perf::{check_regression, run_perf, PerfEntry, PerfOptions, PerfReport, PerfRun};
 pub use progress::{JobOutcome, NullSink, ProgressEvent, ProgressSink, StderrSink};

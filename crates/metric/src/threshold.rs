@@ -46,13 +46,18 @@ impl PpiSweep {
             .iter()
             .map(|&t| Self::average_ppi(cases, t))
             .collect();
-        let (bi, &best_improvement) = improvements
+        // The argmax stays total even if a degenerate speedup produced a
+        // NaN improvement: NaN ranks below every number, so it can only
+        // win when there is nothing else to pick.
+        let rank = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+        let (bi, best_improvement) = improvements
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
-            .expect("nonempty");
+            .max_by(|a, b| rank(*a.1).total_cmp(&rank(*b.1)))
+            .map(|(i, &v)| (i, v))
+            .unwrap_or((0, 0.0));
         PpiSweep {
-            best_threshold: thresholds[bi],
+            best_threshold: thresholds.get(bi).copied().unwrap_or(f64::NAN),
             best_improvement,
             thresholds,
             improvements,

@@ -84,36 +84,37 @@ mod tests {
     use smt_workloads::{catalog, SyntheticWorkload};
 
     #[test]
-    fn probe_picks_smt4_for_scalable_work() {
+    fn probe_picks_smt4_for_scalable_work() -> Result<(), smt_sim::Error> {
         let w = SyntheticWorkload::new(catalog::ep().scaled(0.2));
         let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt1, w);
-        let report = ipc_probe_run(&mut sim, 15_000, 100_000_000).unwrap();
+        let report = ipc_probe_run(&mut sim, 15_000, 100_000_000)?;
         assert!(report.completed);
         assert_eq!(report.chosen, SmtLevel::Smt4);
         assert_eq!(report.probed_ipc.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn probe_is_fooled_by_spin_contention() {
+    fn probe_is_fooled_by_spin_contention() -> Result<(), smt_sim::Error> {
         // Under heavy spinning, IPC grows with the SMT level even though
         // useful throughput collapses — the failure mode the paper calls
         // out. The probe must pick a *higher* level than the oracle would.
         let spec = catalog::specjbb_contention().scaled(0.3);
         let w = SyntheticWorkload::new(spec.clone());
         let mut sim = Simulation::new(MachineConfig::power7(1), SmtLevel::Smt1, w);
-        let report = ipc_probe_run(&mut sim, 15_000, 200_000_000).unwrap();
+        let report = ipc_probe_run(&mut sim, 15_000, 200_000_000)?;
         assert!(report.completed);
         let oracle = crate::oracle::oracle_sweep(
             &MachineConfig::power7(1),
             || SyntheticWorkload::new(spec.clone()),
             200_000_000,
-        )
-        .unwrap();
+        )?;
         assert!(
             report.chosen > oracle.best,
             "IPC probe should over-select SMT under spinning (probe {:?}, oracle {:?})",
             report.chosen,
             oracle.best
         );
+        Ok(())
     }
 }

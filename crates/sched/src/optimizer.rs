@@ -135,7 +135,7 @@ mod tests {
     }
 
     #[test]
-    fn comparison_reports_all_policies() {
+    fn comparison_reports_all_policies() -> Result<(), smt_sim::Error> {
         let cfg = MachineConfig::power7(1);
         let spec = catalog::ep().scaled(0.08);
         let cmp = compare(
@@ -147,21 +147,18 @@ mod tests {
                 ..ControllerConfig::default()
             },
             100_000_000,
-        )
-        .unwrap();
+        )?;
         assert_eq!(cmp.static_perf.len(), 3);
         assert!(cmp.dynamic.completed);
-        assert!(cmp.oracle_perf().unwrap() > 0.0);
+        assert!(cmp.oracle_perf()? > 0.0);
         // EP: dynamic should track the oracle closely (no switching needed).
-        assert!(
-            cmp.dynamic_vs_oracle().unwrap() > 0.85,
-            "dynamic at {:.2} of oracle",
-            cmp.dynamic_vs_oracle().unwrap()
-        );
+        let vs_oracle = cmp.dynamic_vs_oracle()?;
+        assert!(vs_oracle > 0.85, "dynamic at {vs_oracle:.2} of oracle");
+        Ok(())
     }
 
     #[test]
-    fn dynamic_beats_worst_static_on_contention() {
+    fn dynamic_beats_worst_static_on_contention() -> Result<(), smt_sim::Error> {
         let cfg = MachineConfig::power7(1);
         let spec = catalog::specjbb_contention().scaled(0.25);
         let cmp = compare(
@@ -176,8 +173,7 @@ mod tests {
                 alpha: 0.6,
             },
             200_000_000,
-        )
-        .unwrap();
+        )?;
         assert!(cmp.dynamic.completed);
         assert!(
             cmp.dynamic.perf > cmp.worst_static_perf() * 1.2,
@@ -185,5 +181,6 @@ mod tests {
             cmp.dynamic.perf,
             cmp.worst_static_perf()
         );
+        Ok(())
     }
 }

@@ -95,52 +95,52 @@ mod tests {
     use smt_workloads::{catalog, SyntheticWorkload};
 
     #[test]
-    fn oracle_prefers_smt4_for_ep() {
+    fn oracle_prefers_smt4_for_ep() -> Result<(), Error> {
         let cfg = MachineConfig::power7(1);
         let spec = catalog::ep().scaled(0.08);
-        let report =
-            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000).unwrap();
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000)?;
         assert_eq!(report.levels.len(), 3);
         assert_eq!(report.best, SmtLevel::Smt4, "EP scales with SMT");
-        assert!(report.best_over_worst().unwrap() >= 1.0);
+        assert!(report.best_over_worst()? >= 1.0);
+        Ok(())
     }
 
     #[test]
-    fn oracle_prefers_low_smt_under_heavy_contention() {
+    fn oracle_prefers_low_smt_under_heavy_contention() -> Result<(), Error> {
         let cfg = MachineConfig::power7(1);
         let spec = catalog::specjbb_contention().scaled(0.2);
-        let report =
-            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 100_000_000).unwrap();
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 100_000_000)?;
         assert!(
             report.best < SmtLevel::Smt4,
             "contention must prefer a lower level, got {:?}",
             report.best
         );
+        Ok(())
     }
 
     #[test]
-    fn perf_at_matches_levels() {
+    fn perf_at_matches_levels() -> Result<(), Error> {
         let cfg = MachineConfig::nehalem();
         let spec = catalog::ep().scaled(0.05);
-        let report =
-            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000).unwrap();
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000)?;
         assert_eq!(report.levels.len(), 2);
         for l in &report.levels {
-            assert!(report.perf_at(l.smt).unwrap() > 0.0);
+            assert!(report.perf_at(l.smt)? > 0.0);
         }
-        assert!(report.best_perf().unwrap() >= report.perf_at(SmtLevel::Smt1).unwrap());
+        assert!(report.best_perf()? >= report.perf_at(SmtLevel::Smt1)?);
+        Ok(())
     }
 
     #[test]
-    fn perf_at_missing_level_is_an_error_not_a_panic() {
+    fn perf_at_missing_level_is_an_error_not_a_panic() -> Result<(), Error> {
         let cfg = MachineConfig::nehalem();
         let spec = catalog::ep().scaled(0.05);
-        let report =
-            oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000).unwrap();
+        let report = oracle_sweep(&cfg, || SyntheticWorkload::new(spec.clone()), 50_000_000)?;
         // Nehalem has no SMT4; a daemon asking for it must get an Error.
         assert!(matches!(
             report.perf_at(SmtLevel::Smt4),
             Err(Error::MissingLevel { .. })
         ));
+        Ok(())
     }
 }

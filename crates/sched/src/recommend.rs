@@ -114,12 +114,14 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip_is_stable() {
+    fn json_round_trip_is_stable() -> Result<(), smt_sim::Error> {
+        let serde_err = |e: serde_json::Error| smt_sim::Error::Serde(e.to_string());
         let r = Recommendation::from_metric(&selector(), 0.042, factors(), 7);
-        let text = serde_json::to_string(&r).unwrap();
-        let back: Recommendation = serde_json::from_str(&text).unwrap();
+        let text = serde_json::to_string(&r).map_err(serde_err)?;
+        let back: Recommendation = serde_json::from_str(&text).map_err(serde_err)?;
         assert_eq!(back, r);
         // Byte-comparability contract: re-serializing is identical.
-        assert_eq!(serde_json::to_string(&back).unwrap(), text);
+        assert_eq!(serde_json::to_string(&back).map_err(serde_err)?, text);
+        Ok(())
     }
 }

@@ -106,6 +106,32 @@ impl Client {
         }
     }
 
+    /// Stream windows from any fallible source — a collector backend
+    /// iterator, a trace replay — into the session in batches of
+    /// `batch` (clamped to ≥ 1). Stops at the source's end or first
+    /// error; returns the final [`IngestSummary`] (`None` when the
+    /// source was empty).
+    pub fn ingest_stream(
+        &mut self,
+        windows: impl IntoIterator<Item = Result<WindowMeasurement, Error>>,
+        batch: usize,
+    ) -> Result<Option<IngestSummary>, Error> {
+        let batch = batch.max(1);
+        let mut pending = Vec::with_capacity(batch);
+        let mut last = None;
+        for window in windows {
+            pending.push(window?);
+            if pending.len() >= batch {
+                last = Some(self.ingest(&pending)?);
+                pending.clear();
+            }
+        }
+        if !pending.is_empty() {
+            last = Some(self.ingest(&pending)?);
+        }
+        Ok(last)
+    }
+
     /// Read the session's current recommendation.
     pub fn recommend(&mut self) -> Result<Recommendation, Error> {
         match self.call(&Request::Recommend)? {

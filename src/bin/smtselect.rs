@@ -34,6 +34,26 @@
 //!     committed BENCH_serve.json baseline, --out appends the run to the
 //!     trajectory, --shutdown stops the server afterwards.
 //!
+//! smtselect collect <benchmark> [--backend sim|perf] [--pid P]
+//!                   [--machine p7|p7x2|nhm] [--scale S] [--windows N]
+//!                   [--window-cycles C] [--events p7|nhm|generic]
+//!                   [--record FILE] [--probe] [--json]
+//!     Pull counter windows from a backend — the simulator (default) or a
+//!     live process via perf_event_open (--backend perf --pid P) — feed
+//!     them through the online sampler, and print the recommendation.
+//!     --record tees every window into a .smtc trace file; --probe only
+//!     reports which PMU events this host supports and exits.
+//!
+//! smtselect record <benchmark> --out FILE [collect options]
+//!     Shorthand for `collect --record FILE`: capture a trace corpus.
+//!
+//! smtselect replay <trace.smtc> [--threshold T] [--mid T] [--json]
+//!                  [--connect --addr HOST:PORT] [--verbose]
+//!     Re-feed a recorded trace window-by-window into the daemon's session
+//!     type (or, with --connect, a live smtd) and print the
+//!     recommendation the stream converges to. Replay is bit-identical:
+//!     the same trace always yields the same answer.
+//!
 //! `analyze` and `tune` also take `--json`: the recommendation is printed
 //! as one JSON line rendered from the same `Recommendation` struct the
 //! daemon serves, so offline and online answers are byte-comparable.
@@ -90,6 +110,14 @@ struct Opts {
     label: Option<String>,
     check: Option<String>,
     tolerance: f64,
+    windows: u64,
+    window_cycles: u64,
+    backend: String,
+    pid: Option<u32>,
+    record: Option<String>,
+    events: String,
+    probe: bool,
+    connect: bool,
     positional: Vec<String>,
 }
 
@@ -116,6 +144,14 @@ fn parse(args: &[String]) -> Opts {
         label: None,
         check: None,
         tolerance: 0.2,
+        windows: 32,
+        window_cycles: 50_000,
+        backend: "sim".into(),
+        pid: None,
+        record: None,
+        events: "generic".into(),
+        probe: false,
+        connect: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -176,6 +212,30 @@ fn parse(args: &[String]) -> Opts {
                         .expect("--requests takes a count"),
                 )
             }
+            "--windows" => {
+                o.windows = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--windows takes a count")
+            }
+            "--window-cycles" => {
+                o.window_cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--window-cycles takes a cycle count")
+            }
+            "--backend" => o.backend = it.next().expect("--backend takes sim|perf").clone(),
+            "--pid" => {
+                o.pid = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--pid takes a process id"),
+                )
+            }
+            "--record" => o.record = Some(it.next().expect("--record takes a path").clone()),
+            "--events" => o.events = it.next().expect("--events takes p7|nhm|generic").clone(),
+            "--probe" => o.probe = true,
+            "--connect" => o.connect = true,
             "--label" => o.label = Some(it.next().expect("--label takes a value").clone()),
             "--check" => o.check = Some(it.next().expect("--check takes a path").clone()),
             "--tolerance" => {
@@ -438,6 +498,226 @@ fn cmd_tune(o: &Opts) {
     }
 }
 
+fn cmd_collect(o: &Opts, record_to: Option<&str>) {
+    use smt_select::collect::perf;
+    let map = EventMap::by_name(&o.events).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    if o.probe {
+        // Capability probe: report per-event support and exit. Always a
+        // structured answer, never a failure — an unusable host is a
+        // finding, not an error.
+        let report = perf::probe(&map);
+        if o.json {
+            println!("{}", serde_json::to_string(&report).expect("serialize"));
+        } else {
+            print!("{}", report.render());
+        }
+        return;
+    }
+
+    let (cfg, _label) = machine_by_name(&o.machine);
+    let top = *cfg.smt_levels().last().expect("levels");
+    let nports = cfg.arch.num_ports();
+
+    let backend: Box<dyn CounterBackend> = match o.backend.as_str() {
+        "sim" => {
+            let name = o.positional.first().unwrap_or_else(|| {
+                eprintln!("collect with the sim backend needs a benchmark name");
+                std::process::exit(2);
+            });
+            let spec = find_spec(name).scaled(o.scale);
+            let sim = Simulation::new(cfg.clone(), top, SyntheticWorkload::new(spec));
+            Box::new(SimBackend::new(name.clone(), sim).warmup(25_000))
+        }
+        "perf" => {
+            let pid = o.pid.unwrap_or_else(|| {
+                eprintln!("collect --backend perf needs --pid <process id>");
+                std::process::exit(2);
+            });
+            match PerfBackend::attach(pid, map) {
+                Ok(b) => {
+                    for skipped in b.skipped_events() {
+                        eprintln!("note: optional event {skipped} unavailable, continuing");
+                    }
+                    Box::new(b)
+                }
+                Err(e) => {
+                    eprintln!("live collection unavailable: {e}");
+                    eprintln!(
+                        "hint: `smtselect collect --probe --events {}` reports per-event support",
+                        o.events
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown backend {other:?} (expected sim or perf)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut collector = Collector::new(backend);
+    if let Some(path) = record_to {
+        let meta = TraceMeta {
+            machine: o.machine.clone(),
+            nports,
+            window_cycles: o.window_cycles,
+        };
+        collector = collector.record_to(path, meta).unwrap_or_else(|e| {
+            eprintln!("cannot record to {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+
+    eprintln!("collecting from {}...", collector.backend().describe());
+    let windows = collector
+        .collect(o.windows, o.window_cycles)
+        .unwrap_or_else(|e| {
+            eprintln!("collection failed: {e}");
+            std::process::exit(1);
+        });
+
+    // The recommendation comes from the daemon's own session type, so a
+    // collected stream answers exactly as `smtd` would for the same bits.
+    let mut sspec = session_spec(o);
+    sspec.window_cycles = o.window_cycles;
+    let mut session = service::Session::new(0, &sspec).unwrap_or_else(|e| {
+        eprintln!("bad session parameters: {e}");
+        std::process::exit(2);
+    });
+    session.ingest(&windows);
+    let report = collector.finish().unwrap_or_else(|e| {
+        eprintln!("finalizing trace failed: {e}");
+        std::process::exit(1);
+    });
+    let rec = session.recommend();
+
+    if o.json {
+        let body = serde_json::json!({ "report": report, "recommendation": rec });
+        println!("{}", serde_json::to_string(&body).expect("serialize"));
+        return;
+    }
+    println!(
+        "collected  : {} window(s) of {} cycles via {} backend{}",
+        report.windows,
+        o.window_cycles,
+        report.backend,
+        if report.exhausted {
+            " (source exhausted)"
+        } else {
+            ""
+        }
+    );
+    if let Some(path) = &report.recorded_to {
+        println!("recorded   : {path}");
+    }
+    println!(
+        "recommend  : {} (SMTsm {:.4}, confidence {:.2}, {} windows)",
+        rec.level, rec.smtsm, rec.confidence, rec.windows
+    );
+}
+
+fn cmd_record(o: &Opts) {
+    let Some(out) = o.out.clone() else {
+        eprintln!("record needs --out FILE (the trace to write)");
+        std::process::exit(2);
+    };
+    cmd_collect(o, Some(&out));
+}
+
+fn cmd_replay(o: &Opts) {
+    let path = o.positional.first().unwrap_or_else(|| {
+        eprintln!("replay needs a trace file");
+        std::process::exit(2);
+    });
+    let mut backend = TraceBackend::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let meta = backend.meta().clone();
+    let mut sspec = session_spec(o);
+    sspec.machine = meta.machine.clone();
+    if meta.window_cycles > 0 {
+        sspec.window_cycles = meta.window_cycles;
+    }
+
+    if o.connect {
+        // Stream the trace into a live smtd instead of a local session.
+        let mut client = Client::connect(&o.addr, Duration::from_secs(10)).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {}: {e}", o.addr);
+            std::process::exit(1);
+        });
+        let (session, top) = client.hello(&sspec).unwrap_or_else(|e| {
+            eprintln!("hello failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("session {session} (top {top}) on {}", o.addr);
+        let summary = client
+            .ingest_stream(WindowIter::new(&mut backend, 0), 16)
+            .unwrap_or_else(|e| {
+                eprintln!("streaming failed: {e}");
+                std::process::exit(1);
+            });
+        let rec = client.recommend().unwrap_or_else(|e| {
+            eprintln!("recommend failed: {e}");
+            std::process::exit(1);
+        });
+        if o.json {
+            println!("{}", serde_json::to_string(&rec).expect("serialize"));
+        } else {
+            let streamed = summary.map(|s| s.total_windows).unwrap_or(0);
+            println!(
+                "streamed   : {streamed} window(s) from {path} to {}",
+                o.addr
+            );
+            println!(
+                "recommend  : {} (SMTsm {:.4}, confidence {:.2})",
+                rec.level, rec.smtsm, rec.confidence
+            );
+        }
+        return;
+    }
+
+    let mut session = service::Session::new(0, &sspec).unwrap_or_else(|e| {
+        eprintln!("bad session parameters: {e}");
+        std::process::exit(2);
+    });
+    let mut replayed = 0u64;
+    loop {
+        match backend.next_window(0) {
+            Ok(Some(w)) => {
+                let s = session.ingest(std::slice::from_ref(&w));
+                replayed += 1;
+                if o.verbose {
+                    println!("window {replayed:>4}: level {}", s.level);
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("replay failed after {replayed} windows: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let rec = session.recommend();
+    if o.json {
+        println!("{}", serde_json::to_string(&rec).expect("serialize"));
+    } else {
+        println!(
+            "replayed   : {replayed} window(s) from {path} (machine {})",
+            meta.machine
+        );
+        println!(
+            "recommend  : {} (SMTsm {:.4}, confidence {:.2})",
+            rec.level, rec.smtsm, rec.confidence
+        );
+    }
+}
+
 fn cmd_serve(o: &Opts) {
     let cfg = service::ServerConfig {
         addr: o.addr.clone(),
@@ -574,7 +854,10 @@ fn cmd_bench_serve(o: &Opts) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("usage: smtselect <list|analyze|train|tune|serve|bench-serve> ...; see --help");
+        eprintln!(
+            "usage: smtselect <list|analyze|train|tune|collect|record|replay|serve|bench-serve> \
+             ...; see --help"
+        );
         std::process::exit(2);
     };
     let opts = parse(&args[1..]);
@@ -583,15 +866,24 @@ fn main() {
         "analyze" => cmd_analyze(&opts),
         "train" => cmd_train(&opts),
         "tune" => cmd_tune(&opts),
+        "collect" => cmd_collect(&opts, opts.record.as_deref()),
+        "record" => cmd_record(&opts),
+        "replay" => cmd_replay(&opts),
         "serve" => cmd_serve(&opts),
         "bench-serve" => cmd_bench_serve(&opts),
         "-h" | "--help" => {
             println!("smtselect — SMT-level selection via the SMTsm metric (IPDPS'12)");
             println!(
                 "commands: list | analyze <bench> [--verify] [--json] | train [--out F] | \
-                 tune <bench> [--json] | serve | bench-serve"
+                 tune <bench> [--json] | collect <bench> | record <bench> --out F | \
+                 replay <trace> | serve | bench-serve"
             );
             println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
+            println!(
+                "collect : --backend sim|perf  --pid P  --windows N  --window-cycles C  \
+                 --events p7|nhm|generic  --record FILE  --probe  --json"
+            );
+            println!("replay  : --json  --verbose  --connect --addr HOST:PORT");
             println!(
                 "serve   : --addr HOST:PORT  --unix PATH  --workers N  --max-sessions N  \
                  --debug-verbs  --verbose"

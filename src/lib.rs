@@ -23,6 +23,7 @@
 //! | [`stats`] (`smt-stats`) | Gini impurity, correlation, classification accounting |
 //! | [`experiments`] (`smt-experiments`) | regenerates every paper table and figure (`repro` binary) |
 //! | [`service`] (`smt-service`) | `smtd`: an online recommendation daemon — clients stream counter windows over TCP/Unix sockets and get SMT-level answers from the same decision core the offline controller uses |
+//! | [`collect`] (`smt-collect`) | counter acquisition: live `perf_event_open` collection, a simulator-backed backend, and checksummed trace record/replay feeding the same windows into every layer above |
 //!
 //! # Quick start
 //!
@@ -48,6 +49,7 @@
 //! See `examples/` for complete scenarios and `DESIGN.md` / `EXPERIMENTS.md`
 //! for the reproduction methodology and results.
 
+pub use smt_collect as collect;
 pub use smt_experiments as experiments;
 pub use smt_sched as sched;
 pub use smt_service as service;
@@ -58,6 +60,10 @@ pub use smtsm as metric;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use smt_collect::{
+        CapabilityReport, CollectReport, Collector, CounterBackend, EventMap, PerfBackend,
+        SimBackend, TraceBackend, TraceMeta, TraceReader, TraceWriter, WindowIter,
+    };
     pub use smt_experiments::{
         check_regression, run_perf, Engine, EngineMetrics, JobError, PerfEntry, PerfOptions,
         PerfReport, PerfRun, ProgressEvent, ProgressSink, ProtocolConfig, ResultCache, RunPlan,

@@ -1,0 +1,126 @@
+//! Acceptance: a recorded trace replays **bit-identically** — the same
+//! windows, the same metric sequence through `OnlineSampler`, and the
+//! same recommendation sequence through a live `smtd` session as the
+//! original collection produced.
+
+use std::time::Duration;
+
+use smt_select::prelude::*;
+use smt_select::service;
+use smt_sim::Error;
+
+fn record_session(
+    path: &std::path::Path,
+    window_cycles: u64,
+) -> Result<(Vec<WindowMeasurement>, CollectReport), Error> {
+    let cfg = MachineConfig::power7(1);
+    let top = *cfg.smt_levels().last().expect("levels");
+    let sim = Simulation::new(
+        cfg.clone(),
+        top,
+        SyntheticWorkload::new(catalog::ep().scaled(3.0)),
+    );
+    let backend = SimBackend::new("ep", sim).warmup(25_000);
+    let mut collector = Collector::new(Box::new(backend)).record_to(
+        path,
+        TraceMeta {
+            machine: "p7".to_string(),
+            nports: cfg.arch.num_ports(),
+            window_cycles,
+        },
+    )?;
+    let windows = collector.collect(10, window_cycles)?;
+    let report = collector.finish()?;
+    Ok((windows, report))
+}
+
+#[test]
+fn recorded_trace_replays_bit_identically() -> Result<(), Error> {
+    let window_cycles = 20_000;
+    let path = std::env::temp_dir().join("collect-replay-bits.smtc");
+    let (live, report) = record_session(&path, window_cycles)?;
+    assert!(live.len() >= 4, "only {} windows collected", live.len());
+    assert_eq!(report.windows, live.len() as u64);
+    assert_eq!(report.recorded_to.as_deref(), Some(path.to_str().unwrap()));
+
+    // The trace holds exactly the live windows, bit for bit.
+    let mut reader = TraceReader::open(&path)?;
+    assert_eq!(reader.meta().machine, "p7");
+    assert_eq!(reader.meta().window_cycles, window_cycles);
+    assert_eq!(reader.declared_count(), Some(live.len() as u64));
+    let replayed = reader.read_all()?;
+    assert_eq!(replayed, live);
+
+    // And the sampler sees identical metric values and factors from both.
+    let spec = MetricSpec::power7();
+    let mut sampler_live = OnlineSampler::new(spec, window_cycles, 0.5);
+    let mut sampler_replay = OnlineSampler::new(spec, window_cycles, 0.5);
+    for (a, b) in live.iter().zip(&replayed) {
+        let (va, fa) = sampler_live.push_window(a);
+        let (vb, fb) = sampler_replay.push_window(b);
+        assert_eq!(va, vb);
+        assert_eq!(fa, fb);
+    }
+    assert_eq!(sampler_live.current(), sampler_replay.current());
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+#[test]
+fn replay_matches_a_live_smtd_session() -> Result<(), Error> {
+    let window_cycles = 20_000;
+    let path = std::env::temp_dir().join("collect-replay-smtd.smtc");
+    let (live, _report) = record_session(&path, window_cycles)?;
+    assert!(live.len() >= 4);
+
+    let handle = service::spawn(service::ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..service::ServerConfig::default()
+    })?;
+    let addr = handle.local_addr().to_string();
+    let mut spec = SessionSpec::power7();
+    spec.window_cycles = window_cycles;
+
+    // Live path: stream the collected windows window-by-window.
+    let mut live_client = Client::connect(&addr, Duration::from_secs(10))?;
+    live_client.hello(&spec)?;
+    let mut live_summaries = Vec::new();
+    for w in &live {
+        live_summaries.push(live_client.ingest(std::slice::from_ref(w))?);
+    }
+    let live_rec = live_client.recommend()?;
+
+    // Replay path: a second session fed from the trace file.
+    let mut replay_client = Client::connect(&addr, Duration::from_secs(10))?;
+    replay_client.hello(&spec)?;
+    let mut backend = TraceBackend::open(&path)?;
+    let mut replay_summaries = Vec::new();
+    while let Some(w) = backend.next_window(0)? {
+        replay_summaries.push(replay_client.ingest(std::slice::from_ref(&w))?);
+    }
+    let replay_rec = replay_client.recommend()?;
+
+    // Identical decision sequence and byte-identical final answer.
+    assert_eq!(live_summaries, replay_summaries);
+    assert_eq!(live_rec, replay_rec);
+    let to_json = |r| serde_json::to_string(r).map_err(|e| Error::Serde(e.to_string()));
+    assert_eq!(to_json(&live_rec)?, to_json(&replay_rec)?);
+
+    // The batched streaming path converges on the same answer too.
+    let mut stream_client = Client::connect(&addr, Duration::from_secs(10))?;
+    stream_client.hello(&spec)?;
+    let mut backend2 = TraceBackend::open(&path)?;
+    let summary = stream_client.ingest_stream(WindowIter::new(&mut backend2, 0), 4)?;
+    assert_eq!(
+        summary.map(|s| s.total_windows),
+        Some(live.len() as u64),
+        "ingest_stream must deliver every recorded window"
+    );
+    assert_eq!(stream_client.recommend()?, live_rec);
+
+    stream_client.shutdown()?;
+    handle.join();
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}
