@@ -1,23 +1,30 @@
 //! Load-test harness for `smtd` (`smtselect bench-serve`).
 //!
 //! Spawns N client connections, each streaming genuine counter windows
-//! pre-generated from its own simulated workload (the simulation runs
-//! before the timed phase, so the numbers measure the server, not the
-//! client's simulator). Every request's service time is recorded, and the
-//! run is summarized as throughput plus p50/p99 latency and exported in
-//! the PR 2 perf-trajectory format (`BENCH_serve.json`) so CI can flag
-//! serving regressions the same way it flags simulator slowdowns.
+//! pre-generated from a simulated workload. The pools and their encoded
+//! ingest frames are built once per process and shared (the timed phase
+//! measures the server, not the client's simulator or encoder). Every
+//! request's service time is recorded, and the run is summarized as
+//! throughput plus **first-class** p50/p99 latency in milliseconds.
+//!
+//! [`run_tier_sweep`] drives a doubling ladder of connection counts
+//! (1, 2, 4, ... max) per codec; the ladder lands in `BENCH_serve.json`
+//! as a [`ServeReport`] so CI can gate *both* throughput and tail latency
+//! per tier with [`check_serve_regression`] — latencies are compared as
+//! latencies, not smuggled through `1/latency` pseudo-rates.
 
-use std::sync::{Arc, Barrier};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use smt_experiments::perf::{PerfEntry, PerfRun};
-use smt_sim::{Error, Simulation, SmtLevel};
+use smt_sim::{Error, Simulation, SmtLevel, WindowMeasurement};
 use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
 
 use crate::client::Client;
-use crate::protocol::SessionSpec;
+use crate::codec::codec_for;
+use crate::protocol::{CodecKind, Request, Response, SessionSpec};
 use crate::session::machine_by_name;
 
 /// Load-generator knobs.
@@ -30,7 +37,9 @@ pub struct BenchOptions {
     pub requests: usize,
     /// Counter windows per ingest batch.
     pub windows_per_ingest: usize,
-    /// Label stored on the resulting perf run.
+    /// Codec each connection negotiates at `hello`.
+    pub codec: CodecKind,
+    /// Label stored on the resulting run.
     pub label: String,
 }
 
@@ -41,6 +50,7 @@ impl BenchOptions {
             connections: 8,
             requests: 200,
             windows_per_ingest: 4,
+            codec: CodecKind::Ndjson,
             label: "local".to_string(),
         }
     }
@@ -51,6 +61,7 @@ impl BenchOptions {
             connections: 4,
             requests: 40,
             windows_per_ingest: 4,
+            codec: CodecKind::Ndjson,
             label: "quick".to_string(),
         }
     }
@@ -60,13 +71,21 @@ impl BenchOptions {
         self.label = label.into();
         self
     }
+
+    /// Replace the codec, builder-style.
+    pub fn codec(mut self, codec: CodecKind) -> BenchOptions {
+        self.codec = codec;
+        self
+    }
 }
 
-/// Outcome of one load run.
+/// Outcome of one load run at one (codec, connections) tier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSummary {
     /// Label of the run.
     pub label: String,
+    /// Codec the connections negotiated.
+    pub codec: CodecKind,
     /// Connections driven.
     pub connections: usize,
     /// Requests answered across all connections.
@@ -77,50 +96,164 @@ pub struct BenchSummary {
     pub wall_secs: f64,
     /// Aggregate request throughput.
     pub requests_per_sec: f64,
-    /// Median request latency, seconds.
-    pub p50_secs: f64,
-    /// 99th-percentile request latency, seconds.
-    pub p99_secs: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
 }
 
 impl BenchSummary {
-    /// Export the summary in the perf-trajectory format. Latencies are
-    /// encoded as rates (`1 / latency`), so `check_regression` flags a
-    /// latency *increase* exactly like a throughput *drop*.
-    pub fn to_perf_run(&self) -> PerfRun {
-        PerfRun {
-            label: self.label.clone(),
-            entries: vec![
-                PerfEntry::from_rate("serve_throughput", 1, self.requests_total, self.wall_secs),
-                PerfEntry::from_rate("serve_p50_inv_latency", 1, 1, self.p50_secs),
-                PerfEntry::from_rate("serve_p99_inv_latency", 1, 1, self.p99_secs),
-            ],
-            repro_all_wall_secs: None,
-        }
-    }
-
     /// Render the summary as a short human-readable block.
     pub fn render(&self) -> String {
         format!(
-            "bench-serve `{}`: {} connections, {} requests ({} windows) in {:.2}s\n  \
+            "bench-serve `{}` [{}]: {} connections, {} requests ({} windows) in {:.2}s\n  \
              throughput {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
             self.label,
+            self.codec,
             self.connections,
             self.requests_total,
             self.windows_total,
             self.wall_secs,
             self.requests_per_sec,
-            self.p50_secs * 1e3,
-            self.p99_secs * 1e3,
+            self.p50_ms,
+            self.p99_ms,
         )
     }
+}
+
+/// One sweep across connection tiers (and codecs), as committed to
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRun {
+    /// Label of the sweep (host nickname, CI, ...).
+    pub label: String,
+    /// Per-tier results.
+    pub tiers: Vec<BenchSummary>,
+}
+
+/// The serving perf trajectory: a sequence of [`ServeRun`]s, newest last.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Format version of this file.
+    pub schema: u32,
+    /// Runs, oldest first.
+    pub runs: Vec<ServeRun>,
+}
+
+impl Default for ServeReport {
+    fn default() -> ServeReport {
+        ServeReport::new()
+    }
+}
+
+impl ServeReport {
+    /// The current file format version.
+    pub const SCHEMA: u32 = 2;
+
+    /// An empty report at the current schema.
+    pub fn new() -> ServeReport {
+        ServeReport {
+            schema: ServeReport::SCHEMA,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Load a report from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<ServeReport, Error> {
+        let path = path.as_ref();
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
+        let report: ServeReport = serde_json::from_str(&body)
+            .map_err(|e| Error::Serde(format!("{}: {e}", path.display())))?;
+        if report.schema != ServeReport::SCHEMA {
+            return Err(Error::Serde(format!(
+                "{}: schema {} (this build reads {})",
+                path.display(),
+                report.schema,
+                ServeReport::SCHEMA
+            )));
+        }
+        Ok(report)
+    }
+
+    /// Save the report as pretty JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let path = path.as_ref();
+        let body = serde_json::to_string_pretty(self).map_err(|e| Error::Serde(e.to_string()))?;
+        std::fs::write(path, body + "\n").map_err(|e| Error::Io(format!("{}: {e}", path.display())))
+    }
+
+    /// The newest run, if any.
+    pub fn latest(&self) -> Option<&ServeRun> {
+        self.runs.last()
+    }
+
+    /// Append a run.
+    pub fn push(&mut self, run: ServeRun) {
+        self.runs.push(run);
+    }
+}
+
+/// Latency regressions smaller than this (milliseconds) are ignored even
+/// when they exceed the relative tolerance — sub-quarter-millisecond
+/// shifts are scheduler noise, not regressions.
+const LATENCY_NOISE_FLOOR_MS: f64 = 0.25;
+
+/// Compare `current` against `base` tier-by-tier (matched on codec and
+/// connection count). Returns one human-readable line per violation:
+/// throughput below `base × (1 − tolerance)` or p50/p99 above
+/// `base × (1 + tolerance)` (past a 0.25 ms noise floor).
+///
+/// Only tiers present in `current` are checked — a CI smoke run gates the
+/// few tiers it drives against the full committed ladder — but a current
+/// run that overlaps the baseline on *no* tier is itself a violation.
+pub fn check_serve_regression(base: &ServeRun, current: &ServeRun, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    for c in &current.tiers {
+        let Some(b) = base
+            .tiers
+            .iter()
+            .find(|b| b.codec == c.codec && b.connections == c.connections)
+        else {
+            continue; // a new tier has no baseline yet
+        };
+        compared += 1;
+        if c.requests_per_sec < b.requests_per_sec * (1.0 - tolerance) {
+            violations.push(format!(
+                "tier [{} c={}] throughput {:.0} req/s fell below baseline {:.0} req/s - {:.0}%",
+                b.codec,
+                b.connections,
+                c.requests_per_sec,
+                b.requests_per_sec,
+                tolerance * 100.0
+            ));
+        }
+        for (name, cur, old) in [("p50", c.p50_ms, b.p50_ms), ("p99", c.p99_ms, b.p99_ms)] {
+            if cur > old * (1.0 + tolerance) && cur - old > LATENCY_NOISE_FLOOR_MS {
+                violations.push(format!(
+                    "tier [{} c={}] {name} {cur:.3} ms regressed past baseline {old:.3} ms + {:.0}%",
+                    b.codec,
+                    b.connections,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        violations.push(format!(
+            "run `{}` shares no (codec, connections) tier with baseline `{}`",
+            current.label, base.label
+        ));
+    }
+    violations
 }
 
 /// The workload each connection streams, rotating through a mix of
 /// scalable, memory-bound, and contended behaviors so the server sees
 /// sessions that genuinely disagree about the right SMT level.
 fn workload_for(conn: usize) -> WorkloadSpec {
-    let specs: [fn() -> WorkloadSpec; 6] = [
+    let specs: [fn() -> WorkloadSpec; WORKLOAD_ROTATION] = [
         catalog::ep,
         catalog::specjbb_contention,
         catalog::mg,
@@ -131,16 +264,89 @@ fn workload_for(conn: usize) -> WorkloadSpec {
     specs[conn % specs.len()]().scaled(0.3)
 }
 
-/// Windows pre-generated per connection and replayed cyclically, so the
-/// timed phase measures the *server*, not the client's simulator.
+/// Distinct workloads in the rotation.
+const WORKLOAD_ROTATION: usize = 6;
+
+/// Windows pre-generated per workload and replayed cyclically.
 const POOL_WINDOWS: usize = 24;
 
-/// Drive a running server at `addr` with `opts.connections` concurrent
-/// clients and summarize what happened.
+/// Cap on distinct pre-encoded ingest frames per (codec, workload,
+/// batch) pool cycle.
+const MAX_FRAMES: usize = 64;
+
+/// The shared window pool for a workload slot, simulated once per
+/// process. Sharing matters at the 4096-connection tier: the untimed
+/// setup is six simulations, not thousands.
+fn window_pool(widx: usize) -> &'static [WindowMeasurement] {
+    static POOLS: OnceLock<Vec<Vec<WindowMeasurement>>> = OnceLock::new();
+    &POOLS.get_or_init(|| {
+        let spec = SessionSpec::power7();
+        (0..WORKLOAD_ROTATION)
+            .map(|w| {
+                let machine = machine_by_name(&spec.machine).expect("bench session machine exists");
+                let mut sim = Simulation::new(
+                    machine,
+                    SmtLevel::Smt4,
+                    SyntheticWorkload::new(workload_for(w)),
+                );
+                let mut pool = Vec::with_capacity(POOL_WINDOWS);
+                while pool.len() < POOL_WINDOWS && !sim.finished() {
+                    pool.push(sim.measure_window(spec.window_cycles));
+                }
+                assert!(
+                    !pool.is_empty(),
+                    "bench workload {w} finished before producing any windows"
+                );
+                pool
+            })
+            .collect()
+    })[widx % WORKLOAD_ROTATION]
+}
+
+/// Pre-encoded ingest frames for a (codec, workload, batch-size) triple,
+/// following the pool cycle until it repeats. Built once and shared by
+/// every connection on that workload so the timed loop writes bytes
+/// instead of re-encoding identical windows.
+fn ingest_frames(
+    codec: CodecKind,
+    widx: usize,
+    per_batch: usize,
+) -> Result<Arc<Vec<Vec<u8>>>, Error> {
+    type FrameCache = Mutex<HashMap<(CodecKind, usize, usize), Arc<Vec<Vec<u8>>>>>;
+    static CACHE: OnceLock<FrameCache> = OnceLock::new();
+    let key = (codec, widx % WORKLOAD_ROTATION, per_batch);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().ok().and_then(|m| m.get(&key).cloned()) {
+        return Ok(hit);
+    }
+    let pool = window_pool(key.1);
+    let mut frames = Vec::new();
+    let mut next = 0usize;
+    loop {
+        let mut windows = Vec::with_capacity(per_batch);
+        for _ in 0..per_batch {
+            windows.push(pool[next].clone());
+            next = (next + 1) % pool.len();
+        }
+        let mut buf = Vec::new();
+        codec_for(codec).encode_request(&Request::Ingest { windows }, &mut buf)?;
+        frames.push(buf);
+        if next == 0 || frames.len() >= MAX_FRAMES {
+            break;
+        }
+    }
+    let frames = Arc::new(frames);
+    if let Ok(mut m) = cache.lock() {
+        m.insert(key, Arc::clone(&frames));
+    }
+    Ok(frames)
+}
+
+/// Drive a running server at `addr` (an endpoint string) with
+/// `opts.connections` concurrent clients and summarize what happened.
 ///
-/// Each client first simulates its own workload at the top SMT level to
-/// pre-generate a pool of genuine counter windows (untimed), then all
-/// clients release together from a barrier and replay their pools through
+/// All clients connect and fetch their shared pre-encoded frames
+/// (untimed), release together from a barrier, then replay through
 /// `hello`/`ingest`/`recommend`, timing every request. The run's wall
 /// time is the longest timed phase, so throughput reflects what the
 /// server sustained while every connection was live.
@@ -155,6 +361,9 @@ pub fn run_bench(addr: &str, opts: &BenchOptions) -> Result<BenchSummary, Error>
         threads.push(
             std::thread::Builder::new()
                 .name(format!("bench-conn-{conn}"))
+                // Thousands of driver threads at the top tiers: keep the
+                // stacks small (the drivers only shuttle bytes).
+                .stack_size(512 * 1024)
                 .spawn(move || drive_connection(&addr, conn, &opts, &barrier))
                 .map_err(|e| Error::Io(format!("spawn bench thread: {e}")))?,
         );
@@ -177,66 +386,90 @@ pub fn run_bench(addr: &str, opts: &BenchOptions) -> Result<BenchSummary, Error>
     let requests_total = latencies.len() as u64;
     Ok(BenchSummary {
         label: opts.label.clone(),
+        codec: opts.codec,
         connections,
         requests_total,
         windows_total,
         wall_secs,
         requests_per_sec: requests_total as f64 / wall_secs,
-        p50_secs: quantile(&latencies, 0.50),
-        p99_secs: quantile(&latencies, 0.99),
+        p50_ms: quantile(&latencies, 0.50) * 1e3,
+        p99_ms: quantile(&latencies, 0.99) * 1e3,
     })
 }
 
-/// One client: pre-generate a window pool, sync on the barrier, then
-/// stream the pool through the server timing every request. Returns the
-/// request latencies, windows streamed, and the timed-phase duration.
+/// Run a doubling ladder of connection tiers (1, 2, 4, ... up to
+/// `max_connections`) for each codec in `codecs`, scaling per-connection
+/// request counts down as tiers widen so every tier does comparable
+/// total work. Returns one [`BenchSummary`] per (codec, tier).
+pub fn run_tier_sweep(
+    addr: &str,
+    base: &BenchOptions,
+    max_connections: usize,
+    codecs: &[CodecKind],
+) -> Result<Vec<BenchSummary>, Error> {
+    let max_connections = max_connections.max(1);
+    let mut tiers = Vec::new();
+    let mut c = 1usize;
+    while c <= max_connections {
+        tiers.push(c);
+        c *= 2;
+    }
+    if *tiers.last().expect("at least one tier") != max_connections {
+        tiers.push(max_connections);
+    }
+    let budget = base.requests.max(1) * base.connections.max(1);
+    let mut out = Vec::new();
+    for &codec in codecs {
+        for &connections in &tiers {
+            let opts = BenchOptions {
+                connections,
+                requests: (budget / connections).max(4),
+                windows_per_ingest: base.windows_per_ingest,
+                codec,
+                label: base.label.clone(),
+            };
+            out.push(run_bench(addr, &opts)?);
+        }
+    }
+    Ok(out)
+}
+
+/// One client: fetch the shared frames, sync on the barrier, then stream
+/// through the server timing every request. Returns the request
+/// latencies, windows streamed, and the timed-phase duration.
 fn drive_connection(
     addr: &str,
     conn: usize,
     opts: &BenchOptions,
     barrier: &Barrier,
 ) -> Result<(Vec<f64>, u64, f64), Error> {
+    let per_batch = opts.windows_per_ingest.max(1);
+    let frames = ingest_frames(opts.codec, conn, per_batch)?;
     let spec = SessionSpec::power7();
-    let machine = machine_by_name(&spec.machine)?;
-    let mut sim = Simulation::new(
-        machine,
-        SmtLevel::Smt4,
-        SyntheticWorkload::new(workload_for(conn)),
-    );
-    let mut pool = Vec::with_capacity(POOL_WINDOWS);
-    while pool.len() < POOL_WINDOWS && !sim.finished() {
-        pool.push(sim.measure_window(spec.window_cycles));
-    }
-    if pool.is_empty() {
-        return Err(Error::InvalidWorkload(format!(
-            "connection {conn}: workload finished before producing any windows"
-        )));
-    }
-
-    let mut client = Client::connect(addr, Duration::from_secs(10))?;
+    let mut client = connect_with_retry(addr)?;
     let mut latencies = Vec::with_capacity(opts.requests + 2);
     let mut windows_streamed = 0u64;
-    let per_batch = opts.windows_per_ingest.max(1);
 
     barrier.wait();
     let timed = Instant::now();
 
     let t = Instant::now();
-    client.hello(&spec)?;
+    client.hello_with(&spec, opts.codec)?;
     latencies.push(t.elapsed().as_secs_f64());
 
     let mut next = 0usize;
     for req in 0..opts.requests {
-        let mut batch = Vec::with_capacity(per_batch);
-        for _ in 0..per_batch {
-            batch.push(pool[next].clone());
-            next = (next + 1) % pool.len();
-        }
-        windows_streamed += batch.len() as u64;
-
         let t = Instant::now();
-        client.ingest(&batch)?;
+        match client.call_encoded(&frames[next])? {
+            Response::Ingested(_) => {}
+            Response::Error { code, message } => {
+                return Err(Error::Io(format!("server error {code:?}: {message}")))
+            }
+            other => return Err(Error::Serde(format!("expected ingested, got {other:?}"))),
+        }
         latencies.push(t.elapsed().as_secs_f64());
+        windows_streamed += per_batch as u64;
+        next = (next + 1) % frames.len();
 
         if req % 5 == 4 {
             let t = Instant::now();
@@ -252,6 +485,24 @@ fn drive_connection(
     Ok((latencies, windows_streamed, timed.elapsed().as_secs_f64()))
 }
 
+/// Connect with retries: at the widest tiers, thousands of simultaneous
+/// connects can outrun the accept loop's backlog.
+fn connect_with_retry(addr: &str) -> Result<Client, Error> {
+    let mut delay = Duration::from_millis(5);
+    let mut last = None;
+    for _ in 0..10 {
+        match Client::connect(addr, Duration::from_secs(30)) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| Error::Io(format!("{addr}: connect failed"))))
+}
+
 /// Nearest-rank quantile of an ascending-sorted sample.
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -265,6 +516,20 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 mod tests {
     use super::*;
 
+    fn tier(codec: CodecKind, connections: usize, rps: f64, p50: f64, p99: f64) -> BenchSummary {
+        BenchSummary {
+            label: "t".to_string(),
+            codec,
+            connections,
+            requests_total: 100,
+            windows_total: 400,
+            wall_secs: 1.0,
+            requests_per_sec: rps,
+            p50_ms: p50,
+            p99_ms: p99,
+        }
+    }
+
     #[test]
     fn quantiles_use_nearest_rank() {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
@@ -275,31 +540,104 @@ mod tests {
     }
 
     #[test]
-    fn perf_run_encodes_latency_as_inverse_rate() {
-        let s = BenchSummary {
-            label: "t".to_string(),
-            connections: 2,
-            requests_total: 500,
-            windows_total: 2000,
-            wall_secs: 2.0,
-            requests_per_sec: 250.0,
-            p50_secs: 0.001,
-            p99_secs: 0.010,
-        };
-        let run = s.to_perf_run();
-        let thr = run.entry("serve_throughput/smt1").unwrap();
-        assert!((thr.cycles_per_sec - 250.0).abs() < 1e-9);
-        let p50 = run.entry("serve_p50_inv_latency/smt1").unwrap();
-        assert!((p50.cycles_per_sec - 1000.0).abs() < 1e-6);
-        let p99 = run.entry("serve_p99_inv_latency/smt1").unwrap();
-        assert!((p99.cycles_per_sec - 100.0).abs() < 1e-6);
-    }
-
-    #[test]
     fn workloads_rotate_and_stay_distinct() {
         let a = workload_for(0);
         let b = workload_for(1);
         assert_ne!(a.name, b.name);
         assert_eq!(workload_for(0).name, workload_for(6).name);
+    }
+
+    #[test]
+    fn ingest_frames_cycle_the_pool_and_are_shared() {
+        let a = ingest_frames(CodecKind::Binary, 0, 4).unwrap();
+        let b = ingest_frames(CodecKind::Binary, 0, 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache should dedupe identical keys");
+        // Stepping the pool by 4 closes its cycle after len/gcd(len, 4)
+        // distinct frames (capped at MAX_FRAMES).
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let pool_len = window_pool(0).len();
+        assert_eq!(a.len(), (pool_len / gcd(pool_len, 4)).min(MAX_FRAMES));
+        assert!(a.iter().all(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn serve_report_round_trips_through_json() {
+        let mut report = ServeReport::new();
+        report.push(ServeRun {
+            label: "base".to_string(),
+            tiers: vec![
+                tier(CodecKind::Ndjson, 1, 1000.0, 0.9, 2.0),
+                tier(CodecKind::Binary, 256, 20_000.0, 10.0, 30.0),
+            ],
+        });
+        let dir = std::env::temp_dir().join(format!("smt-serve-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        report.save(&path).unwrap();
+        let loaded = ServeReport::load(&path).unwrap();
+        assert_eq!(loaded, report);
+        assert_eq!(loaded.latest().unwrap().tiers.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regressions_are_flagged_per_tier() {
+        let base = ServeRun {
+            label: "base".to_string(),
+            tiers: vec![
+                tier(CodecKind::Ndjson, 1, 1000.0, 1.0, 2.0),
+                tier(CodecKind::Binary, 256, 20_000.0, 10.0, 30.0),
+            ],
+        };
+        // Clean current run: small wobble inside tolerance.
+        let ok = ServeRun {
+            label: "now".to_string(),
+            tiers: vec![
+                tier(CodecKind::Ndjson, 1, 950.0, 1.05, 2.1),
+                tier(CodecKind::Binary, 256, 19_000.0, 10.5, 31.0),
+            ],
+        };
+        assert!(check_serve_regression(&base, &ok, 0.2).is_empty());
+
+        // A subset run is fine (CI smoke drives fewer tiers than the
+        // committed ladder), but regressions on the tiers it does drive
+        // are flagged.
+        let bad = ServeRun {
+            label: "now".to_string(),
+            tiers: vec![tier(CodecKind::Ndjson, 1, 500.0, 1.0, 9.0)],
+        };
+        let violations = check_serve_regression(&base, &bad, 0.2);
+        assert_eq!(violations.len(), 2, "violations: {violations:?}");
+        assert!(violations.iter().any(|v| v.contains("throughput")));
+        assert!(violations.iter().any(|v| v.contains("p99")));
+
+        // Zero tier overlap cannot silently pass.
+        let disjoint = ServeRun {
+            label: "now".to_string(),
+            tiers: vec![tier(CodecKind::Binary, 9, 1.0, 1.0, 1.0)],
+        };
+        let violations = check_serve_regression(&base, &disjoint, 0.2);
+        assert_eq!(violations.len(), 1, "violations: {violations:?}");
+        assert!(violations[0].contains("no (codec, connections) tier"));
+    }
+
+    #[test]
+    fn latency_noise_floor_suppresses_micro_regressions() {
+        let base = ServeRun {
+            label: "base".to_string(),
+            tiers: vec![tier(CodecKind::Binary, 1, 1000.0, 0.10, 0.20)],
+        };
+        // 2x relative latency regression, but well under the 0.25 ms floor.
+        let current = ServeRun {
+            label: "now".to_string(),
+            tiers: vec![tier(CodecKind::Binary, 1, 1000.0, 0.20, 0.40)],
+        };
+        assert!(check_serve_regression(&base, &current, 0.2).is_empty());
     }
 }

@@ -1,11 +1,14 @@
 //! A blocking `smtd` client.
 //!
 //! [`Client`] speaks the typed protocol ([`Client::hello`],
-//! [`Client::ingest`], ...); [`Client::send_raw_line`] bypasses the
-//! encoder so tests can send garbage and watch the server answer with a
-//! structured error instead of dying.
+//! [`Client::ingest`], ...) over either codec: connections start in
+//! NDJSON, and [`Client::hello_with`] can negotiate the binary framing —
+//! the switch happens right after the `welcome` response, mirroring the
+//! server. [`Client::send_raw_line`] bypasses the encoder so tests can
+//! send garbage and watch the server answer with a structured error
+//! instead of dying.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -14,33 +17,65 @@ use std::time::Duration;
 use smt_sched::Recommendation;
 use smt_sim::{Error, SmtLevel, WindowMeasurement};
 
+use crate::codec::codec_for;
+use crate::endpoint::Endpoint;
 use crate::protocol::{
-    decode_line, encode_line, IngestSummary, Request, Response, SessionSpec, StatsReport,
-    PROTOCOL_VERSION,
+    CodecKind, IngestSummary, Request, Response, SessionSpec, StatsReport, PROTOCOL_VERSION,
 };
 
-/// Either transport, buffered for line reads.
+/// Either transport, nonbuffered (the client keeps its own read buffer so
+/// it can peel codec frames rather than lines).
 enum Transport {
-    Tcp(BufReader<TcpStream>),
-    Unix(BufReader<UnixStream>),
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.write_all(buf),
+            Transport::Unix(s) => s.write_all(buf),
+        }
+    }
 }
 
 /// A blocking protocol client over TCP or a Unix socket.
 pub struct Client {
     transport: Transport,
+    codec: CodecKind,
+    rbuf: Vec<u8>,
+    rpos: usize,
 }
 
 impl Client {
-    /// Connect over TCP, e.g. `127.0.0.1:7099`.
-    pub fn connect(addr: &str, timeout: Duration) -> Result<Client, Error> {
-        let stream = TcpStream::connect(addr).map_err(|e| Error::Io(format!("{addr}: {e}")))?;
-        stream
-            .set_read_timeout(Some(timeout))
-            .and_then(|()| stream.set_write_timeout(Some(timeout)))
-            .map_err(|e| Error::Io(format!("{addr}: {e}")))?;
-        Ok(Client {
-            transport: Transport::Tcp(BufReader::new(stream)),
-        })
+    /// Connect to an endpoint: `tcp://host:port`, `unix:///path`, or a
+    /// bare `host:port` (kept for old call sites).
+    pub fn connect(endpoint: &str, timeout: Duration) -> Result<Client, Error> {
+        Client::connect_endpoint(&endpoint.parse()?, timeout)
+    }
+
+    /// Connect to a parsed [`Endpoint`].
+    pub fn connect_endpoint(endpoint: &Endpoint, timeout: Duration) -> Result<Client, Error> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream =
+                    TcpStream::connect(addr).map_err(|e| Error::Io(format!("{addr}: {e}")))?;
+                stream
+                    .set_read_timeout(Some(timeout))
+                    .and_then(|()| stream.set_write_timeout(Some(timeout)))
+                    .and_then(|()| stream.set_nodelay(true))
+                    .map_err(|e| Error::Io(format!("{addr}: {e}")))?;
+                Ok(Client::over(Transport::Tcp(stream)))
+            }
+            Endpoint::Unix(path) => Client::connect_unix(path, timeout),
+        }
     }
 
     /// Connect over a Unix socket path.
@@ -51,47 +86,110 @@ impl Client {
             .set_read_timeout(Some(timeout))
             .and_then(|()| stream.set_write_timeout(Some(timeout)))
             .map_err(|e| Error::Io(format!("{}: {e}", path.display())))?;
-        Ok(Client {
-            transport: Transport::Unix(BufReader::new(stream)),
-        })
+        Ok(Client::over(Transport::Unix(stream)))
+    }
+
+    fn over(transport: Transport) -> Client {
+        Client {
+            transport,
+            codec: CodecKind::Ndjson,
+            rbuf: Vec::new(),
+            rpos: 0,
+        }
+    }
+
+    /// The codec this connection currently speaks.
+    pub fn codec(&self) -> CodecKind {
+        self.codec
     }
 
     /// Send one request and read its response.
     pub fn call(&mut self, request: &Request) -> Result<Response, Error> {
-        let line = encode_line(request)?;
-        self.send_raw_line(&line)
+        let mut out = Vec::new();
+        codec_for(self.codec).encode_request(request, &mut out)?;
+        self.call_encoded(&out)
+    }
+
+    /// Send pre-encoded request bytes (already framed in this
+    /// connection's current codec) and read one response. The load
+    /// generator uses this to amortize encoding across connections.
+    pub fn call_encoded(&mut self, frame: &[u8]) -> Result<Response, Error> {
+        self.transport
+            .write_all(frame)
+            .map_err(|e| Error::Io(format!("write: {e}")))?;
+        self.read_response()
     }
 
     /// Send a raw line (appending `\n` if missing) and read one response
     /// line. This is the garbage-injection escape hatch: the line does not
-    /// have to be a valid request, or even JSON.
+    /// have to be a valid request, or even JSON. Only meaningful while
+    /// the connection still speaks NDJSON.
     pub fn send_raw_line(&mut self, line: &str) -> Result<Response, Error> {
+        if self.codec != CodecKind::Ndjson {
+            return Err(Error::Io(
+                "send_raw_line requires the ndjson codec".to_string(),
+            ));
+        }
         let mut out = line.trim_end_matches(['\r', '\n']).to_string();
         out.push('\n');
-        let reply = match &mut self.transport {
-            Transport::Tcp(r) => {
-                r.get_mut()
-                    .write_all(out.as_bytes())
-                    .map_err(|e| Error::Io(format!("write: {e}")))?;
-                read_line(r)?
+        self.call_encoded(out.as_bytes())
+    }
+
+    /// Read one response frame in the connection's current codec.
+    fn read_response(&mut self) -> Result<Response, Error> {
+        loop {
+            let codec = codec_for(self.codec);
+            if let Some(frame) = codec.split_frame(&self.rbuf[self.rpos..])? {
+                let (start, end) = (self.rpos + frame.start, self.rpos + frame.end);
+                self.rpos += frame.consumed;
+                let response = codec.decode_response(&self.rbuf[start..end]);
+                if self.rpos == self.rbuf.len() {
+                    self.rbuf.clear();
+                    self.rpos = 0;
+                }
+                return response;
             }
-            Transport::Unix(r) => {
-                r.get_mut()
-                    .write_all(out.as_bytes())
-                    .map_err(|e| Error::Io(format!("write: {e}")))?;
-                read_line(r)?
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self
+                .transport
+                .read(&mut chunk)
+                .map_err(|e| Error::Io(format!("read: {e}")))?;
+            if n == 0 {
+                return Err(Error::Io("connection closed by server".to_string()));
             }
-        };
-        decode_line(&reply)
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
     }
 
     /// Open a session; returns `(session id, top SMT level)`.
     pub fn hello(&mut self, spec: &SessionSpec) -> Result<(u64, SmtLevel), Error> {
+        let (session, top, _) = self.hello_with(spec, CodecKind::Ndjson)?;
+        Ok((session, top))
+    }
+
+    /// Open a session and negotiate `codec`; returns
+    /// `(session id, top SMT level, granted codec)`. The `hello` itself
+    /// always travels as NDJSON; on success the connection switches to
+    /// whatever the server granted.
+    pub fn hello_with(
+        &mut self,
+        spec: &SessionSpec,
+        codec: CodecKind,
+    ) -> Result<(u64, SmtLevel, CodecKind), Error> {
         match self.call(&Request::Hello {
             proto: PROTOCOL_VERSION,
             spec: spec.clone(),
+            codec,
         })? {
-            Response::Welcome { session, top, .. } => Ok((session, top)),
+            Response::Welcome {
+                session,
+                top,
+                codec: granted,
+                ..
+            } => {
+                self.codec = granted;
+                Ok((session, top, granted))
+            }
             other => Err(unexpected("welcome", &other)),
         }
     }
@@ -155,17 +253,6 @@ impl Client {
             other => Err(unexpected("bye", &other)),
         }
     }
-}
-
-fn read_line<R: BufRead>(reader: &mut R) -> Result<String, Error> {
-    let mut line = String::new();
-    let n = reader
-        .read_line(&mut line)
-        .map_err(|e| Error::Io(format!("read: {e}")))?;
-    if n == 0 {
-        return Err(Error::Io("connection closed by server".to_string()));
-    }
-    Ok(line)
 }
 
 /// Map a wrong-variant (or server-error) response to a client error that

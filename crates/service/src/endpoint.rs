@@ -1,0 +1,122 @@
+//! Parsed service endpoints.
+//!
+//! One address syntax shared by the client, the server config, and the
+//! CLI verbs (`serve`, `bench-serve`, `replay --connect`):
+//!
+//! - `tcp://HOST:PORT` — a TCP endpoint;
+//! - `unix://PATH` (or `unix:///abs/path`) — a Unix socket path;
+//! - bare `HOST:PORT` — shorthand for `tcp://`, kept so every address
+//!   that worked before the scheme syntax existed still parses.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+use smt_sim::Error;
+
+/// A parsed server address, either transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// A TCP endpoint from a `host:port` string.
+    pub fn tcp(addr: impl Into<String>) -> Endpoint {
+        Endpoint::Tcp(addr.into())
+    }
+
+    /// A Unix-socket endpoint from a path.
+    pub fn unix(path: impl Into<PathBuf>) -> Endpoint {
+        Endpoint::Unix(path.into())
+    }
+
+    /// Parse an endpoint string (see the module docs for the syntax).
+    pub fn parse(s: &str) -> Result<Endpoint, Error> {
+        s.parse()
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Endpoint, Error> {
+        if let Some(rest) = s.strip_prefix("tcp://") {
+            if rest.is_empty() || !rest.contains(':') {
+                return Err(Error::Io(format!(
+                    "bad tcp endpoint {s:?}: expected tcp://host:port"
+                )));
+            }
+            return Ok(Endpoint::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("unix://") {
+            if rest.is_empty() {
+                return Err(Error::Io(format!(
+                    "bad unix endpoint {s:?}: expected unix:///path"
+                )));
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(rest)));
+        }
+        if s.contains("://") {
+            return Err(Error::Io(format!(
+                "unknown endpoint scheme in {s:?} (expected tcp:// or unix://)"
+            )));
+        }
+        // Bare host:port shorthand for back compatibility.
+        if !s.is_empty() && s.contains(':') {
+            return Ok(Endpoint::Tcp(s.to_string()));
+        }
+        Err(Error::Io(format!(
+            "bad endpoint {s:?}: expected tcp://host:port, unix:///path, or host:port"
+        )))
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_parse_and_round_trip() {
+        assert_eq!(
+            "tcp://127.0.0.1:7099".parse::<Endpoint>().unwrap(),
+            Endpoint::tcp("127.0.0.1:7099")
+        );
+        assert_eq!(
+            "unix:///tmp/smtd.sock".parse::<Endpoint>().unwrap(),
+            Endpoint::unix("/tmp/smtd.sock")
+        );
+        let ep: Endpoint = "tcp://[::1]:7099".parse().unwrap();
+        assert_eq!(ep.to_string(), "tcp://[::1]:7099");
+    }
+
+    #[test]
+    fn bare_host_port_is_tcp() {
+        assert_eq!(
+            "127.0.0.1:0".parse::<Endpoint>().unwrap(),
+            Endpoint::tcp("127.0.0.1:0")
+        );
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        assert!("".parse::<Endpoint>().is_err());
+        assert!("localhost".parse::<Endpoint>().is_err());
+        assert!("tcp://".parse::<Endpoint>().is_err());
+        assert!("tcp://nohostport".parse::<Endpoint>().is_err());
+        assert!("unix://".parse::<Endpoint>().is_err());
+        assert!("http://x:1".parse::<Endpoint>().is_err());
+    }
+}

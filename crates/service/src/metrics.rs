@@ -1,10 +1,12 @@
 //! Server-wide operational metrics.
 //!
-//! A [`ServiceMetrics`] registry is shared (behind an `Arc`) by every
-//! worker thread. Counters are relaxed atomics — the numbers are for
-//! operators, not for synchronization. Request latency goes into a
-//! log-spaced bucket histogram so `p50`/`p99` cost a fixed 64 words of
-//! memory regardless of request volume.
+//! Each reactor shard owns its own [`ServiceMetrics`] registry, so the
+//! hot path updates uncontended counters; the `stats` verb merges every
+//! shard's registry into one [`StatsReport`] with [`merged_report`].
+//! Counters are relaxed atomics — the numbers are for operators, not for
+//! synchronization. Request latency goes into a log-spaced bucket
+//! histogram so `p50`/`p99` cost a fixed 64 words of memory regardless of
+//! request volume, and histograms merge by plain bucket addition.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -136,45 +138,85 @@ impl ServiceMetrics {
 
     /// Snapshot everything into a wire-format report.
     pub fn report(&self) -> StatsReport {
-        StatsReport {
-            sessions_active: self.sessions_active.load(Ordering::Relaxed),
-            sessions_total: self.sessions_total.load(Ordering::Relaxed),
-            requests_total: self.requests_total.load(Ordering::Relaxed),
-            errors_total: self.errors_total.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            windows_ingested: self.windows_ingested.load(Ordering::Relaxed),
-            recommendations: SmtLevel::ALL
-                .iter()
-                .enumerate()
-                .map(|(i, l)| (l.ways(), self.recommendations[i].load(Ordering::Relaxed)))
-                .collect(),
-            p50_us: self.latency_quantile(0.50),
-            p99_us: self.latency_quantile(0.99),
-            uptime_secs: self.started.elapsed().as_secs_f64(),
-        }
+        merged_report(std::iter::once(self))
     }
 
     /// Upper bound (in microseconds) of the bucket holding quantile `q`.
+    #[cfg(test)]
     fn latency_quantile(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .latency
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        1u64 << 63
+        bucket_quantile(&counts, q)
     }
+}
+
+/// Merge any number of shard registries into one report: counters sum,
+/// histograms add bucket-wise, and uptime is the oldest shard's clock
+/// (shards are created together, so they agree to within spawn time).
+pub fn merged_report<'a, I>(registries: I) -> StatsReport
+where
+    I: IntoIterator<Item = &'a ServiceMetrics>,
+{
+    let mut sessions_active = 0u64;
+    let mut sessions_total = 0u64;
+    let mut requests_total = 0u64;
+    let mut errors_total = 0u64;
+    let mut busy_rejections = 0u64;
+    let mut windows = 0u64;
+    let mut recommendations = [0u64; SmtLevel::ALL.len()];
+    let mut latency = vec![0u64; LATENCY_BUCKETS];
+    let mut uptime_secs = 0f64;
+    for m in registries {
+        sessions_active += m.sessions_active.load(Ordering::Relaxed);
+        sessions_total += m.sessions_total.load(Ordering::Relaxed);
+        requests_total += m.requests_total.load(Ordering::Relaxed);
+        errors_total += m.errors_total.load(Ordering::Relaxed);
+        busy_rejections += m.busy_rejections.load(Ordering::Relaxed);
+        windows += m.windows_ingested.load(Ordering::Relaxed);
+        for (acc, c) in recommendations.iter_mut().zip(&m.recommendations) {
+            *acc += c.load(Ordering::Relaxed);
+        }
+        for (acc, c) in latency.iter_mut().zip(&m.latency) {
+            *acc += c.load(Ordering::Relaxed);
+        }
+        uptime_secs = uptime_secs.max(m.started.elapsed().as_secs_f64());
+    }
+    StatsReport {
+        sessions_active,
+        sessions_total,
+        requests_total,
+        errors_total,
+        busy_rejections,
+        windows_ingested: windows,
+        recommendations: SmtLevel::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.ways(), recommendations[i]))
+            .collect(),
+        p50_us: bucket_quantile(&latency, 0.50),
+        p99_us: bucket_quantile(&latency, 0.99),
+        uptime_secs,
+    }
+}
+
+/// Upper bound (in microseconds) of the log₂ bucket holding quantile `q`.
+fn bucket_quantile(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return 1u64 << (i + 1).min(63);
+        }
+    }
+    1u64 << 63
 }
 
 #[cfg(test)]
@@ -229,5 +271,32 @@ mod tests {
         let r = m.report();
         assert_eq!(r.p50_us, 0);
         assert_eq!(r.p99_us, 0);
+    }
+
+    #[test]
+    fn shard_registries_merge_by_summing() {
+        let a = ServiceMetrics::new();
+        let b = ServiceMetrics::new();
+        a.session_opened();
+        b.session_opened();
+        b.session_opened();
+        b.session_closed();
+        a.request_served(true, Duration::from_micros(8));
+        b.request_served(false, Duration::from_micros(8_000));
+        a.windows_ingested(10);
+        b.windows_ingested(5);
+        a.recommended(SmtLevel::Smt4);
+        b.recommended(SmtLevel::Smt4);
+        let r = merged_report([&a, &b]);
+        assert_eq!(r.sessions_active, 2);
+        assert_eq!(r.sessions_total, 3);
+        assert_eq!(r.requests_total, 2);
+        assert_eq!(r.errors_total, 1);
+        assert_eq!(r.windows_ingested, 15);
+        assert_eq!(r.recommendations, vec![(1, 0), (2, 0), (4, 2)]);
+        // Merged histogram spans both shards: the slow outlier is visible
+        // in the tail but not the median.
+        assert!(r.p50_us <= 16);
+        assert!(r.p99_us >= 8_192);
     }
 }

@@ -1,10 +1,21 @@
-//! The `smtd` wire protocol: newline-delimited JSON.
+//! The `smtd` wire protocol: message types and codec negotiation.
 //!
-//! Each line a client sends is one [`Request`]; each line the server sends
-//! back is one [`Response`]. Framing is a single `\n` (requests must not
-//! contain raw newlines — JSON string escapes keep that invariant for
-//! free). The protocol is strictly request/response in order, so a client
-//! can pipeline lines and match replies positionally.
+//! A connection starts in newline-delimited JSON (NDJSON): each line a
+//! client sends is one [`Request`]; each line the server sends back is one
+//! [`Response`]. The `hello` request carries the client's protocol
+//! revision *and* the [`CodecKind`] it wants for the rest of the
+//! connection; the server's `welcome` echoes the codec it granted, and
+//! both sides switch immediately after that exchange. Old clients that
+//! never heard of codecs simply omit the field — the hand-written
+//! [`serde::Deserialize`] impls below default it to [`CodecKind::Ndjson`],
+//! so the PR 4 wire format keeps working byte-for-byte.
+//!
+//! The actual byte formats live in [`crate::codec`]: [`NdjsonCodec`] is
+//! this module's `encode_line`/`decode_line` behind the [`Codec`] trait,
+//! and [`BinaryCodec`] is a length-prefixed FNV-1a-checksummed framing in
+//! the `.smtc` trace-record idiom. The protocol is strictly
+//! request/response in order under both codecs, so a client can pipeline
+//! frames and match replies positionally.
 //!
 //! A connection owns at most one *session* — created by `hello`, which
 //! instantiates the per-client decision state (a [`MetricSpec`]-driven
@@ -15,18 +26,71 @@
 //! without a session.
 //!
 //! [`MetricSpec`]: smtsm::MetricSpec
+//! [`NdjsonCodec`]: crate::codec::NdjsonCodec
+//! [`BinaryCodec`]: crate::codec::BinaryCodec
+//! [`Codec`]: crate::codec::Codec
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use smt_sched::{Recommendation, StreamDecision};
 use smt_sim::{SmtLevel, WindowMeasurement};
 
 /// Protocol revision carried in `hello`/`welcome`. Bumped on any wire
-/// change a previous client could not parse.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// change a previous client could not parse. Revision 2 added codec
+/// negotiation; the server still accepts [`MIN_PROTOCOL_VERSION`].
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol revision the server still accepts in `hello`.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Wire format for everything after the `hello`/`welcome` exchange.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CodecKind {
+    /// Newline-delimited JSON — the PR 4 format, and what every
+    /// connection speaks until negotiation.
+    #[default]
+    Ndjson,
+    /// Length-prefixed binary frames with an FNV-1a checksum.
+    Binary,
+}
+
+impl serde::Deserialize for CodecKind {
+    fn from_value(v: &serde::Value) -> Result<CodecKind, serde::DeError> {
+        match v.as_str() {
+            Some("Ndjson") => Ok(CodecKind::Ndjson),
+            Some("Binary") => Ok(CodecKind::Binary),
+            _ => Err(serde::DeError::custom(format!(
+                "unknown codec {v:?} (expected \"Ndjson\" or \"Binary\")"
+            ))),
+        }
+    }
+}
+
+impl std::str::FromStr for CodecKind {
+    type Err = smt_sim::Error;
+
+    fn from_str(s: &str) -> Result<CodecKind, smt_sim::Error> {
+        match s {
+            "ndjson" | "json" => Ok(CodecKind::Ndjson),
+            "binary" | "bin" => Ok(CodecKind::Binary),
+            other => Err(smt_sim::Error::Io(format!(
+                "unknown codec {other:?} (expected ndjson or binary)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecKind::Ndjson => write!(f, "ndjson"),
+            CodecKind::Binary => write!(f, "binary"),
+        }
+    }
+}
 
 /// Session parameters a client proposes in `hello`. Mirrors the knobs of
 /// the offline controller so online and offline decisions are comparable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
 pub struct SessionSpec {
     /// Target machine model: `p7`, `p7x2`, or `nhm`.
     pub machine: String,
@@ -64,8 +128,8 @@ impl SessionSpec {
     }
 }
 
-/// One client request line.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Request {
     /// Open a session with the given decision parameters.
     Hello {
@@ -73,6 +137,9 @@ pub enum Request {
         proto: u32,
         /// Requested session parameters.
         spec: SessionSpec,
+        /// Wire format the client wants after `welcome`. Old clients omit
+        /// it; decoding defaults to [`CodecKind::Ndjson`].
+        codec: CodecKind,
     },
     /// Stream counter windows into the session, in measurement order.
     Ingest {
@@ -84,8 +151,8 @@ pub enum Request {
     Recommend,
     /// Read server-wide operational metrics.
     Stats,
-    /// Ask the daemon to stop accepting connections and exit its accept
-    /// loop once in-flight requests finish.
+    /// Ask the daemon to stop accepting connections and exit its reactor
+    /// loops once in-flight requests finish.
     Shutdown,
     /// Test-only fault injection (disabled unless the server opts in):
     /// `op == "panic"` panics the handler mid-request to exercise
@@ -97,9 +164,9 @@ pub enum Request {
 }
 
 /// Why a request was rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, serde::Deserialize)]
 pub enum ErrorCode {
-    /// The line was not a parseable `Request`.
+    /// The payload was not a parseable `Request`.
     BadRequest,
     /// The verb needs a session but `hello` has not succeeded yet.
     NoSession,
@@ -112,12 +179,21 @@ pub enum ErrorCode {
     /// The handler failed internally (e.g. panicked); the connection
     /// survives.
     Internal,
-    /// The client's protocol revision is not supported.
+    /// The client's protocol revision is outside
+    /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
     Unsupported,
+    /// The codec requested in `hello` is not allowed by the server's
+    /// codec policy.
+    UnsupportedCodec,
+    /// A mid-stream framing/codec error: a binary frame failed its length
+    /// or checksum validation, or a checksummed body did not decode. The
+    /// server answers with this code (framing errors also close the
+    /// connection, since the stream can no longer be trusted).
+    BadFrame,
 }
 
 /// Summary of one `ingest` batch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
 pub struct IngestSummary {
     /// Windows folded into the session by this request.
     pub accepted: u64,
@@ -129,8 +205,9 @@ pub struct IngestSummary {
     pub switches: Vec<StreamDecision>,
 }
 
-/// Server-wide operational metrics, served by `stats`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Server-wide operational metrics, served by `stats`. With a sharded
+/// server this is the merge of every shard's registry.
+#[derive(Debug, Clone, PartialEq, Serialize, serde::Deserialize)]
 pub struct StatsReport {
     /// Sessions currently open.
     pub sessions_active: u64,
@@ -154,8 +231,8 @@ pub struct StatsReport {
     pub uptime_secs: f64,
 }
 
-/// One server response line.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One server response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum Response {
     /// Session opened.
     Welcome {
@@ -166,6 +243,10 @@ pub enum Response {
         /// Top SMT level of the session's machine model — the level the
         /// client should measure at for the metric to be meaningful.
         top: SmtLevel,
+        /// Codec the server granted; both sides switch to it right after
+        /// this response. Old servers omit it; decoding defaults to
+        /// [`CodecKind::Ndjson`].
+        codec: CodecKind,
     },
     /// Ingest result.
     Ingested(IngestSummary),
@@ -173,7 +254,8 @@ pub enum Response {
     Recommendation(Recommendation),
     /// Operational metrics.
     Stats(StatsReport),
-    /// Shutdown acknowledged; the connection will close after this line.
+    /// Shutdown acknowledged; the connection will close after this
+    /// response.
     Bye,
     /// The request failed; the session (if any) is untouched.
     Error {
@@ -190,6 +272,130 @@ impl Response {
         Response::Error {
             code,
             message: message.into(),
+        }
+    }
+}
+
+// `Request` and `Response` need hand-written `Deserialize` impls (the
+// derive requires every field): the `codec` field of `Hello`/`Welcome`
+// must be *optional* so frames from PR 4 peers — which predate codec
+// negotiation — still decode. Everything else mirrors the derive's
+// externally-tagged enum format exactly.
+
+/// Look up an optional field of an externally-tagged variant body.
+fn opt_field<'a>(pairs: &'a [(String, serde::Value)], name: &str) -> Option<&'a serde::Value> {
+    pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+impl serde::Deserialize for Request {
+    fn from_value(v: &serde::Value) -> Result<Request, serde::DeError> {
+        if let serde::Value::Str(s) = v {
+            return match s.as_str() {
+                "Recommend" => Ok(Request::Recommend),
+                "Stats" => Ok(Request::Stats),
+                "Shutdown" => Ok(Request::Shutdown),
+                other => Err(serde::DeError::custom(format!(
+                    "unknown variant {other} of Request"
+                ))),
+            };
+        }
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected tagged object for enum Request"))?;
+        if pairs.len() != 1 {
+            return Err(serde::DeError::custom(
+                "expected single-key tagged object for enum Request",
+            ));
+        }
+        let (tag, inner) = (&pairs[0].0, &pairs[0].1);
+        match tag.as_str() {
+            "Hello" => {
+                let fields = inner
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::custom("expected object for Request::Hello"))?;
+                Ok(Request::Hello {
+                    proto: serde::Deserialize::from_value(serde::get_field(fields, "proto")?)?,
+                    spec: serde::Deserialize::from_value(serde::get_field(fields, "spec")?)?,
+                    codec: match opt_field(fields, "codec") {
+                        Some(c) => serde::Deserialize::from_value(c)?,
+                        None => CodecKind::Ndjson,
+                    },
+                })
+            }
+            "Ingest" => {
+                let fields = inner
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::custom("expected object for Request::Ingest"))?;
+                Ok(Request::Ingest {
+                    windows: serde::Deserialize::from_value(serde::get_field(fields, "windows")?)?,
+                })
+            }
+            "Debug" => {
+                let fields = inner
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::custom("expected object for Request::Debug"))?;
+                Ok(Request::Debug {
+                    op: serde::Deserialize::from_value(serde::get_field(fields, "op")?)?,
+                })
+            }
+            other => Err(serde::DeError::custom(format!(
+                "unknown variant {other} of Request"
+            ))),
+        }
+    }
+}
+
+impl serde::Deserialize for Response {
+    fn from_value(v: &serde::Value) -> Result<Response, serde::DeError> {
+        if let serde::Value::Str(s) = v {
+            return match s.as_str() {
+                "Bye" => Ok(Response::Bye),
+                other => Err(serde::DeError::custom(format!(
+                    "unknown variant {other} of Response"
+                ))),
+            };
+        }
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected tagged object for enum Response"))?;
+        if pairs.len() != 1 {
+            return Err(serde::DeError::custom(
+                "expected single-key tagged object for enum Response",
+            ));
+        }
+        let (tag, inner) = (&pairs[0].0, &pairs[0].1);
+        match tag.as_str() {
+            "Welcome" => {
+                let fields = inner.as_object().ok_or_else(|| {
+                    serde::DeError::custom("expected object for Response::Welcome")
+                })?;
+                Ok(Response::Welcome {
+                    session: serde::Deserialize::from_value(serde::get_field(fields, "session")?)?,
+                    proto: serde::Deserialize::from_value(serde::get_field(fields, "proto")?)?,
+                    top: serde::Deserialize::from_value(serde::get_field(fields, "top")?)?,
+                    codec: match opt_field(fields, "codec") {
+                        Some(c) => serde::Deserialize::from_value(c)?,
+                        None => CodecKind::Ndjson,
+                    },
+                })
+            }
+            "Ingested" => Ok(Response::Ingested(serde::Deserialize::from_value(inner)?)),
+            "Recommendation" => Ok(Response::Recommendation(serde::Deserialize::from_value(
+                inner,
+            )?)),
+            "Stats" => Ok(Response::Stats(serde::Deserialize::from_value(inner)?)),
+            "Error" => {
+                let fields = inner
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::custom("expected object for Response::Error"))?;
+                Ok(Response::Error {
+                    code: serde::Deserialize::from_value(serde::get_field(fields, "code")?)?,
+                    message: serde::Deserialize::from_value(serde::get_field(fields, "message")?)?,
+                })
+            }
+            other => Err(serde::DeError::custom(format!(
+                "unknown variant {other} of Response"
+            ))),
         }
     }
 }

@@ -1,47 +1,129 @@
-//! The `smtd` daemon: accept loops, a bounded worker pool, and the
-//! request handler.
+//! The `smtd` daemon: an epoll-based reactor with sharded sessions.
 //!
 //! Threading model (no async runtime — the workspace is offline and
 //! vendors no executor):
 //!
-//! - one accept thread per listener (TCP, plus an optional Unix socket)
-//!   running a nonblocking accept/poll loop so shutdown is observed
-//!   promptly;
-//! - a fixed pool of worker threads fed over a bounded
-//!   [`std::sync::mpsc::sync_channel`]; each worker owns one connection at
-//!   a time for its whole life (session state is connection-local, so a
-//!   connection is the natural unit of work);
+//! - one **accept thread** owns the listeners (TCP, plus an optional Unix
+//!   socket) behind its own [`Poller`], admits connections, and deals new
+//!   ones round-robin to the shards;
+//! - N **shard threads** each own one [`Poller`], the connections dealt
+//!   to them, those connections' sessions, and a private
+//!   [`ServiceMetrics`] registry — *no lock is ever taken on the request
+//!   path*. Session ids encode their shard (`(id - 1) % nshards`), so
+//!   session state is partitioned by construction; `stats` merges the
+//!   per-shard registries on demand.
+//! - every socket is nonblocking with per-connection read/write buffers
+//!   and edge-triggered readiness: on a readable edge the shard reads
+//!   until `WouldBlock` and peels complete frames off the buffer; on a
+//!   writable edge it flushes the pending response bytes;
 //! - backpressure: when `max_sessions` connections are already admitted,
 //!   new ones are shed *at accept time* with a structured `busy` error
-//!   line instead of being queued into unbounded memory;
-//! - fault isolation: every request runs under
-//!   [`catch_unwind`], mirroring the experiment engine's worker loop — a
-//!   panicking handler answers `internal` and the connection (and every
-//!   other session) lives on.
+//!   instead of being queued into unbounded memory;
+//! - fault isolation: every request runs under [`catch_unwind`] — a
+//!   panicking handler answers `internal`, and because a panic is
+//!   confined to one connection on one shard, every other session (on
+//!   this shard and all others) lives on.
+//!
+//! Codec negotiation happens per connection: frames are split with the
+//! connection's current [`CodecKind`] (NDJSON until `hello`), the
+//! `welcome` response is encoded in the *old* codec, and the connection
+//! switches immediately after.
 //!
 //! [`catch_unwind`]: std::panic::catch_unwind
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::HashMap;
+use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smt_sim::Error;
 
-use crate::metrics::{NullSink, ServiceMetrics, ServiceSink};
-use crate::protocol::{decode_line, encode_line, ErrorCode, Request, Response, PROTOCOL_VERSION};
+use crate::codec::codec_for;
+use crate::endpoint::Endpoint;
+use crate::metrics::{merged_report, NullSink, ServiceMetrics, ServiceSink};
+use crate::protocol::{
+    encode_line, CodecKind, ErrorCode, Request, Response, StatsReport, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
+use crate::reactor::{PollEvent, Poller, Waker};
 use crate::session::Session;
 
-/// How often accept loops and idle workers re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Reactor wait slice; shutdown and sweeps are observed at least this
+/// often even with no traffic (wakeups cut the latency to microseconds).
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Read chunk size per `read` call on a readable edge.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A connection whose unconsumed input grows past this is dropped —
+/// nothing legitimate buffers this far ahead of the server.
+const MAX_PENDING_INPUT: usize = 256 << 20;
+
+/// Which codecs `hello` may negotiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecPolicy {
+    /// Grant whatever the client asks for.
+    #[default]
+    Both,
+    /// NDJSON only; binary requests are answered `unsupported_codec`.
+    NdjsonOnly,
+    /// Binary only; NDJSON sessions are refused (the `hello` exchange
+    /// itself still travels as NDJSON).
+    BinaryOnly,
+}
+
+impl CodecPolicy {
+    /// The codec to grant for a request, if the policy allows one.
+    fn grant(self, requested: CodecKind) -> Option<CodecKind> {
+        match (self, requested) {
+            (CodecPolicy::Both, r) => Some(r),
+            (CodecPolicy::NdjsonOnly, CodecKind::Ndjson) => Some(CodecKind::Ndjson),
+            (CodecPolicy::BinaryOnly, CodecKind::Binary) => Some(CodecKind::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl FromStr for CodecPolicy {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<CodecPolicy, Error> {
+        match s {
+            "both" => Ok(CodecPolicy::Both),
+            "ndjson" => Ok(CodecPolicy::NdjsonOnly),
+            "binary" => Ok(CodecPolicy::BinaryOnly),
+            other => Err(Error::Io(format!(
+                "unknown codec policy {other:?} (expected both, ndjson, or binary)"
+            ))),
+        }
+    }
+}
 
 /// Server tuning knobs.
+///
+/// Two construction styles work: the original field-struct form
+/// (`ServerConfig { addr, ..Default::default() }`) and a fluent builder
+/// in the `RunRequest::on(..)` idiom:
+///
+/// ```no_run
+/// use smt_service::server::{CodecPolicy, ServerConfig};
+/// use smt_service::endpoint::Endpoint;
+/// use std::time::Duration;
+///
+/// let cfg = ServerConfig::at(&Endpoint::tcp("127.0.0.1:7099"))
+///     .shards(4)
+///     .max_sessions(4096)
+///     .idle_budget(Duration::from_secs(60))
+///     .codecs(CodecPolicy::Both);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// TCP bind address, e.g. `127.0.0.1:7099`. Port 0 picks a free port
@@ -49,18 +131,24 @@ pub struct ServerConfig {
     pub addr: String,
     /// Also listen on this Unix socket path (removed and re-created).
     pub unix_path: Option<PathBuf>,
-    /// Worker threads, i.e. connections served concurrently.
+    /// Legacy knob from the worker-pool server; used as the shard-count
+    /// default (capped at 8) when [`ServerConfig::shards`] is 0.
     pub workers: usize,
+    /// Reactor shards (threads owning sessions). 0 = derive from
+    /// `workers`.
+    pub shards: usize,
     /// Admitted-connection ceiling; beyond it new connections are shed
-    /// with a `busy` error. Admitted-but-unserved connections wait in the
-    /// bounded hand-off queue.
+    /// with a `busy` error at accept time.
     pub max_sessions: usize,
-    /// Close a connection that sends nothing for this long.
+    /// Idle budget: close a connection that sends nothing for this long.
     pub read_timeout: Duration,
-    /// Give up writing a response after this long.
+    /// Close a connection whose peer stops draining responses for this
+    /// long.
     pub write_timeout: Duration,
     /// Allow the test-only `debug` verb (fault injection).
     pub enable_debug: bool,
+    /// Which codecs `hello` may negotiate.
+    pub codecs: CodecPolicy,
 }
 
 impl Default for ServerConfig {
@@ -69,51 +157,194 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             unix_path: None,
             workers: 8,
-            max_sessions: 64,
+            shards: 0,
+            max_sessions: 1024,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             enable_debug: false,
+            codecs: CodecPolicy::Both,
         }
     }
 }
 
-/// One admitted connection, either transport.
-enum Conn {
+impl ServerConfig {
+    /// Start a builder listening at `endpoint` (TCP endpoints replace the
+    /// bind address; Unix endpoints add a socket alongside the default
+    /// TCP listener).
+    pub fn at(endpoint: &Endpoint) -> ServerConfig {
+        ServerConfig::default().on(endpoint)
+    }
+
+    /// Point the server at `endpoint`, builder-style.
+    pub fn on(mut self, endpoint: &Endpoint) -> ServerConfig {
+        match endpoint {
+            Endpoint::Tcp(addr) => self.addr = addr.clone(),
+            Endpoint::Unix(path) => self.unix_path = Some(path.clone()),
+        }
+        self
+    }
+
+    /// Set the reactor shard count (0 = derive from `workers`).
+    pub fn shards(mut self, n: usize) -> ServerConfig {
+        self.shards = n;
+        self
+    }
+
+    /// Set the admitted-connection ceiling.
+    pub fn max_sessions(mut self, n: usize) -> ServerConfig {
+        self.max_sessions = n;
+        self
+    }
+
+    /// Set the idle budget (`read_timeout`).
+    pub fn idle_budget(mut self, d: Duration) -> ServerConfig {
+        self.read_timeout = d;
+        self
+    }
+
+    /// Set the write-stall budget (`write_timeout`).
+    pub fn write_budget(mut self, d: Duration) -> ServerConfig {
+        self.write_timeout = d;
+        self
+    }
+
+    /// Set the codec policy.
+    pub fn codecs(mut self, policy: CodecPolicy) -> ServerConfig {
+        self.codecs = policy;
+        self
+    }
+
+    /// Enable or disable the test-only `debug` verb.
+    pub fn debug(mut self, on: bool) -> ServerConfig {
+        self.enable_debug = on;
+        self
+    }
+
+    /// The shard count this config resolves to: an explicit `shards`
+    /// wins; otherwise `workers` capped by available cores (shards spin
+    /// on CPU-bound decode/dispatch, so overshooting the core count only
+    /// buys context switches) and by 8.
+    pub fn shard_count(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            self.workers.clamp(1, cores.min(8))
+        }
+    }
+}
+
+/// Either transport, nonblocking.
+enum Sock {
     Tcp(TcpStream),
     Unix(UnixStream),
 }
 
-/// Socket-level read timeout. Reads wake this often so a blocked worker
-/// can observe the shutdown flag and the connection's idle budget
-/// (`cfg.read_timeout`) without being pinned for the whole budget.
-const READ_POLL: Duration = Duration::from_millis(200);
-
-impl Conn {
-    fn apply_timeouts(&self, cfg: &ServerConfig) -> std::io::Result<()> {
+impl Sock {
+    fn fd(&self) -> RawFd {
         match self {
-            Conn::Tcp(s) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(Some(READ_POLL))?;
-                s.set_write_timeout(Some(cfg.write_timeout))
+            Sock::Tcp(s) => s.as_raw_fd(),
+            Sock::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => std::io::Read::read(s, buf),
+            Sock::Unix(s) => std::io::Read::read(s, buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            Sock::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Sock::Tcp(s) => {
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)
             }
-            Conn::Unix(s) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(Some(READ_POLL))?;
-                s.set_write_timeout(Some(cfg.write_timeout))
-            }
+            Sock::Unix(s) => s.set_nonblocking(true),
         }
     }
 }
 
-/// Shared server state.
+/// One admitted connection, owned by exactly one shard.
+struct Conn {
+    sock: Sock,
+    codec: CodecKind,
+    session: Option<Session>,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    last_activity: Instant,
+    write_stalled_since: Option<Instant>,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(sock: Sock) -> Conn {
+        Conn {
+            sock,
+            codec: CodecKind::Ndjson,
+            session: None,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            last_activity: Instant::now(),
+            write_stalled_since: None,
+            close_after_flush: false,
+        }
+    }
+}
+
+/// Shared server state (cold path only — nothing here is touched per
+/// request except the shutdown flag load).
 struct Shared {
     cfg: ServerConfig,
-    metrics: Arc<ServiceMetrics>,
     sink: Arc<dyn ServiceSink>,
     shutdown: AtomicBool,
     /// Connections admitted and not yet closed.
     active: AtomicUsize,
-    next_session: AtomicU64,
+    /// One registry per shard; `stats` merges them.
+    shard_metrics: Vec<Arc<ServiceMetrics>>,
+    /// Every poller's waker, so shutdown interrupts all waits promptly.
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Ok(wakers) = self.wakers.lock() {
+            for w in wakers.iter() {
+                w.wake();
+            }
+        }
+    }
+
+    fn merged_stats(&self) -> StatsReport {
+        merged_report(self.shard_metrics.iter().map(Arc::as_ref))
+    }
+}
+
+/// A merge-on-read view over the per-shard metrics registries.
+pub struct MetricsView {
+    shards: Vec<Arc<ServiceMetrics>>,
+}
+
+impl MetricsView {
+    /// Merge every shard's counters into one report.
+    pub fn report(&self) -> StatsReport {
+        merged_report(self.shards.iter().map(Arc::as_ref))
+    }
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -131,14 +362,16 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// The shared metrics registry.
-    pub fn metrics(&self) -> Arc<ServiceMetrics> {
-        Arc::clone(&self.shared.metrics)
+    /// A merge-on-read view over the per-shard metrics registries.
+    pub fn metrics(&self) -> MetricsView {
+        MetricsView {
+            shards: self.shared.shard_metrics.clone(),
+        }
     }
 
     /// Ask every loop to wind down. Idempotent; returns immediately.
     pub fn trigger_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
     }
 
     /// Whether shutdown has been requested (by this handle or a client).
@@ -146,8 +379,7 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Wait for the accept loops and workers to finish. In-flight
-    /// connections are given until their next read timeout to notice.
+    /// Wait for the accept loop and every shard to finish.
     pub fn join(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -158,7 +390,13 @@ impl ServerHandle {
     }
 }
 
-/// Bind the listeners and spawn the accept loops and worker pool.
+/// Hand-off from the accept thread to a shard.
+struct ShardInbox {
+    queue: Mutex<Vec<Sock>>,
+    waker: Waker,
+}
+
+/// Bind the listeners and spawn the accept loop and reactor shards.
 pub fn spawn(cfg: ServerConfig) -> Result<ServerHandle, Error> {
     spawn_with_sink(cfg, Arc::new(NullSink))
 }
@@ -188,53 +426,65 @@ pub fn spawn_with_sink(
         None => None,
     };
 
+    let nshards = cfg.shard_count();
+    let shard_metrics: Vec<Arc<ServiceMetrics>> = (0..nshards)
+        .map(|_| Arc::new(ServiceMetrics::new()))
+        .collect();
+
+    let mut shard_pollers = Vec::with_capacity(nshards);
+    let mut inboxes = Vec::with_capacity(nshards);
+    let mut wakers = Vec::with_capacity(nshards + 1);
+    for _ in 0..nshards {
+        let poller = Poller::new().map_err(|e| Error::Io(format!("poller: {e}")))?;
+        let waker = poller.waker();
+        inboxes.push(Arc::new(ShardInbox {
+            queue: Mutex::new(Vec::new()),
+            waker: waker.clone(),
+        }));
+        wakers.push(waker);
+        shard_pollers.push(poller);
+    }
+    let mut accept_poller = Poller::new().map_err(|e| Error::Io(format!("poller: {e}")))?;
+    wakers.push(accept_poller.waker());
+
     let shared = Arc::new(Shared {
         cfg: cfg.clone(),
-        metrics: Arc::new(ServiceMetrics::new()),
         sink,
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
-        next_session: AtomicU64::new(1),
+        shard_metrics: shard_metrics.clone(),
+        wakers: Mutex::new(wakers),
     });
 
-    // The hand-off queue is bounded by max_sessions; the `active` counter
-    // guarantees we never try_send into a full queue, but the bound caps
-    // memory even if that invariant were broken.
-    let (tx, rx) = sync_channel::<Conn>(cfg.max_sessions.max(1));
-    let rx = Arc::new(Mutex::new(rx));
-
     let mut threads = Vec::new();
-    for i in 0..cfg.workers.max(1) {
+    for (index, poller) in shard_pollers.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
-        let rx = Arc::clone(&rx);
+        let metrics = Arc::clone(&shard_metrics[index]);
+        let inbox = Arc::clone(&inboxes[index]);
         threads.push(
             std::thread::Builder::new()
-                .name(format!("smtd-worker-{i}"))
-                .spawn(move || worker_loop(&shared, &rx))
-                .map_err(|e| Error::Io(format!("spawn worker: {e}")))?,
+                .name(format!("smtd-shard-{index}"))
+                .spawn(move || shard_loop(&shared, &metrics, poller, &inbox, index, nshards))
+                .map_err(|e| Error::Io(format!("spawn shard: {e}")))?,
         );
     }
     {
+        accept_poller
+            .register(tcp.as_raw_fd(), TOKEN_TCP)
+            .map_err(|e| Error::Io(format!("register tcp listener: {e}")))?;
+        if let Some(l) = &unix {
+            accept_poller
+                .register(l.as_raw_fd(), TOKEN_UNIX)
+                .map_err(|e| Error::Io(format!("register unix listener: {e}")))?;
+        }
         let shared = Arc::clone(&shared);
-        let tx = tx.clone();
         threads.push(
             std::thread::Builder::new()
-                .name("smtd-accept-tcp".to_string())
-                .spawn(move || accept_loop_tcp(&shared, &tcp, &tx))
+                .name("smtd-accept".to_string())
+                .spawn(move || accept_loop(&shared, &tcp, unix.as_ref(), accept_poller, &inboxes))
                 .map_err(|e| Error::Io(format!("spawn accept: {e}")))?,
         );
     }
-    if let Some(listener) = unix {
-        let shared = Arc::clone(&shared);
-        let tx = tx.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name("smtd-accept-unix".to_string())
-                .spawn(move || accept_loop_unix(&shared, &listener, &tx))
-                .map_err(|e| Error::Io(format!("spawn accept: {e}")))?,
-        );
-    }
-    drop(tx); // workers exit once every accept loop has dropped its sender
 
     Ok(ServerHandle {
         shared,
@@ -243,53 +493,80 @@ pub fn spawn_with_sink(
     })
 }
 
-fn accept_loop_tcp(shared: &Shared, listener: &TcpListener, tx: &SyncSender<Conn>) {
+const TOKEN_TCP: u64 = 0;
+const TOKEN_UNIX: u64 = 1;
+
+fn accept_loop(
+    shared: &Shared,
+    tcp: &TcpListener,
+    unix: Option<&UnixListener>,
+    mut poller: Poller,
+    inboxes: &[Arc<ShardInbox>],
+) {
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut rr = 0usize;
     while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => admit(shared, Conn::Tcp(stream), tx),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
+        if poller.wait(&mut events, POLL_INTERVAL).is_err() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Edge-triggered listeners: accept until WouldBlock on every
+        // wakeup (events for one listener do not starve the other).
+        loop {
+            match tcp.accept() {
+                Ok((stream, _)) => admit(shared, Sock::Tcp(stream), inboxes, &mut rr),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        if let Some(listener) = unix {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => admit(shared, Sock::Unix(stream), inboxes, &mut rr),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
         }
     }
 }
 
-fn accept_loop_unix(shared: &Shared, listener: &UnixListener, tx: &SyncSender<Conn>) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => admit(shared, Conn::Unix(stream), tx),
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
-/// Admit a fresh connection into the worker queue, or shed it with a
-/// structured `busy` line when the server is at capacity.
-fn admit(shared: &Shared, conn: Conn, tx: &SyncSender<Conn>) {
-    if conn.apply_timeouts(&shared.cfg).is_err() {
+/// Deal a fresh connection to a shard, or shed it with a structured
+/// `busy` line when the server is at capacity.
+fn admit(shared: &Shared, sock: Sock, inboxes: &[Arc<ShardInbox>], rr: &mut usize) {
+    if sock.set_nonblocking().is_err() {
         return;
     }
-    // Reserve a slot first so two racing accepts cannot both slip past the
-    // ceiling; release it on any shed path.
+    // Reserve a slot first so two racing accepts cannot both slip past
+    // the ceiling; release it on any shed path.
     let admitted = shared.active.fetch_add(1, Ordering::SeqCst) < shared.cfg.max_sessions;
-    if admitted {
-        if let Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) = tx.try_send(conn)
-        {
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            shed(shared, conn);
-        }
-    } else {
+    if !admitted {
         shared.active.fetch_sub(1, Ordering::SeqCst);
-        shed(shared, conn);
+        shed(shared, sock);
+        return;
+    }
+    let inbox = &inboxes[*rr % inboxes.len()];
+    *rr += 1;
+    match inbox.queue.lock() {
+        Ok(mut q) => {
+            q.push(sock);
+            drop(q);
+            inbox.waker.wake();
+        }
+        Err(_) => {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
-fn shed(shared: &Shared, conn: Conn) {
-    shared.metrics.connection_shed();
+fn shed(shared: &Shared, mut sock: Sock) {
+    // Busy rejections happen before a shard is chosen; charge them to
+    // shard 0 so the merged count is right without double counting.
+    if let Some(m) = shared.shard_metrics.first() {
+        m.connection_shed();
+    }
     shared.sink.connection_shed();
     let line = encode_line(&Response::error(
         ErrorCode::Busy,
@@ -299,149 +576,327 @@ fn shed(shared: &Shared, conn: Conn) {
         ),
     ))
     .unwrap_or_else(|_| "{\"Error\":{\"code\":\"Busy\",\"message\":\"\"}}\n".to_string());
-    match conn {
-        Conn::Tcp(mut s) => {
-            let _ = s.write_all(line.as_bytes());
-        }
-        Conn::Unix(mut s) => {
-            let _ = s.write_all(line.as_bytes());
-        }
-    }
+    // Best effort on a fresh nonblocking socket: the send buffer is
+    // empty, so a single write virtually always takes the whole line.
+    let _ = sock.write(line.as_bytes());
 }
 
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<Conn>>>) {
+/// Per-shard context threaded through request handling.
+struct ShardCtx<'a> {
+    shared: &'a Shared,
+    metrics: &'a ServiceMetrics,
+    /// Next session id this shard will issue (stride `nshards`).
+    next_session: u64,
+    nshards: u64,
+    /// Set when a handler processed the `shutdown` verb; acted on after
+    /// the response is flushed.
+    shutdown_requested: bool,
+}
+
+fn shard_loop(
+    shared: &Shared,
+    metrics: &Arc<ServiceMetrics>,
+    mut poller: Poller,
+    inbox: &ShardInbox,
+    index: usize,
+    nshards: usize,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut last_sweep = Instant::now();
+    let mut ctx = ShardCtx {
+        shared,
+        metrics,
+        next_session: index as u64 + 1,
+        nshards: nshards as u64,
+        shutdown_requested: false,
+    };
+
     loop {
-        // Hold the receiver lock only for the dequeue, not the connection.
-        let next = {
-            let guard = match rx.lock() {
-                Ok(g) => g,
-                Err(_) => return,
-            };
-            guard.recv_timeout(POLL_INTERVAL)
+        let _ = poller.wait(&mut events, POLL_INTERVAL);
+
+        // Adopt connections the accept thread dealt us.
+        let fresh: Vec<Sock> = match inbox.queue.lock() {
+            Ok(mut q) => q.drain(..).collect(),
+            Err(_) => Vec::new(),
         };
-        match next {
-            Ok(conn) => {
-                match conn {
-                    Conn::Tcp(s) => serve_connection(shared, s),
-                    Conn::Unix(s) => serve_connection(shared, s),
-                }
+        for sock in fresh {
+            let token = next_token;
+            next_token += 1;
+            if poller.register(sock.fd(), token).is_err() {
                 shared.active.fetch_sub(1, Ordering::SeqCst);
+                continue;
             }
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+            let mut conn = Conn::new(sock);
+            // Bytes may already be buffered (epoll reports readiness
+            // present at registration, but the fallback poller does not
+            // track edges at all) — run one service pass immediately.
+            let keep = service_conn(&mut ctx, &mut conn, true, false, false, &mut scratch);
+            if keep {
+                conns.insert(token, conn);
+            } else {
+                close_conn(shared, metrics, &mut poller, conn);
+            }
+            maybe_shutdown(&mut ctx);
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain: one best-effort flush per connection, then close.
+            for (_, mut conn) in conns.drain() {
+                let _ = flush_wbuf(&mut conn);
+                close_conn(shared, metrics, &mut poller, conn);
+            }
+            return;
+        }
+
+        for &ev in &events {
+            let Some(mut conn) = conns.remove(&ev.token) else {
+                continue;
+            };
+            let keep = service_conn(
+                &mut ctx,
+                &mut conn,
+                ev.readable,
+                ev.writable,
+                ev.hangup,
+                &mut scratch,
+            );
+            if keep {
+                conns.insert(ev.token, conn);
+            } else {
+                close_conn(shared, metrics, &mut poller, conn);
+            }
+            maybe_shutdown(&mut ctx);
+        }
+
+        // Periodic sweep: idle budgets and write stalls.
+        if last_sweep.elapsed() >= POLL_INTERVAL {
+            last_sweep = Instant::now();
+            let now = Instant::now();
+            let doomed: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    now.duration_since(c.last_activity) >= shared.cfg.read_timeout
+                        || c.write_stalled_since
+                            .is_some_and(|t| now.duration_since(t) >= shared.cfg.write_timeout)
+                })
+                .map(|(&t, _)| t)
+                .collect();
+            for token in doomed {
+                if let Some(conn) = conns.remove(&token) {
+                    close_conn(shared, metrics, &mut poller, conn);
                 }
             }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
 }
 
-/// Serve one connection until EOF, idle timeout, `shutdown`, or a write
-/// error.
-fn serve_connection<S: Read + Write>(shared: &Shared, stream: S) {
-    let mut reader = BufReader::new(stream);
-    let mut session: Option<Session> = None;
-    let mut line = String::new();
-
-    'conn: loop {
-        line.clear();
-        // Accumulate one full line. The socket read timeout is READ_POLL,
-        // so each wakeup can observe shutdown and the idle budget; on a
-        // timeout, bytes read so far stay in `line` and the next call
-        // appends (read_until semantics).
-        let mut last_activity = Instant::now();
-        let mut bytes_seen = 0usize;
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => break 'conn, // EOF
-                Ok(_) => {
-                    if line.ends_with('\n') {
-                        break;
-                    }
-                    break 'conn; // EOF mid-line
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break 'conn;
-                    }
-                    if line.len() > bytes_seen {
-                        // A partial line arrived: that is progress, not
-                        // idleness. Keep the bytes and keep accumulating.
-                        bytes_seen = line.len();
-                        last_activity = Instant::now();
-                    } else if last_activity.elapsed() >= shared.cfg.read_timeout {
-                        // Idle past the budget: drop the connection
-                        // rather than pin a worker forever.
-                        break 'conn;
-                    }
-                }
-                Err(_) => break 'conn,
-            }
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-
-        let started = Instant::now();
-        // The handler mutates only connection-local state (the session)
-        // plus monotone atomic counters, so observing a half-applied
-        // ingest after a panic is benign — hence AssertUnwindSafe, same
-        // justification as the experiment engine's worker loop.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_line(shared, &mut session, &line)
-        }));
-        let (response, close) = match outcome {
-            Ok(pair) => pair,
-            Err(payload) => {
-                let msg = panic_message(payload.as_ref());
-                shared.sink.handler_panicked(&msg);
-                (
-                    Response::error(ErrorCode::Internal, format!("handler panicked: {msg}")),
-                    false,
-                )
-            }
-        };
-
-        let ok = !matches!(response, Response::Error { .. });
-        shared.metrics.request_served(ok, started.elapsed());
-        shared
-            .sink
-            .request_served(verb_of(&response), ok, started.elapsed());
-
-        let encoded = match encode_line(&response) {
-            Ok(s) => s,
-            Err(_) => break,
-        };
-        if reader.get_mut().write_all(encoded.as_bytes()).is_err() {
-            break;
-        }
-        if close {
-            break;
-        }
+/// Act on a handled `shutdown` verb — after its `Bye` got a flush chance.
+fn maybe_shutdown(ctx: &mut ShardCtx<'_>) {
+    if ctx.shutdown_requested {
+        ctx.shutdown_requested = false;
+        ctx.shared.request_shutdown();
     }
+}
 
-    if let Some(s) = session {
-        shared.metrics.session_closed();
+/// Release a connection: deregister, account, close.
+fn close_conn(shared: &Shared, metrics: &ServiceMetrics, poller: &mut Poller, conn: Conn) {
+    let _ = poller.deregister(conn.sock.fd());
+    if let Some(s) = &conn.session {
+        metrics.session_closed();
         shared.sink.session_closed(s.id());
     }
+    shared.active.fetch_sub(1, Ordering::SeqCst);
 }
 
-/// Decode and dispatch one request line. Returns the response and whether
-/// the connection should close afterwards.
-fn handle_line(shared: &Shared, session: &mut Option<Session>, line: &str) -> (Response, bool) {
-    let request: Request = match decode_line(line) {
-        Ok(r) => r,
+/// One service pass over a connection. Returns `false` when the
+/// connection is done and should be closed.
+fn service_conn(
+    ctx: &mut ShardCtx<'_>,
+    conn: &mut Conn,
+    readable: bool,
+    writable: bool,
+    hangup: bool,
+    scratch: &mut [u8],
+) -> bool {
+    if writable && flush_wbuf(conn).is_err() {
+        return false;
+    }
+
+    let mut eof = false;
+    if readable || hangup {
+        loop {
+            match conn.sock.read(scratch) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    if conn.rbuf.len() - conn.rpos > MAX_PENDING_INPUT {
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    // Peel and handle every complete frame currently buffered.
+    while !conn.close_after_flush {
+        let codec = codec_for(conn.codec);
+        match codec.split_frame(&conn.rbuf[conn.rpos..]) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                let (start, end) = (conn.rpos + frame.start, conn.rpos + frame.end);
+                conn.rpos += frame.consumed;
+                // Swap the read buffer out so the payload slice does not
+                // hold a borrow of `conn` while the handler mutates it.
+                let rbuf = std::mem::take(&mut conn.rbuf);
+                handle_payload(ctx, conn, &rbuf[start..end]);
+                conn.rbuf = rbuf;
+            }
+            Err(e) => {
+                // Framing-level corruption: answer structurally, then
+                // close — the stream cannot be resynchronized.
+                let code = match conn.codec {
+                    CodecKind::Binary => ErrorCode::BadFrame,
+                    CodecKind::Ndjson => ErrorCode::BadRequest,
+                };
+                queue_response(
+                    ctx,
+                    conn,
+                    Response::error(code, format!("framing error: {e}")),
+                    false,
+                );
+                conn.close_after_flush = true;
+            }
+        }
+    }
+
+    // Compact the consumed prefix.
+    if conn.rpos == conn.rbuf.len() {
+        conn.rbuf.clear();
+        conn.rpos = 0;
+    } else if conn.rpos > 64 * 1024 {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+
+    if flush_wbuf(conn).is_err() {
+        return false;
+    }
+    if conn.close_after_flush && conn.wpos == conn.wbuf.len() {
+        return false;
+    }
+    if eof {
+        // Peer finished sending. Anything unflushed gets one last chance
+        // above; a partial trailing frame is dropped silently.
+        return false;
+    }
+    true
+}
+
+/// Decode and dispatch one frame payload; queue the encoded response.
+fn handle_payload(ctx: &mut ShardCtx<'_>, conn: &mut Conn, payload: &[u8]) {
+    if conn.codec == CodecKind::Ndjson && payload.iter().all(u8::is_ascii_whitespace) {
+        return; // blank keep-alive line
+    }
+    let started = Instant::now();
+    let codec = codec_for(conn.codec);
+
+    // The handler mutates only connection-local state (the session) plus
+    // monotone counters, so observing a half-applied ingest after a panic
+    // is benign — hence AssertUnwindSafe, same justification as the
+    // experiment engine's worker loop.
+    let session = &mut conn.session;
+    let outcome = catch_unwind(AssertUnwindSafe(|| match codec.decode_request(payload) {
+        Ok(request) => handle_request(ctx, session, request),
         Err(e) => {
-            return (
-                Response::error(ErrorCode::BadRequest, format!("unparseable request: {e}")),
+            let code = match codec.kind() {
+                CodecKind::Binary => ErrorCode::BadFrame,
+                CodecKind::Ndjson => ErrorCode::BadRequest,
+            };
+            (
+                Response::error(code, format!("unparseable request: {e}")),
                 false,
-            );
+            )
+        }
+    }));
+    let (response, close) = match outcome {
+        Ok(pair) => pair,
+        Err(panic_payload) => {
+            let msg = panic_message(panic_payload.as_ref());
+            ctx.shared.sink.handler_panicked(&msg);
+            (
+                Response::error(ErrorCode::Internal, format!("handler panicked: {msg}")),
+                false,
+            )
         }
     };
+
+    let ok = !matches!(response, Response::Error { .. });
+    ctx.metrics.request_served(ok, started.elapsed());
+    ctx.shared
+        .sink
+        .request_served(verb_of(&response), ok, started.elapsed());
+    queue_response(ctx, conn, response, close);
+}
+
+/// Encode a response into the connection's write buffer with its current
+/// codec, then apply any codec switch the response implies.
+fn queue_response(ctx: &mut ShardCtx<'_>, conn: &mut Conn, response: Response, close: bool) {
+    let codec = codec_for(conn.codec);
+    if codec.encode_response(&response, &mut conn.wbuf).is_err() {
+        conn.close_after_flush = true;
+        return;
+    }
+    match &response {
+        // The welcome travels in the old codec; everything after speaks
+        // the granted one.
+        Response::Welcome { codec: granted, .. } => conn.codec = *granted,
+        Response::Bye => ctx.shutdown_requested = true,
+        _ => {}
+    }
+    if close {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Write as much of the pending output as the socket accepts.
+fn flush_wbuf(conn: &mut Conn) -> Result<(), ()> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.sock.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        conn.write_stalled_since = None;
+    } else if conn.write_stalled_since.is_none() {
+        conn.write_stalled_since = Some(Instant::now());
+    }
+    Ok(())
+}
+
+/// Dispatch one request. Returns the response and whether the connection
+/// should close afterwards.
+fn handle_request(
+    ctx: &mut ShardCtx<'_>,
+    session: &mut Option<Session>,
+    request: Request,
+) -> (Response, bool) {
+    let shared = ctx.shared;
     if shared.shutdown.load(Ordering::SeqCst) {
         return (
             Response::error(ErrorCode::ShuttingDown, "server is draining"),
@@ -449,34 +904,48 @@ fn handle_line(shared: &Shared, session: &mut Option<Session>, line: &str) -> (R
         );
     }
     match request {
-        Request::Hello { proto, spec } => {
-            if proto != PROTOCOL_VERSION {
+        Request::Hello { proto, spec, codec } => {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&proto) {
                 return (
                     Response::error(
                         ErrorCode::Unsupported,
-                        format!("protocol {proto} unsupported (server speaks {PROTOCOL_VERSION})"),
+                        format!(
+                            "protocol {proto} unsupported (server speaks \
+                             {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                        ),
                     ),
                     false,
                 );
             }
+            let Some(granted) = shared.cfg.codecs.grant(codec) else {
+                return (
+                    Response::error(
+                        ErrorCode::UnsupportedCodec,
+                        format!("codec {codec} refused by server policy"),
+                    ),
+                    false,
+                );
+            };
             if session.is_some() {
                 return (
                     Response::error(ErrorCode::SessionExists, "connection already has a session"),
                     false,
                 );
             }
-            let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+            let id = ctx.next_session;
             match Session::new(id, &spec) {
                 Ok(s) => {
+                    ctx.next_session += ctx.nshards;
                     let top = s.top();
                     *session = Some(s);
-                    shared.metrics.session_opened();
+                    ctx.metrics.session_opened();
                     shared.sink.session_opened(id);
                     (
                         Response::Welcome {
                             session: id,
                             proto: PROTOCOL_VERSION,
                             top,
+                            codec: granted,
                         },
                         false,
                     )
@@ -490,7 +959,7 @@ fn handle_line(shared: &Shared, session: &mut Option<Session>, line: &str) -> (R
         Request::Ingest { windows } => match session.as_mut() {
             Some(s) => {
                 let summary = s.ingest(&windows);
-                shared.metrics.windows_ingested(summary.accepted);
+                ctx.metrics.windows_ingested(summary.accepted);
                 (Response::Ingested(summary), false)
             }
             None => (
@@ -504,7 +973,7 @@ fn handle_line(shared: &Shared, session: &mut Option<Session>, line: &str) -> (R
         Request::Recommend => match session.as_ref() {
             Some(s) => {
                 let r = s.recommend();
-                shared.metrics.recommended(r.level);
+                ctx.metrics.recommended(r.level);
                 (Response::Recommendation(r), false)
             }
             None => (
@@ -515,11 +984,8 @@ fn handle_line(shared: &Shared, session: &mut Option<Session>, line: &str) -> (R
                 false,
             ),
         },
-        Request::Stats => (Response::Stats(shared.metrics.report()), false),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            (Response::Bye, true)
-        }
+        Request::Stats => (Response::Stats(shared.merged_stats()), false),
+        Request::Shutdown => (Response::Bye, true),
         Request::Debug { op } => {
             if !shared.cfg.enable_debug {
                 return (

@@ -1,26 +1,33 @@
-//! Wire-protocol tests: every verb round-trips through the line codec,
-//! and a live server answers malformed/truncated lines with a structured
+//! Wire-protocol tests: every verb round-trips through both codecs, the
+//! hello exchange stays compatible with the v1 (pre-codec) line format,
+//! and a live server answers malformed/truncated input with a structured
 //! error while the connection's session stays usable.
 
 use std::sync::OnceLock;
 use std::time::Duration;
 
 use proptest::prelude::*;
+use smt_service::codec::codec_for;
 use smt_service::protocol::{
-    decode_line, encode_line, ErrorCode, IngestSummary, Request, Response, SessionSpec,
-    StatsReport, PROTOCOL_VERSION,
+    decode_line, encode_line, CodecKind, ErrorCode, IngestSummary, Request, Response, SessionSpec,
+    StatsReport, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-use smt_service::{Client, ServerConfig};
+use smt_service::{Client, CodecPolicy, ServerConfig};
 use smt_sim::{MachineConfig, Simulation, SmtLevel, WindowMeasurement};
 use smt_workloads::{catalog, SyntheticWorkload};
 
 fn sample_window() -> WindowMeasurement {
-    let mut sim = Simulation::new(
-        MachineConfig::power7(1),
-        SmtLevel::Smt4,
-        SyntheticWorkload::new(catalog::ep().scaled(0.05)),
-    );
-    sim.measure_window(5_000)
+    static WINDOW: OnceLock<WindowMeasurement> = OnceLock::new();
+    WINDOW
+        .get_or_init(|| {
+            let mut sim = Simulation::new(
+                MachineConfig::power7(1),
+                SmtLevel::Smt4,
+                SyntheticWorkload::new(catalog::ep().scaled(0.05)),
+            );
+            sim.measure_window(5_000)
+        })
+        .clone()
 }
 
 fn round_trip_request(req: &Request) {
@@ -32,20 +39,62 @@ fn round_trip_request(req: &Request) {
     );
     let back: Request = decode_line(&line).expect("decode");
     assert_eq!(&back, req);
+
+    // And through each codec's full frame path, byte-identically: the
+    // re-encoding of the decoded message reproduces the original frame.
+    for kind in [CodecKind::Ndjson, CodecKind::Binary] {
+        let codec = codec_for(kind);
+        let mut bytes = Vec::new();
+        codec.encode_request(req, &mut bytes).expect("encode frame");
+        let frame = codec
+            .split_frame(&bytes)
+            .expect("split")
+            .expect("complete frame");
+        assert_eq!(frame.consumed, bytes.len(), "{kind}: frame consumes all");
+        let back = codec
+            .decode_request(&bytes[frame.start..frame.end])
+            .expect("decode frame");
+        assert_eq!(&back, req, "{kind}: request survived the frame");
+        let mut again = Vec::new();
+        codec.encode_request(&back, &mut again).expect("re-encode");
+        assert_eq!(again, bytes, "{kind}: byte-identical re-encoding");
+    }
 }
 
 fn round_trip_response(resp: &Response) {
     let line = encode_line(resp).expect("encode");
     let back: Response = decode_line(&line).expect("decode");
     assert_eq!(&back, resp);
+
+    for kind in [CodecKind::Ndjson, CodecKind::Binary] {
+        let codec = codec_for(kind);
+        let mut bytes = Vec::new();
+        codec
+            .encode_response(resp, &mut bytes)
+            .expect("encode frame");
+        let frame = codec
+            .split_frame(&bytes)
+            .expect("split")
+            .expect("complete frame");
+        let back = codec
+            .decode_response(&bytes[frame.start..frame.end])
+            .expect("decode frame");
+        assert_eq!(&back, resp, "{kind}: response survived the frame");
+        let mut again = Vec::new();
+        codec.encode_response(&back, &mut again).expect("re-encode");
+        assert_eq!(again, bytes, "{kind}: byte-identical re-encoding");
+    }
 }
 
 #[test]
 fn every_request_verb_round_trips() {
-    round_trip_request(&Request::Hello {
-        proto: PROTOCOL_VERSION,
-        spec: SessionSpec::power7(),
-    });
+    for codec in [CodecKind::Ndjson, CodecKind::Binary] {
+        round_trip_request(&Request::Hello {
+            proto: PROTOCOL_VERSION,
+            spec: SessionSpec::power7(),
+            codec,
+        });
+    }
     round_trip_request(&Request::Ingest {
         windows: vec![sample_window(), sample_window()],
     });
@@ -60,11 +109,14 @@ fn every_request_verb_round_trips() {
 
 #[test]
 fn every_response_variant_round_trips() {
-    round_trip_response(&Response::Welcome {
-        session: 42,
-        proto: PROTOCOL_VERSION,
-        top: SmtLevel::Smt4,
-    });
+    for codec in [CodecKind::Ndjson, CodecKind::Binary] {
+        round_trip_response(&Response::Welcome {
+            session: 42,
+            proto: PROTOCOL_VERSION,
+            top: SmtLevel::Smt4,
+            codec,
+        });
+    }
     round_trip_response(&Response::Ingested(IngestSummary {
         accepted: 4,
         total_windows: 12,
@@ -97,6 +149,8 @@ fn every_response_variant_round_trips() {
         ErrorCode::ShuttingDown,
         ErrorCode::Internal,
         ErrorCode::Unsupported,
+        ErrorCode::UnsupportedCodec,
+        ErrorCode::BadFrame,
     ] {
         round_trip_response(&Response::error(code, "detail"));
     }
@@ -107,6 +161,41 @@ fn recommendation_response_round_trips() {
     let mut session = smt_service::Session::new(1, &SessionSpec::power7()).unwrap();
     session.ingest(&[sample_window()]);
     round_trip_response(&Response::Recommendation(session.recommend()));
+}
+
+/// A pre-codec (protocol v1) `hello` line — no `codec` field anywhere —
+/// must still open a session, defaulting to NDJSON.
+#[test]
+fn v1_hello_without_codec_field_still_opens_a_session() {
+    let spec_json = serde_json::to_string(&SessionSpec::power7()).expect("spec json");
+    let v1_line =
+        format!("{{\"Hello\":{{\"proto\":{MIN_PROTOCOL_VERSION},\"spec\":{spec_json}}}}}");
+    // The line itself parses with the codec defaulted...
+    match decode_line::<Request>(&v1_line).expect("v1 hello parses") {
+        Request::Hello { proto, codec, .. } => {
+            assert_eq!(proto, MIN_PROTOCOL_VERSION);
+            assert_eq!(codec, CodecKind::Ndjson, "missing codec defaults to ndjson");
+        }
+        other => panic!("expected hello, got {other:?}"),
+    }
+    // ...and a live server grants an NDJSON session for it.
+    let addr = shared_server_addr();
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    match client
+        .send_raw_line(&v1_line)
+        .expect("server answers v1 hello")
+    {
+        Response::Welcome { codec, proto, .. } => {
+            assert_eq!(codec, CodecKind::Ndjson);
+            assert_eq!(proto, PROTOCOL_VERSION);
+        }
+        other => panic!("v1 hello got {other:?}"),
+    }
+    // The session the v1 hello opened works.
+    client
+        .ingest(&[sample_window()])
+        .expect("ingest on v1 session");
+    client.recommend().expect("recommend on v1 session");
 }
 
 /// One server shared by all proptest cases (each case opens its own
@@ -148,6 +237,33 @@ fn corrupt(valid: &str, mode: u8, at: usize, junk: u64) -> String {
     s.replace(['\n', '\r'], " ")
 }
 
+/// A small pool of representative requests for the codec property tests.
+fn request_pool() -> &'static Vec<Request> {
+    static POOL: OnceLock<Vec<Request>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        vec![
+            Request::Hello {
+                proto: PROTOCOL_VERSION,
+                spec: SessionSpec::power7(),
+                codec: CodecKind::Binary,
+            },
+            Request::Ingest {
+                windows: vec![sample_window()],
+            },
+            Request::Ingest {
+                windows: vec![sample_window(), sample_window(), sample_window()],
+            },
+            Request::Ingest { windows: vec![] },
+            Request::Recommend,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Debug {
+                op: "panic".to_string(),
+            },
+        ]
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
@@ -177,6 +293,66 @@ proptest! {
         prop_assert_eq!(summary.total_windows, 2);
         client.recommend().expect("recommend after garbage");
     }
+
+    /// Both codecs: encode → decode → re-encode reproduces the original
+    /// bytes for every request in the pool.
+    #[test]
+    fn codec_round_trips_are_byte_identical(which in 0usize..8, kind in 0u8..2) {
+        let req = &request_pool()[which % request_pool().len()];
+        let codec = codec_for(if kind == 0 { CodecKind::Ndjson } else { CodecKind::Binary });
+        let mut bytes = Vec::new();
+        codec.encode_request(req, &mut bytes).expect("encode");
+        let frame = codec.split_frame(&bytes).expect("split").expect("complete");
+        let back = codec.decode_request(&bytes[frame.start..frame.end]).expect("decode");
+        prop_assert_eq!(&back, req);
+        let mut again = Vec::new();
+        codec.encode_request(&back, &mut again).expect("re-encode");
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// BinaryCodec integrity: a frame with any single byte flipped never
+    /// silently decodes back to the original message, and any strict
+    /// prefix of a frame never yields a frame at all.
+    #[test]
+    fn binary_codec_rejects_flipped_and_truncated_frames(
+        which in 0usize..8,
+        flip_at in 0usize..4096,
+        flip_bit in 0u8..8,
+        cut in 1usize..4096,
+    ) {
+        let req = &request_pool()[which % request_pool().len()];
+        let codec = codec_for(CodecKind::Binary);
+        let mut bytes = Vec::new();
+        codec.encode_request(req, &mut bytes).expect("encode");
+
+        // Truncation: no strict prefix ever produces a frame.
+        let cut = cut % bytes.len();
+        prop_assert!(
+            codec.split_frame(&bytes[..cut]).expect("prefix is not an error").is_none(),
+            "a {}-byte prefix of a {}-byte frame produced a frame",
+            cut,
+            bytes.len()
+        );
+
+        // Bit flip: framing either errors out (bad length/checksum), keeps
+        // waiting for bytes (inflated length), or — never — reproduces the
+        // original message.
+        let mut flipped = bytes.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        match codec.split_frame(&flipped) {
+            Err(_) => {}       // bad length or checksum mismatch
+            Ok(None) => {}     // length field inflated past the buffer
+            Ok(Some(frame)) => {
+                // A flip confined to the payload with a matching checksum
+                // is impossible; decode may still fail structurally, but
+                // must not yield the original message.
+                if let Ok(back) = codec.decode_request(&flipped[frame.start..frame.end]) {
+                    prop_assert!(&back != req, "flipped frame decoded to the original");
+                }
+            }
+        }
+    }
 }
 
 #[test]
@@ -199,6 +375,7 @@ fn verbs_out_of_order_get_structured_errors() {
         .call(&Request::Hello {
             proto: PROTOCOL_VERSION + 1,
             spec: SessionSpec::power7(),
+            codec: CodecKind::Ndjson,
         })
         .unwrap()
     {
@@ -212,6 +389,7 @@ fn verbs_out_of_order_get_structured_errors() {
         .call(&Request::Hello {
             proto: PROTOCOL_VERSION,
             spec: SessionSpec::power7(),
+            codec: CodecKind::Ndjson,
         })
         .unwrap()
     {
@@ -227,6 +405,7 @@ fn verbs_out_of_order_get_structured_errors() {
         .call(&Request::Hello {
             proto: PROTOCOL_VERSION,
             spec: bad,
+            codec: CodecKind::Ndjson,
         })
         .unwrap()
     {
@@ -244,4 +423,35 @@ fn verbs_out_of_order_get_structured_errors() {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
         other => panic!("expected BadRequest, got {other:?}"),
     }
+}
+
+/// A server restricted to NDJSON refuses a binary hello with the
+/// structured `UnsupportedCodec` error, and the connection remains usable
+/// for a compliant retry.
+#[test]
+fn codec_policy_refusal_is_structured_and_survivable() {
+    let handle = smt_service::spawn(
+        ServerConfig::at(&smt_service::Endpoint::tcp("127.0.0.1:0"))
+            .codecs(CodecPolicy::NdjsonOnly),
+    )
+    .expect("spawn ndjson-only server");
+    let addr = handle.local_addr().to_string();
+
+    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+    let err = client
+        .hello_with(&SessionSpec::power7(), CodecKind::Binary)
+        .expect_err("binary must be refused");
+    assert!(
+        format!("{err}").contains("UnsupportedCodec"),
+        "unexpected error: {err}"
+    );
+    // Same connection, compliant retry.
+    let (_, _, granted) = client
+        .hello_with(&SessionSpec::power7(), CodecKind::Ndjson)
+        .expect("ndjson hello");
+    assert_eq!(granted, CodecKind::Ndjson);
+    client.ingest(&[sample_window()]).expect("ingest");
+
+    handle.trigger_shutdown();
+    handle.join();
 }

@@ -1,12 +1,12 @@
 //! End-to-end daemon tests: an in-process `smtd` serving many concurrent
-//! streaming clients, with fault injection, backpressure, both
-//! transports, and the committed serving baseline.
+//! streaming clients over both codecs, with fault injection,
+//! backpressure, both transports, and the committed serving baseline.
 
 use std::time::Duration;
 
 use smt_sched::{ControllerConfig, DynamicSmtController};
-use smt_service::protocol::{ErrorCode, Request, Response, SessionSpec};
-use smt_service::{BenchOptions, Client, ServerConfig, ServerHandle};
+use smt_service::protocol::{CodecKind, ErrorCode, Request, Response, SessionSpec};
+use smt_service::{BenchOptions, Client, ServeReport, ServerConfig, ServerHandle};
 use smt_sim::{MachineConfig, Simulation, SmtLevel};
 use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
 use smtsm::{LevelSelector, MetricSpec, ThresholdPredictor};
@@ -58,9 +58,12 @@ fn workload(i: usize) -> WorkloadSpec {
 }
 
 /// Criterion (a): every concurrent session's final recommendation equals
-/// the offline controller's answer for the same counter stream.
+/// the offline controller's answer for the same counter stream — under
+/// *both* codecs at once. Even-numbered clients stay on NDJSON,
+/// odd-numbered clients negotiate the binary framing, and all eight talk
+/// to the same server simultaneously.
 #[test]
-fn eight_concurrent_sessions_match_the_offline_controller() {
+fn eight_concurrent_sessions_match_the_offline_controller_on_both_codecs() {
     let handle = test_server(ServerConfig {
         workers: 12,
         max_sessions: 32,
@@ -72,14 +75,20 @@ fn eight_concurrent_sessions_match_the_offline_controller() {
     for i in 0..8 {
         let addr = addr.clone();
         threads.push(std::thread::spawn(move || {
+            let codec = if i % 2 == 0 {
+                CodecKind::Ndjson
+            } else {
+                CodecKind::Binary
+            };
             // Short windows keep the client-side simulation cheap; the
             // daemon/offline equality holds at any window size because
             // both observers see the identical stream.
             let mut spec = SessionSpec::power7();
             spec.window_cycles = 15_000;
             let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
-            let (_, top) = client.hello(&spec).expect("hello");
+            let (_, top, granted) = client.hello_with(&spec, codec).expect("hello");
             assert_eq!(top, SmtLevel::Smt4);
+            assert_eq!(granted, codec, "client {i}: codec negotiation");
 
             // Closed loop: the local simulation plays this client's
             // machine, reconfigured to whatever level the server answers;
@@ -110,7 +119,7 @@ fn eight_concurrent_sessions_match_the_offline_controller() {
                 let summary = client.ingest(&batch).expect("ingest");
                 assert_eq!(
                     summary.level, offline_level,
-                    "client {i}: daemon diverged from the offline controller"
+                    "client {i} [{codec}]: daemon diverged from the offline controller"
                 );
                 if sim.smt() != summary.level && !sim.finished() {
                     sim.reconfigure(summary.level);
@@ -118,7 +127,10 @@ fn eight_concurrent_sessions_match_the_offline_controller() {
             }
 
             let r = client.recommend().expect("recommend");
-            assert_eq!(r.level, offline_level, "client {i}: final answers disagree");
+            assert_eq!(
+                r.level, offline_level,
+                "client {i} [{codec}]: final answers disagree"
+            );
             (i, r.level)
         }));
     }
@@ -146,8 +158,10 @@ fn eight_concurrent_sessions_match_the_offline_controller() {
     handle.join();
 }
 
-/// Criterion (b): one garbage client and one panicking client do not
-/// disturb the sessions streaming alongside them.
+/// Criterion (b): one garbage client and one panicking binary-codec
+/// client do not disturb the honest sessions streaming alongside them —
+/// including honest sessions on the *other* codec, since sessions are
+/// sharded and each connection's state is its own.
 #[test]
 fn garbage_and_panicking_clients_leave_other_sessions_intact() {
     let handle = test_server(ServerConfig {
@@ -160,14 +174,15 @@ fn garbage_and_panicking_clients_leave_other_sessions_intact() {
 
     let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
 
-    // Two honest streaming clients.
-    for i in 0..2 {
+    // Two honest streaming clients, one per codec.
+    for (i, codec) in [(0, CodecKind::Ndjson), (1, CodecKind::Binary)] {
         let addr = addr.clone();
         threads.push(std::thread::spawn(move || {
             let mut spec = SessionSpec::power7();
             spec.window_cycles = 15_000;
             let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
-            client.hello(&spec).expect("hello");
+            let (_, _, granted) = client.hello_with(&spec, codec).expect("hello");
+            assert_eq!(granted, codec);
             let mut sim = Simulation::new(
                 MachineConfig::power7(1),
                 SmtLevel::Smt4,
@@ -181,7 +196,10 @@ fn garbage_and_panicking_clients_leave_other_sessions_intact() {
                 let m = sim.measure_window(spec.window_cycles);
                 let summary = client.ingest(std::slice::from_ref(&m)).expect("ingest");
                 sent += 1;
-                assert_eq!(summary.total_windows, sent, "client {i} lost windows");
+                assert_eq!(
+                    summary.total_windows, sent,
+                    "client {i} [{codec}] lost windows"
+                );
                 if sim.smt() != summary.level && !sim.finished() {
                     sim.reconfigure(summary.level);
                 }
@@ -205,14 +223,18 @@ fn garbage_and_panicking_clients_leave_other_sessions_intact() {
         }));
     }
 
-    // The panicking client: triggers handler panics mid-session, then
-    // keeps using the same connection.
+    // The panicking client: negotiates the binary codec, triggers handler
+    // panics mid-session, then keeps using the same connection — proving
+    // panic recovery works identically under the negotiated framing.
     {
         let addr = addr.clone();
         threads.push(std::thread::spawn(move || {
             let spec = SessionSpec::power7();
             let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
-            client.hello(&spec).expect("hello");
+            let (_, _, granted) = client
+                .hello_with(&spec, CodecKind::Binary)
+                .expect("binary hello");
+            assert_eq!(granted, CodecKind::Binary);
             for _ in 0..5 {
                 match client
                     .call(&Request::Debug {
@@ -273,7 +295,8 @@ fn overload_is_shed_with_a_busy_error() {
     handle.join();
 }
 
-/// The Unix-socket transport speaks the identical protocol.
+/// The Unix-socket transport speaks the identical protocol — including
+/// binary codec negotiation.
 #[test]
 fn unix_socket_serves_the_same_protocol() {
     let path = std::env::temp_dir().join(format!("smtd-test-{}.sock", std::process::id()));
@@ -283,8 +306,11 @@ fn unix_socket_serves_the_same_protocol() {
     });
 
     let mut client = Client::connect_unix(&path, Duration::from_secs(5)).expect("connect unix");
-    let (_, top) = client.hello(&SessionSpec::power7()).expect("hello");
+    let (_, top, granted) = client
+        .hello_with(&SessionSpec::power7(), CodecKind::Binary)
+        .expect("hello");
     assert_eq!(top, SmtLevel::Smt4);
+    assert_eq!(granted, CodecKind::Binary);
     let mut sim = Simulation::new(
         MachineConfig::power7(1),
         top,
@@ -311,7 +337,8 @@ fn shutdown_verb_stops_the_daemon() {
 }
 
 /// Offline (`--json` path) and online (daemon) answers are byte-identical
-/// for the same counter stream.
+/// for the same counter stream — under either codec, since the codec
+/// frames the messages but never touches the decision core.
 #[test]
 fn offline_and_online_recommendations_are_byte_identical() {
     let spec = SessionSpec::power7();
@@ -334,42 +361,66 @@ fn offline_and_online_recommendations_are_byte_identical() {
     offline.ingest(&windows);
     let offline_json = serde_json::to_string(&offline.recommend()).unwrap();
 
-    // Online: the same windows streamed over the wire.
-    let handle = test_server(ServerConfig::default());
-    let addr = handle.local_addr().to_string();
-    let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
-    client.hello(&spec).expect("hello");
-    client.ingest(&windows).expect("ingest");
-    let online_json = serde_json::to_string(&client.recommend().expect("recommend")).unwrap();
+    // Online: the same windows streamed over the wire, once per codec.
+    for codec in [CodecKind::Ndjson, CodecKind::Binary] {
+        let handle = test_server(ServerConfig::default());
+        let addr = handle.local_addr().to_string();
+        let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+        client.hello_with(&spec, codec).expect("hello");
+        client.ingest(&windows).expect("ingest");
+        let online_json = serde_json::to_string(&client.recommend().expect("recommend")).unwrap();
 
-    assert_eq!(offline_json, online_json);
+        assert_eq!(offline_json, online_json, "codec {codec}");
 
-    handle.trigger_shutdown();
-    handle.join();
-}
-
-/// Criterion (c): the serving baseline is committed and wired for the CI
-/// smoke job — it must parse and describe the three serve cases.
-#[test]
-fn committed_serving_baseline_is_loadable() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    let report = smt_experiments::perf::PerfReport::load(path)
-        .expect("BENCH_serve.json must be committed at the repo root");
-    let run = report.latest().expect("baseline must contain a run");
-    for case in [
-        "serve_throughput/smt1",
-        "serve_p50_inv_latency/smt1",
-        "serve_p99_inv_latency/smt1",
-    ] {
-        let e = run
-            .entry(case)
-            .unwrap_or_else(|| panic!("baseline missing {case}"));
-        assert!(e.cycles_per_sec > 0.0, "{case} has a degenerate rate");
+        handle.trigger_shutdown();
+        handle.join();
     }
 }
 
+/// Criterion (c): the serving baseline is committed and wired for the CI
+/// smoke job — it must parse as a [`ServeReport`], cover both codecs and
+/// a multi-tier connection ladder, carry first-class millisecond
+/// latencies, and document the reactor's throughput at high concurrency.
+#[test]
+fn committed_serving_baseline_is_loadable() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let report =
+        ServeReport::load(path).expect("BENCH_serve.json must be committed at the repo root");
+    let run = report.latest().expect("baseline must contain a run");
+
+    for codec in [CodecKind::Ndjson, CodecKind::Binary] {
+        let tiers: Vec<_> = run.tiers.iter().filter(|t| t.codec == codec).collect();
+        assert!(
+            tiers.len() >= 2,
+            "baseline needs a connection ladder for {codec}, found {} tier(s)",
+            tiers.len()
+        );
+        for t in &tiers {
+            assert!(t.requests_per_sec > 0.0, "degenerate rate in {codec} tier");
+            assert!(
+                t.p50_ms > 0.0 && t.p50_ms <= t.p99_ms,
+                "latency fields must be first-class ms values ({codec} c={})",
+                t.connections
+            );
+        }
+    }
+
+    // The acceptance bar: at ≥256 connections the binary codec sustains
+    // at least 10x the PR4 blocking-core baseline (1,059 req/s).
+    let wide = run
+        .tiers
+        .iter()
+        .filter(|t| t.codec == CodecKind::Binary && t.connections >= 256)
+        .map(|t| t.requests_per_sec)
+        .fold(0f64, f64::max);
+    assert!(
+        wide >= 10_590.0,
+        "binary tier at >=256 connections sustains {wide:.0} req/s, need >=10590"
+    );
+}
+
 /// The load harness itself: a short bench against an in-process server
-/// produces a well-formed summary and perf run.
+/// produces a well-formed summary under each codec.
 #[test]
 fn bench_harness_round_trips_against_a_live_server() {
     let handle = test_server(ServerConfig {
@@ -378,22 +429,29 @@ fn bench_harness_round_trips_against_a_live_server() {
         ..ServerConfig::default()
     });
     let addr = handle.local_addr().to_string();
-    let opts = BenchOptions {
-        connections: 3,
-        requests: 6,
-        windows_per_ingest: 2,
-        label: "itest".to_string(),
-    };
-    let summary = smt_service::run_bench(&addr, &opts).expect("bench");
-    // 6 ingests + 1 trailing recommend + 1 hello + a mid-run recommend
-    // every 5th request.
-    assert_eq!(summary.connections, 3);
-    assert_eq!(summary.requests_total, 3 * (6 + 1 + 1 + 1));
-    assert_eq!(summary.windows_total, 3 * 6 * 2);
-    assert!(summary.requests_per_sec > 0.0);
-    assert!(summary.p50_secs > 0.0 && summary.p50_secs <= summary.p99_secs);
-    let run = summary.to_perf_run();
-    assert_eq!(run.entries.len(), 3);
+    for codec in [CodecKind::Ndjson, CodecKind::Binary] {
+        let opts = BenchOptions {
+            connections: 3,
+            requests: 6,
+            windows_per_ingest: 2,
+            codec,
+            label: "itest".to_string(),
+        };
+        let summary = smt_service::run_bench(&addr, &opts).expect("bench");
+        // Per connection: 1 hello + 6 ingests + 1 mid-run recommend
+        // (every 5th request) + 1 trailing recommend.
+        assert_eq!(summary.codec, codec);
+        assert_eq!(summary.connections, 3);
+        assert_eq!(summary.requests_total, 3 * (1 + 6 + 1 + 1));
+        assert_eq!(summary.windows_total, 3 * 6 * 2);
+        assert!(summary.requests_per_sec > 0.0);
+        assert!(
+            summary.p50_ms > 0.0 && summary.p50_ms <= summary.p99_ms,
+            "{codec}: p50 {} p99 {}",
+            summary.p50_ms,
+            summary.p99_ms
+        );
+    }
 
     handle.trigger_shutdown();
     handle.join();

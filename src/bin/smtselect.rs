@@ -19,20 +19,28 @@
 //!     Run the benchmark under the dynamic SMT controller and print the
 //!     switch log and final throughput.
 //!
-//! smtselect serve [--addr HOST:PORT] [--unix PATH] [--workers N]
-//!                 [--max-sessions N] [--debug-verbs] [--verbose]
-//!     Run smtd, the recommendation daemon: clients stream counter windows
-//!     over newline-delimited JSON and get SMT-level answers back. Returns
-//!     when a client sends the shutdown verb.
+//! smtselect serve [--addr ENDPOINT] [--unix PATH] [--shards N]
+//!                 [--max-sessions N] [--codecs both|ndjson|binary]
+//!                 [--debug-verbs] [--verbose]
+//!     Run smtd, the recommendation daemon: an epoll reactor with session
+//!     state sharded across --shards threads. Clients open with an NDJSON
+//!     hello and may negotiate the length-prefixed binary codec; --codecs
+//!     restricts what hello may grant. ENDPOINT is tcp://HOST:PORT,
+//!     unix:///PATH, or bare HOST:PORT. Returns when a client sends the
+//!     shutdown verb.
 //!
-//! smtselect bench-serve [--addr HOST:PORT | --spawn] [--quick]
+//! smtselect bench-serve [--addr ENDPOINT | --spawn] [--quick]
 //!                       [--connections N] [--requests N] [--label L]
+//!                       [--codec ndjson|binary|both] [--tiers MAX]
 //!                       [--check FILE] [--tolerance F] [--out FILE]
 //!                       [--shutdown]
 //!     Load-test a running smtd (or an in-process one with --spawn) and
-//!     report throughput and latency percentiles; --check gates on a
-//!     committed BENCH_serve.json baseline, --out appends the run to the
-//!     trajectory, --shutdown stops the server afterwards.
+//!     report throughput and first-class p50/p99 latency in milliseconds.
+//!     --tiers MAX sweeps a doubling ladder of connection counts
+//!     (1, 2, 4, ... MAX) per selected codec; --check gates throughput
+//!     AND tail latency per tier against a committed BENCH_serve.json
+//!     baseline, --out appends the run to the trajectory, --shutdown
+//!     stops the server afterwards.
 //!
 //! smtselect collect <benchmark> [--backend sim|perf] [--pid P]
 //!                   [--machine p7|p7x2|nhm] [--scale S] [--windows N]
@@ -48,7 +56,8 @@
 //!     Shorthand for `collect --record FILE`: capture a trace corpus.
 //!
 //! smtselect replay <trace.smtc> [--threshold T] [--mid T] [--json]
-//!                  [--connect --addr HOST:PORT] [--verbose]
+//!                  [--connect --addr ENDPOINT [--codec ndjson|binary]]
+//!                  [--verbose]
 //!     Re-feed a recorded trace window-by-window into the daemon's session
 //!     type (or, with --connect, a live smtd) and print the
 //!     recommendation the stream converges to. Replay is bit-identical:
@@ -99,6 +108,10 @@ struct Opts {
     addr: String,
     unix: Option<String>,
     workers: usize,
+    shards: usize,
+    codecs: String,
+    codec: String,
+    tiers: Option<usize>,
     max_sessions: usize,
     debug_verbs: bool,
     verbose: bool,
@@ -133,7 +146,11 @@ fn parse(args: &[String]) -> Opts {
         addr: "127.0.0.1:7099".into(),
         unix: None,
         workers: 8,
-        max_sessions: 64,
+        shards: 0,
+        codecs: "both".into(),
+        codec: "ndjson".into(),
+        tiers: None,
+        max_sessions: 1024,
         debug_verbs: false,
         verbose: false,
         quick: false,
@@ -179,13 +196,33 @@ fn parse(args: &[String]) -> Opts {
             "--out" => o.out = Some(it.next().expect("--out takes a path").clone()),
             "--verify" => o.verify = true,
             "--json" => o.json = true,
-            "--addr" => o.addr = it.next().expect("--addr takes host:port").clone(),
+            "--addr" => o.addr = it.next().expect("--addr takes an endpoint").clone(),
             "--unix" => o.unix = Some(it.next().expect("--unix takes a path").clone()),
             "--workers" => {
                 o.workers = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--workers takes a count")
+            }
+            "--shards" => {
+                o.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a count")
+            }
+            "--codecs" => {
+                o.codecs = it
+                    .next()
+                    .expect("--codecs takes both|ndjson|binary")
+                    .clone()
+            }
+            "--codec" => o.codec = it.next().expect("--codec takes ndjson|binary|both").clone(),
+            "--tiers" => {
+                o.tiers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--tiers takes a max connection count"),
+                )
             }
             "--max-sessions" => {
                 o.max_sessions = it
@@ -651,11 +688,18 @@ fn cmd_replay(o: &Opts) {
             eprintln!("cannot connect to {}: {e}", o.addr);
             std::process::exit(1);
         });
-        let (session, top) = client.hello(&sspec).unwrap_or_else(|e| {
+        let codec = o.codec.parse::<CodecKind>().unwrap_or_else(|e| {
+            eprintln!("bad --codec: {e}");
+            std::process::exit(2);
+        });
+        let (session, top, granted) = client.hello_with(&sspec, codec).unwrap_or_else(|e| {
             eprintln!("hello failed: {e}");
             std::process::exit(1);
         });
-        eprintln!("session {session} (top {top}) on {}", o.addr);
+        eprintln!(
+            "session {session} (top {top}, codec {granted}) on {}",
+            o.addr
+        );
         let summary = client
             .ingest_stream(WindowIter::new(&mut backend, 0), 16)
             .unwrap_or_else(|e| {
@@ -718,27 +762,59 @@ fn cmd_replay(o: &Opts) {
     }
 }
 
+fn parse_endpoint(addr: &str) -> Endpoint {
+    addr.parse().unwrap_or_else(|e| {
+        eprintln!("bad --addr {addr:?}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_codec_policy(s: &str) -> CodecPolicy {
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("bad --codecs: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The codec list `--codec` selects for bench runs.
+fn parse_codec_list(s: &str) -> Vec<CodecKind> {
+    match s {
+        "both" => vec![CodecKind::Ndjson, CodecKind::Binary],
+        one => vec![one.parse().unwrap_or_else(|e| {
+            eprintln!("bad --codec: {e}");
+            std::process::exit(2);
+        })],
+    }
+}
+
 fn cmd_serve(o: &Opts) {
-    let cfg = service::ServerConfig {
-        addr: o.addr.clone(),
-        unix_path: o.unix.clone().map(std::path::PathBuf::from),
-        workers: o.workers,
-        max_sessions: o.max_sessions,
-        enable_debug: o.debug_verbs,
-        ..service::ServerConfig::default()
-    };
+    let mut cfg = service::ServerConfig::at(&parse_endpoint(&o.addr))
+        .shards(o.shards)
+        .max_sessions(o.max_sessions)
+        .codecs(parse_codec_policy(&o.codecs))
+        .debug(o.debug_verbs);
+    cfg.workers = o.workers;
+    if let Some(path) = &o.unix {
+        cfg.unix_path = Some(std::path::PathBuf::from(path));
+    }
+    let shards = cfg.shard_count();
     let sink: Arc<dyn ServiceSink> = if o.verbose {
         Arc::new(service::StderrSink)
     } else {
         Arc::new(service::NullSink)
     };
+    let unix_path = cfg.unix_path.clone();
     let handle = service::spawn_with_sink(cfg, sink).unwrap_or_else(|e| {
         eprintln!("smtd failed to start: {e}");
         std::process::exit(1);
     });
-    println!("smtd listening on {}", handle.local_addr());
-    if let Some(path) = &o.unix {
-        println!("smtd listening on unix:{path}");
+    println!(
+        "smtd listening on {} ({shards} shard{})",
+        Endpoint::tcp(handle.local_addr().to_string()),
+        if shards == 1 { "" } else { "s" }
+    );
+    if let Some(path) = &unix_path {
+        println!("smtd listening on {}", Endpoint::unix(path));
     }
     handle.join();
     eprintln!("smtd: shut down");
@@ -759,16 +835,15 @@ fn cmd_bench_serve(o: &Opts) {
     if let Some(n) = o.requests {
         bench.requests = n;
     }
+    let codecs = parse_codec_list(&o.codec);
+    let widest = o.tiers.unwrap_or(bench.connections).max(bench.connections);
 
     // --spawn runs the server in-process on a free port; otherwise drive
     // an already-running daemon at --addr.
     let spawned = if o.spawn {
-        let cfg = service::ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            workers: bench.connections.max(4),
-            max_sessions: bench.connections.max(4) * 2,
-            ..service::ServerConfig::default()
-        };
+        let cfg = service::ServerConfig::at(&Endpoint::tcp("127.0.0.1:0"))
+            .shards(o.shards)
+            .max_sessions((widest * 2).max(64));
         Some(service::spawn(cfg).unwrap_or_else(|e| {
             eprintln!("smtd failed to start: {e}");
             std::process::exit(1);
@@ -781,15 +856,27 @@ fn cmd_bench_serve(o: &Opts) {
         None => o.addr.clone(),
     };
 
-    let summary = run_bench(&addr, &bench).unwrap_or_else(|e| {
+    let tiers = match o.tiers {
+        Some(max) => run_tier_sweep(&addr, &bench, max, &codecs),
+        None => codecs
+            .iter()
+            .map(|&codec| run_bench(&addr, &bench.clone().codec(codec)))
+            .collect(),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("bench-serve failed against {addr}: {e}");
         std::process::exit(1);
     });
-    println!("{}", summary.render());
-    let run = summary.to_perf_run();
+    for summary in &tiers {
+        println!("{}", summary.render());
+    }
+    let current = ServeRun {
+        label: bench.label.clone(),
+        tiers,
+    };
 
     if let Some(check) = &o.check {
-        let baseline = PerfReport::load(check).unwrap_or_else(|e| {
+        let baseline = ServeReport::load(check).unwrap_or_else(|e| {
             eprintln!("cannot load baseline {check}: {e}");
             std::process::exit(1);
         });
@@ -797,22 +884,16 @@ fn cmd_bench_serve(o: &Opts) {
             eprintln!("{check} contains no runs to check against");
             std::process::exit(1);
         };
-        let regs = check_regression(&run, base_run, o.tolerance);
-        if regs.is_empty() {
+        let violations = check_serve_regression(base_run, &current, o.tolerance);
+        if violations.is_empty() {
             eprintln!(
                 "bench-serve check OK vs `{}` (tolerance {:.0}%)",
                 base_run.label,
                 o.tolerance * 100.0
             );
         } else {
-            for r in &regs {
-                eprintln!(
-                    "bench-serve REGRESSION {}: {:.1} -> {:.1} ({:.1}% worse)",
-                    r.case,
-                    r.baseline,
-                    r.current,
-                    r.slowdown() * 100.0
-                );
+            for v in &violations {
+                eprintln!("bench-serve REGRESSION: {v}");
             }
             std::process::exit(1);
         }
@@ -820,14 +901,14 @@ fn cmd_bench_serve(o: &Opts) {
 
     if let Some(out) = &o.out {
         let mut report = if std::path::Path::new(out).exists() {
-            PerfReport::load(out).unwrap_or_else(|e| {
+            ServeReport::load(out).unwrap_or_else(|e| {
                 eprintln!("cannot load {out}: {e}");
                 std::process::exit(1);
             })
         } else {
-            PerfReport::new()
+            ServeReport::new()
         };
-        report.push(run);
+        report.push(current);
         if let Err(e) = report.save(out) {
             eprintln!("cannot save {out}: {e}");
             std::process::exit(1);
@@ -883,14 +964,17 @@ fn main() {
                 "collect : --backend sim|perf  --pid P  --windows N  --window-cycles C  \
                  --events p7|nhm|generic  --record FILE  --probe  --json"
             );
-            println!("replay  : --json  --verbose  --connect --addr HOST:PORT");
             println!(
-                "serve   : --addr HOST:PORT  --unix PATH  --workers N  --max-sessions N  \
-                 --debug-verbs  --verbose"
+                "replay  : --json  --verbose  --connect --addr ENDPOINT  --codec ndjson|binary"
             );
             println!(
-                "bench   : --addr HOST:PORT | --spawn  --quick  --connections N  --requests N  \
-                 --label L  --check FILE  --tolerance F  --out FILE  --shutdown"
+                "serve   : --addr ENDPOINT  --unix PATH  --shards N  --max-sessions N  \
+                 --codecs both|ndjson|binary  --debug-verbs  --verbose"
+            );
+            println!(
+                "bench   : --addr ENDPOINT | --spawn  --quick  --connections N  --requests N  \
+                 --codec ndjson|binary|both  --tiers MAX  --label L  --check FILE  \
+                 --tolerance F  --out FILE  --shutdown"
             );
         }
         other => {

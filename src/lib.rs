@@ -74,8 +74,9 @@ pub mod prelude {
         Recommendation, StreamDecision,
     };
     pub use smt_service::{
-        run_bench, BenchOptions, Client, ServerConfig, ServerHandle, ServiceMetrics, ServiceSink,
-        SessionSpec,
+        check_serve_regression, run_bench, run_tier_sweep, BenchOptions, Client, CodecKind,
+        CodecPolicy, Endpoint, ServeReport, ServeRun, ServerConfig, ServerHandle, ServiceMetrics,
+        ServiceSink, SessionSpec,
     };
     pub use smt_sim::{
         ArchDescriptor, Instr, InstrClass, MachineConfig, RunResult, ScriptedWorkload, Simulation,
