@@ -117,7 +117,9 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR] \
-                     [--no-cache] [--cache-dir DIR] [--serial] [--verbose]"
+                     [--no-cache] [--cache-dir DIR] [--serial] [--verbose]\n\
+                     artifacts: table1 fig1 fig2 fig6-17 success ablation placement sched \
+                     validate perf"
                 );
                 std::process::exit(0);
             }
@@ -383,6 +385,12 @@ fn run(args: &Args) -> Result<(), Error> {
         )?;
         println!("{}", a.render());
         dump_json(&args.json_dir, "ablation", &a)?;
+        emitted = true;
+    }
+    if wanted("placement") {
+        let p = smt_experiments::placement::run()?;
+        println!("{}", p.render());
+        dump_json(&args.json_dir, "placement", &p)?;
         emitted = true;
     }
     if args.artifact == "validate" {

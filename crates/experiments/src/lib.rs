@@ -16,6 +16,8 @@
 //! - [`sched_demo`] — the Section-V dynamic-selection experiment.
 //! - [`ablation`] — the Eq.-1 factor study (full product vs. each factor
 //!   removed).
+//! - [`placement`] — the placement-allocator accuracy study: each search
+//!   strategy's regret against a simulate-every-placement oracle.
 //! - [`perf`] — the simulator perf-trajectory harness behind `repro perf`
 //!   and the committed `BENCH_sim.json`.
 //! - [`corpus`] — directories of recorded `.smtc` counter traces replayed
@@ -32,6 +34,7 @@ pub mod corpus;
 pub mod engine;
 pub mod figures;
 pub mod perf;
+pub mod placement;
 pub mod plot;
 pub mod progress;
 pub mod runner;
@@ -44,6 +47,7 @@ pub use cache::ResultCache;
 pub use corpus::{replay_dir, replay_trace, CorpusReport, ReplayPolicy, TraceReplay};
 pub use engine::{Engine, EngineMetrics, JobError, RunPlan, RunRequest, SweepResult};
 pub use perf::{check_regression, run_perf, PerfEntry, PerfOptions, PerfReport, PerfRun};
+pub use placement::{PlacementRow, PlacementStudy};
 pub use progress::{JobOutcome, NullSink, ProgressEvent, ProgressSink, StderrSink};
 pub use runner::{measure_level, BenchResult, LevelMeasurement, ProtocolConfig};
 pub use scatter::{ScatterFigure, ScatterPoint};

@@ -38,6 +38,7 @@ pub mod naive;
 pub mod phase;
 pub mod predictor;
 pub mod sampler;
+pub mod signature;
 pub mod threshold;
 
 pub use compute::{smtsm, smtsm_factors, SmtsmFactors};
@@ -46,4 +47,5 @@ pub use naive::NaiveMetric;
 pub use phase::PhaseDetector;
 pub use predictor::{LevelSelector, SmtPreference, ThresholdPredictor, TrainingMethod};
 pub use sampler::OnlineSampler;
+pub use signature::{CompatModel, ThreadSignature};
 pub use threshold::{gini_sweep, PpiSweep};

@@ -1,5 +1,9 @@
 //! `smt-sched`: applying the SMT-selection metric (Section V of the paper).
 //!
+//! - [`allocator`] — the thread-to-core placement optimizer: greedy /
+//!   local-search / exact searches over job-to-SMT-slot assignments scored
+//!   by the co-run compatibility model, validated against a full
+//!   simulate-every-placement oracle on three scenario suites.
 //! - [`controller`] — the dynamic SMT-level controller: sample SMTsm
 //!   periodically at the top SMT level, switch down (with hysteresis) when
 //!   the trained selector says so, and periodically re-probe the top level
@@ -16,12 +20,17 @@
 
 #![warn(missing_docs)]
 
+pub mod allocator;
 pub mod controller;
 pub mod ipc_probe;
 pub mod optimizer;
 pub mod oracle;
 pub mod recommend;
 
+pub use allocator::{
+    placement_oracle, solo_signature, AllocatorConfig, Placement, PlacementOracleReport,
+    PlacementOutcome, PlacementReport, SearchStrategy,
+};
 pub use controller::{
     ControllerConfig, ControllerReport, DynamicSmtController, StreamDecision, SwitchEvent,
 };

@@ -1,0 +1,145 @@
+//! Property tests for the placement searches: the local-search improver
+//! never returns a worse placement than its greedy seed, and on small
+//! instances the exhaustive search provably finds the model optimum (a
+//! brute-force re-scoring of every feasible placement agrees).
+
+use proptest::prelude::*;
+use smt_sched::allocator::{all_placements, AllocatorConfig, SearchStrategy};
+use smt_sim::MachineConfig;
+use smtsm::{CompatModel, ThreadSignature};
+
+/// A synthetic signature from raw knobs (no simulation needed: the
+/// searches only consume the model-facing fields).
+#[allow(clippy::too_many_arguments)]
+fn sig(
+    tput: f64,
+    ipc: f64,
+    mix: [f64; 5],
+    mem_intensity: f64,
+    mem_rate: f64,
+    util: f64,
+) -> ThreadSignature {
+    let norm: f64 = mix.iter().sum::<f64>().max(1e-9);
+    ThreadSignature {
+        windows: 1,
+        wall_cycles: 1_000,
+        tput,
+        ipc,
+        mix: mix.iter().map(|m| m / norm).collect(),
+        mix_deviation: 0.0,
+        disp_held: 0.0,
+        mem_intensity,
+        mem_rate,
+        util,
+    }
+}
+
+fn arb_sig() -> impl Strategy<Value = ThreadSignature> {
+    (
+        0.01f64..4.0,
+        0.1f64..4.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        0.0f64..0.5,
+        0.0f64..0.6,
+        0.05f64..1.0,
+    )
+        .prop_map(|(tput, ipc, m0, m1, m2, m3, m4, mi, mr, util)| {
+            sig(tput, ipc, [m0, m1, m2, m3, m4], mi, mr, util)
+        })
+}
+
+/// A one-chip POWER7-like machine with 1..=3 SMT4 cores.
+fn small_machine(cores: usize) -> MachineConfig {
+    MachineConfig {
+        cores_per_chip: cores,
+        ..MachineConfig::power7(1)
+    }
+}
+
+/// Model score of an arbitrary placement: sum of per-core predicted
+/// throughputs under the default compatibility model — the same quantity
+/// `solve()` maximizes, recomputed independently.
+fn brute_score(model: &CompatModel, sigs: &[ThreadSignature], cores: &[Vec<usize>]) -> f64 {
+    cores
+        .iter()
+        .map(|core| {
+            let members: Vec<&ThreadSignature> = core.iter().map(|&j| &sigs[j]).collect();
+            model.core_throughput(&members)
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Hill climbing starts from the greedy seed and only accepts
+    /// improvements, so it can never answer worse than greedy alone.
+    #[test]
+    fn local_search_never_loses_to_greedy(
+        raw in proptest::collection::vec(arb_sig(), 1..9),
+        cores in 1usize..3,
+    ) {
+        let cfg = small_machine(cores);
+        let sigs: Vec<ThreadSignature> = raw.into_iter().take(cores * 4).collect();
+        let greedy = AllocatorConfig::for_machine(cfg.clone())
+            .threads(sigs.clone())
+            .search(SearchStrategy::Greedy)
+            .solve()
+            .unwrap();
+        let local = AllocatorConfig::for_machine(cfg)
+            .threads(sigs)
+            .search(SearchStrategy::LocalSearch)
+            .solve()
+            .unwrap();
+        prop_assert!(
+            local.predicted >= greedy.predicted - 1e-9,
+            "local search {} lost to greedy {}",
+            local.predicted,
+            greedy.predicted
+        );
+    }
+
+    /// For M <= 6 the exhaustive search must match a brute-force
+    /// re-scoring of every feasible placement, and the strategy ladder
+    /// is monotone: exhaustive >= local search >= greedy.
+    #[test]
+    fn exhaustive_matches_brute_force_below_seven_jobs(
+        raw in proptest::collection::vec(arb_sig(), 1..7),
+        cores in 1usize..4,
+    ) {
+        let cfg = small_machine(cores);
+        let sigs: Vec<ThreadSignature> = raw.into_iter().take(cores * 4).collect();
+        let model = CompatModel::default();
+        let solve = |s: SearchStrategy| {
+            AllocatorConfig::for_machine(cfg.clone())
+                .threads(sigs.clone())
+                .search(s)
+                .solve()
+                .unwrap()
+        };
+        let greedy = solve(SearchStrategy::Greedy);
+        let local = solve(SearchStrategy::LocalSearch);
+        let exhaustive = solve(SearchStrategy::Exhaustive);
+
+        let best_brute = all_placements(sigs.len(), cfg.total_cores(), 4)
+            .iter()
+            .map(|p| brute_score(&model, &sigs, &p.cores))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            (exhaustive.predicted - best_brute).abs() <= 1e-9 * best_brute.abs().max(1.0),
+            "exhaustive {} != brute-force optimum {}",
+            exhaustive.predicted,
+            best_brute
+        );
+        prop_assert!(exhaustive.predicted >= local.predicted - 1e-9);
+        prop_assert!(local.predicted >= greedy.predicted - 1e-9);
+
+        // And the exhaustive answer's own score is self-consistent.
+        let rescored = brute_score(&model, &sigs, &exhaustive.placement.cores);
+        prop_assert!((rescored - exhaustive.predicted).abs() <= 1e-9 * rescored.abs().max(1.0));
+    }
+}

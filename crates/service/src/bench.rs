@@ -12,6 +12,11 @@
 //! as a [`ServeReport`] so CI can gate *both* throughput and tail latency
 //! per tier with [`check_serve_regression`] — latencies are compared as
 //! latencies, not smuggled through `1/latency` pseudo-rates.
+//!
+//! Tiers come in two op flavors ([`BenchOp`]): `stream` is the classic
+//! `ingest`/`recommend` traffic, `place` sets each session up with tagged
+//! solo profiles (untimed) and then times nothing but `place` calls, so
+//! the placement verb's solve-and-serialize path gets its own trajectory.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -27,18 +32,41 @@ use crate::codec::codec_for;
 use crate::protocol::{CodecKind, Request, Response, SessionSpec};
 use crate::session::machine_by_name;
 
+/// Which request verb a tier exercises.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchOp {
+    /// `ingest` batches with a `recommend` every fifth request — the
+    /// streaming traffic the daemon was built for.
+    #[default]
+    Stream,
+    /// `place` calls against a session pre-loaded with tagged solo
+    /// profiles; the timed phase is pure placement solves.
+    Place,
+}
+
+impl std::fmt::Display for BenchOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchOp::Stream => write!(f, "stream"),
+            BenchOp::Place => write!(f, "place"),
+        }
+    }
+}
+
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
     /// Concurrent client connections.
     pub connections: usize,
     /// Requests per connection (ingest batches; each fifth request also
-    /// reads a recommendation).
+    /// reads a recommendation) — or `place` calls under [`BenchOp::Place`].
     pub requests: usize,
     /// Counter windows per ingest batch.
     pub windows_per_ingest: usize,
     /// Codec each connection negotiates at `hello`.
     pub codec: CodecKind,
+    /// Verb mix the timed phase drives.
+    pub op: BenchOp,
     /// Label stored on the resulting run.
     pub label: String,
 }
@@ -51,6 +79,7 @@ impl BenchOptions {
             requests: 200,
             windows_per_ingest: 4,
             codec: CodecKind::Ndjson,
+            op: BenchOp::Stream,
             label: "local".to_string(),
         }
     }
@@ -62,6 +91,7 @@ impl BenchOptions {
             requests: 40,
             windows_per_ingest: 4,
             codec: CodecKind::Ndjson,
+            op: BenchOp::Stream,
             label: "quick".to_string(),
         }
     }
@@ -77,13 +107,21 @@ impl BenchOptions {
         self.codec = codec;
         self
     }
+
+    /// Replace the op, builder-style.
+    pub fn op(mut self, op: BenchOp) -> BenchOptions {
+        self.op = op;
+        self
+    }
 }
 
-/// Outcome of one load run at one (codec, connections) tier.
+/// Outcome of one load run at one (op, codec, connections) tier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchSummary {
     /// Label of the run.
     pub label: String,
+    /// Verb mix the timed phase drove.
+    pub op: BenchOp,
     /// Codec the connections negotiated.
     pub codec: CodecKind,
     /// Connections driven.
@@ -106,9 +144,10 @@ impl BenchSummary {
     /// Render the summary as a short human-readable block.
     pub fn render(&self) -> String {
         format!(
-            "bench-serve `{}` [{}]: {} connections, {} requests ({} windows) in {:.2}s\n  \
+            "bench-serve `{}` [{} {}]: {} connections, {} requests ({} windows) in {:.2}s\n  \
              throughput {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
             self.label,
+            self.op,
             self.codec,
             self.connections,
             self.requests_total,
@@ -147,8 +186,9 @@ impl Default for ServeReport {
 }
 
 impl ServeReport {
-    /// The current file format version.
-    pub const SCHEMA: u32 = 2;
+    /// The current file format version (3 added the per-tier `op` field
+    /// alongside the protocol's `place` verb).
+    pub const SCHEMA: u32 = 3;
 
     /// An empty report at the current schema.
     pub fn new() -> ServeReport {
@@ -199,8 +239,9 @@ impl ServeReport {
 /// shifts are scheduler noise, not regressions.
 const LATENCY_NOISE_FLOOR_MS: f64 = 0.25;
 
-/// Compare `current` against `base` tier-by-tier (matched on codec and
-/// connection count). Returns one human-readable line per violation:
+/// Compare `current` against `base` tier-by-tier (matched on op, codec,
+/// and connection count — a `place` tier is never judged against a
+/// `stream` baseline). Returns one human-readable line per violation:
 /// throughput below `base × (1 − tolerance)` or p50/p99 above
 /// `base × (1 + tolerance)` (past a 0.25 ms noise floor).
 ///
@@ -214,14 +255,15 @@ pub fn check_serve_regression(base: &ServeRun, current: &ServeRun, tolerance: f6
         let Some(b) = base
             .tiers
             .iter()
-            .find(|b| b.codec == c.codec && b.connections == c.connections)
+            .find(|b| b.op == c.op && b.codec == c.codec && b.connections == c.connections)
         else {
             continue; // a new tier has no baseline yet
         };
         compared += 1;
         if c.requests_per_sec < b.requests_per_sec * (1.0 - tolerance) {
             violations.push(format!(
-                "tier [{} c={}] throughput {:.0} req/s fell below baseline {:.0} req/s - {:.0}%",
+                "tier [{} {} c={}] throughput {:.0} req/s fell below baseline {:.0} req/s - {:.0}%",
+                b.op,
                 b.codec,
                 b.connections,
                 c.requests_per_sec,
@@ -232,7 +274,8 @@ pub fn check_serve_regression(base: &ServeRun, current: &ServeRun, tolerance: f6
         for (name, cur, old) in [("p50", c.p50_ms, b.p50_ms), ("p99", c.p99_ms, b.p99_ms)] {
             if cur > old * (1.0 + tolerance) && cur - old > LATENCY_NOISE_FLOOR_MS {
                 violations.push(format!(
-                    "tier [{} c={}] {name} {cur:.3} ms regressed past baseline {old:.3} ms + {:.0}%",
+                    "tier [{} {} c={}] {name} {cur:.3} ms regressed past baseline {old:.3} ms + {:.0}%",
+                    b.op,
                     b.codec,
                     b.connections,
                     tolerance * 100.0
@@ -242,7 +285,7 @@ pub fn check_serve_regression(base: &ServeRun, current: &ServeRun, tolerance: f6
     }
     if compared == 0 {
         violations.push(format!(
-            "run `{}` shares no (codec, connections) tier with baseline `{}`",
+            "run `{}` shares no (op, codec, connections) tier with baseline `{}`",
             current.label, base.label
         ));
     }
@@ -386,6 +429,7 @@ pub fn run_bench(addr: &str, opts: &BenchOptions) -> Result<BenchSummary, Error>
     let requests_total = latencies.len() as u64;
     Ok(BenchSummary {
         label: opts.label.clone(),
+        op: opts.op,
         codec: opts.codec,
         connections,
         requests_total,
@@ -426,6 +470,7 @@ pub fn run_tier_sweep(
                 requests: (budget / connections).max(4),
                 windows_per_ingest: base.windows_per_ingest,
                 codec,
+                op: base.op,
                 label: base.label.clone(),
             };
             out.push(run_bench(addr, &opts)?);
@@ -434,10 +479,24 @@ pub fn run_tier_sweep(
     Ok(out)
 }
 
-/// One client: fetch the shared frames, sync on the barrier, then stream
-/// through the server timing every request. Returns the request
-/// latencies, windows streamed, and the timed-phase duration.
+/// One client: set up, sync on the barrier, then drive the op mix timing
+/// every request. Returns the request latencies, windows streamed, and
+/// the timed-phase duration.
 fn drive_connection(
+    addr: &str,
+    conn: usize,
+    opts: &BenchOptions,
+    barrier: &Barrier,
+) -> Result<(Vec<f64>, u64, f64), Error> {
+    match opts.op {
+        BenchOp::Stream => drive_stream(addr, conn, opts, barrier),
+        BenchOp::Place => drive_place(addr, opts, barrier),
+    }
+}
+
+/// Stream driver: fetch the shared pre-encoded frames (untimed), then
+/// replay through `hello`/`ingest`/`recommend`, timing every request.
+fn drive_stream(
     addr: &str,
     conn: usize,
     opts: &BenchOptions,
@@ -485,6 +544,52 @@ fn drive_connection(
     Ok((latencies, windows_streamed, timed.elapsed().as_secs_f64()))
 }
 
+/// Tagged threads each place-op session carries — one per workload in the
+/// rotation, so every solve sees the full scalable/memory-bound/contended
+/// mix.
+const PLACE_THREADS: usize = WORKLOAD_ROTATION;
+
+/// Solo-profile windows tagged per thread before the timed phase.
+const PLACE_PROFILE_WINDOWS: usize = 8;
+
+/// Place driver: `hello` and the tagged solo profiles go in **before**
+/// the barrier, so the timed phase is nothing but `place` calls — the
+/// tier measures the server's solve-and-serialize path, not session
+/// setup.
+fn drive_place(
+    addr: &str,
+    opts: &BenchOptions,
+    barrier: &Barrier,
+) -> Result<(Vec<f64>, u64, f64), Error> {
+    let spec = SessionSpec::power7();
+    let mut client = connect_with_retry(addr)?;
+    client.hello_with(&spec, opts.codec)?;
+    let mut windows_streamed = 0u64;
+    for thread in 0..PLACE_THREADS {
+        let pool = window_pool(thread);
+        let profile = &pool[..PLACE_PROFILE_WINDOWS.min(pool.len())];
+        client.ingest_tagged(thread as u32, profile)?;
+        windows_streamed += profile.len() as u64;
+    }
+
+    let mut latencies = Vec::with_capacity(opts.requests);
+    barrier.wait();
+    let timed = Instant::now();
+    for _ in 0..opts.requests {
+        let t = Instant::now();
+        let report = client.place(&[])?;
+        latencies.push(t.elapsed().as_secs_f64());
+        if report.threads.len() != PLACE_THREADS {
+            return Err(Error::Serde(format!(
+                "place answered {} threads (expected {PLACE_THREADS})",
+                report.threads.len()
+            )));
+        }
+    }
+
+    Ok((latencies, windows_streamed, timed.elapsed().as_secs_f64()))
+}
+
 /// Connect with retries: at the widest tiers, thousands of simultaneous
 /// connects can outrun the accept loop's backlog.
 fn connect_with_retry(addr: &str) -> Result<Client, Error> {
@@ -517,8 +622,20 @@ mod tests {
     use super::*;
 
     fn tier(codec: CodecKind, connections: usize, rps: f64, p50: f64, p99: f64) -> BenchSummary {
+        op_tier(BenchOp::Stream, codec, connections, rps, p50, p99)
+    }
+
+    fn op_tier(
+        op: BenchOp,
+        codec: CodecKind,
+        connections: usize,
+        rps: f64,
+        p50: f64,
+        p99: f64,
+    ) -> BenchSummary {
         BenchSummary {
             label: "t".to_string(),
+            op,
             codec,
             connections,
             requests_total: 100,
@@ -624,7 +741,51 @@ mod tests {
         };
         let violations = check_serve_regression(&base, &disjoint, 0.2);
         assert_eq!(violations.len(), 1, "violations: {violations:?}");
-        assert!(violations[0].contains("no (codec, connections) tier"));
+        assert!(violations[0].contains("no (op, codec, connections) tier"));
+    }
+
+    #[test]
+    fn place_tiers_never_match_stream_baselines() {
+        let base = ServeRun {
+            label: "base".to_string(),
+            tiers: vec![
+                tier(CodecKind::Binary, 1, 20_000.0, 0.05, 0.10),
+                op_tier(BenchOp::Place, CodecKind::Binary, 1, 2_000.0, 0.5, 1.0),
+            ],
+        };
+        // A slow place tier must be judged against the place baseline,
+        // not the (much faster) stream tier at the same codec and width.
+        let current = ServeRun {
+            label: "now".to_string(),
+            tiers: vec![op_tier(
+                BenchOp::Place,
+                CodecKind::Binary,
+                1,
+                1_900.0,
+                0.52,
+                1.05,
+            )],
+        };
+        assert!(check_serve_regression(&base, &current, 0.2).is_empty());
+
+        // And a real place regression is still caught.
+        let bad = ServeRun {
+            label: "now".to_string(),
+            tiers: vec![op_tier(
+                BenchOp::Place,
+                CodecKind::Binary,
+                1,
+                900.0,
+                0.5,
+                1.0,
+            )],
+        };
+        let violations = check_serve_regression(&base, &bad, 0.2);
+        assert_eq!(violations.len(), 1, "violations: {violations:?}");
+        assert!(
+            violations[0].contains("place"),
+            "violations: {violations:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::Duration;
 
-use smt_sched::Recommendation;
+use smt_sched::{PlacementReport, Recommendation};
 use smt_sim::{Error, SmtLevel, WindowMeasurement};
 
 use crate::codec::codec_for;
@@ -228,6 +228,35 @@ impl Client {
             last = Some(self.ingest(&pending)?);
         }
         Ok(last)
+    }
+
+    /// Stream solo-run counter windows attributed to one client thread,
+    /// feeding the session's per-thread signatures for [`place`].
+    ///
+    /// [`place`]: Client::place
+    pub fn ingest_tagged(
+        &mut self,
+        thread: u32,
+        windows: &[WindowMeasurement],
+    ) -> Result<IngestSummary, Error> {
+        match self.call(&Request::IngestTagged {
+            thread,
+            windows: windows.to_vec(),
+        })? {
+            Response::Ingested(summary) => Ok(summary),
+            other => Err(unexpected("ingested", &other)),
+        }
+    }
+
+    /// Ask for a thread-to-core placement over tagged threads. An empty
+    /// `threads` slice places every tagged thread, in first-tagged order.
+    pub fn place(&mut self, threads: &[u32]) -> Result<PlacementReport, Error> {
+        match self.call(&Request::Place {
+            threads: threads.to_vec(),
+        })? {
+            Response::Placement(report) => Ok(report),
+            other => Err(unexpected("placement", &other)),
+        }
     }
 
     /// Read the session's current recommendation.

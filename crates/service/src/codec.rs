@@ -24,7 +24,7 @@
 //! fails to decode is answered without closing, since framing is intact.
 
 use smt_collect::trace::{decode_window, encode_window, fnv1a};
-use smt_sched::{Recommendation, StreamDecision};
+use smt_sched::{PlacementReport, Recommendation, StreamDecision};
 use smt_sim::{Error, SmtLevel};
 use smtsm::SmtsmFactors;
 
@@ -162,6 +162,8 @@ const REQ_RECOMMEND: u8 = 3;
 const REQ_STATS: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
 const REQ_DEBUG: u8 = 6;
+const REQ_PLACE: u8 = 7;
+const REQ_INGEST_TAGGED: u8 = 8;
 
 // Response body tags.
 const RESP_WELCOME: u8 = 1;
@@ -170,6 +172,7 @@ const RESP_RECOMMENDATION: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_BYE: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_PLACEMENT: u8 = 7;
 
 impl Codec for BinaryCodec {
     fn kind(&self) -> CodecKind {
@@ -192,6 +195,23 @@ impl Codec for BinaryCodec {
                     let enc = encode_window(w);
                     put_u32(&mut body, enc.len() as u32);
                     body.extend_from_slice(&enc);
+                }
+            }
+            Request::IngestTagged { thread, windows } => {
+                body.push(REQ_INGEST_TAGGED);
+                put_u32(&mut body, *thread);
+                put_u32(&mut body, windows.len() as u32);
+                for w in windows {
+                    let enc = encode_window(w);
+                    put_u32(&mut body, enc.len() as u32);
+                    body.extend_from_slice(&enc);
+                }
+            }
+            Request::Place { threads } => {
+                body.push(REQ_PLACE);
+                put_u32(&mut body, threads.len() as u32);
+                for t in threads {
+                    put_u32(&mut body, *t);
                 }
             }
             Request::Recommend => body.push(REQ_RECOMMEND),
@@ -231,6 +251,10 @@ impl Codec for BinaryCodec {
             Response::Stats(s) => {
                 body.push(RESP_STATS);
                 put_stats(&mut body, s);
+            }
+            Response::Placement(r) => {
+                body.push(RESP_PLACEMENT);
+                put_placement_report(&mut body, r);
             }
             Response::Bye => body.push(RESP_BYE),
             Response::Error { code, message } => {
@@ -292,6 +316,24 @@ impl Codec for BinaryCodec {
             REQ_STATS => Request::Stats,
             REQ_SHUTDOWN => Request::Shutdown,
             REQ_DEBUG => Request::Debug { op: c.str()? },
+            REQ_PLACE => {
+                let n = c.u32()? as usize;
+                let mut threads = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    threads.push(c.u32()?);
+                }
+                Request::Place { threads }
+            }
+            REQ_INGEST_TAGGED => {
+                let thread = c.u32()?;
+                let n = c.u32()? as usize;
+                let mut windows = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    windows.push(decode_window(c.bytes(len)?)?);
+                }
+                Request::IngestTagged { thread, windows }
+            }
             tag => return Err(Error::Serde(format!("unknown request tag {tag}"))),
         };
         c.finish()?;
@@ -310,6 +352,7 @@ impl Codec for BinaryCodec {
             RESP_INGESTED => Response::Ingested(get_ingest_summary(&mut c)?),
             RESP_RECOMMENDATION => Response::Recommendation(get_recommendation(&mut c)?),
             RESP_STATS => Response::Stats(get_stats(&mut c)?),
+            RESP_PLACEMENT => Response::Placement(get_placement_report(&mut c)?),
             RESP_BYE => Response::Bye,
             RESP_ERROR => Response::Error {
                 code: error_code_from_byte(c.u8()?)?,
@@ -379,7 +422,7 @@ fn codec_from_byte(b: u8) -> Result<CodecKind, Error> {
     }
 }
 
-const ERROR_CODES: [ErrorCode; 9] = [
+const ERROR_CODES: [ErrorCode; 11] = [
     ErrorCode::BadRequest,
     ErrorCode::NoSession,
     ErrorCode::SessionExists,
@@ -389,6 +432,8 @@ const ERROR_CODES: [ErrorCode; 9] = [
     ErrorCode::Unsupported,
     ErrorCode::UnsupportedCodec,
     ErrorCode::BadFrame,
+    ErrorCode::UnknownThread,
+    ErrorCode::PlacementUnsupported,
 ];
 
 fn error_code_byte(code: ErrorCode) -> u8 {
@@ -595,6 +640,57 @@ fn get_recommendation(c: &mut Cur<'_>) -> Result<Recommendation, Error> {
             scalability: c.f64()?,
         },
         confidence: c.f64()?,
+        windows: c.u64()?,
+    })
+}
+
+fn put_placement_report(out: &mut Vec<u8>, r: &PlacementReport) {
+    put_u32(out, r.threads.len() as u32);
+    for t in &r.threads {
+        put_u32(out, *t);
+    }
+    put_u32(out, r.cores.len() as u32);
+    for core in &r.cores {
+        put_u32(out, core.len() as u32);
+        for t in core {
+            put_u32(out, *t);
+        }
+    }
+    put_f64(out, r.predicted);
+    put_u32(out, r.per_core.len() as u32);
+    for p in &r.per_core {
+        put_f64(out, *p);
+    }
+    put_u64(out, r.windows);
+}
+
+fn get_placement_report(c: &mut Cur<'_>) -> Result<PlacementReport, Error> {
+    let n = c.u32()? as usize;
+    let mut threads = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        threads.push(c.u32()?);
+    }
+    let n = c.u32()? as usize;
+    let mut cores = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let m = c.u32()? as usize;
+        let mut core = Vec::with_capacity(m.min(4096));
+        for _ in 0..m {
+            core.push(c.u32()?);
+        }
+        cores.push(core);
+    }
+    let predicted = c.f64()?;
+    let n = c.u32()? as usize;
+    let mut per_core = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        per_core.push(c.f64()?);
+    }
+    Ok(PlacementReport {
+        threads,
+        cores,
+        predicted,
+        per_core,
         windows: c.u64()?,
     })
 }

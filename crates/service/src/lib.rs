@@ -50,8 +50,8 @@ pub mod server;
 pub mod session;
 
 pub use bench::{
-    check_serve_regression, run_bench, run_tier_sweep, BenchOptions, BenchSummary, ServeReport,
-    ServeRun,
+    check_serve_regression, run_bench, run_tier_sweep, BenchOp, BenchOptions, BenchSummary,
+    ServeReport, ServeRun,
 };
 pub use client::Client;
 pub use codec::{codec_for, BinaryCodec, Codec, NdjsonCodec};
@@ -62,4 +62,4 @@ pub use protocol::{
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{spawn, spawn_with_sink, CodecPolicy, MetricsView, ServerConfig, ServerHandle};
-pub use session::Session;
+pub use session::{machine_by_name, PlaceError, Session};

@@ -31,13 +31,17 @@
 //! [`Codec`]: crate::codec::Codec
 
 use serde::Serialize;
-use smt_sched::{Recommendation, StreamDecision};
+use smt_sched::{PlacementReport, Recommendation, StreamDecision};
 use smt_sim::{SmtLevel, WindowMeasurement};
 
 /// Protocol revision carried in `hello`/`welcome`. Bumped on any wire
 /// change a previous client could not parse. Revision 2 added codec
-/// negotiation; the server still accepts [`MIN_PROTOCOL_VERSION`].
-pub const PROTOCOL_VERSION: u32 = 2;
+/// negotiation; revision 3 added per-thread tagged ingest and the `place`
+/// verb. The server still accepts [`MIN_PROTOCOL_VERSION`], and sessions
+/// opened at an older revision are simply refused the newer verbs
+/// ([`ErrorCode::PlacementUnsupported`]) — their wire surface is
+/// untouched.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest protocol revision the server still accepts in `hello`.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -147,6 +151,23 @@ pub enum Request {
         /// measured at.
         windows: Vec<WindowMeasurement>,
     },
+    /// Stream solo-run counter windows attributed to one client thread
+    /// (protocol revision 3). Tagged windows feed the session's
+    /// per-thread signatures for `place`; they do not advance the
+    /// SMT-level decision core.
+    IngestTagged {
+        /// Client-chosen thread id the windows belong to.
+        thread: u32,
+        /// Solo-run counter-window deltas for that thread.
+        windows: Vec<WindowMeasurement>,
+    },
+    /// Ask for a thread-to-core placement over previously tagged threads
+    /// (protocol revision 3).
+    Place {
+        /// Thread ids to place; empty means every tagged thread, in
+        /// first-tagged order.
+        threads: Vec<u32>,
+    },
     /// Read the session's current recommendation.
     Recommend,
     /// Read server-wide operational metrics.
@@ -190,6 +211,11 @@ pub enum ErrorCode {
     /// server answers with this code (framing errors also close the
     /// connection, since the stream can no longer be trusted).
     BadFrame,
+    /// A `place` request named a thread id with no tagged windows.
+    UnknownThread,
+    /// The session cannot serve `place`: it was opened at a protocol
+    /// revision before 3, or no thread has been tagged yet.
+    PlacementUnsupported,
 }
 
 /// Summary of one `ingest` batch.
@@ -252,6 +278,8 @@ pub enum Response {
     Ingested(IngestSummary),
     /// Current recommendation.
     Recommendation(Recommendation),
+    /// Placement answer (protocol revision 3).
+    Placement(PlacementReport),
     /// Operational metrics.
     Stats(StatsReport),
     /// Shutdown acknowledged; the connection will close after this
@@ -330,6 +358,23 @@ impl serde::Deserialize for Request {
                     windows: serde::Deserialize::from_value(serde::get_field(fields, "windows")?)?,
                 })
             }
+            "IngestTagged" => {
+                let fields = inner.as_object().ok_or_else(|| {
+                    serde::DeError::custom("expected object for Request::IngestTagged")
+                })?;
+                Ok(Request::IngestTagged {
+                    thread: serde::Deserialize::from_value(serde::get_field(fields, "thread")?)?,
+                    windows: serde::Deserialize::from_value(serde::get_field(fields, "windows")?)?,
+                })
+            }
+            "Place" => {
+                let fields = inner
+                    .as_object()
+                    .ok_or_else(|| serde::DeError::custom("expected object for Request::Place"))?;
+                Ok(Request::Place {
+                    threads: serde::Deserialize::from_value(serde::get_field(fields, "threads")?)?,
+                })
+            }
             "Debug" => {
                 let fields = inner
                     .as_object()
@@ -383,6 +428,7 @@ impl serde::Deserialize for Response {
             "Recommendation" => Ok(Response::Recommendation(serde::Deserialize::from_value(
                 inner,
             )?)),
+            "Placement" => Ok(Response::Placement(serde::Deserialize::from_value(inner)?)),
             "Stats" => Ok(Response::Stats(serde::Deserialize::from_value(inner)?)),
             "Error" => {
                 let fields = inner

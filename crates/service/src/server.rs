@@ -934,8 +934,9 @@ fn handle_request(
             }
             let id = ctx.next_session;
             match Session::new(id, &spec) {
-                Ok(s) => {
+                Ok(mut s) => {
                     ctx.next_session += ctx.nshards;
+                    s.set_proto(proto);
                     let top = s.top();
                     *session = Some(s);
                     ctx.metrics.session_opened();
@@ -966,6 +967,33 @@ fn handle_request(
                 Response::error(
                     ErrorCode::NoSession,
                     "ingest requires a session (send hello)",
+                ),
+                false,
+            ),
+        },
+        Request::IngestTagged { thread, windows } => match session.as_mut() {
+            Some(s) => {
+                let summary = s.ingest_tagged(thread, &windows);
+                ctx.metrics.windows_ingested(summary.accepted);
+                (Response::Ingested(summary), false)
+            }
+            None => (
+                Response::error(
+                    ErrorCode::NoSession,
+                    "ingest_tagged requires a session (send hello)",
+                ),
+                false,
+            ),
+        },
+        Request::Place { threads } => match session.as_ref() {
+            Some(s) => match s.place(&threads) {
+                Ok(report) => (Response::Placement(report), false),
+                Err(e) => (Response::error(e.code(), e.message()), false),
+            },
+            None => (
+                Response::error(
+                    ErrorCode::NoSession,
+                    "place requires a session (send hello)",
                 ),
                 false,
             ),
@@ -1009,6 +1037,7 @@ fn verb_of(response: &Response) -> &'static str {
         Response::Welcome { .. } => "hello",
         Response::Ingested(_) => "ingest",
         Response::Recommendation(_) => "recommend",
+        Response::Placement(_) => "place",
         Response::Stats(_) => "stats",
         Response::Bye => "shutdown",
         Response::Error { .. } => "error",

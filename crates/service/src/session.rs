@@ -5,12 +5,55 @@
 //! protocol needs on top: the factors of the most recent top-level window
 //! (for `recommend` evidence), the level the decision core currently wants
 //! the client's machine at, and a lifetime window count.
+//!
+//! Revision-3 sessions additionally hold per-thread solo-run windows
+//! (`ingest_tagged`) and answer `place` by building [`ThreadSignature`]s
+//! from them and running the placement allocator over the session's
+//! machine model — the identical path `smtselect place` takes offline, so
+//! daemon and CLI answers agree byte for byte.
 
-use smt_sched::{ControllerConfig, DynamicSmtController, Recommendation};
+use smt_sched::{
+    AllocatorConfig, ControllerConfig, DynamicSmtController, PlacementReport, Recommendation,
+    SearchStrategy,
+};
 use smt_sim::{Error, MachineConfig, SmtLevel, WindowMeasurement};
-use smtsm::{smtsm_factors, LevelSelector, MetricSpec, SmtsmFactors, ThresholdPredictor};
+use smtsm::{
+    smtsm_factors, LevelSelector, MetricSpec, SmtsmFactors, ThreadSignature, ThresholdPredictor,
+};
 
-use crate::protocol::{IngestSummary, SessionSpec};
+use crate::protocol::{ErrorCode, IngestSummary, SessionSpec, PROTOCOL_VERSION};
+
+/// Why a `place` request could not be answered. Each variant maps onto
+/// one protocol [`ErrorCode`] (see [`PlaceError::code`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The session cannot serve `place` at all: negotiated protocol is
+    /// older than revision 3, or no thread has been tagged yet.
+    Unsupported(String),
+    /// A requested thread id has no tagged windows.
+    UnknownThread(String),
+    /// The request was understood but invalid (e.g. more threads than the
+    /// machine has SMT slots, or a duplicate thread id).
+    Invalid(String),
+}
+
+impl PlaceError {
+    /// The protocol error code this failure is reported as.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            PlaceError::Unsupported(_) => ErrorCode::PlacementUnsupported,
+            PlaceError::UnknownThread(_) => ErrorCode::UnknownThread,
+            PlaceError::Invalid(_) => ErrorCode::BadRequest,
+        }
+    }
+
+    /// The human-readable message this failure is reported with.
+    pub fn message(&self) -> &str {
+        match self {
+            PlaceError::Unsupported(m) | PlaceError::UnknownThread(m) | PlaceError::Invalid(m) => m,
+        }
+    }
+}
 
 /// One client's streaming decision state.
 #[derive(Debug)]
@@ -24,6 +67,12 @@ pub struct Session {
     /// Eq.-1 factors of the most recent top-level window.
     last_factors: SmtsmFactors,
     windows: u64,
+    /// Negotiated protocol revision; gates the revision-3 verbs.
+    proto: u32,
+    /// The session's machine model, kept for placement capacity checks.
+    machine: MachineConfig,
+    /// Per-thread solo-run windows, in first-tagged order.
+    tagged: Vec<(u32, Vec<WindowMeasurement>)>,
 }
 
 impl Session {
@@ -83,7 +132,22 @@ impl Session {
                 scalability: 0.0,
             },
             windows: 0,
+            proto: PROTOCOL_VERSION,
+            machine,
+            tagged: Vec::new(),
         })
+    }
+
+    /// Pin the session to the protocol revision negotiated at `hello`.
+    /// Sessions start at [`PROTOCOL_VERSION`] (the offline paths want full
+    /// capability); the server dials old clients down after `hello`.
+    pub fn set_proto(&mut self, proto: u32) {
+        self.proto = proto;
+    }
+
+    /// Negotiated protocol revision.
+    pub fn proto(&self) -> u32 {
+        self.proto
     }
 
     /// Server-assigned session id.
@@ -156,6 +220,77 @@ impl Session {
         r.level = self.level;
         r
     }
+
+    /// Fold solo-run windows attributed to one client thread into the
+    /// session's signature store. Tagged windows feed `place` only — they
+    /// never advance the SMT-level decision core, since solo-run profiles
+    /// are not the machine's live window stream.
+    pub fn ingest_tagged(&mut self, thread: u32, windows: &[WindowMeasurement]) -> IngestSummary {
+        match self.tagged.iter_mut().find(|(t, _)| *t == thread) {
+            Some((_, stored)) => stored.extend_from_slice(windows),
+            None => self.tagged.push((thread, windows.to_vec())),
+        }
+        self.windows += windows.len() as u64;
+        IngestSummary {
+            accepted: windows.len() as u64,
+            total_windows: self.windows,
+            level: self.level,
+            switches: Vec::new(),
+        }
+    }
+
+    /// Thread ids with tagged windows, in first-tagged order.
+    pub fn tagged_threads(&self) -> Vec<u32> {
+        self.tagged.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Answer a `place` request: build per-thread signatures from the
+    /// tagged solo-run windows and solve for the best thread-to-core
+    /// assignment on the session's machine model. An empty `threads`
+    /// list means "place every tagged thread", in first-tagged order.
+    pub fn place(&self, threads: &[u32]) -> Result<PlacementReport, PlaceError> {
+        if self.proto < 3 {
+            return Err(PlaceError::Unsupported(format!(
+                "place requires protocol revision 3, session negotiated {}",
+                self.proto
+            )));
+        }
+        if self.tagged.is_empty() {
+            return Err(PlaceError::Unsupported(
+                "no tagged threads: stream solo-run windows with ingest_tagged first".to_string(),
+            ));
+        }
+        let chosen: Vec<u32> = if threads.is_empty() {
+            self.tagged_threads()
+        } else {
+            threads.to_vec()
+        };
+        for (i, t) in chosen.iter().enumerate() {
+            if chosen[..i].contains(t) {
+                return Err(PlaceError::Invalid(format!("duplicate thread id {t}")));
+            }
+        }
+        let mut sigs = Vec::with_capacity(chosen.len());
+        let mut windows = 0u64;
+        for t in &chosen {
+            let stored = self
+                .tagged
+                .iter()
+                .find(|(id, _)| id == t)
+                .map(|(_, w)| w)
+                .ok_or_else(|| {
+                    PlaceError::UnknownThread(format!("thread {t} has no tagged windows"))
+                })?;
+            windows += stored.len() as u64;
+            sigs.push(ThreadSignature::from_windows(&self.spec, stored));
+        }
+        let outcome = AllocatorConfig::for_machine(self.machine.clone())
+            .threads(sigs)
+            .search(SearchStrategy::Auto)
+            .solve()
+            .map_err(|e| PlaceError::Invalid(e.to_string()))?;
+        Ok(PlacementReport::from_outcome(&chosen, &outcome, windows))
+    }
 }
 
 /// Resolve a protocol machine name to a machine model.
@@ -200,6 +335,56 @@ mod tests {
         assert_eq!(r.level, SmtLevel::Smt4);
         assert_eq!(r.windows, 0);
         assert_eq!(r.confidence, 0.0);
+    }
+
+    #[test]
+    fn tagged_ingest_feeds_place_but_not_the_decision_core() {
+        let mut s = Session::new(3, &SessionSpec::power7()).unwrap();
+        let mut sim = Simulation::new(
+            MachineConfig::power7(1),
+            SmtLevel::Smt1,
+            SyntheticWorkload::new(catalog::ep().scaled(0.05)),
+        );
+        let w = sim.measure_window(5_000);
+        let summary = s.ingest_tagged(9, std::slice::from_ref(&w));
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.total_windows, 1);
+        assert!(summary.switches.is_empty());
+        // The decision core saw nothing: a fresh recommendation still has
+        // zero confidence.
+        assert_eq!(s.recommend().confidence, 0.0);
+        assert_eq!(s.tagged_threads(), vec![9]);
+
+        let report = s.place(&[]).expect("place over tagged threads");
+        assert_eq!(report.threads, vec![9]);
+        assert_eq!(report.cores, vec![vec![9]]);
+        assert_eq!(report.windows, 1);
+        assert!(report.predicted > 0.0);
+    }
+
+    #[test]
+    fn place_is_gated_and_validated() {
+        let mut s = Session::new(4, &SessionSpec::power7()).unwrap();
+        // Empty session: unsupported until something is tagged.
+        assert!(matches!(s.place(&[]), Err(PlaceError::Unsupported(_))));
+        let mut sim = Simulation::new(
+            MachineConfig::power7(1),
+            SmtLevel::Smt1,
+            SyntheticWorkload::new(catalog::ep().scaled(0.05)),
+        );
+        let w = sim.measure_window(5_000);
+        s.ingest_tagged(1, std::slice::from_ref(&w));
+        // Unknown and duplicate thread ids are distinct failures.
+        assert!(matches!(s.place(&[2]), Err(PlaceError::UnknownThread(_))));
+        assert!(matches!(s.place(&[1, 1]), Err(PlaceError::Invalid(_))));
+        // An old negotiated revision refuses the verb entirely.
+        s.set_proto(2);
+        let err = s.place(&[1]).unwrap_err();
+        assert!(matches!(err, PlaceError::Unsupported(_)));
+        assert_eq!(err.code(), crate::protocol::ErrorCode::PlacementUnsupported);
+        // Back at revision 3 the same session answers.
+        s.set_proto(3);
+        assert!(s.place(&[1]).is_ok());
     }
 
     #[test]

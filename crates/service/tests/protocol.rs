@@ -99,6 +99,18 @@ fn every_request_verb_round_trips() {
         windows: vec![sample_window(), sample_window()],
     });
     round_trip_request(&Request::Ingest { windows: vec![] });
+    round_trip_request(&Request::IngestTagged {
+        thread: 7,
+        windows: vec![sample_window()],
+    });
+    round_trip_request(&Request::IngestTagged {
+        thread: 0,
+        windows: vec![],
+    });
+    round_trip_request(&Request::Place {
+        threads: vec![2, 0, 1],
+    });
+    round_trip_request(&Request::Place { threads: vec![] });
     round_trip_request(&Request::Recommend);
     round_trip_request(&Request::Stats);
     round_trip_request(&Request::Shutdown);
@@ -140,6 +152,13 @@ fn every_response_variant_round_trips() {
         p99_us: 4096,
         uptime_secs: 1.5,
     }));
+    round_trip_response(&Response::Placement(smt_sched::PlacementReport {
+        threads: vec![10, 11, 12],
+        cores: vec![vec![10, 12], vec![11]],
+        predicted: 3.25,
+        per_core: vec![2.0, 1.25],
+        windows: 24,
+    }));
     round_trip_response(&Response::Bye);
     for code in [
         ErrorCode::BadRequest,
@@ -151,6 +170,8 @@ fn every_response_variant_round_trips() {
         ErrorCode::Unsupported,
         ErrorCode::UnsupportedCodec,
         ErrorCode::BadFrame,
+        ErrorCode::UnknownThread,
+        ErrorCode::PlacementUnsupported,
     ] {
         round_trip_response(&Response::error(code, "detail"));
     }
@@ -196,6 +217,99 @@ fn v1_hello_without_codec_field_still_opens_a_session() {
         .ingest(&[sample_window()])
         .expect("ingest on v1 session");
     client.recommend().expect("recommend on v1 session");
+}
+
+/// A protocol-2 client (pre-place) must be untouched by the revision-3
+/// additions: its hello opens a session and every v2 verb works, but the
+/// session is refused the `place` verb with `placement_unsupported` —
+/// never with a parse error or a closed connection.
+#[test]
+fn v2_hello_client_is_untouched_and_place_is_gated() {
+    let addr = shared_server_addr();
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    let spec_json = serde_json::to_string(&SessionSpec::power7()).expect("spec json");
+    let v2_line =
+        format!("{{\"Hello\":{{\"proto\":2,\"spec\":{spec_json},\"codec\":\"Ndjson\"}}}}");
+    match client.send_raw_line(&v2_line).expect("server answers") {
+        Response::Welcome { proto, .. } => assert_eq!(proto, PROTOCOL_VERSION),
+        other => panic!("v2 hello got {other:?}"),
+    }
+    // The v2 surface still works...
+    client.ingest(&[sample_window()]).expect("v2 ingest");
+    client.recommend().expect("v2 recommend");
+    // ...the session even accepts tagged windows (they are inert until
+    // `place`)...
+    client
+        .ingest_tagged(0, &[sample_window()])
+        .expect("tagged ingest is harmless");
+    // ...but `place` is refused at the negotiated revision.
+    let err = client.place(&[]).expect_err("place gated under proto 2");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("PlacementUnsupported"),
+        "expected placement_unsupported, got: {msg}"
+    );
+    // And the refusal spared the session.
+    client.recommend().expect("session survives refused place");
+}
+
+/// The daemon's `place` answer must be byte-identical (as JSON) to the
+/// offline session fed the same tagged windows — over both codecs.
+#[test]
+fn daemon_place_matches_offline_place_byte_for_byte() {
+    let spec = SessionSpec::power7();
+    let profiles: Vec<(u32, Vec<WindowMeasurement>)> = (0..3)
+        .map(|t| (t * 10, vec![sample_window(), sample_window()]))
+        .collect();
+
+    let mut offline = smt_service::Session::new(0, &spec).unwrap();
+    for (t, ws) in &profiles {
+        offline.ingest_tagged(*t, ws);
+    }
+    let offline_json =
+        serde_json::to_string(&offline.place(&[]).expect("offline place")).expect("json");
+
+    let addr = shared_server_addr();
+    for kind in [CodecKind::Ndjson, CodecKind::Binary] {
+        let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+        client.hello_with(&spec, kind).expect("hello");
+        for (t, ws) in &profiles {
+            client.ingest_tagged(*t, ws).expect("ingest_tagged");
+        }
+        let live = client.place(&[]).expect("live place");
+        let live_json = serde_json::to_string(&live).expect("json");
+        assert_eq!(live_json, offline_json, "{kind}: daemon != offline");
+        // Selecting an explicit subset also answers identically both ways.
+        let subset = client.place(&[20, 0]).expect("subset place");
+        let offline_subset = offline.place(&[20, 0]).expect("offline subset");
+        assert_eq!(
+            serde_json::to_string(&subset).unwrap(),
+            serde_json::to_string(&offline_subset).unwrap(),
+            "{kind}: subset place differs"
+        );
+    }
+}
+
+/// `place` error surface over the wire: unknown thread ids and empty
+/// sessions answer with their dedicated codes, and the session survives.
+#[test]
+fn place_errors_are_structured() {
+    let addr = shared_server_addr();
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello(&SessionSpec::power7()).expect("hello");
+    // No tagged threads yet.
+    let err = client.place(&[]).expect_err("no tagged threads");
+    assert!(format!("{err}").contains("PlacementUnsupported"), "{err}");
+    // Tag one thread, ask for another.
+    client
+        .ingest_tagged(1, &[sample_window()])
+        .expect("ingest_tagged");
+    let err = client.place(&[2]).expect_err("unknown thread");
+    assert!(format!("{err}").contains("UnknownThread"), "{err}");
+    // The session survives and answers the valid ask.
+    let report = client.place(&[1]).expect("valid place");
+    assert_eq!(report.threads, vec![1]);
+    assert_eq!(report.cores, vec![vec![1]]);
 }
 
 /// One server shared by all proptest cases (each case opens its own
@@ -260,6 +374,13 @@ fn request_pool() -> &'static Vec<Request> {
             Request::Debug {
                 op: "panic".to_string(),
             },
+            Request::IngestTagged {
+                thread: 3,
+                windows: vec![sample_window()],
+            },
+            Request::Place {
+                threads: vec![0, 3],
+            },
         ]
     })
 }
@@ -297,7 +418,7 @@ proptest! {
     /// Both codecs: encode → decode → re-encode reproduces the original
     /// bytes for every request in the pool.
     #[test]
-    fn codec_round_trips_are_byte_identical(which in 0usize..8, kind in 0u8..2) {
+    fn codec_round_trips_are_byte_identical(which in 0usize..10, kind in 0u8..2) {
         let req = &request_pool()[which % request_pool().len()];
         let codec = codec_for(if kind == 0 { CodecKind::Ndjson } else { CodecKind::Binary });
         let mut bytes = Vec::new();
@@ -315,7 +436,7 @@ proptest! {
     /// prefix of a frame never yields a frame at all.
     #[test]
     fn binary_codec_rejects_flipped_and_truncated_frames(
-        which in 0usize..8,
+        which in 0usize..10,
         flip_at in 0usize..4096,
         flip_bit in 0u8..8,
         cut in 1usize..4096,

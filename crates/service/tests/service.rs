@@ -2,11 +2,11 @@
 //! streaming clients over both codecs, with fault injection,
 //! backpressure, both transports, and the committed serving baseline.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use smt_sched::{ControllerConfig, DynamicSmtController};
 use smt_service::protocol::{CodecKind, ErrorCode, Request, Response, SessionSpec};
-use smt_service::{BenchOptions, Client, ServeReport, ServerConfig, ServerHandle};
+use smt_service::{BenchOp, BenchOptions, Client, ServeReport, ServerConfig, ServerHandle};
 use smt_sim::{MachineConfig, Simulation, SmtLevel};
 use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
 use smtsm::{LevelSelector, MetricSpec, ThresholdPredictor};
@@ -332,7 +332,16 @@ fn shutdown_verb_stops_the_daemon() {
     let addr = handle.local_addr().to_string();
     let mut client = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
     client.shutdown().expect("shutdown verb");
-    assert!(handle.is_shutting_down());
+    // The server flushes `Bye` to the client *before* raising the global
+    // shutdown flag, so poll briefly rather than asserting immediately.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !handle.is_shutting_down() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon never began shutting down"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
     handle.join();
 }
 
@@ -435,11 +444,13 @@ fn bench_harness_round_trips_against_a_live_server() {
             requests: 6,
             windows_per_ingest: 2,
             codec,
+            op: BenchOp::Stream,
             label: "itest".to_string(),
         };
         let summary = smt_service::run_bench(&addr, &opts).expect("bench");
         // Per connection: 1 hello + 6 ingests + 1 mid-run recommend
         // (every 5th request) + 1 trailing recommend.
+        assert_eq!(summary.op, BenchOp::Stream);
         assert_eq!(summary.codec, codec);
         assert_eq!(summary.connections, 3);
         assert_eq!(summary.requests_total, 3 * (1 + 6 + 1 + 1));
@@ -451,6 +462,15 @@ fn bench_harness_round_trips_against_a_live_server() {
             summary.p50_ms,
             summary.p99_ms
         );
+
+        // Place op: session setup (hello + tagged profiles) is untimed,
+        // so the request count is exactly the number of place calls.
+        let place =
+            smt_service::run_bench(&addr, &opts.clone().op(BenchOp::Place)).expect("place bench");
+        assert_eq!(place.op, BenchOp::Place);
+        assert_eq!(place.requests_total, 3 * 6);
+        assert!(place.windows_total > 0, "tagged profile windows counted");
+        assert!(place.p50_ms > 0.0 && place.p50_ms <= place.p99_ms);
     }
 
     handle.trigger_shutdown();

@@ -17,6 +17,8 @@
 //! - [`phases`] — phase-changing workloads for the adaptive scheduler demo.
 //! - [`multi`] — multiprogrammed co-scheduling (several applications
 //!   sharing one machine, as in the symbiotic-scheduling related work).
+//! - [`placed`] — single-threaded jobs pinned to explicit (core, SMT
+//!   context) slots, the simulator-side half of the placement allocator.
 //! - [`trace`] — trace capture & replay (trace-driven simulation: identical
 //!   instruction streams across machine configurations).
 
@@ -26,11 +28,13 @@ pub mod catalog;
 pub mod gen;
 pub mod multi;
 pub mod phases;
+pub mod placed;
 pub mod spec;
 pub mod trace;
 
 pub use gen::SyntheticWorkload;
 pub use multi::MultiWorkload;
 pub use phases::PhasedWorkload;
+pub use placed::PlacedWorkload;
 pub use spec::{AccessPattern, DepProfile, InstrMix, MemBehavior, SyncSpec, WorkloadSpec};
 pub use trace::{capture, Trace, TraceEvent, TraceWorkload};

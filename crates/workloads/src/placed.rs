@@ -1,0 +1,189 @@
+//! Pinned multiprogrammed workloads: single-threaded jobs bound to
+//! explicit hardware slots.
+//!
+//! [`MultiWorkload`](crate::MultiWorkload) co-schedules applications but
+//! leaves slot assignment to the machine's fixed thread numbering. The
+//! thread-to-core allocator needs the opposite: *it* decides which job
+//! occupies which (core, SMT context) slot, and the simulator must honour
+//! that choice exactly. [`PlacedWorkload`] does this by mapping each
+//! software thread id — which the machine binds to a fixed (context,
+//! core) pair — to one single-threaded member job, or to nothing. Empty
+//! slots fetch [`Fetched::Finished`] immediately, so on dynamically
+//! partitioned cores (POWER7-like) the placed jobs absorb the unused
+//! contexts' resources, just as unoccupied SMT slots behave on hardware.
+
+use smt_sim::{Fetched, Workload};
+
+/// Single-threaded member jobs pinned to explicit hardware slots.
+pub struct PlacedWorkload {
+    name: String,
+    jobs: Vec<Box<dyn Workload>>,
+    /// Software thread id -> member job index (None = empty slot).
+    slot_of: Vec<Option<usize>>,
+}
+
+impl PlacedWorkload {
+    /// Build from member jobs and a slot map (`slot_of[thread] = Some(j)`
+    /// runs job `j` on software thread `thread`). Every job must occupy
+    /// exactly one slot. Members are driven single-threaded.
+    pub fn new(
+        name: impl Into<String>,
+        mut jobs: Vec<Box<dyn Workload>>,
+        slot_of: Vec<Option<usize>>,
+    ) -> PlacedWorkload {
+        let mut seen = vec![false; jobs.len()];
+        for j in slot_of.iter().flatten() {
+            assert!(*j < jobs.len(), "slot references unknown job {j}");
+            assert!(!seen[*j], "job {j} placed in more than one slot");
+            seen[*j] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every job must occupy exactly one slot"
+        );
+        for job in &mut jobs {
+            job.set_thread_count(1);
+        }
+        PlacedWorkload {
+            name: name.into(),
+            jobs,
+            slot_of,
+        }
+    }
+
+    /// Number of member jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Member job by index.
+    pub fn job(&self, i: usize) -> &dyn Workload {
+        self.jobs[i].as_ref()
+    }
+}
+
+impl Workload for PlacedWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch(&mut self, thread: usize, now: u64) -> Fetched {
+        match self.slot_of.get(thread).copied().flatten() {
+            Some(j) => self.jobs[j].fetch(0, now),
+            None => Fetched::Finished,
+        }
+    }
+
+    /// The machine dictates the slot count; the placement must fit. Extra
+    /// slots beyond the map stay empty.
+    fn set_thread_count(&mut self, n: usize) {
+        assert!(
+            n >= self.slot_of.len(),
+            "placement uses {} slots but the machine offers only {n}",
+            self.slot_of.len()
+        );
+        self.slot_of.resize(n, None);
+    }
+
+    fn thread_count(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    fn finished(&self) -> bool {
+        self.jobs.iter().all(|j| j.finished())
+    }
+
+    fn work_done(&self) -> u64 {
+        self.jobs.iter().map(|j| j.work_done()).sum()
+    }
+
+    fn total_work(&self) -> u64 {
+        self.jobs.iter().map(|j| j.total_work()).sum()
+    }
+}
+
+impl std::fmt::Debug for PlacedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlacedWorkload")
+            .field("name", &self.name)
+            .field(
+                "jobs",
+                &self.jobs.iter().map(|j| j.name()).collect::<Vec<_>>(),
+            )
+            .field("slots", &self.slot_of)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, SyntheticWorkload};
+    use smt_sim::{MachineConfig, Simulation, SmtLevel};
+
+    fn job(scale: f64) -> Box<dyn Workload> {
+        Box::new(SyntheticWorkload::new(catalog::ep().scaled(scale)))
+    }
+
+    #[test]
+    fn empty_slots_fetch_finished() {
+        let mut w = PlacedWorkload::new("solo", vec![job(0.001)], vec![Some(0), None, None, None]);
+        assert!(matches!(w.fetch(1, 0), Fetched::Finished));
+        assert!(matches!(w.fetch(3, 0), Fetched::Finished));
+        assert!(!matches!(w.fetch(0, 0), Fetched::Finished));
+    }
+
+    #[test]
+    fn placed_pair_completes_with_summed_work() {
+        let w = PlacedWorkload::new(
+            "pair",
+            vec![job(0.002), job(0.002)],
+            vec![Some(0), Some(1), None, None, None, None, None, None],
+        );
+        let total = {
+            use smt_sim::Workload as _;
+            w.total_work()
+        };
+        let cfg = MachineConfig {
+            cores_per_chip: 2,
+            ..MachineConfig::power7(1)
+        };
+        let mut sim = Simulation::new(cfg, SmtLevel::Smt4, w);
+        let r = sim.run_until_finished(500_000_000);
+        assert!(r.completed);
+        assert_eq!(r.work_done, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one slot")]
+    fn duplicate_job_rejected() {
+        PlacedWorkload::new("dup", vec![job(0.001)], vec![Some(0), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one slot")]
+    fn unplaced_job_rejected() {
+        PlacedWorkload::new("orphan", vec![job(0.001), job(0.001)], vec![Some(0), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown job")]
+    fn out_of_range_slot_rejected() {
+        PlacedWorkload::new("oob", vec![job(0.001)], vec![Some(3)]);
+    }
+
+    #[test]
+    fn machine_may_offer_more_slots() {
+        let mut w = PlacedWorkload::new("grow", vec![job(0.001)], vec![Some(0)]);
+        w.set_thread_count(8);
+        assert_eq!(w.thread_count(), 8);
+        assert!(matches!(w.fetch(7, 0), Fetched::Finished));
+    }
+
+    #[test]
+    #[should_panic(expected = "offers only")]
+    fn too_small_machine_rejected() {
+        let mut w = PlacedWorkload::new("big", vec![job(0.001)], vec![None, None, Some(0), None]);
+        w.set_thread_count(2);
+    }
+}

@@ -31,16 +31,29 @@
 //!
 //! smtselect bench-serve [--addr ENDPOINT | --spawn] [--quick]
 //!                       [--connections N] [--requests N] [--label L]
-//!                       [--codec ndjson|binary|both] [--tiers MAX]
+//!                       [--codec ndjson|binary|both]
+//!                       [--op stream|place|both] [--tiers MAX]
 //!                       [--check FILE] [--tolerance F] [--out FILE]
 //!                       [--shutdown]
 //!     Load-test a running smtd (or an in-process one with --spawn) and
 //!     report throughput and first-class p50/p99 latency in milliseconds.
 //!     --tiers MAX sweeps a doubling ladder of connection counts
-//!     (1, 2, 4, ... MAX) per selected codec; --check gates throughput
-//!     AND tail latency per tier against a committed BENCH_serve.json
-//!     baseline, --out appends the run to the trajectory, --shutdown
-//!     stops the server afterwards.
+//!     (1, 2, 4, ... MAX) per selected codec and op — `stream` is
+//!     ingest/recommend traffic, `place` times nothing but placement
+//!     solves against pre-tagged sessions. --check gates throughput AND
+//!     tail latency per (op, codec, connections) tier against a committed
+//!     BENCH_serve.json baseline, --out appends the run to the
+//!     trajectory, --shutdown stops the server afterwards.
+//!
+//! smtselect place <bench> <bench> ... [--machine p7|p7x2|nhm] [--scale S]
+//!                 [--windows N] [--window-cycles C] [--json]
+//!                 [--connect --addr ENDPOINT [--codec ndjson|binary]]
+//!     Profile each benchmark solo (N counter windows on one core at
+//!     SMT1), then solve for the thread-to-core placement the co-run
+//!     compatibility model predicts best. The answer goes through the
+//!     daemon's own session type — with --connect the tagged windows are
+//!     streamed to a live smtd instead, and the JSON answers are
+//!     byte-identical by construction.
 //!
 //! smtselect collect <benchmark> [--backend sim|perf] [--pid P]
 //!                   [--machine p7|p7x2|nhm] [--scale S] [--windows N]
@@ -74,16 +87,20 @@ use std::time::Duration;
 use smt_select::prelude::*;
 use smt_select::service;
 
+/// Resolve `--machine` through the daemon's canonical table
+/// ([`service::machine_by_name`]) so the CLI and `smtd` can never disagree
+/// about what a name means; the label is display-only.
 fn machine_by_name(name: &str) -> (MachineConfig, &'static str) {
-    match name {
-        "p7" => (MachineConfig::power7(1), "8-core POWER7-like chip"),
-        "p7x2" => (MachineConfig::power7(2), "two 8-core POWER7-like chips"),
-        "nhm" => (MachineConfig::nehalem(), "quad-core Nehalem-like"),
-        other => {
-            eprintln!("unknown machine {other:?} (expected p7, p7x2, or nhm)");
-            std::process::exit(2);
-        }
-    }
+    let cfg = service::machine_by_name(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let label = match name {
+        "p7" => "8-core POWER7-like chip",
+        "p7x2" => "two 8-core POWER7-like chips",
+        _ => "quad-core Nehalem-like",
+    };
+    (cfg, label)
 }
 
 fn find_spec(name: &str) -> WorkloadSpec {
@@ -111,6 +128,7 @@ struct Opts {
     shards: usize,
     codecs: String,
     codec: String,
+    op: String,
     tiers: Option<usize>,
     max_sessions: usize,
     debug_verbs: bool,
@@ -149,6 +167,7 @@ fn parse(args: &[String]) -> Opts {
         shards: 0,
         codecs: "both".into(),
         codec: "ndjson".into(),
+        op: "stream".into(),
         tiers: None,
         max_sessions: 1024,
         debug_verbs: false,
@@ -217,6 +236,7 @@ fn parse(args: &[String]) -> Opts {
                     .clone()
             }
             "--codec" => o.codec = it.next().expect("--codec takes ndjson|binary|both").clone(),
+            "--op" => o.op = it.next().expect("--op takes stream|place|both").clone(),
             "--tiers" => {
                 o.tiers = Some(
                     it.next()
@@ -762,6 +782,100 @@ fn cmd_replay(o: &Opts) {
     }
 }
 
+fn cmd_place(o: &Opts) {
+    if o.positional.is_empty() {
+        eprintln!("place needs at least one benchmark name; try `smtselect list`");
+        std::process::exit(2);
+    }
+    let (cfg, label) = machine_by_name(&o.machine);
+    let mspec = MetricSpec::for_arch(&cfg.arch);
+
+    // Solo profiles: each benchmark runs alone on one core of the target
+    // machine at SMT1, and its counter windows become one tagged thread.
+    let names: Vec<String> = o.positional.clone();
+    let mut profiles: Vec<Vec<WindowMeasurement>> = Vec::with_capacity(names.len());
+    for name in &names {
+        let spec = find_spec(name).scaled(o.scale);
+        let (_sig, windows) = solo_signature(
+            &cfg,
+            &mspec,
+            Box::new(SyntheticWorkload::new(spec)),
+            o.windows as usize,
+            o.window_cycles,
+        );
+        profiles.push(windows);
+    }
+
+    let sspec = session_spec(o);
+    let report = if o.connect {
+        // Stream the tagged profiles into a live smtd and ask it to place.
+        let mut client = Client::connect(&o.addr, Duration::from_secs(10)).unwrap_or_else(|e| {
+            eprintln!("cannot connect to {}: {e}", o.addr);
+            std::process::exit(1);
+        });
+        let codec = o.codec.parse::<CodecKind>().unwrap_or_else(|e| {
+            eprintln!("bad --codec: {e}");
+            std::process::exit(2);
+        });
+        let (session, top, granted) = client.hello_with(&sspec, codec).unwrap_or_else(|e| {
+            eprintln!("hello failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "session {session} (top {top}, codec {granted}) on {}",
+            o.addr
+        );
+        for (i, windows) in profiles.iter().enumerate() {
+            client.ingest_tagged(i as u32, windows).unwrap_or_else(|e| {
+                eprintln!("ingest_tagged failed for {}: {e}", names[i]);
+                std::process::exit(1);
+            });
+        }
+        client.place(&[]).unwrap_or_else(|e| {
+            eprintln!("place failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        // Offline: the daemon's own session type answers locally, so this
+        // line is byte-identical to what a live smtd would serve.
+        let mut session = service::Session::new(0, &sspec).unwrap_or_else(|e| {
+            eprintln!("bad session parameters: {e}");
+            std::process::exit(2);
+        });
+        for (i, windows) in profiles.iter().enumerate() {
+            session.ingest_tagged(i as u32, windows);
+        }
+        session.place(&[]).unwrap_or_else(|e| {
+            eprintln!("place failed: {}", e.message());
+            std::process::exit(1);
+        })
+    };
+
+    if o.json {
+        println!("{}", serde_json::to_string(&report).expect("serialize"));
+        return;
+    }
+    println!(
+        "placed     : {} thread(s) on {label} ({} windows each)",
+        names.len(),
+        o.windows
+    );
+    for (core, (members, tput)) in report.cores.iter().zip(&report.per_core).enumerate() {
+        let who: Vec<String> = members
+            .iter()
+            .map(|&t| format!("{t}:{}", names[t as usize]))
+            .collect();
+        println!(
+            "  core {core}: {:<40} predicted {tput:.3} work/cycle",
+            who.join("  ")
+        );
+    }
+    println!(
+        "predicted  : {:.3} work/cycle total (from {} solo windows)",
+        report.predicted, report.windows
+    );
+}
+
 fn parse_endpoint(addr: &str) -> Endpoint {
     addr.parse().unwrap_or_else(|e| {
         eprintln!("bad --addr {addr:?}: {e}");
@@ -784,6 +898,19 @@ fn parse_codec_list(s: &str) -> Vec<CodecKind> {
             eprintln!("bad --codec: {e}");
             std::process::exit(2);
         })],
+    }
+}
+
+/// The op list `--op` selects for bench runs.
+fn parse_op_list(s: &str) -> Vec<BenchOp> {
+    match s {
+        "stream" => vec![BenchOp::Stream],
+        "place" => vec![BenchOp::Place],
+        "both" => vec![BenchOp::Stream, BenchOp::Place],
+        other => {
+            eprintln!("bad --op {other:?} (expected stream, place, or both)");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -836,6 +963,7 @@ fn cmd_bench_serve(o: &Opts) {
         bench.requests = n;
     }
     let codecs = parse_codec_list(&o.codec);
+    let ops = parse_op_list(&o.op);
     let widest = o.tiers.unwrap_or(bench.connections).max(bench.connections);
 
     // --spawn runs the server in-process on a free port; otherwise drive
@@ -856,17 +984,26 @@ fn cmd_bench_serve(o: &Opts) {
         None => o.addr.clone(),
     };
 
-    let tiers = match o.tiers {
-        Some(max) => run_tier_sweep(&addr, &bench, max, &codecs),
-        None => codecs
-            .iter()
-            .map(|&codec| run_bench(&addr, &bench.clone().codec(codec)))
-            .collect(),
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("bench-serve failed against {addr}: {e}");
-        std::process::exit(1);
-    });
+    // One ServeRun holds every (op, codec) ladder so `--check` against
+    // `latest()` still sees each tier kind in a single baseline run.
+    let tiers = ops
+        .iter()
+        .map(|&op| {
+            let bench = bench.clone().op(op);
+            match o.tiers {
+                Some(max) => run_tier_sweep(&addr, &bench, max, &codecs),
+                None => codecs
+                    .iter()
+                    .map(|&codec| run_bench(&addr, &bench.clone().codec(codec)))
+                    .collect(),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(|per_op| per_op.into_iter().flatten().collect::<Vec<_>>())
+        .unwrap_or_else(|e| {
+            eprintln!("bench-serve failed against {addr}: {e}");
+            std::process::exit(1);
+        });
     for summary in &tiers {
         println!("{}", summary.render());
     }
@@ -936,8 +1073,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: smtselect <list|analyze|train|tune|collect|record|replay|serve|bench-serve> \
-             ...; see --help"
+            "usage: smtselect <list|analyze|train|tune|place|collect|record|replay|serve|\
+             bench-serve> ...; see --help"
         );
         std::process::exit(2);
     };
@@ -947,6 +1084,7 @@ fn main() {
         "analyze" => cmd_analyze(&opts),
         "train" => cmd_train(&opts),
         "tune" => cmd_tune(&opts),
+        "place" => cmd_place(&opts),
         "collect" => cmd_collect(&opts, opts.record.as_deref()),
         "record" => cmd_record(&opts),
         "replay" => cmd_replay(&opts),
@@ -956,10 +1094,14 @@ fn main() {
             println!("smtselect — SMT-level selection via the SMTsm metric (IPDPS'12)");
             println!(
                 "commands: list | analyze <bench> [--verify] [--json] | train [--out F] | \
-                 tune <bench> [--json] | collect <bench> | record <bench> --out F | \
-                 replay <trace> | serve | bench-serve"
+                 tune <bench> [--json] | place <bench>... | collect <bench> | \
+                 record <bench> --out F | replay <trace> | serve | bench-serve"
             );
             println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
+            println!(
+                "place   : --windows N  --window-cycles C  --json  \
+                 --connect --addr ENDPOINT  --codec ndjson|binary"
+            );
             println!(
                 "collect : --backend sim|perf  --pid P  --windows N  --window-cycles C  \
                  --events p7|nhm|generic  --record FILE  --probe  --json"
@@ -973,8 +1115,8 @@ fn main() {
             );
             println!(
                 "bench   : --addr ENDPOINT | --spawn  --quick  --connections N  --requests N  \
-                 --codec ndjson|binary|both  --tiers MAX  --label L  --check FILE  \
-                 --tolerance F  --out FILE  --shutdown"
+                 --codec ndjson|binary|both  --op stream|place|both  --tiers MAX  --label L  \
+                 --check FILE  --tolerance F  --out FILE  --shutdown"
             );
         }
         other => {

@@ -70,13 +70,14 @@ pub mod prelude {
         RunRequest, SweepResult,
     };
     pub use smt_sched::{
-        compare, ipc_probe_run, oracle_sweep, tune, ControllerConfig, DynamicSmtController,
-        Recommendation, StreamDecision,
+        compare, ipc_probe_run, oracle_sweep, placement_oracle, solo_signature, tune,
+        AllocatorConfig, ControllerConfig, DynamicSmtController, Placement, PlacementOracleReport,
+        PlacementOutcome, PlacementReport, Recommendation, SearchStrategy, StreamDecision,
     };
     pub use smt_service::{
-        check_serve_regression, run_bench, run_tier_sweep, BenchOptions, Client, CodecKind,
-        CodecPolicy, Endpoint, ServeReport, ServeRun, ServerConfig, ServerHandle, ServiceMetrics,
-        ServiceSink, SessionSpec,
+        check_serve_regression, run_bench, run_tier_sweep, BenchOp, BenchOptions, Client,
+        CodecKind, CodecPolicy, Endpoint, ServeReport, ServeRun, ServerConfig, ServerHandle,
+        ServiceMetrics, ServiceSink, SessionSpec,
     };
     pub use smt_sim::{
         ArchDescriptor, Instr, InstrClass, MachineConfig, RunResult, ScriptedWorkload, Simulation,
@@ -87,7 +88,7 @@ pub mod prelude {
         SyncSpec, SyntheticWorkload, WorkloadSpec,
     };
     pub use smtsm::{
-        gini_sweep, smtsm, smtsm_factors, LevelSelector, MetricSpec, NaiveMetric, OnlineSampler,
-        PpiSweep, SmtPreference, SmtsmFactors, ThresholdPredictor,
+        gini_sweep, smtsm, smtsm_factors, CompatModel, LevelSelector, MetricSpec, NaiveMetric,
+        OnlineSampler, PpiSweep, SmtPreference, SmtsmFactors, ThreadSignature, ThresholdPredictor,
     };
 }
