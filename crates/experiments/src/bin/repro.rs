@@ -23,7 +23,11 @@
 //! `--label NAME` (run label), `--out FILE` (append the run to a
 //! `BENCH_sim.json` trajectory), `--check FILE` (exit non-zero if any case
 //! regressed more than `--tolerance`, default 0.2, vs. the file's latest
-//! run).
+//! run), `--kernel auto|scalar|simd|legacy` (pin the issue-engine /
+//! scan-kernel variant; `simd` exits cleanly on hosts without AVX2), and
+//! `--flamegraph` (self-profile the matrix instead of timing it, printing
+//! per-phase shares and writing `results/perf/profile-<label>.json` plus a
+//! flamegraph-ready `flamegraph-<label>.folded`).
 //!
 //! `--scale` scales every workload's total work (default 0.3; 1.0 matches
 //! the catalog's full sizes and takes several minutes per machine on one
@@ -56,6 +60,8 @@ struct Args {
     perf_out: Option<String>,
     perf_check: Option<String>,
     tolerance: f64,
+    kernel: Option<String>,
+    flamegraph: bool,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +79,8 @@ fn parse_args() -> Args {
         perf_out: None,
         perf_check: None,
         tolerance: 0.2,
+        kernel: None,
+        flamegraph: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -114,6 +122,13 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--tolerance takes a fraction"));
             }
+            "--kernel" => {
+                args.kernel = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--kernel takes auto|scalar|simd|legacy")),
+                );
+            }
+            "--flamegraph" => args.flamegraph = true,
             "-h" | "--help" => {
                 eprintln!(
                     "usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR] \
@@ -216,6 +231,24 @@ fn run_perf_cmd(args: &Args) -> Result<(), Error> {
     if let Some(label) = &args.label {
         opts = opts.label(label.clone());
     }
+    match args.kernel.as_deref() {
+        None | Some("auto") => {}
+        Some("legacy") => opts.engine = Some(smt_sim::IssueEngine::Legacy),
+        Some("scalar") => opts.kernel = Some(smt_sim::ScanKernel::ScalarU64),
+        Some("simd") => {
+            if !smt_sim::simd_available() {
+                eprintln!("[repro] skipping: --kernel simd requested but AVX2 is not available");
+                return Ok(());
+            }
+            opts.kernel = Some(smt_sim::ScanKernel::Simd);
+        }
+        Some(other) => die(&format!(
+            "unknown --kernel {other:?} (want auto|scalar|simd|legacy)"
+        )),
+    }
+    if args.flamegraph {
+        return run_perf_flamegraph(args, &opts);
+    }
     eprintln!(
         "[repro] measuring simulator throughput ({} cycles/window, best of {})...",
         opts.window, opts.samples
@@ -257,6 +290,39 @@ fn run_perf_cmd(args: &Args) -> Result<(), Error> {
         report.push(run);
         report.save(out)?;
         eprintln!("[repro] appended run to {out}");
+    }
+    Ok(())
+}
+
+/// `repro perf --flamegraph`: self-profile the matrix, print the phase
+/// table, and write `results/perf/profile-<label>.json` plus a
+/// flamegraph-ready `flamegraph-<label>.folded` (feed it to any
+/// `flamegraph.pl`-compatible renderer).
+fn run_perf_flamegraph(
+    args: &Args,
+    opts: &smt_experiments::perf::PerfOptions,
+) -> Result<(), Error> {
+    use smt_experiments::perf;
+    eprintln!(
+        "[repro] profiling simulator phases ({} cycles/window, kernel {})...",
+        opts.window,
+        opts.kernel_name()
+    );
+    let run = perf::run_perf_profiled(opts);
+    print!("{}", run.render());
+
+    let dir = std::path::Path::new("results/perf");
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("profile-{}.json", run.label));
+    let body = serde_json::to_string_pretty(&run).map_err(|e| Error::Serde(e.to_string()))?;
+    std::fs::write(&json_path, body)?;
+    eprintln!("[repro] wrote {}", json_path.display());
+    let folded_path = dir.join(format!("flamegraph-{}.folded", run.label));
+    std::fs::write(&folded_path, run.folded())?;
+    eprintln!("[repro] wrote {}", folded_path.display());
+
+    if let Some(check) = &args.perf_check {
+        eprintln!("[repro] note: --check {check} is ignored under --flamegraph (profiled runs are not throughput-comparable)");
     }
     Ok(())
 }

@@ -20,11 +20,17 @@ use std::path::Path;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use smt_sim::{Error, MachineConfig, Simulation, SmtLevel};
+use smt_sim::{Error, IssueEngine, MachineConfig, ScanKernel, Simulation, SmtLevel};
 use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
 
 /// Bumped when the JSON layout of [`PerfReport`] changes shape.
-pub const PERF_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: `label` + `entries` + optional `repro_all_wall_secs`.
+/// - 2: adds the optional `kernel` tag on each run recording the issue
+///   engine / scan-kernel variant it was measured with. Version-1 files
+///   load unchanged (missing tag reads as `None`).
+pub const PERF_SCHEMA_VERSION: u32 = 2;
 
 /// Cycles simulated before the timed window, so cold-start effects
 /// (empty caches, empty queues) don't pollute the steady-state rate.
@@ -77,15 +83,60 @@ impl PerfEntry {
 
 /// One full sweep over the measurement matrix, labeled for the trajectory
 /// (e.g. `"pr2-before"`, `"pr2-after"`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) so that the schema-2
+/// `kernel` tag stays optional on read: trajectory files written at
+/// schema 1 have no such field, and the derive would reject them.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfRun {
     /// Human-chosen label identifying when/why this run was taken.
     pub label: String,
+    /// Issue engine / scan-kernel variant the run was measured with
+    /// (`"legacy"`, `"scalar-u64"`, `"simd"`, or `"auto"`). `None` on
+    /// runs recorded before schema 2.
+    pub kernel: Option<String>,
     /// Measured cases, in matrix order.
     pub entries: Vec<PerfEntry>,
     /// Optional end-to-end number: cold `repro all --scale 0.05` wall
     /// seconds, recorded out-of-band when available.
     pub repro_all_wall_secs: Option<f64>,
+}
+
+impl Serialize for PerfRun {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("entries".to_string(), self.entries.to_value()),
+            (
+                "repro_all_wall_secs".to_string(),
+                self.repro_all_wall_secs.to_value(),
+            ),
+        ];
+        if let Some(k) = &self.kernel {
+            pairs.push(("kernel".to_string(), k.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for PerfRun {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("PerfRun: expected object"))?;
+        Ok(PerfRun {
+            label: String::from_value(serde::get_field(obj, "label")?)?,
+            kernel: match v.get("kernel") {
+                Some(val) => Option::from_value(val)?,
+                None => None,
+            },
+            entries: Vec::from_value(serde::get_field(obj, "entries")?)?,
+            repro_all_wall_secs: match v.get("repro_all_wall_secs") {
+                Some(val) => Option::from_value(val)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl PerfRun {
@@ -163,6 +214,13 @@ pub struct PerfOptions {
     /// Timing samples per case; the fastest is kept (minimum wall time is
     /// the standard noise-robust estimator for a deterministic workload).
     pub samples: usize,
+    /// Issue-engine override for the measured simulations. `None` keeps
+    /// the process default (the SoA engine, or `SMT_SIM_ENGINE` if set).
+    pub engine: Option<IssueEngine>,
+    /// Scan-kernel override. `None` keeps the default (runtime AVX2
+    /// detection). Forcing [`ScanKernel::Simd`] on a host without AVX2
+    /// panics — gate on [`smt_sim::simd_available`].
+    pub kernel: Option<ScanKernel>,
 }
 
 impl PerfOptions {
@@ -172,6 +230,8 @@ impl PerfOptions {
             label: "local".to_string(),
             window: 100_000,
             samples: 5,
+            engine: None,
+            kernel: None,
         }
     }
 
@@ -181,6 +241,8 @@ impl PerfOptions {
             label: "quick".to_string(),
             window: 20_000,
             samples: 3,
+            engine: None,
+            kernel: None,
         }
     }
 
@@ -188,6 +250,16 @@ impl PerfOptions {
     pub fn label(mut self, label: impl Into<String>) -> PerfOptions {
         self.label = label.into();
         self
+    }
+
+    /// The kernel tag recorded on runs measured with these options.
+    pub fn kernel_name(&self) -> &'static str {
+        match (self.engine, self.kernel) {
+            (Some(IssueEngine::Legacy), _) => "legacy",
+            (_, Some(ScanKernel::ScalarU64)) => "scalar-u64",
+            (_, Some(ScanKernel::Simd)) => "simd",
+            _ => "auto",
+        }
     }
 }
 
@@ -271,6 +343,12 @@ pub fn run_perf(opts: &PerfOptions) -> PerfRun {
                 case.smt,
                 SyntheticWorkload::new((case.spec)()),
             );
+            if let Some(engine) = opts.engine {
+                sim.set_issue_engine(engine);
+            }
+            if let Some(kernel) = opts.kernel {
+                sim.set_scan_kernel(kernel);
+            }
             sim.run_cycles(WARMUP_CYCLES);
             let start = Instant::now();
             cycles = sim.run_cycles(opts.window);
@@ -290,8 +368,170 @@ pub fn run_perf(opts: &PerfOptions) -> PerfRun {
     }
     PerfRun {
         label: opts.label.clone(),
+        kernel: Some(opts.kernel_name().to_string()),
         entries,
         repro_all_wall_secs: None,
+    }
+}
+
+/// Phase breakdown of one matrix case from a profiled sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfiledCase {
+    /// Case name, e.g. `p7_ep`.
+    pub bench: String,
+    /// Hardware threads per core during the measurement.
+    pub smt: usize,
+    /// Simulated cycles in the profiled window.
+    pub cycles: u64,
+    /// Core-steps timed (one per core per non-skipped cycle).
+    pub steps: u64,
+    /// `(phase, ticks)` rows in pipeline order.
+    pub phase_ticks: Vec<(String, u64)>,
+}
+
+/// A full self-profiled sweep of the perf matrix: per-case phase tick
+/// breakdowns plus, where the host PMU allows, hardware cycle/instruction
+/// totals for the whole sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfiledRun {
+    /// Run label (same convention as [`PerfRun::label`]).
+    pub label: String,
+    /// Scan-kernel variant the sweep ran with (see [`PerfOptions::kernel_name`]).
+    pub kernel: String,
+    /// Calibrated tick rate, for converting phase ticks to seconds.
+    pub ticks_per_sec: f64,
+    /// Per-case phase breakdowns.
+    pub cases: Vec<ProfiledCase>,
+    /// Phase totals summed across all cases.
+    pub total: Vec<(String, u64)>,
+    /// Hardware CPU cycles over the sweep (multiplex-scaled), if the PMU
+    /// was readable; `None` on locked-down hosts.
+    pub hw_cycles: Option<u64>,
+    /// Hardware retired instructions over the sweep, if readable.
+    pub hw_instructions: Option<u64>,
+}
+
+impl ProfiledRun {
+    /// Render the sweep as folded stacks (`frame;frame;frame ticks`), the
+    /// input format of flamegraph tooling: one line per case × phase under
+    /// a common `smtsim` root.
+    pub fn folded(&self) -> String {
+        let mut s = String::new();
+        for case in &self.cases {
+            for (phase, ticks) in &case.phase_ticks {
+                if *ticks > 0 {
+                    let _ = writeln!(s, "smtsim;{}/smt{};{phase} {ticks}", case.bench, case.smt);
+                }
+            }
+        }
+        s
+    }
+
+    /// Render a human-readable table: per-case phase shares plus the
+    /// sweep-wide totals and (when present) hardware counts.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "profiled run `{}` (kernel: {})", self.label, self.kernel);
+        for case in &self.cases {
+            let total: u64 = case.phase_ticks.iter().map(|(_, t)| *t).sum();
+            let total = total.max(1);
+            let _ = writeln!(
+                s,
+                "  {}/smt{}: {} cycles, {} core-steps",
+                case.bench, case.smt, case.cycles, case.steps
+            );
+            for (phase, ticks) in &case.phase_ticks {
+                let _ = writeln!(
+                    s,
+                    "    {phase:<12} {:>14} ticks  {:>5.1}%",
+                    ticks,
+                    *ticks as f64 / total as f64 * 100.0
+                );
+            }
+        }
+        let grand: u64 = self.total.iter().map(|(_, t)| *t).sum();
+        let grand = grand.max(1);
+        let _ = writeln!(s, "  sweep total ({:.2e} ticks/sec):", self.ticks_per_sec);
+        for (phase, ticks) in &self.total {
+            let _ = writeln!(
+                s,
+                "    {phase:<12} {:>14} ticks  {:>5.1}%  (~{:.3}s)",
+                ticks,
+                *ticks as f64 / grand as f64 * 100.0,
+                *ticks as f64 / self.ticks_per_sec
+            );
+        }
+        match (self.hw_cycles, self.hw_instructions) {
+            (Some(c), Some(i)) => {
+                let _ = writeln!(
+                    s,
+                    "  hardware: {c} cpu-cycles, {i} instructions ({:.2} IPC)",
+                    i as f64 / c.max(1) as f64
+                );
+            }
+            (Some(c), None) => {
+                let _ = writeln!(s, "  hardware: {c} cpu-cycles");
+            }
+            (None, Some(i)) => {
+                let _ = writeln!(s, "  hardware: {i} instructions");
+            }
+            (None, None) => {
+                let _ = writeln!(s, "  hardware: PMU unavailable (perf_event_paranoid?)");
+            }
+        }
+        s
+    }
+}
+
+/// Run the matrix once per case under the phase profiler, producing a
+/// [`ProfiledRun`]. Uses a single timed pass per case (no best-of-N —
+/// phase *shares* are robust to host noise even when absolute rates are
+/// not) and wraps the whole sweep in self-attached hardware counters
+/// where the host permits.
+pub fn run_perf_profiled(opts: &PerfOptions) -> ProfiledRun {
+    let counters = smt_collect::SelfCounters::open();
+    let mut cases = Vec::new();
+    let mut total = smt_sim::PhaseProfile::default();
+    for case in matrix() {
+        let mut sim = Simulation::new(
+            (case.machine)(),
+            case.smt,
+            SyntheticWorkload::new((case.spec)()),
+        );
+        if let Some(engine) = opts.engine {
+            sim.set_issue_engine(engine);
+        }
+        if let Some(kernel) = opts.kernel {
+            sim.set_scan_kernel(kernel);
+        }
+        sim.run_cycles(WARMUP_CYCLES);
+        let mut prof = smt_sim::PhaseProfile::default();
+        let cycles = sim.run_cycles_profiled(opts.window, &mut prof);
+        total.merge(&prof);
+        cases.push(ProfiledCase {
+            bench: case.bench.to_string(),
+            smt: case.smt.ways(),
+            cycles,
+            steps: prof.steps,
+            phase_ticks: prof
+                .phases()
+                .iter()
+                .map(|(label, t)| (label.to_string(), *t))
+                .collect(),
+        });
+    }
+    ProfiledRun {
+        label: opts.label.clone(),
+        kernel: opts.kernel_name().to_string(),
+        ticks_per_sec: smt_sim::ticks_per_sec(),
+        cases,
+        total: total
+            .phases()
+            .iter()
+            .map(|(label, t)| (label.to_string(), *t))
+            .collect(),
+        hw_cycles: counters.cycles().map(|c| c.value),
+        hw_instructions: counters.instructions().map(|c| c.value),
     }
 }
 
@@ -339,7 +579,14 @@ pub fn check_regression(current: &PerfRun, baseline: &PerfRun, tolerance: f64) -
 /// Render a run as an aligned human-readable table.
 pub fn format_run(run: &PerfRun) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "perf run `{}`", run.label);
+    match &run.kernel {
+        Some(k) => {
+            let _ = writeln!(s, "perf run `{}` (kernel: {k})", run.label);
+        }
+        None => {
+            let _ = writeln!(s, "perf run `{}`", run.label);
+        }
+    }
     let _ = writeln!(
         s,
         "  {:<24} {:>4} {:>12} {:>12} {:>14}",
@@ -385,6 +632,7 @@ mod tests {
     fn run_with(rates: &[(&str, usize, f64)]) -> PerfRun {
         PerfRun {
             label: "test".to_string(),
+            kernel: None,
             entries: rates.iter().map(|&(b, s, r)| entry(b, s, r)).collect(),
             repro_all_wall_secs: None,
         }
@@ -420,6 +668,8 @@ mod tests {
             label: "unit".to_string(),
             window: 500,
             samples: 1,
+            engine: None,
+            kernel: None,
         };
         let run = run_perf(&opts);
         assert_eq!(run.entries.len(), matrix().len());
@@ -427,6 +677,47 @@ mod tests {
             assert!(e.cycles > 0, "{} simulated nothing", e.bench);
             assert!(e.cycles_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn schema1_run_without_kernel_tag_loads() {
+        // A trajectory file written before the `kernel` field existed.
+        let body = r#"{
+            "schema": 1,
+            "runs": [{
+                "label": "pr2-before",
+                "entries": [{
+                    "bench": "p7_ep", "smt": 1, "cycles": 1000,
+                    "wall_secs": 0.01, "cycles_per_sec": 100000.0
+                }],
+                "repro_all_wall_secs": null
+            }]
+        }"#;
+        let dir = std::env::temp_dir().join("smt_perf_test_schema1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        std::fs::write(&path, body).unwrap();
+        let report = PerfReport::load(&path).unwrap();
+        assert_eq!(report.runs[0].kernel, None);
+        assert_eq!(report.runs[0].entries[0].smt, 1);
+        // Re-saving writes the current schema and keeps the run readable.
+        report.save(&path).unwrap();
+        let again = PerfReport::load(&path).unwrap();
+        assert_eq!(again.runs, report.runs);
+    }
+
+    #[test]
+    fn kernel_tag_round_trips() {
+        let mut report = PerfReport::new();
+        let mut run = run_with(&[("p7_ep", 1, 1e6)]);
+        run.kernel = Some("scalar-u64".to_string());
+        report.push(run);
+        let dir = std::env::temp_dir().join("smt_perf_test_kernel_tag");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        report.save(&path).unwrap();
+        let loaded = PerfReport::load(&path).unwrap();
+        assert_eq!(loaded.runs[0].kernel.as_deref(), Some("scalar-u64"));
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! Differential proof for the fast-forward stepper: over catalog
-//! workloads × SMT levels × machines, [`Stepping::FastForward`] must
-//! produce **bit-identical** per-thread and core counter snapshots,
-//! completion cycles, and work totals to the naive one-cycle-at-a-time
-//! reference — the acceptance bar that lets every figure in the repo run
-//! on the optimized stepper without re-validating the science.
+//! Differential proof for the simulator's optimized hot paths: over
+//! catalog workloads × SMT levels × machines, every combination of
+//! [`Stepping::FastForward`], the SoA bitset issue engine, and the SIMD
+//! scan kernel must produce **bit-identical** per-thread and core counter
+//! snapshots, completion cycles, and work totals to the naive,
+//! legacy-engine one-cycle-at-a-time reference — the acceptance bar that
+//! lets every figure in the repo run on the optimized paths without
+//! re-validating the science.
 
 use proptest::prelude::*;
 use smt_sim::{
-    CoreCounters, MachineConfig, RunResult, Simulation, SmtLevel, Stepping, ThreadCounters,
+    simd_available, CoreCounters, IssueEngine, MachineConfig, RunResult, ScanKernel, Simulation,
+    SmtLevel, Stepping, ThreadCounters,
 };
 use smt_workloads::{catalog, SyntheticWorkload, WorkloadSpec};
 
@@ -31,8 +34,25 @@ fn run_with(
     spec: &WorkloadSpec,
     stepping: Stepping,
 ) -> Snapshot {
+    run_engine(cfg, smt, spec, stepping, None, None)
+}
+
+fn run_engine(
+    cfg: &MachineConfig,
+    smt: SmtLevel,
+    spec: &WorkloadSpec,
+    stepping: Stepping,
+    engine: Option<IssueEngine>,
+    kernel: Option<ScanKernel>,
+) -> Snapshot {
     let mut sim = Simulation::new(cfg.clone(), smt, SyntheticWorkload::new(spec.clone()));
     sim.set_stepping(stepping);
+    if let Some(engine) = engine {
+        sim.set_issue_engine(engine);
+    }
+    if let Some(kernel) = kernel {
+        sim.set_scan_kernel(kernel);
+    }
     let result = sim.run_until_finished(MAX_CYCLES);
     Snapshot {
         result,
@@ -96,6 +116,67 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+    /// The tentpole differential: SoA bitset engine × stepping × machine
+    /// × workload, all judged against the legacy-engine naive-stepper
+    /// reference. Covers both the scalar-u64 kernel (forced) and, where
+    /// the host supports it, the auto-dispatched AVX2 kernel.
+    #[test]
+    fn soa_engine_matches_legacy_reference_bit_for_bit(
+        machine_idx in 0usize..5,
+        spec_idx in 0usize..6,
+        fast_forward in any::<bool>(),
+        force_scalar in any::<bool>(),
+    ) {
+        let (cfg, smt) = machines().swap_remove(machine_idx);
+        let spec = specs().swap_remove(spec_idx);
+        let stepping = if fast_forward { Stepping::FastForward } else { Stepping::Naive };
+        let kernel = if force_scalar { Some(ScanKernel::ScalarU64) } else { None };
+        let reference = run_engine(&cfg, smt, &spec, Stepping::Naive, Some(IssueEngine::Legacy), None);
+        let soa = run_engine(&cfg, smt, &spec, stepping, Some(IssueEngine::Soa), kernel);
+        prop_assert!(reference.result.completed, "reference run hit the cycle cap");
+        prop_assert_eq!(&reference.result, &soa.result);
+        prop_assert_eq!(reference.now, soa.now);
+        prop_assert_eq!(&reference.cores, &soa.cores);
+        prop_assert_eq!(&reference.per_thread, &soa.per_thread);
+    }
+}
+
+/// Scalar-u64 and AVX2 scan kernels must agree exactly; skipped (trivially
+/// green) on hosts without AVX2, where [`ScanKernel::Simd`] cannot run.
+#[test]
+fn simd_kernel_matches_scalar_kernel() {
+    if !simd_available() {
+        eprintln!("skipping: AVX2 unavailable on this host");
+        return;
+    }
+    for (cfg, smt) in machines() {
+        let spec = catalog::stream().scaled(0.004);
+        let scalar = run_engine(
+            &cfg,
+            smt,
+            &spec,
+            Stepping::FastForward,
+            Some(IssueEngine::Soa),
+            Some(ScanKernel::ScalarU64),
+        );
+        let simd = run_engine(
+            &cfg,
+            smt,
+            &spec,
+            Stepping::FastForward,
+            Some(IssueEngine::Soa),
+            Some(ScanKernel::Simd),
+        );
+        assert!(scalar.result.completed);
+        assert_eq!(scalar.result, simd.result);
+        assert_eq!(scalar.now, simd.now);
+        assert_eq!(scalar.cores, simd.cores);
+        assert_eq!(scalar.per_thread, simd.per_thread);
+    }
+}
+
 /// The equivalence must also hold mid-run, where experiments read
 /// counters through sampling windows rather than at completion.
 #[test]
@@ -117,6 +198,34 @@ fn windowed_counters_match_naive() {
         assert_eq!(a.cores, b.cores);
     }
     assert_eq!(naive.now(), fast.now());
+}
+
+/// Engine equivalence must also hold through sampling windows: the SoA
+/// engine's wakeup/parking bookkeeping may not shift counters even at
+/// arbitrary mid-run observation points.
+#[test]
+fn windowed_counters_match_across_engines() {
+    let cfg = small_power7();
+    let spec = catalog::specjbb_contention().scaled(0.2);
+    let mk = |engine: IssueEngine| {
+        let mut sim = Simulation::new(
+            cfg.clone(),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(spec.clone()),
+        );
+        sim.set_issue_engine(engine);
+        sim
+    };
+    let mut legacy = mk(IssueEngine::Legacy);
+    let mut soa = mk(IssueEngine::Soa);
+    for _ in 0..4 {
+        let a = legacy.measure_window(5_000);
+        let b = soa.measure_window(5_000);
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.per_thread, b.per_thread);
+        assert_eq!(a.cores, b.cores);
+    }
+    assert_eq!(legacy.now(), soa.now());
 }
 
 /// The fast path must actually engage on stall-heavy work — otherwise

@@ -390,7 +390,11 @@ impl ArchDescriptor {
     /// bitmask of the ports that can issue it (bit `p` set means
     /// `ports[p].accepts(class)`). Built once per core so the per-cycle
     /// issue and congestion scans test a bit instead of walking each
-    /// port's accept list.
+    /// port's accept list. The word-parallel SoA issue engine (DESIGN.md
+    /// §3.13) leans on this further: port selection is
+    /// `accepts & queue_ports & !used` followed by `trailing_zeros`,
+    /// which is only equivalent to the reference walk because each
+    /// queue's port list is stored in ascending index order.
     pub fn class_port_masks(&self) -> [u32; NUM_CLASSES] {
         debug_assert!(self.ports.len() <= 32, "port mask is a u32");
         let mut masks = [0u32; NUM_CLASSES];

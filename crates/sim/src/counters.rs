@@ -6,6 +6,13 @@
 //! A [`WindowMeasurement`] is a *delta* of both banks over a sampling
 //! window, plus the context (SMT level, wall cycles) needed to evaluate
 //! the metric — the analogue of one `perf`-style sampling interval.
+//!
+//! Counter updates are part of the simulator's bit-identity contract:
+//! both issue engines (the legacy entry walk and the word-parallel SoA
+//! bitset engine, DESIGN.md §3.13) must produce identical values in both
+//! banks at *every* observation point, not just at completion — enforced
+//! across engines, scan kernels, and stepping modes by the differential
+//! proptests in `crates/experiments/tests/differential.rs`.
 
 use crate::arch::SmtLevel;
 use crate::isa::{InstrClass, NUM_CLASSES};

@@ -41,6 +41,8 @@ pub mod counters;
 pub mod error;
 pub mod isa;
 pub mod machine;
+pub mod profile;
+pub mod soa;
 pub mod workload;
 
 pub use arch::{ArchDescriptor, Latencies, Partitioning, PortDesc, QueueDesc, SmtLevel};
@@ -50,4 +52,6 @@ pub use counters::{CoreCounters, ThreadCounters, WindowMeasurement};
 pub use error::Error;
 pub use isa::{Fetched, Instr, InstrBlock, InstrClass, DEP_WINDOW, NUM_CLASSES};
 pub use machine::{MachineConfig, RunResult, Simulation, Stepping};
+pub use profile::{ticks_per_sec, PhaseProfile};
+pub use soa::{simd_available, IssueEngine, ScanKernel};
 pub use workload::{ScriptedWorkload, Workload};

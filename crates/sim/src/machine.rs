@@ -14,8 +14,30 @@ use crate::cache::{CacheConfig, MemConfig, MemorySystem};
 use crate::core::{Core, StepMode};
 use crate::counters::{CoreCounters, ThreadCounters, WindowMeasurement};
 use crate::error::Error;
+use crate::profile::PhaseProfile;
+use crate::soa::{IssueEngine, ScanKernel};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Issue-engine selection from the `SMT_SIM_ENGINE` environment variable
+/// (`legacy`, `soa`, `soa-scalar`, `soa-simd`), read once per process.
+/// Unset means the defaults ([`IssueEngine::Soa`], [`ScanKernel::Auto`]).
+/// This is the escape hatch for comparing engines on a built binary
+/// without recompiling or new CLI flags on every tool.
+fn env_engine() -> (IssueEngine, ScanKernel) {
+    static ENV: OnceLock<(IssueEngine, ScanKernel)> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("SMT_SIM_ENGINE").as_deref() {
+        Ok("legacy") => (IssueEngine::Legacy, ScanKernel::Auto),
+        Ok("soa") => (IssueEngine::Soa, ScanKernel::Auto),
+        Ok("soa-scalar") => (IssueEngine::Soa, ScanKernel::ScalarU64),
+        Ok("soa-simd") => (IssueEngine::Soa, ScanKernel::Simd),
+        Ok(other) => {
+            panic!("unknown SMT_SIM_ENGINE `{other}` (expected legacy|soa|soa-scalar|soa-simd)")
+        }
+        Err(_) => (IssueEngine::default(), ScanKernel::default()),
+    })
+}
 
 /// Configuration of a complete machine.
 #[derive(Debug, Clone, Serialize)]
@@ -230,8 +252,18 @@ pub struct Simulation<W: Workload> {
     now: u64,
     sw: Vec<ThreadCounters>,
     stepping: Stepping,
+    /// Issue engine the cores were built with.
+    engine: IssueEngine,
+    /// Scan kernel the cores were built with (SoA engine only).
+    kernel: ScanKernel,
     /// Cycles advanced via fast-forward jumps (diagnostics/tests).
     idle_skipped: u64,
+    /// Idle cycles owed to each core but not yet charged to its counters.
+    /// Quiet cores accrue one debt cycle instead of a `charge_idle` call
+    /// per cycle; debts are settled in one batched charge before the core
+    /// next steps and at every public boundary (so externally observable
+    /// counters are always exact).
+    idle_debt: Vec<u64>,
     /// Per-core quiescence marks: core `i` provably cannot act before
     /// cycle `quiet_cache[i]`, so its step is replaced by a 1-cycle idle
     /// charge until then. Populated from [`Core::quiet_until`] whenever a
@@ -260,7 +292,8 @@ impl<W: Workload> Simulation<W> {
             cfg.l3,
             cfg.mem,
         );
-        let cores = Self::build_cores(&cfg, smt);
+        let (engine, kernel) = env_engine();
+        let cores = Self::build_cores(&cfg, smt, engine, kernel);
         let ncores = cores.len();
         let sw = vec![ThreadCounters::new(cfg.arch.num_ports()); n];
         Simulation {
@@ -272,7 +305,10 @@ impl<W: Workload> Simulation<W> {
             now: 0,
             sw,
             stepping: Stepping::FastForward,
+            engine,
+            kernel,
             idle_skipped: 0,
+            idle_debt: vec![0; ncores],
             quiet_cache: vec![0; ncores],
         }
     }
@@ -280,14 +316,51 @@ impl<W: Workload> Simulation<W> {
     /// Hardware context `k` of core `c` is bound to software thread
     /// `k * ncores + c`, so threads spread across cores first (as an OS
     /// scheduler would place them).
-    fn build_cores(cfg: &MachineConfig, smt: SmtLevel) -> Vec<Core> {
+    fn build_cores(
+        cfg: &MachineConfig,
+        smt: SmtLevel,
+        engine: IssueEngine,
+        kernel: ScanKernel,
+    ) -> Vec<Core> {
         let ncores = cfg.total_cores();
         (0..ncores)
             .map(|c| {
                 let sw_ids: Vec<usize> = (0..smt.ways()).map(|k| k * ncores + c).collect();
-                Core::new(&cfg.arch, c, &sw_ids)
+                Core::with_engine(&cfg.arch, c, &sw_ids, engine, kernel)
             })
             .collect()
+    }
+
+    /// The issue engine the cores run.
+    pub fn issue_engine(&self) -> IssueEngine {
+        self.engine
+    }
+
+    /// The scan kernel the cores were built with.
+    pub fn scan_kernel(&self) -> ScanKernel {
+        self.kernel
+    }
+
+    /// Rebuild the cores with a different issue engine. Only legal before
+    /// the first cycle (engines are bit-identical, but swapping mid-run
+    /// would discard in-flight state).
+    pub fn set_issue_engine(&mut self, engine: IssueEngine) {
+        assert_eq!(self.now, 0, "engine can only change before cycle 0");
+        self.engine = engine;
+        self.cores = Self::build_cores(&self.cfg, self.smt, self.engine, self.kernel);
+        self.quiet_cache.fill(0);
+        self.idle_debt.fill(0);
+    }
+
+    /// Rebuild the cores with a different scan kernel. Only legal before
+    /// the first cycle. Panics if [`ScanKernel::Simd`] is forced on a host
+    /// without AVX2 — gate on [`crate::soa::simd_available`].
+    pub fn set_scan_kernel(&mut self, kernel: ScanKernel) {
+        assert_eq!(self.now, 0, "kernel can only change before cycle 0");
+        self.kernel = kernel;
+        self.cores = Self::build_cores(&self.cfg, self.smt, self.engine, self.kernel);
+        self.quiet_cache.fill(0);
+        self.idle_debt.fill(0);
     }
 
     /// Current cycle.
@@ -347,6 +420,18 @@ impl<W: Workload> Simulation<W> {
     /// Advance a single cycle.
     pub fn step(&mut self) {
         self.step_once();
+        self.settle_idle_debt();
+    }
+
+    /// Charge every core's outstanding idle debt in one batched call per
+    /// core. After this, counters reflect all `self.now` cycles exactly.
+    fn settle_idle_debt(&mut self) {
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if self.idle_debt[i] > 0 {
+                core.charge_idle(self.idle_debt[i], &mut self.sw);
+                self.idle_debt[i] = 0;
+            }
+        }
     }
 
     /// Advance one cycle and report the machine-wide activity count (zero
@@ -355,13 +440,20 @@ impl<W: Workload> Simulation<W> {
         let fast = self.stepping == Stepping::FastForward;
         let mut activity = 0;
         for (i, core) in self.cores.iter_mut().enumerate() {
-            // A core inside its quiescence window pays one idle charge
-            // (~ns) instead of a full pipeline step (~µs) even while
-            // other cores stay busy — the per-core analogue of
-            // `fast_forward_to`, which needs *every* core quiet.
+            // A core inside its quiescence window accrues one idle-debt
+            // cycle (~no work at all) instead of a full pipeline step
+            // (~µs) even while other cores stay busy — the per-core
+            // analogue of `fast_forward_to`, which needs *every* core
+            // quiet. An idle cycle's charge only depends on thread states,
+            // which provably cannot change inside the window, so the
+            // deferred batch charge is identical to per-cycle charges.
             if fast && self.quiet_cache[i] > self.now {
-                core.charge_idle(1, &mut self.sw);
+                self.idle_debt[i] += 1;
                 continue;
+            }
+            if self.idle_debt[i] > 0 {
+                core.charge_idle(self.idle_debt[i], &mut self.sw);
+                self.idle_debt[i] = 0;
             }
             let act = core.step(
                 &self.cfg.arch,
@@ -401,8 +493,9 @@ impl<W: Workload> Simulation<W> {
             return;
         }
         let k = target - now;
-        for core in &mut self.cores {
-            core.charge_idle(k, &mut self.sw);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.charge_idle(k + self.idle_debt[i], &mut self.sw);
+            self.idle_debt[i] = 0;
         }
         self.idle_skipped += k;
         self.now = target;
@@ -428,7 +521,64 @@ impl<W: Workload> Simulation<W> {
                 self.fast_forward_to(end);
             }
         }
+        self.settle_idle_debt();
         self.now - start
+    }
+
+    /// Like [`run_cycles`](Self::run_cycles), but timestamps every pipeline
+    /// phase of every core-step and accumulates the tick deltas into
+    /// `prof`. Used by `repro perf --flamegraph`; not meant for throughput
+    /// measurement (see the [`crate::profile`] overhead note).
+    pub fn run_cycles_profiled(&mut self, n: u64, prof: &mut PhaseProfile) -> u64 {
+        let start = self.now;
+        let end = start.saturating_add(n);
+        if self.finished() {
+            return 0;
+        }
+        while self.now < end {
+            let activity = self.step_once_profiled(prof);
+            if activity > 0 {
+                if self.finished() {
+                    break;
+                }
+            } else if self.stepping == Stepping::FastForward && self.now < end {
+                self.fast_forward_to(end);
+            }
+        }
+        self.settle_idle_debt();
+        prof.cycles += self.now - start;
+        self.now - start
+    }
+
+    /// Profiled twin of [`step_once`](Self::step_once).
+    fn step_once_profiled(&mut self, prof: &mut PhaseProfile) -> u32 {
+        let fast = self.stepping == Stepping::FastForward;
+        let mut activity = 0;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if fast && self.quiet_cache[i] > self.now {
+                self.idle_debt[i] += 1;
+                continue;
+            }
+            if self.idle_debt[i] > 0 {
+                core.charge_idle(self.idle_debt[i], &mut self.sw);
+                self.idle_debt[i] = 0;
+            }
+            let act = core.step_profiled(
+                &self.cfg.arch,
+                self.now,
+                StepMode::Normal,
+                &mut self.workload,
+                &mut self.mem,
+                &mut self.sw,
+                prof,
+            );
+            if fast && act == 0 {
+                self.quiet_cache[i] = core.quiet_until(&self.cfg.arch, self.now + 1).unwrap_or(0);
+            }
+            activity += act;
+        }
+        self.now += 1;
+        activity
     }
 
     /// Run until the workload completes or `max_cycles` elapse.
@@ -447,6 +597,7 @@ impl<W: Workload> Simulation<W> {
                 }
             }
         }
+        self.settle_idle_debt();
         RunResult {
             cycles: self.now - start,
             work_done: self.workload.work_done(),
@@ -497,6 +648,7 @@ impl<W: Workload> Simulation<W> {
             smt <= self.cfg.arch.max_smt,
             "machine does not support {smt}"
         );
+        self.settle_idle_debt();
         let start = self.now;
         // Drain: no fetch, let everything in flight complete.
         let drain_limit = 1_000_000;
@@ -521,8 +673,9 @@ impl<W: Workload> Simulation<W> {
         self.smt = smt;
         let n = self.cfg.sw_threads_at(smt);
         self.workload.set_thread_count(n);
-        self.cores = Self::build_cores(&self.cfg, smt);
+        self.cores = Self::build_cores(&self.cfg, smt, self.engine, self.kernel);
         self.quiet_cache = vec![0; self.cores.len()];
+        self.idle_debt = vec![0; self.cores.len()];
         self.sw = vec![ThreadCounters::new(self.cfg.arch.num_ports()); n];
         drained_in
     }

@@ -1118,6 +1118,11 @@ fn main() {
                  --codec ndjson|binary|both  --op stream|place|both  --tiers MAX  --label L  \
                  --check FILE  --tolerance F  --out FILE  --shutdown"
             );
+            println!(
+                "env     : SMT_SIM_ENGINE=legacy|soa|soa-scalar|soa-simd  \
+                 (issue-engine override for every simulation; default soa with \
+                 runtime AVX2 detection)"
+            );
         }
         other => {
             eprintln!("unknown command {other:?}; try --help");
