@@ -1,0 +1,245 @@
+//! The seam between decision and effect.
+//!
+//! [`crate::AutotuneLoop`] decides; an [`Actuator`] makes the decision
+//! *real*. Keeping the seam this narrow — one `apply` call carrying a
+//! [`Command`] — is what lets the identical decision core drive three very
+//! different effectors: the in-tree simulator ([`SimActuator`], ground
+//! truth for regret studies), a structured log ([`DryRunActuator`], safe
+//! everywhere and the replay target for golden-file CI), and real Linux
+//! CPU affinity ([`crate::AffinityActuator`]).
+
+use serde::{Deserialize, Serialize};
+use smt_sim::{Error, Simulation, SmtLevel, Workload};
+
+/// Why the loop issued a command (or logged an event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionReason {
+    /// The selector's recommendation survived hysteresis.
+    Metric,
+    /// Scheduled re-probe of the top level from a parked level.
+    Probe,
+    /// A change-point detector confirmed a phase boundary.
+    PhaseChange,
+    /// A remembered phase supplied its learned level without re-probing.
+    Recall,
+    /// The current phase's settled level was stored into the phase memory.
+    Learn,
+}
+
+impl std::fmt::Display for DecisionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DecisionReason::Metric => "metric",
+            DecisionReason::Probe => "probe",
+            DecisionReason::PhaseChange => "phase-change",
+            DecisionReason::Recall => "recall",
+            DecisionReason::Learn => "learn",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One commanded SMT-level change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// Global window index (1-based) of the observation that decided this.
+    pub window: u64,
+    /// Level the machine was running at.
+    pub from: SmtLevel,
+    /// Level the machine should run at next.
+    pub to: SmtLevel,
+    /// Why.
+    pub reason: DecisionReason,
+}
+
+/// What an actuator did with a command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actuation {
+    /// The command took effect on the target (false for dry runs).
+    pub applied: bool,
+    /// Cycles the target spent unavailable while switching (simulator
+    /// pipeline drain; 0 where the cost is not observable).
+    pub cost_cycles: u64,
+    /// Human-readable description of what happened.
+    pub detail: String,
+}
+
+/// Applies SMT-level decisions to a target.
+///
+/// Contract: `apply` is called only for commands with `from != to`, in
+/// decision order, and must either take effect (or deliberately log-only,
+/// reporting `applied: false`) or return a structured error — it must not
+/// partially apply. Implementations must be deterministic given the same
+/// command sequence wherever the target itself is (the simulator, a log).
+pub trait Actuator {
+    /// Short identifier (`"sim"`, `"dry-run"`, `"affinity"`).
+    fn name(&self) -> &'static str;
+
+    /// Apply one commanded level change.
+    fn apply(&mut self, cmd: &Command) -> Result<Actuation, Error>;
+}
+
+/// Records every command without touching anything — safe on any host,
+/// and the actuator the `.smtc` replay path uses for golden-file diffs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DryRunActuator {
+    log: Vec<Command>,
+}
+
+impl DryRunActuator {
+    /// An empty log.
+    pub fn new() -> DryRunActuator {
+        DryRunActuator::default()
+    }
+
+    /// Commands received so far, in order.
+    pub fn log(&self) -> &[Command] {
+        &self.log
+    }
+
+    /// Consume the actuator, returning its log.
+    pub fn into_log(self) -> Vec<Command> {
+        self.log
+    }
+}
+
+impl Actuator for DryRunActuator {
+    fn name(&self) -> &'static str {
+        "dry-run"
+    }
+
+    fn apply(&mut self, cmd: &Command) -> Result<Actuation, Error> {
+        self.log.push(*cmd);
+        Ok(Actuation {
+            applied: false,
+            cost_cycles: 0,
+            detail: format!("logged {} -> {} ({})", cmd.from, cmd.to, cmd.reason),
+        })
+    }
+}
+
+/// Actuates on an owned [`Simulation`] by reconfiguring its SMT level —
+/// the machine really changes, pipelines really drain, so closed-loop runs
+/// through this actuator are ground truth for throughput and regret.
+pub struct SimActuator<W: Workload> {
+    sim: Simulation<W>,
+    drain_cycles: u64,
+    applied: u64,
+}
+
+impl<W: Workload> SimActuator<W> {
+    /// Wrap a simulation (typically started at the machine's top level).
+    pub fn new(sim: Simulation<W>) -> SimActuator<W> {
+        SimActuator {
+            sim,
+            drain_cycles: 0,
+            applied: 0,
+        }
+    }
+
+    /// Read-only view of the simulated machine.
+    pub fn sim(&self) -> &Simulation<W> {
+        &self.sim
+    }
+
+    /// The simulated machine.
+    pub fn sim_mut(&mut self) -> &mut Simulation<W> {
+        &mut self.sim
+    }
+
+    /// Total cycles spent draining pipelines across all reconfigurations.
+    pub fn drain_cycles(&self) -> u64 {
+        self.drain_cycles
+    }
+
+    /// Commands applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+}
+
+impl<W: Workload> Actuator for SimActuator<W> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn apply(&mut self, cmd: &Command) -> Result<Actuation, Error> {
+        if !self.sim.config().smt_levels().contains(&cmd.to) {
+            return Err(Error::MissingLevel {
+                benchmark: self.sim.workload().name().to_string(),
+                level: cmd.to,
+            });
+        }
+        let drained = self.sim.reconfigure(cmd.to);
+        self.drain_cycles += drained;
+        self.applied += 1;
+        Ok(Actuation {
+            applied: true,
+            cost_cycles: drained,
+            detail: format!(
+                "reconfigured {} -> {} ({}), drained {drained} cycles",
+                cmd.from, cmd.to, cmd.reason
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::MachineConfig;
+    use smt_workloads::{catalog, SyntheticWorkload};
+
+    fn cmd(to: SmtLevel) -> Command {
+        Command {
+            window: 1,
+            from: SmtLevel::Smt4,
+            to,
+            reason: DecisionReason::Metric,
+        }
+    }
+
+    #[test]
+    fn dry_run_logs_in_order_and_touches_nothing() -> Result<(), Error> {
+        let mut a = DryRunActuator::new();
+        let r = a.apply(&cmd(SmtLevel::Smt1))?;
+        assert!(!r.applied);
+        assert_eq!(r.cost_cycles, 0);
+        a.apply(&cmd(SmtLevel::Smt2))?;
+        let log = a.into_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].to, SmtLevel::Smt1);
+        assert_eq!(log[1].to, SmtLevel::Smt2);
+        Ok(())
+    }
+
+    #[test]
+    fn sim_actuator_reconfigures_the_machine() -> Result<(), Error> {
+        let sim = Simulation::new(
+            MachineConfig::power7(1),
+            SmtLevel::Smt4,
+            SyntheticWorkload::new(catalog::ep().scaled(0.05)),
+        );
+        let mut a = SimActuator::new(sim);
+        a.sim_mut().run_cycles(10_000);
+        let r = a.apply(&cmd(SmtLevel::Smt1))?;
+        assert!(r.applied);
+        assert_eq!(a.sim().smt(), SmtLevel::Smt1);
+        assert_eq!(a.applied(), 1);
+        Ok(())
+    }
+
+    #[test]
+    fn sim_actuator_rejects_unsupported_levels() {
+        let sim = Simulation::new(
+            MachineConfig::nehalem(),
+            SmtLevel::Smt2,
+            SyntheticWorkload::new(catalog::ep().scaled(0.05)),
+        );
+        let mut a = SimActuator::new(sim);
+        assert!(matches!(
+            a.apply(&cmd(SmtLevel::Smt4)),
+            Err(Error::MissingLevel { .. })
+        ));
+    }
+}

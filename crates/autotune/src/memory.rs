@@ -1,0 +1,198 @@
+//! Per-phase learned state.
+//!
+//! The controller pays for every decision it has to *re-derive*: probing a
+//! remembered phase back through the full hysteresis window costs windows
+//! at the wrong level. [`PhaseMemory`] closes that loop — each phase is
+//! keyed by a coarse quantization of its Eq.-1 factor signature
+//! ([`PhaseKey`]), and a revisited key replays its learned level
+//! immediately. Keys are deliberately coarse: a boundary-straddling
+//! signature just misses the memory and falls back to a normal probe,
+//! which is safe; a fine-grained key that never matches twice would make
+//! the memory useless.
+
+use serde::{Deserialize, Serialize};
+use smt_sim::SmtLevel;
+use smtsm::SmtsmFactors;
+
+/// A coarse, stable identifier for a workload phase: three 3-bit buckets
+/// packed as `mix | held | scal` (9 bits), quantized from the phase's
+/// factor signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseKey(pub u32);
+
+impl PhaseKey {
+    /// Bucket width for the mix-deviation factor (range ~[0, 1.2]).
+    const MIX_BUCKET: f64 = 0.15;
+    /// Bucket width for the dispatch-held fraction (range [0, 1]).
+    const HELD_BUCKET: f64 = 0.125;
+    /// Bucket width for scalability above its floor of 1.0.
+    const SCAL_BUCKET: f64 = 0.35;
+
+    /// Quantize a factor signature (typically the fast-EWMA estimates of a
+    /// [`smtsm::VectorPhaseDetector`]) into a key.
+    pub fn from_factors(f: &SmtsmFactors) -> PhaseKey {
+        let bucket = |v: f64, width: f64| -> u32 {
+            if !v.is_finite() || v <= 0.0 {
+                0
+            } else {
+                ((v / width) as u32).min(7)
+            }
+        };
+        let mix = bucket(f.mix_deviation, Self::MIX_BUCKET);
+        let held = bucket(f.disp_held, Self::HELD_BUCKET);
+        let scal = bucket((f.scalability - 1.0).max(0.0), Self::SCAL_BUCKET);
+        PhaseKey((mix << 6) | (held << 3) | scal)
+    }
+}
+
+impl std::fmt::Display for PhaseKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase[{}.{}.{}]",
+            (self.0 >> 6) & 7,
+            (self.0 >> 3) & 7,
+            self.0 & 7
+        )
+    }
+}
+
+/// One remembered phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseEntry {
+    /// The phase's quantized signature.
+    pub key: PhaseKey,
+    /// The level the controller last settled on for this phase.
+    pub level: SmtLevel,
+    /// Times this entry answered a recall.
+    pub hits: u64,
+    /// Times the learned level was (re)written.
+    pub updates: u64,
+}
+
+/// Insertion-ordered map from [`PhaseKey`] to learned level.
+///
+/// A `Vec` rather than a hash map: the population is tiny (phases a real
+/// workload revisits), iteration order — and therefore serialized reports —
+/// stays deterministic, and eviction is plain FIFO on overflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseMemory {
+    entries: Vec<PhaseEntry>,
+    capacity: usize,
+}
+
+impl PhaseMemory {
+    /// An empty memory holding at most `capacity` phases.
+    pub fn new(capacity: usize) -> PhaseMemory {
+        assert!(capacity >= 1, "capacity must be >= 1");
+        PhaseMemory {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// The learned level for `key`, bumping the entry's hit count.
+    pub fn recall(&mut self, key: PhaseKey) -> Option<SmtLevel> {
+        let e = self.entries.iter_mut().find(|e| e.key == key)?;
+        e.hits += 1;
+        Some(e.level)
+    }
+
+    /// Record (or overwrite) the learned level for `key`. Returns `true`
+    /// when this changed what the memory would answer.
+    pub fn learn(&mut self, key: PhaseKey, level: SmtLevel) -> bool {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.updates += 1;
+            if e.level == level {
+                return false;
+            }
+            e.level = level;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(PhaseEntry {
+            key,
+            level,
+            hits: 0,
+            updates: 1,
+        });
+        true
+    }
+
+    /// The learned level for `key` without bumping hit counts.
+    pub fn peek(&self, key: PhaseKey) -> Option<SmtLevel> {
+        self.entries.iter().find(|e| e.key == key).map(|e| e.level)
+    }
+
+    /// Phases currently remembered, oldest first.
+    pub fn entries(&self) -> &[PhaseEntry] {
+        &self.entries
+    }
+
+    /// Number of remembered phases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factors(mix: f64, held: f64, scal: f64) -> SmtsmFactors {
+        SmtsmFactors {
+            mix_deviation: mix,
+            disp_held: held,
+            scalability: scal,
+        }
+    }
+
+    #[test]
+    fn nearby_signatures_share_a_key_distant_ones_do_not() {
+        let a = PhaseKey::from_factors(&factors(0.31, 0.20, 1.40));
+        let b = PhaseKey::from_factors(&factors(0.33, 0.22, 1.45));
+        let c = PhaseKey::from_factors(&factors(0.90, 0.80, 3.0));
+        assert_eq!(a, b, "small jitter must not change the key");
+        assert_ne!(a, c, "different phases must key differently");
+    }
+
+    #[test]
+    fn degenerate_factors_key_safely() {
+        let k = PhaseKey::from_factors(&factors(f64::NAN, -1.0, 0.0));
+        assert_eq!(k, PhaseKey(0));
+        // Huge values saturate at the top bucket instead of overflowing.
+        let k = PhaseKey::from_factors(&factors(1e9, 1e9, 1e9));
+        assert_eq!(k, PhaseKey((7 << 6) | (7 << 3) | 7));
+    }
+
+    #[test]
+    fn learn_then_recall_round_trips_and_counts() {
+        let mut m = PhaseMemory::new(8);
+        let k = PhaseKey(42);
+        assert_eq!(m.recall(k), None);
+        assert!(m.learn(k, SmtLevel::Smt1));
+        assert_eq!(m.recall(k), Some(SmtLevel::Smt1));
+        assert!(!m.learn(k, SmtLevel::Smt1), "same level is not a change");
+        assert!(m.learn(k, SmtLevel::Smt2), "new level is a change");
+        assert_eq!(m.entries()[0].hits, 1);
+        assert_eq!(m.entries()[0].updates, 3);
+    }
+
+    #[test]
+    fn overflow_evicts_the_oldest_phase() {
+        let mut m = PhaseMemory::new(2);
+        m.learn(PhaseKey(1), SmtLevel::Smt1);
+        m.learn(PhaseKey(2), SmtLevel::Smt2);
+        m.learn(PhaseKey(3), SmtLevel::Smt4);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.peek(PhaseKey(1)), None, "oldest must be evicted");
+        assert_eq!(m.peek(PhaseKey(3)), Some(SmtLevel::Smt4));
+    }
+}

@@ -14,6 +14,7 @@
 //!   ablation                    Eq.-1 factor study (single-chip data)
 //!   validate                    seed-robustness replicas (not in `all`)
 //!   sched                       Section-V dynamic-selection demo
+//!   autotune                    closed-loop stability-vs-regret study (not in `all`)
 //!   perf                        simulator throughput harness (not in `all`)
 //!   all                         everything above
 //! ```
@@ -134,7 +135,7 @@ fn parse_args() -> Args {
                     "usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR] \
                      [--no-cache] [--cache-dir DIR] [--serial] [--verbose]\n\
                      artifacts: table1 fig1 fig2 fig6-17 success ablation placement sched \
-                     validate perf"
+                     autotune validate perf"
                 );
                 std::process::exit(0);
             }
@@ -478,6 +479,29 @@ fn run(args: &Args) -> Result<(), Error> {
         let demo = sched_demo::run(data.scale.min(0.2), t_top, t_mid, 2_000_000_000)?;
         println!("{}", demo.render());
         dump_json(&args.json_dir, "sched", &demo)?;
+        emitted = true;
+    }
+    if args.artifact == "autotune" {
+        // Not part of "all" (runs every scenario at every static level
+        // plus the per-phase oracle sweep on top of the closed loop).
+        let (t_top, t_mid) = {
+            let p7 = data.get(Machine::Power7OneChip)?;
+            let f6 = figures::fig6(p7)?;
+            let f8 = figures::fig8(p7)?;
+            (f6.threshold, f8.threshold)
+        };
+        eprintln!("[repro] autotune: trained thresholds top={t_top:.4} mid={t_mid:.4}");
+        // The study needs phases spanning ~100 sampling windows each;
+        // below scale 0.5 they get too short to re-detect and recall.
+        let study =
+            smt_experiments::autotune::run(data.scale.max(0.5), t_top, t_mid, 4_000_000_000)?;
+        println!("{}", study.render());
+        dump_json(&args.json_dir, "autotune", &study)?;
+        let dir = std::path::Path::new("results/autotune");
+        std::fs::create_dir_all(dir)?;
+        let body = serde_json::to_string_pretty(&study).map_err(|e| Error::Serde(e.to_string()))?;
+        std::fs::write(dir.join("study.json"), body)?;
+        eprintln!("[repro] wrote results/autotune/study.json");
         emitted = true;
     }
 

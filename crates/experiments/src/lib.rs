@@ -14,6 +14,9 @@
 //! - [`figures`] — one function per paper artifact (Figs. 1, 2, 6-17,
 //!   Table I, success rates).
 //! - [`sched_demo`] — the Section-V dynamic-selection experiment.
+//! - [`autotune`] — the stability-vs-regret study of the closed-loop
+//!   autotuner (`smt-autotune`) against static levels and the per-phase
+//!   oracle.
 //! - [`ablation`] — the Eq.-1 factor study (full product vs. each factor
 //!   removed).
 //! - [`placement`] — the placement-allocator accuracy study: each search
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod autotune;
 pub mod cache;
 pub mod corpus;
 pub mod engine;
@@ -43,6 +47,7 @@ pub mod sched_demo;
 pub mod suite;
 pub mod validation;
 
+pub use autotune::{AutotuneScenario, AutotuneStudy};
 pub use cache::ResultCache;
 pub use corpus::{replay_dir, replay_trace, CorpusReport, ReplayPolicy, TraceReplay};
 pub use engine::{Engine, EngineMetrics, JobError, RunPlan, RunRequest, SweepResult};

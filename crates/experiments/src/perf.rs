@@ -269,10 +269,17 @@ struct PerfCase {
     machine: fn() -> MachineConfig,
     smt: SmtLevel,
     spec: fn() -> WorkloadSpec,
+    /// Per-case issue-engine pin. Takes precedence over the sweep-wide
+    /// [`PerfOptions::engine`] so one matrix can measure the same workload
+    /// under both engines side by side (the trajectory's escape-hatch
+    /// check: the legacy engine must stay alive and comparable).
+    engine: Option<IssueEngine>,
 }
 
 /// The measurement matrix, mirroring `benches/simulator.rs`: EP across SMT
-/// levels, a compute/memory/contended trio at SMT4, and a two-chip machine.
+/// levels, a compute/memory/contended trio at SMT4, a two-chip machine,
+/// and the contended case pinned to the legacy engine as a standing
+/// cross-check of the SoA rewrite.
 fn matrix() -> Vec<PerfCase> {
     fn p7() -> MachineConfig {
         MachineConfig::power7(1)
@@ -286,42 +293,56 @@ fn matrix() -> Vec<PerfCase> {
             machine: p7,
             smt: SmtLevel::Smt1,
             spec: catalog::ep,
+            engine: None,
         },
         PerfCase {
             bench: "p7_ep",
             machine: p7,
             smt: SmtLevel::Smt2,
             spec: catalog::ep,
+            engine: None,
         },
         PerfCase {
             bench: "p7_ep",
             machine: p7,
             smt: SmtLevel::Smt4,
             spec: catalog::ep,
+            engine: None,
         },
         PerfCase {
             bench: "p7_blackscholes",
             machine: p7,
             smt: SmtLevel::Smt4,
             spec: catalog::blackscholes,
+            engine: None,
         },
         PerfCase {
             bench: "p7_stream",
             machine: p7,
             smt: SmtLevel::Smt4,
             spec: catalog::stream,
+            engine: None,
         },
         PerfCase {
             bench: "p7_specjbb_contention",
             machine: p7,
             smt: SmtLevel::Smt4,
             spec: catalog::specjbb_contention,
+            engine: None,
+        },
+        PerfCase {
+            bench: "p7_specjbb_contention_legacy",
+            machine: p7,
+            smt: SmtLevel::Smt4,
+            spec: catalog::specjbb_contention,
+            engine: Some(IssueEngine::Legacy),
         },
         PerfCase {
             bench: "p7x2_mg",
             machine: p7x2,
             smt: SmtLevel::Smt4,
             spec: catalog::mg,
+            engine: None,
         },
     ]
 }
@@ -343,7 +364,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfRun {
                 case.smt,
                 SyntheticWorkload::new((case.spec)()),
             );
-            if let Some(engine) = opts.engine {
+            if let Some(engine) = case.engine.or(opts.engine) {
                 sim.set_issue_engine(engine);
             }
             if let Some(kernel) = opts.kernel {
@@ -498,7 +519,7 @@ pub fn run_perf_profiled(opts: &PerfOptions) -> ProfiledRun {
             case.smt,
             SyntheticWorkload::new((case.spec)()),
         );
-        if let Some(engine) = opts.engine {
+        if let Some(engine) = case.engine.or(opts.engine) {
             sim.set_issue_engine(engine);
         }
         if let Some(kernel) = opts.kernel {
@@ -718,6 +739,24 @@ mod tests {
         report.save(&path).unwrap();
         let loaded = PerfReport::load(&path).unwrap();
         assert_eq!(loaded.runs[0].kernel.as_deref(), Some("scalar-u64"));
+    }
+
+    #[test]
+    fn matrix_pins_the_legacy_cross_check_case() {
+        let cases = matrix();
+        let legacy = cases
+            .iter()
+            .find(|c| c.bench == "p7_specjbb_contention_legacy")
+            .expect("legacy cross-check case present");
+        assert_eq!(legacy.engine, Some(IssueEngine::Legacy));
+        // Its twin runs the default engine so the trajectory records the
+        // same workload both ways.
+        let twin = cases
+            .iter()
+            .find(|c| c.bench == "p7_specjbb_contention")
+            .expect("default-engine twin present");
+        assert_eq!(twin.engine, None);
+        assert_eq!(legacy.smt, twin.smt);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod threshold;
 pub use compute::{smtsm, smtsm_factors, SmtsmFactors};
 pub use ideal::{MetricSpec, MixBasis};
 pub use naive::NaiveMetric;
-pub use phase::PhaseDetector;
+pub use phase::{PhaseDetector, VectorPhaseDetector};
 pub use predictor::{LevelSelector, SmtPreference, ThresholdPredictor, TrainingMethod};
 pub use sampler::OnlineSampler;
 pub use signature::{CompatModel, ThreadSignature};

@@ -90,6 +90,103 @@ impl PhaseDetector {
     pub fn pending_streak(&self) -> u32 {
         self.streak
     }
+
+    /// Current fast-EWMA value — the detector's best estimate of the
+    /// signal's *new* level (None until the first sample).
+    pub fn fast(&self) -> Option<f64> {
+        self.fast
+    }
+
+    /// Accept the current fast estimate as the new baseline and abandon any
+    /// in-flight confirmation streak. Used by [`VectorPhaseDetector`]: when
+    /// one component confirms a phase boundary, every component re-anchors
+    /// on the new phase so a single boundary cannot fire once per dimension.
+    pub fn rebaseline(&mut self) {
+        if let Some(f) = self.fast {
+            self.slow = Some(f);
+        }
+        self.streak = 0;
+    }
+}
+
+/// Change-point detection over the full Eq.-1 factor vector.
+///
+/// The scalar [`PhaseDetector`] watches one signal; phase boundaries that
+/// leave the *product* (the metric) unchanged but move its factors in
+/// opposite directions are invisible to it. [`VectorPhaseDetector`] runs
+/// one dual-EWMA detector per component — mix deviation, dispatch-held
+/// fraction, scalability — and fires when *any* component confirms a
+/// persistent shift, then re-baselines every component on the new phase.
+/// The per-component fast estimates double as a low-dimensional phase
+/// signature (see `smt-autotune`'s phase memory).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorPhaseDetector {
+    dims: Vec<PhaseDetector>,
+}
+
+impl VectorPhaseDetector {
+    /// Build from per-component detectors (at least one).
+    pub fn new(dims: Vec<PhaseDetector>) -> VectorPhaseDetector {
+        assert!(!dims.is_empty(), "need at least one component");
+        VectorPhaseDetector { dims }
+    }
+
+    /// A detector tuned for the Eq.-1 factor vector
+    /// `[mix_deviation, disp_held, scalability]`: per-component noise
+    /// floors match each factor's scale (mix and held live in [0, ~1],
+    /// scalability in [1, threads]); `confirm` = 3 everywhere, same as the
+    /// scalar default, so one noisy window never fires.
+    pub fn for_factors() -> VectorPhaseDetector {
+        VectorPhaseDetector::new(vec![
+            PhaseDetector::new(0.35, 0.04, 3), // mix_deviation
+            PhaseDetector::new(0.40, 0.03, 3), // disp_held
+            PhaseDetector::new(0.25, 0.20, 3), // scalability
+        ])
+    }
+
+    /// Number of components.
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Feed one observation vector (length must equal [`dims`]); returns
+    /// `true` when any component confirms a persistent shift, after which
+    /// every component is re-baselined on the new phase.
+    ///
+    /// [`dims`]: VectorPhaseDetector::dims
+    pub fn push(&mut self, v: &[f64]) -> bool {
+        assert_eq!(v.len(), self.dims.len(), "dimension mismatch");
+        let mut fired = false;
+        for (d, &x) in self.dims.iter_mut().zip(v) {
+            fired |= d.push(x);
+        }
+        if fired {
+            for d in &mut self.dims {
+                d.rebaseline();
+            }
+        }
+        fired
+    }
+
+    /// Feed one window's Eq.-1 factors (the [`for_factors`] layout).
+    ///
+    /// [`for_factors`]: VectorPhaseDetector::for_factors
+    pub fn push_factors(&mut self, f: &crate::compute::SmtsmFactors) -> bool {
+        self.push(&[f.mix_deviation, f.disp_held, f.scalability])
+    }
+
+    /// Per-component fast-EWMA estimates — the current phase's signature.
+    /// None until the first sample.
+    pub fn fast(&self) -> Option<Vec<f64>> {
+        self.dims.iter().map(|d| d.fast()).collect()
+    }
+
+    /// Forget all state (e.g. after an SMT-level switch).
+    pub fn reset(&mut self) {
+        for d in &mut self.dims {
+            d.reset();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +286,143 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_rejected() {
         PhaseDetector::new(0.0, 0.1, 2);
+    }
+
+    #[test]
+    fn exactly_constant_signal_never_fires() {
+        // No jitter at all: fast == slow forever, streak never starts.
+        let mut d = detector();
+        for k in 0..500 {
+            assert!(!d.push(2.5), "fired on constant signal at {k}");
+            assert_eq!(d.pending_streak(), 0);
+        }
+    }
+
+    #[test]
+    fn spike_shorter_than_confirm_never_fires() {
+        // confirm = 3: a two-window spike starts a streak but must not
+        // complete it, and the decay back to baseline must not fire either.
+        let mut d = detector();
+        for _ in 0..20 {
+            d.push(1.0);
+        }
+        assert!(!d.push(10.0));
+        assert!(!d.push(10.0), "two spike windows are below confirm=3");
+        let mut fired = false;
+        for _ in 0..40 {
+            fired |= d.push(1.0);
+        }
+        assert!(!fired, "decay tail of a sub-confirm spike must not fire");
+    }
+
+    #[test]
+    fn alternating_phases_fire_exactly_once_per_sustained_shift() {
+        // Square wave with long half-periods: each sustained shift fires
+        // exactly once (then the detector re-baselines on the new level).
+        let mut d = PhaseDetector::new(0.5, 0.05, 2);
+        let mut fires = 0;
+        for _ in 0..30 {
+            assert!(!d.push(1.0), "baseline must not fire");
+        }
+        for half in 0..4 {
+            let level = if half % 2 == 0 { 4.0 } else { 1.0 };
+            let mut this_half = 0;
+            for _ in 0..30 {
+                if d.push(level) {
+                    this_half += 1;
+                }
+            }
+            assert_eq!(this_half, 1, "half-period {half} must fire exactly once");
+            fires += this_half;
+        }
+        assert_eq!(fires, 4);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_in_flight_ewma_state() {
+        // Serialize a detector mid-confirmation and check the clone stays in
+        // lockstep with the original: the EWMA baselines and the pending
+        // streak must all survive the round trip.
+        let mut d = detector();
+        for _ in 0..15 {
+            d.push(1.0);
+        }
+        assert!(!d.push(5.0)); // streak = 1 of confirm = 3
+        assert_eq!(d.pending_streak(), 1);
+
+        let json = serde_json::to_string(&d).expect("serialize");
+        let mut clone: PhaseDetector = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(clone.pending_streak(), 1);
+        assert_eq!(clone.fast(), d.fast());
+
+        // Continue both in lockstep: fire on the same window, stay equal
+        // afterward.
+        let mut fired_at = (None, None);
+        for k in 0..10 {
+            if d.push(5.0) && fired_at.0.is_none() {
+                fired_at.0 = Some(k);
+            }
+            if clone.push(5.0) && fired_at.1.is_none() {
+                fired_at.1 = Some(k);
+            }
+            assert_eq!(d.fast(), clone.fast());
+            assert_eq!(d.pending_streak(), clone.pending_streak());
+        }
+        assert!(fired_at.0.is_some(), "sustained shift must fire");
+        assert_eq!(fired_at.0, fired_at.1, "round trip changed fire timing");
+    }
+
+    #[test]
+    fn vector_detector_fires_on_a_single_component_shift() {
+        let mut d = VectorPhaseDetector::for_factors();
+        for _ in 0..20 {
+            assert!(!d.push(&[0.3, 0.2, 1.2]));
+        }
+        // Only disp_held moves (a sync phase beginning).
+        let mut fires = 0;
+        for _ in 0..20 {
+            if d.push(&[0.3, 0.7, 1.2]) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 1, "one boundary must fire exactly once");
+    }
+
+    #[test]
+    fn vector_detector_rebaselines_every_component_on_fire() {
+        // Two components shift at once; the fused detector must fire once,
+        // not once per component.
+        let mut d = VectorPhaseDetector::for_factors();
+        for _ in 0..20 {
+            d.push(&[0.2, 0.1, 1.0]);
+        }
+        let mut fires = 0;
+        for _ in 0..30 {
+            if d.push(&[0.8, 0.6, 2.5]) {
+                fires += 1;
+            }
+        }
+        assert_eq!(fires, 1, "simultaneous shifts must fuse into one fire");
+    }
+
+    #[test]
+    fn vector_fast_exposes_the_phase_signature() {
+        let mut d = VectorPhaseDetector::for_factors();
+        assert_eq!(d.fast(), None);
+        for _ in 0..50 {
+            d.push(&[0.4, 0.3, 1.5]);
+        }
+        let sig = d.fast().expect("signature after samples");
+        assert_eq!(sig.len(), 3);
+        assert!((sig[0] - 0.4).abs() < 1e-6);
+        assert!((sig[1] - 0.3).abs() < 1e-6);
+        assert!((sig[2] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn vector_dimension_mismatch_rejected() {
+        let mut d = VectorPhaseDetector::for_factors();
+        d.push(&[1.0, 2.0]);
     }
 }

@@ -36,5 +36,7 @@ pub use controller::{
 };
 pub use ipc_probe::{ipc_probe_run, IpcProbeReport};
 pub use optimizer::{compare, tune, PolicyComparison};
-pub use oracle::{oracle_sweep, OracleLevel, OracleReport};
+pub use oracle::{
+    oracle_sweep, phase_oracle, OracleLevel, OracleReport, PhaseOracleEntry, PhaseOracleReport,
+};
 pub use recommend::Recommendation;

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use smt_sim::{Error, MachineConfig, RunResult, Simulation, SmtLevel, Workload};
+use smt_workloads::{SyntheticWorkload, WorkloadSpec};
 
 /// Per-level outcome of an oracle sweep.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -89,10 +90,89 @@ where
     Ok(OracleReport { levels, best })
 }
 
+/// One phase's slice of a [`PhaseOracleReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseOracleEntry {
+    /// Name of the phase's spec.
+    pub phase: String,
+    /// Exhaustive per-level sweep of this phase run standalone.
+    pub report: OracleReport,
+    /// Work units this phase contributes.
+    pub work: u64,
+}
+
+/// The per-phase oracle: each phase of a multi-phase workload run at *its
+/// own* best level, switches assumed free. No online controller can beat
+/// this — it is the denominator of the autotuner's regret metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseOracleReport {
+    /// Per-phase sweeps, in phase order.
+    pub phases: Vec<PhaseOracleEntry>,
+    /// Total work across all phases.
+    pub total_work: u64,
+    /// Composed throughput: total work over the sum of per-phase
+    /// best-level run times (work-weighted harmonic composition).
+    pub perf: f64,
+}
+
+impl PhaseOracleReport {
+    /// The best level of each phase, in phase order.
+    pub fn best_levels(&self) -> Vec<SmtLevel> {
+        self.phases.iter().map(|p| p.report.best).collect()
+    }
+}
+
+/// Sweep every phase of a phased workload independently at every supported
+/// level and compose the free-switching upper bound. `max_cycles` bounds
+/// each per-phase run.
+pub fn phase_oracle(
+    cfg: &MachineConfig,
+    specs: &[WorkloadSpec],
+    max_cycles: u64,
+) -> Result<PhaseOracleReport, Error> {
+    if specs.is_empty() {
+        return Err(Error::InvalidWorkload("no phases to sweep".to_string()));
+    }
+    let mut phases = Vec::with_capacity(specs.len());
+    let mut total_work = 0u64;
+    let mut total_cycles = 0.0f64;
+    for spec in specs {
+        let report = oracle_sweep(cfg, || SyntheticWorkload::new(spec.clone()), max_cycles)?;
+        let best = *report
+            .levels
+            .iter()
+            .find(|l| l.smt == report.best)
+            .expect("best level is always swept");
+        if !best.result.completed {
+            return Err(Error::InvalidMeasurement(format!(
+                "phase `{}` did not finish within {max_cycles} cycles at its best level",
+                spec.name
+            )));
+        }
+        total_work += best.result.work_done;
+        total_cycles += best.result.cycles as f64;
+        phases.push(PhaseOracleEntry {
+            phase: spec.name.clone(),
+            report,
+            work: best.result.work_done,
+        });
+    }
+    if total_cycles <= 0.0 {
+        return Err(Error::InvalidMeasurement(
+            "phase oracle ran for zero cycles".to_string(),
+        ));
+    }
+    Ok(PhaseOracleReport {
+        phases,
+        total_work,
+        perf: total_work as f64 / total_cycles,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smt_workloads::{catalog, SyntheticWorkload};
+    use smt_workloads::catalog;
 
     #[test]
     fn oracle_prefers_smt4_for_ep() -> Result<(), Error> {
@@ -129,6 +209,48 @@ mod tests {
         }
         assert!(report.best_perf()? >= report.perf_at(SmtLevel::Smt1)?);
         Ok(())
+    }
+
+    #[test]
+    fn phase_oracle_composes_per_phase_bests() -> Result<(), Error> {
+        let cfg = MachineConfig::power7(1);
+        let specs = vec![
+            catalog::ep().scaled(0.05),
+            catalog::specjbb_contention().scaled(0.1),
+        ];
+        let report = phase_oracle(&cfg, &specs, 200_000_000)?;
+        assert_eq!(report.phases.len(), 2);
+        let bests = report.best_levels();
+        assert_eq!(bests[0], SmtLevel::Smt4, "EP phase scales");
+        assert!(bests[1] < SmtLevel::Smt4, "contention phase parks low");
+        assert!(report.perf > 0.0);
+        assert_eq!(
+            report.total_work,
+            specs.iter().map(|s| s.total_work).sum::<u64>()
+        );
+        // The composed bound dominates running everything at either
+        // phase's preferred level.
+        for smt in cfg.smt_levels() {
+            let mixed: f64 = report
+                .phases
+                .iter()
+                .map(|p| p.work as f64 / p.report.perf_at(smt).unwrap())
+                .sum();
+            assert!(
+                report.perf >= report.total_work as f64 / mixed - 1e-9,
+                "oracle beaten by fixed {smt}"
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn phase_oracle_rejects_empty_input() {
+        let cfg = MachineConfig::power7(1);
+        assert!(matches!(
+            phase_oracle(&cfg, &[], 1_000_000),
+            Err(Error::InvalidWorkload(_))
+        ));
     }
 
     #[test]

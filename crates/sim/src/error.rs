@@ -30,6 +30,9 @@ pub enum Error {
     Io(String),
     /// Encoding or decoding persisted results failed.
     Serde(String),
+    /// A runtime configuration knob (CLI flag, env var, policy field)
+    /// failed validation.
+    Config(String),
 }
 
 impl std::fmt::Display for Error {
@@ -43,6 +46,7 @@ impl std::fmt::Display for Error {
             Error::InvalidMeasurement(msg) => write!(f, "invalid measurement: {msg}"),
             Error::Io(msg) => write!(f, "i/o: {msg}"),
             Error::Serde(msg) => write!(f, "serialization: {msg}"),
+            Error::Config(msg) => write!(f, "config: {msg}"),
         }
     }
 }

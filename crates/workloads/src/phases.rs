@@ -34,6 +34,25 @@ impl PhasedWorkload {
         }
     }
 
+    /// An adversarial oscillator: `a` and `b` repeated back to back
+    /// `repeats` times (`a b a b ...`, `2 * repeats` phases total). Stress
+    /// input for hysteresis/cooldown policies — every phase boundary
+    /// invites a level switch.
+    pub fn alternating(
+        name: impl Into<String>,
+        a: WorkloadSpec,
+        b: WorkloadSpec,
+        repeats: usize,
+    ) -> PhasedWorkload {
+        assert!(repeats >= 1, "need at least one repeat");
+        let mut specs = Vec::with_capacity(repeats * 2);
+        for _ in 0..repeats {
+            specs.push(a.clone());
+            specs.push(b.clone());
+        }
+        PhasedWorkload::new(name, specs)
+    }
+
     /// Index of the phase currently executing.
     pub fn current_phase(&self) -> usize {
         self.current
@@ -155,6 +174,22 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_phases_rejected() {
         PhasedWorkload::new("empty", vec![]);
+    }
+
+    #[test]
+    fn alternating_builds_an_oscillator() {
+        let w = PhasedWorkload::alternating(
+            "osc",
+            catalog::ep().scaled(0.001),
+            catalog::specjbb_contention().scaled(0.001),
+            3,
+        );
+        assert_eq!(w.num_phases(), 6);
+        assert_eq!(
+            w.total_work(),
+            3 * (catalog::ep().scaled(0.001).total_work
+                + catalog::specjbb_contention().scaled(0.001).total_work)
+        );
     }
 
     #[test]

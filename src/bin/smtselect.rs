@@ -19,6 +19,23 @@
 //!     Run the benchmark under the dynamic SMT controller and print the
 //!     switch log and final throughput.
 //!
+//! smtselect autotune <benchmark> [<benchmark> ...] [--machine p7|p7x2|nhm]
+//!                    [--scale S] [--threshold T] [--mid T]
+//!                    [--window-cycles C] [--record FILE] [--json]
+//! smtselect autotune --replay <trace.smtc> [--threshold T] [--mid T] [--json]
+//! smtselect autotune --probe-affinity [--json]
+//!     Run the closed-loop phase-aware autotuner. With benchmark names the
+//!     phases run back to back as one workload on the simulator, the loop
+//!     switches the machine's SMT level live (change-point detection +
+//!     phase memory + hysteresis/cooldown), and --record tees every
+//!     counter window into a .smtc trace. --replay re-feeds a recorded
+//!     trace through the identical decision core with a dry-run actuator:
+//!     the decision log is byte-identical to the live run's (the CI golden
+//!     check). --probe-affinity reports whether this host lets the
+//!     affinity actuator pin threads (sched_setaffinity), and never fails:
+//!     an unusable host is a finding. Every policy knob also has an
+//!     SMT_AUTOTUNE_* environment override; see --help.
+//!
 //! smtselect serve [--addr ENDPOINT] [--unix PATH] [--shards N]
 //!                 [--max-sessions N] [--codecs both|ndjson|binary]
 //!                 [--debug-verbs] [--verbose]
@@ -149,6 +166,8 @@ struct Opts {
     events: String,
     probe: bool,
     connect: bool,
+    replay: Option<String>,
+    probe_affinity: bool,
     positional: Vec<String>,
 }
 
@@ -188,6 +207,8 @@ fn parse(args: &[String]) -> Opts {
         events: "generic".into(),
         probe: false,
         connect: false,
+        replay: None,
+        probe_affinity: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -293,6 +314,8 @@ fn parse(args: &[String]) -> Opts {
             "--events" => o.events = it.next().expect("--events takes p7|nhm|generic").clone(),
             "--probe" => o.probe = true,
             "--connect" => o.connect = true,
+            "--replay" => o.replay = Some(it.next().expect("--replay takes a path").clone()),
+            "--probe-affinity" => o.probe_affinity = true,
             "--label" => o.label = Some(it.next().expect("--label takes a value").clone()),
             "--check" => o.check = Some(it.next().expect("--check takes a path").clone()),
             "--tolerance" => {
@@ -553,6 +576,186 @@ fn cmd_tune(o: &Opts) {
             None => println!("  cycle {:>10}: -> {} (probe)", s.at_cycle, s.to),
         }
     }
+}
+
+/// Build the autotuner's level selector from the CLI thresholds, matching
+/// the machine's ladder depth the same way `tune` does.
+fn autotune_selector(o: &Opts, top: SmtLevel) -> LevelSelector {
+    if top == SmtLevel::Smt4 {
+        LevelSelector::three_level(
+            ThresholdPredictor::fixed(o.threshold),
+            ThresholdPredictor::fixed(o.mid),
+        )
+    } else {
+        LevelSelector::two_level(top, SmtLevel::Smt1, ThresholdPredictor::fixed(o.threshold))
+    }
+}
+
+fn print_autotune_summary(report: &AutotuneReport, verbose: bool) {
+    println!(
+        "decisions  : {} window(s): {} switch(es), {} probe(s), {} phase change(s), \
+         {} recall(s), {} learned, {} phase(s) remembered",
+        report.windows,
+        report.switches,
+        report.probes,
+        report.phase_changes,
+        report.recalls,
+        report.learned,
+        report.phases_remembered
+    );
+    println!("final      : {}", report.final_level);
+    if verbose {
+        for d in &report.decisions {
+            match d.metric {
+                Some(m) => println!(
+                    "  window {:>5}: {} -> {} ({:?}, SMTsm {m:.4})",
+                    d.window, d.from, d.to, d.reason
+                ),
+                None => println!(
+                    "  window {:>5}: {} -> {} ({:?})",
+                    d.window, d.from, d.to, d.reason
+                ),
+            }
+        }
+    }
+}
+
+fn cmd_autotune(o: &Opts) {
+    if o.probe_affinity {
+        // Capability probe, same contract as `collect --probe`: always a
+        // structured answer, never a failure.
+        let report = AffinityActuator::probe(std::process::id() as i32);
+        if o.json {
+            println!("{}", serde_json::to_string(&report).expect("serialize"));
+        } else {
+            print!("{}", report.render());
+        }
+        return;
+    }
+
+    if let Some(path) = &o.replay {
+        let mut backend = TraceBackend::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        });
+        let meta = backend.meta().clone();
+        let machine = if service::machine_by_name(&meta.machine).is_ok() {
+            meta.machine.clone()
+        } else {
+            o.machine.clone()
+        };
+        let (cfg, _label) = machine_by_name(&machine);
+        let top = *cfg.smt_levels().last().expect("levels");
+        let mut tune = AutotuneConfig::default();
+        if meta.window_cycles > 0 {
+            tune.window_cycles = meta.window_cycles;
+        }
+        let tune = tune.from_env().unwrap_or_else(|e| {
+            eprintln!("bad SMT_AUTOTUNE_* override: {e}");
+            std::process::exit(2);
+        });
+        let mut ctl = AutotuneLoop::new(
+            autotune_selector(o, top),
+            MetricSpec::for_arch(&cfg.arch),
+            tune,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("bad autotune config: {e}");
+            std::process::exit(2);
+        });
+        let mut dry = DryRunActuator::new();
+        let report = ctl
+            .run_stream(&mut backend, &mut dry, u64::MAX)
+            .unwrap_or_else(|e| {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            });
+        if o.json {
+            // The byte-diffable decision log: replaying the same trace
+            // with the same thresholds always prints the same bytes.
+            println!("{}", serde_json::to_string(&report).expect("serialize"));
+        } else {
+            println!("replayed   : {path} (machine {})", meta.machine);
+            print_autotune_summary(&report, true);
+        }
+        return;
+    }
+
+    if o.positional.is_empty() {
+        eprintln!("autotune needs benchmark name(s), --replay FILE, or --probe-affinity");
+        std::process::exit(2);
+    }
+    let (cfg, label) = machine_by_name(&o.machine);
+    let top = *cfg.smt_levels().last().expect("levels");
+    let specs: Vec<WorkloadSpec> = o
+        .positional
+        .iter()
+        .map(|n| find_spec(n).scaled(o.scale))
+        .collect();
+    let phased = PhasedWorkload::new(o.positional.join("+"), specs);
+    let tune = AutotuneConfig {
+        window_cycles: o.window_cycles,
+        ..AutotuneConfig::default()
+    }
+    .from_env()
+    .unwrap_or_else(|e| {
+        eprintln!("bad SMT_AUTOTUNE_* override: {e}");
+        std::process::exit(2);
+    });
+    let mut ctl = AutotuneLoop::new(
+        autotune_selector(o, top),
+        MetricSpec::for_arch(&cfg.arch),
+        tune,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("bad autotune config: {e}");
+        std::process::exit(2);
+    });
+    let mut act = SimActuator::new(Simulation::new(cfg.clone(), top, phased));
+
+    let report = if let Some(path) = &o.record {
+        let meta = TraceMeta {
+            machine: o.machine.clone(),
+            nports: cfg.arch.num_ports(),
+            window_cycles: tune.window_cycles,
+        };
+        let mut writer = TraceWriter::create(path, meta).unwrap_or_else(|e| {
+            eprintln!("cannot record to {path}: {e}");
+            std::process::exit(1);
+        });
+        let report = act
+            .run_recording(&mut ctl, 5_000_000_000, &mut writer)
+            .unwrap_or_else(|e| {
+                eprintln!("autotune run failed: {e}");
+                std::process::exit(1);
+            });
+        writer.finalize().unwrap_or_else(|e| {
+            eprintln!("finalizing {path} failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("recorded   : {path}");
+        report
+    } else {
+        act.run(&mut ctl, 5_000_000_000).unwrap_or_else(|e| {
+            eprintln!("autotune run failed: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    if o.json {
+        println!("{}", serde_json::to_string(&report).expect("serialize"));
+        return;
+    }
+    println!(
+        "autotuned  : {} on {label} @ {top} ({} cycles/window)",
+        o.positional.join("+"),
+        tune.window_cycles
+    );
+    println!(
+        "perf       : {:.3} work/cycle over {} cycles (drains {}, completed: {})",
+        report.perf, report.cycles, report.drain_cycles, report.completed
+    );
+    print_autotune_summary(&report.decisions, o.verbose);
 }
 
 fn cmd_collect(o: &Opts, record_to: Option<&str>) {
@@ -1073,8 +1276,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: smtselect <list|analyze|train|tune|place|collect|record|replay|serve|\
-             bench-serve> ...; see --help"
+            "usage: smtselect <list|analyze|train|tune|autotune|place|collect|record|replay|\
+             serve|bench-serve> ...; see --help"
         );
         std::process::exit(2);
     };
@@ -1084,6 +1287,7 @@ fn main() {
         "analyze" => cmd_analyze(&opts),
         "train" => cmd_train(&opts),
         "tune" => cmd_tune(&opts),
+        "autotune" => cmd_autotune(&opts),
         "place" => cmd_place(&opts),
         "collect" => cmd_collect(&opts, opts.record.as_deref()),
         "record" => cmd_record(&opts),
@@ -1094,10 +1298,15 @@ fn main() {
             println!("smtselect — SMT-level selection via the SMTsm metric (IPDPS'12)");
             println!(
                 "commands: list | analyze <bench> [--verify] [--json] | train [--out F] | \
-                 tune <bench> [--json] | place <bench>... | collect <bench> | \
-                 record <bench> --out F | replay <trace> | serve | bench-serve"
+                 tune <bench> [--json] | autotune <bench>... | place <bench>... | \
+                 collect <bench> | record <bench> --out F | replay <trace> | serve | \
+                 bench-serve"
             );
             println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
+            println!(
+                "autotune: <bench>... [--record FILE] | --replay FILE | --probe-affinity  \
+                 [--window-cycles C] [--json] [--verbose]"
+            );
             println!(
                 "place   : --windows N  --window-cycles C  --json  \
                  --connect --addr ENDPOINT  --codec ndjson|binary"
@@ -1123,6 +1332,10 @@ fn main() {
                  (issue-engine override for every simulation; default soa with \
                  runtime AVX2 detection)"
             );
+            println!("env     : autotune loop knobs (override AutotuneConfig defaults):");
+            for (name, desc) in ENV_KNOBS {
+                println!("            {name:<28} {desc}");
+            }
         }
         other => {
             eprintln!("unknown command {other:?}; try --help");

@@ -20,6 +20,7 @@
 //! | [`workloads`] (`smt-workloads`) | parameterized synthetic workloads + a catalog mirroring the paper's Table I benchmarks |
 //! | [`metric`] (`smtsm`) | the SMT-selection metric, ideal mixes, Gini/PPI threshold learning, naive baselines |
 //! | [`sched`] (`smt-sched`) | dynamic SMT-level controller, user-level optimizer, oracle and IPC-probe baselines |
+//! | [`autotune`] (`smt-autotune`) | closed-loop phase-aware autotuning runtime: change-point detection on the factor vector, per-phase memory, hysteresis/cooldown policy, pluggable actuation (simulator, dry-run log, `sched_setaffinity`) |
 //! | [`stats`] (`smt-stats`) | Gini impurity, correlation, classification accounting |
 //! | [`experiments`] (`smt-experiments`) | regenerates every paper table and figure (`repro` binary) |
 //! | [`service`] (`smt-service`) | `smtd`: an online recommendation daemon — clients stream counter windows over TCP/Unix sockets and get SMT-level answers from the same decision core the offline controller uses |
@@ -49,6 +50,7 @@
 //! See `examples/` for complete scenarios and `DESIGN.md` / `EXPERIMENTS.md`
 //! for the reproduction methodology and results.
 
+pub use smt_autotune as autotune;
 pub use smt_collect as collect;
 pub use smt_experiments as experiments;
 pub use smt_sched as sched;
@@ -60,6 +62,11 @@ pub use smtsm as metric;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use smt_autotune::{
+        Actuation, Actuator, AffinityActuator, AffinityReport, AutotuneConfig, AutotuneDecision,
+        AutotuneLoop, AutotuneReport, AutotuneSimReport, Command, DecisionReason, DecisionRecord,
+        DryRunActuator, PhaseEntry, PhaseKey, PhaseMemory, SimActuator, ENV_KNOBS,
+    };
     pub use smt_collect::{
         CapabilityReport, CollectReport, Collector, CounterBackend, EventMap, PerfBackend,
         SimBackend, TraceBackend, TraceMeta, TraceReader, TraceWriter, WindowIter,
@@ -89,6 +96,7 @@ pub mod prelude {
     };
     pub use smtsm::{
         gini_sweep, smtsm, smtsm_factors, CompatModel, LevelSelector, MetricSpec, NaiveMetric,
-        OnlineSampler, PpiSweep, SmtPreference, SmtsmFactors, ThreadSignature, ThresholdPredictor,
+        OnlineSampler, PhaseDetector, PpiSweep, SmtPreference, SmtsmFactors, ThreadSignature,
+        ThresholdPredictor, VectorPhaseDetector,
     };
 }
