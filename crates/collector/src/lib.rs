@@ -42,4 +42,4 @@ pub use events::{
 };
 pub use perf::{PerfBackend, SelfCount, SelfCounters};
 pub use sim_backend::SimBackend;
-pub use trace::{TraceBackend, TraceMeta, TraceReader, TraceWriter, TRACE_VERSION};
+pub use trace::{fnv1a, TraceBackend, TraceMeta, TraceReader, TraceWriter, TRACE_VERSION};

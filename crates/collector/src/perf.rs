@@ -589,7 +589,13 @@ pub struct SelfCount {
 /// degradation contract: on hosts where the PMU is masked
 /// (`perf_event_paranoid`, containers, non-x86-64 builds) [`open`]
 /// returns a `SelfCounters` whose [`available`] is `false` and whose
-/// reads are `None` — never an error, never a panic.
+/// reads are `None` — never an error, never a panic. The
+/// [`try_cycles`]/[`try_instructions`] variants expose the parse path's
+/// actual failures (short or torn kernel reads) as [`Error`] instead of
+/// folding them into `None`.
+///
+/// [`try_cycles`]: SelfCounters::try_cycles
+/// [`try_instructions`]: SelfCounters::try_instructions
 ///
 /// [`open`]: SelfCounters::open
 /// [`available`]: SelfCounters::available
@@ -627,29 +633,66 @@ impl SelfCounters {
         self.cycles.is_some() || self.instructions.is_some()
     }
 
-    /// Current CPU-cycle count since [`SelfCounters::open`].
+    /// Current CPU-cycle count since [`SelfCounters::open`]. `None` covers
+    /// both "counter never opened" and any read failure — the lossy
+    /// convenience view of [`SelfCounters::try_cycles`].
     pub fn cycles(&self) -> Option<SelfCount> {
-        self.cycles.as_ref().and_then(Self::read_one)
+        self.cycles.as_ref().and_then(|fd| Self::read_one(fd).ok())
     }
 
-    /// Current retired-instruction count since [`SelfCounters::open`].
+    /// Current retired-instruction count since [`SelfCounters::open`];
+    /// lossy convenience view of [`SelfCounters::try_instructions`].
     pub fn instructions(&self) -> Option<SelfCount> {
-        self.instructions.as_ref().and_then(Self::read_one)
+        self.instructions
+            .as_ref()
+            .and_then(|fd| Self::read_one(fd).ok())
     }
 
-    fn read_one(fd: &EventFd) -> Option<SelfCount> {
+    /// Fallible cycle read: `Ok(None)` means the counter never opened
+    /// (masked PMU), `Err` means the kernel read itself went wrong — a
+    /// short or torn read, or a counter that has never been scheduled.
+    pub fn try_cycles(&self) -> Result<Option<SelfCount>, Error> {
+        self.cycles.as_ref().map(Self::read_one).transpose()
+    }
+
+    /// Fallible instruction read; see [`SelfCounters::try_cycles`].
+    pub fn try_instructions(&self) -> Result<Option<SelfCount>, Error> {
+        self.instructions.as_ref().map(Self::read_one).transpose()
+    }
+
+    fn read_one(fd: &EventFd) -> Result<SelfCount, Error> {
         // Non-group read format: value, time_enabled, time_running.
         let mut buf = [0u8; 24];
-        if sys::read(fd.0, &mut buf) != 24 {
-            return None;
+        let n = sys::read(fd.0, &mut buf);
+        if n < 0 {
+            return Err(Error::Io(format!(
+                "reading perf self-counter failed with errno {}",
+                -n
+            )));
         }
-        let word = |i: usize| u64::from_ne_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
-        let (value, enabled, running) = (word(0), word(1), word(2));
+        if n != 24 {
+            return Err(Error::InvalidMeasurement(format!(
+                "short perf self-counter read: {n} bytes, expected 24"
+            )));
+        }
+        let word = |i: usize| -> Result<u64, Error> {
+            buf.get(i * 8..(i + 1) * 8)
+                .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                .map(u64::from_ne_bytes)
+                .ok_or_else(|| {
+                    Error::InvalidMeasurement(format!(
+                        "perf self-counter read too short for word {i}"
+                    ))
+                })
+        };
+        let (value, enabled, running) = (word(0)?, word(1)?, word(2)?);
         if running == 0 {
-            return None;
+            return Err(Error::InvalidMeasurement(
+                "perf self-counter has never been scheduled onto the PMU".to_string(),
+            ));
         }
         let scale = enabled as f64 / running as f64;
-        Some(SelfCount {
+        Ok(SelfCount {
             value: (value as f64 * scale) as u64,
             running_fraction: (running as f64 / enabled.max(1) as f64).min(1.0),
         })
@@ -701,6 +744,19 @@ mod tests {
             classify_errno(EINVAL),
             SupportStatus::Missing { .. }
         ));
+    }
+
+    /// A `SelfCounters` with no open events must read as `Ok(None)` on the
+    /// fallible path and `None` on the convenience path — absence is not
+    /// an error, only torn/short kernel reads are.
+    #[test]
+    fn absent_self_counters_read_as_none() {
+        let counters = SelfCounters::default();
+        assert!(!counters.available());
+        assert!(counters.cycles().is_none());
+        assert!(counters.instructions().is_none());
+        assert!(matches!(counters.try_cycles(), Ok(None)));
+        assert!(matches!(counters.try_instructions(), Ok(None)));
     }
 
     /// The probe must *never* panic or error, whatever the host allows —

@@ -1,0 +1,115 @@
+//! Grid-sweep per-arch scoring thresholds over a built corpus.
+//!
+//! Scoring is pure trace replay (no simulation), so the full grid over
+//! both thresholds costs seconds. Prints the best (top, mid) pair per
+//! architecture with its exact-level accuracy, plus the accuracy under
+//! the shipped defaults for comparison. With `--apply` the winning
+//! policy is stamped into the manifest and the manifest re-sealed —
+//! trace bytes and oracle labels are untouched, so a stamped manifest
+//! still passes `smtselect corpus build --check`.
+//!
+//! ```sh
+//! cargo run --release -p smt-corpus --example policy_sweep -- [MANIFEST] [--apply]
+//! ```
+
+use std::path::Path;
+
+use smt_corpus::{
+    replay_trace, ArchPolicy, CorpusArch, CorpusManifest, ReplayPolicy, NEAR_TIE_EPSILON,
+};
+
+/// Same correctness criterion as the scorer: exact label match, or a
+/// predicted level whose oracle throughput is within `NEAR_TIE_EPSILON`
+/// of the best level's.
+fn accuracy(
+    manifest: &CorpusManifest,
+    manifest_path: &Path,
+    arch: CorpusArch,
+    policy: ArchPolicy,
+) -> (usize, usize) {
+    let replay = ReplayPolicy::from_arch_policy(policy);
+    let mut correct = 0;
+    let mut total = 0;
+    for entry in manifest.entries.iter().filter(|e| e.arch == arch) {
+        total += 1;
+        let path = manifest.trace_path(manifest_path, entry);
+        let predicted = match replay_trace(&path, &replay) {
+            Ok(r) => r.predicted,
+            Err(_) => None,
+        };
+        let Some(p) = predicted else { continue };
+        if p == entry.oracle.best {
+            correct += 1;
+            continue;
+        }
+        let best = entry.oracle.perf_at(entry.oracle.best);
+        let got = entry.oracle.perf_at(p);
+        if let (Some(best), Some(got)) = (best, got) {
+            if best > 0.0 && (best - got) / best <= NEAR_TIE_EPSILON {
+                correct += 1;
+            }
+        }
+    }
+    (correct, total)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apply = args.iter().any(|a| a == "--apply");
+    let manifest_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or(smt_corpus::DEFAULT_MANIFEST);
+    let manifest_path = Path::new(manifest_path);
+    let mut manifest = CorpusManifest::load(manifest_path).expect("load manifest");
+
+    let grid: Vec<f64> = (1..=60).map(|i| i as f64 * 0.01).collect();
+    let mut winners = Vec::new();
+    for arch in CorpusArch::ALL {
+        let shipped = manifest.arch_policy(arch).expect("arch policy");
+        let (sc, st) = accuracy(&manifest, manifest_path, arch, shipped);
+        println!(
+            "{arch}: shipped policy top {:.2} mid {:.2} -> {sc}/{st} ({:.1}%)",
+            shipped.threshold_top,
+            shipped.threshold_mid,
+            100.0 * sc as f64 / st as f64
+        );
+        let mut best = (shipped, sc, st);
+        for &top in &grid {
+            for &mid in grid.iter().filter(|&&m| m >= top) {
+                let policy = ArchPolicy {
+                    threshold_top: top,
+                    threshold_mid: mid,
+                };
+                let (c, t) = accuracy(&manifest, manifest_path, arch, policy);
+                // Strictly-better keeps the sweep deterministic: ties go
+                // to the first (smallest-threshold) pair encountered.
+                if c > best.1 {
+                    best = (policy, c, t);
+                }
+            }
+        }
+        println!(
+            "{arch}: best policy    top {:.2} mid {:.2} -> {}/{} ({:.1}%)",
+            best.0.threshold_top,
+            best.0.threshold_mid,
+            best.1,
+            best.2,
+            100.0 * best.1 as f64 / best.2 as f64
+        );
+        winners.push((arch, best.0));
+    }
+
+    if apply {
+        for (arch, policy) in winners {
+            manifest.policy.insert(arch.tag().to_string(), policy);
+        }
+        manifest.save(manifest_path).expect("save manifest");
+        println!(
+            "stamped winning policies into {} (checksum {:#018x})",
+            manifest_path.display(),
+            manifest.checksum
+        );
+    }
+}

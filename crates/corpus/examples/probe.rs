@@ -1,0 +1,30 @@
+use smt_sim::{MachineConfig, Simulation};
+use smt_workloads::{catalog, SyntheticWorkload};
+
+fn main() {
+    for (tag, cfg, suite) in [
+        ("p7", MachineConfig::power7(1), catalog::power7_suite()),
+        ("nhm", MachineConfig::nehalem(), catalog::nehalem_suite()),
+    ] {
+        let top = *cfg.smt_levels().last().unwrap();
+        for scale in [0.05f64, 0.1, 0.2] {
+            let mut min = u64::MAX;
+            let mut max = 0u64;
+            let mut tot = 0u64;
+            let n = suite.len();
+            for spec in &suite {
+                let w = SyntheticWorkload::new(spec.clone().scaled(scale));
+                let mut sim = Simulation::new(cfg.clone(), top, w);
+                let r = sim.run_until_finished(2_000_000_000);
+                assert!(r.completed, "{} did not finish", spec.name);
+                min = min.min(r.cycles);
+                max = max.max(r.cycles);
+                tot += r.cycles;
+            }
+            println!(
+                "{tag} scale {scale}: n={n} min={min} max={max} avg={}",
+                tot / n as u64
+            );
+        }
+    }
+}

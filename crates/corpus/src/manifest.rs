@@ -1,0 +1,530 @@
+//! The corpus manifest: a versioned, checksummed, committed inventory of
+//! every trace in the benchmark corpus.
+//!
+//! The manifest is the *canonical* artifact — the traces themselves are
+//! regenerated deterministically from the workload catalog (the simulator
+//! is seeded and byte-stable), so the repo commits only this JSON file
+//! and `corpus build` rebuilds the `.smtc` files bit-for-bit. Every entry
+//! carries the FNV-1a checksum of its trace file plus the
+//! simulate-every-level oracle label, so both the corpus bytes and the
+//! ground truth are auditable from the manifest alone.
+//!
+//! Integrity follows the `.smtc` idiom (DESIGN §3.10): the `checksum`
+//! field holds FNV-1a over the manifest's canonical JSON serialization
+//! with the field itself zeroed. Any value corruption — an edited oracle
+//! label, a swapped trace checksum, a truncated file — fails
+//! [`CorpusManifest::load`], never silently skews a score.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use smt_collect::fnv1a;
+use smt_sim::{Error, SmtLevel};
+
+/// Current manifest-format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Default manifest location relative to the repo root.
+pub const DEFAULT_MANIFEST: &str = "results/corpus/manifest.json";
+
+/// The two evaluation architectures of the paper's accuracy claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CorpusArch {
+    /// 8-core POWER7-like chip (SMT1/SMT2/SMT4).
+    P7,
+    /// Quad-core Nehalem-like system (SMT1/SMT2).
+    Nhm,
+}
+
+impl CorpusArch {
+    /// Both architectures, in manifest order.
+    pub const ALL: [CorpusArch; 2] = [CorpusArch::P7, CorpusArch::Nhm];
+
+    /// The trace-header machine tag (`smt_collect::TraceMeta::machine`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            CorpusArch::P7 => "p7",
+            CorpusArch::Nhm => "nhm",
+        }
+    }
+
+    /// Parse a machine tag.
+    pub fn from_tag(tag: &str) -> Result<CorpusArch, Error> {
+        match tag {
+            "p7" => Ok(CorpusArch::P7),
+            "nhm" => Ok(CorpusArch::Nhm),
+            other => Err(Error::InvalidMachine(format!(
+                "corpus arch tag {other:?} (expected p7 or nhm)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for CorpusArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Doubling workload-size tiers, SSG-benchmark style: each tier doubles
+/// the catalog scale of the one below it, so scoring can separate "the
+/// metric converged" from "the workload was too short to judge".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SizeTier {
+    /// Smallest tier (CI-sized).
+    S,
+    /// Double the small tier.
+    M,
+    /// Double the medium tier.
+    L,
+}
+
+impl SizeTier {
+    /// All tiers, smallest first.
+    pub const ALL: [SizeTier; 3] = [SizeTier::S, SizeTier::M, SizeTier::L];
+
+    /// Short name used in entry ids and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeTier::S => "s",
+            SizeTier::M => "m",
+            SizeTier::L => "l",
+        }
+    }
+
+    /// Parse a tier name.
+    pub fn from_name(name: &str) -> Result<SizeTier, Error> {
+        match name {
+            "s" => Ok(SizeTier::S),
+            "m" => Ok(SizeTier::M),
+            "l" => Ok(SizeTier::L),
+            other => Err(Error::Config(format!(
+                "size tier {other:?} (expected s, m, or l)"
+            ))),
+        }
+    }
+
+    /// Workload-catalog scale multiplier applied on top of the base
+    /// scale: 1×, 2×, 4× — the doubling ladder.
+    pub fn multiplier(self) -> f64 {
+        match self {
+            SizeTier::S => 1.0,
+            SizeTier::M => 2.0,
+            SizeTier::L => 4.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SizeTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-architecture decision thresholds the corpus is scored under.
+///
+/// Committed in the manifest so the policy a published accuracy number
+/// was produced with is part of the corpus itself — re-scoring under a
+/// different policy is a deliberate act, not silent drift.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchPolicy {
+    /// Top-rung threshold (SMT4-vs-lower on p7, SMT2-vs-SMT1 on nhm).
+    pub threshold_top: f64,
+    /// Mid-rung threshold (SMT2-vs-SMT1 on p7; unused on nhm).
+    pub threshold_mid: f64,
+}
+
+/// The simulate-every-level oracle label for one corpus entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleLabel {
+    /// The level with the highest whole-run throughput.
+    pub best: SmtLevel,
+    /// Whole-run throughput (work/cycle) at every level the machine
+    /// supports, in ascending level order.
+    pub perf: Vec<(SmtLevel, f64)>,
+}
+
+impl OracleLabel {
+    /// Throughput at `level`, if measured.
+    pub fn perf_at(&self, level: SmtLevel) -> Option<f64> {
+        self.perf.iter().find(|(l, _)| *l == level).map(|(_, p)| *p)
+    }
+}
+
+/// One trace in the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Stable id: `<arch>/<tier>/<workload>`.
+    pub id: String,
+    /// Architecture the trace was recorded on.
+    pub arch: CorpusArch,
+    /// Size tier.
+    pub tier: SizeTier,
+    /// Catalog workload name.
+    pub workload: String,
+    /// Effective catalog scale (base scale × tier multiplier).
+    pub scale: f64,
+    /// Trace path relative to the manifest's directory.
+    pub file: String,
+    /// FNV-1a over the entire trace file.
+    pub trace_checksum: u64,
+    /// Windows recorded in the trace.
+    pub trace_windows: u64,
+    /// Ground truth from simulating every SMT level to completion.
+    pub oracle: OracleLabel,
+}
+
+/// The committed corpus inventory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusManifest {
+    /// Format version.
+    pub version: u32,
+    /// FNV-1a over the canonical JSON of this manifest with `checksum`
+    /// itself zeroed.
+    pub checksum: u64,
+    /// Base catalog scale of the smallest tier.
+    pub base_scale: f64,
+    /// Counter-window length traces were recorded at.
+    pub window_cycles: u64,
+    /// Windows requested per trace (a short workload may yield fewer).
+    pub windows: u64,
+    /// Warmup cycles run before the first recorded window.
+    pub warmup_cycles: u64,
+    /// Per-architecture scoring policy.
+    pub policy: BTreeMap<String, ArchPolicy>,
+    /// Every trace, in id order.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl CorpusManifest {
+    /// Compute the canonical checksum of this manifest (the value the
+    /// `checksum` field must hold).
+    pub fn compute_checksum(&self) -> Result<u64, Error> {
+        let mut zeroed = self.clone();
+        zeroed.checksum = 0;
+        let body = serde_json::to_string(&zeroed).map_err(|e| Error::Serde(e.to_string()))?;
+        Ok(fnv1a(body.as_bytes()))
+    }
+
+    /// Stamp the checksum field from the current contents.
+    pub fn seal(&mut self) -> Result<(), Error> {
+        self.checksum = self.compute_checksum()?;
+        Ok(())
+    }
+
+    /// Validate internal consistency (ids sorted + unique, paths
+    /// relative, policy covers every arch present).
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.version != MANIFEST_VERSION {
+            return Err(Error::Config(format!(
+                "manifest version {}, this build reads {MANIFEST_VERSION}",
+                self.version
+            )));
+        }
+        for pair in self.entries.windows(2) {
+            if pair[0].id >= pair[1].id {
+                return Err(Error::Config(format!(
+                    "manifest entries out of order or duplicated at {:?}",
+                    pair[1].id
+                )));
+            }
+        }
+        for e in &self.entries {
+            if Path::new(&e.file).is_absolute() {
+                return Err(Error::Config(format!(
+                    "entry {:?} has an absolute trace path {:?}",
+                    e.id, e.file
+                )));
+            }
+            if !self.policy.contains_key(e.arch.tag()) {
+                return Err(Error::Config(format!(
+                    "manifest has no scoring policy for arch {:?} (entry {:?})",
+                    e.arch.tag(),
+                    e.id
+                )));
+            }
+            if e.oracle.perf_at(e.oracle.best).is_none() {
+                return Err(Error::Config(format!(
+                    "entry {:?}: oracle best level {} has no measured throughput",
+                    e.id, e.oracle.best
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize (sealed) to pretty JSON.
+    pub fn to_json(&self) -> Result<String, Error> {
+        serde_json::to_string_pretty(self).map_err(|e| Error::Serde(e.to_string()))
+    }
+
+    /// Seal and write to `path`.
+    pub fn save(&mut self, path: &Path) -> Result<(), Error> {
+        self.seal()?;
+        self.validate()?;
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| Error::Io(format!("creating {}: {e}", dir.display())))?;
+        }
+        let body = self.to_json()?;
+        std::fs::write(path, body)
+            .map_err(|e| Error::Io(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Parse and integrity-check a manifest from JSON text.
+    pub fn from_json(body: &str) -> Result<CorpusManifest, Error> {
+        let m: CorpusManifest = serde_json::from_str(body)
+            .map_err(|e| Error::Serde(format!("corrupt manifest: {e}")))?;
+        let expect = m.compute_checksum()?;
+        if m.checksum != expect {
+            return Err(Error::Serde(format!(
+                "manifest checksum mismatch ({:#x} declared, {expect:#x} computed) — \
+                 the manifest was edited or truncated",
+                m.checksum
+            )));
+        }
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Load and integrity-check a manifest file.
+    pub fn load(path: &Path) -> Result<CorpusManifest, Error> {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io(format!("reading {}: {e}", path.display())))?;
+        CorpusManifest::from_json(&body)
+    }
+
+    /// Resolve an entry's trace path against the manifest's directory.
+    pub fn trace_path(&self, manifest_path: &Path, entry: &CorpusEntry) -> PathBuf {
+        manifest_path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(&entry.file)
+    }
+
+    /// The scoring policy for `arch` (validated present by
+    /// [`CorpusManifest::validate`]).
+    pub fn arch_policy(&self, arch: CorpusArch) -> Result<ArchPolicy, Error> {
+        self.policy
+            .get(arch.tag())
+            .copied()
+            .ok_or_else(|| Error::Config(format!("manifest has no scoring policy for {arch}")))
+    }
+
+    /// Entries restricted to `tier` (`None` = all).
+    pub fn entries_for(&self, tier: Option<SizeTier>) -> Vec<&CorpusEntry> {
+        self.entries
+            .iter()
+            .filter(|e| tier.is_none_or(|t| e.tier == t))
+            .collect()
+    }
+}
+
+/// Outcome of verifying one trace file against its manifest entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifyOutcome {
+    /// Entry id.
+    pub id: String,
+    /// Trace file path as resolved.
+    pub path: String,
+    /// What went wrong (`None` = the file matches its manifest entry).
+    pub problem: Option<String>,
+}
+
+/// Report from [`verify_corpus`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Manifest checksum that was validated.
+    pub manifest_checksum: u64,
+    /// Per-entry outcomes, in manifest order.
+    pub outcomes: Vec<VerifyOutcome>,
+}
+
+impl VerifyReport {
+    /// Entries that failed verification.
+    pub fn failures(&self) -> Vec<&VerifyOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.problem.is_some())
+            .collect()
+    }
+
+    /// Every trace file matches its manifest entry.
+    pub fn ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.problem.is_none())
+    }
+
+    /// Render a human-readable summary.
+    pub fn render(&self) -> String {
+        let fails = self.failures();
+        let mut out = format!(
+            "corpus verify: {} entr{} checked, {} failed (manifest checksum {:#x})\n",
+            self.outcomes.len(),
+            if self.outcomes.len() == 1 { "y" } else { "ies" },
+            fails.len(),
+            self.manifest_checksum
+        );
+        for f in fails {
+            out.push_str(&format!(
+                "  FAILED {}: {}\n",
+                f.id,
+                f.problem.as_deref().unwrap_or("?")
+            ));
+        }
+        out
+    }
+}
+
+/// Check every trace file in `manifest` against its recorded checksum and
+/// window count. Missing, corrupt, or drifted files become per-entry
+/// problems, never a panic — the report is the finding.
+pub fn verify_corpus(manifest: &CorpusManifest, manifest_path: &Path) -> VerifyReport {
+    let outcomes = manifest
+        .entries
+        .iter()
+        .map(|e| {
+            let path = manifest.trace_path(manifest_path, e);
+            let problem = verify_entry(e, &path).err().map(|err| err.to_string());
+            VerifyOutcome {
+                id: e.id.clone(),
+                path: path.display().to_string(),
+                problem,
+            }
+        })
+        .collect();
+    VerifyReport {
+        manifest_checksum: manifest.checksum,
+        outcomes,
+    }
+}
+
+fn verify_entry(entry: &CorpusEntry, path: &Path) -> Result<(), Error> {
+    let bytes =
+        std::fs::read(path).map_err(|e| Error::Io(format!("reading {}: {e}", path.display())))?;
+    let actual = fnv1a(&bytes);
+    if actual != entry.trace_checksum {
+        return Err(Error::Serde(format!(
+            "trace checksum mismatch ({:#x} in manifest, {actual:#x} on disk)",
+            entry.trace_checksum
+        )));
+    }
+    // The checksum already proves byte-identity; opening the header
+    // additionally confirms the file is a readable trace of the declared
+    // shape (guards against a manifest generated from a corrupt build).
+    let reader = smt_collect::TraceReader::open(path)?;
+    if reader.meta().machine != entry.arch.tag() {
+        return Err(Error::Serde(format!(
+            "trace machine tag {:?} does not match manifest arch {:?}",
+            reader.meta().machine,
+            entry.arch.tag()
+        )));
+    }
+    if reader.declared_count() != Some(entry.trace_windows) {
+        return Err(Error::Serde(format!(
+            "trace declares {:?} windows, manifest records {}",
+            reader.declared_count(),
+            entry.trace_windows
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_manifest() -> CorpusManifest {
+        let mut policy = BTreeMap::new();
+        policy.insert(
+            "p7".to_string(),
+            ArchPolicy {
+                threshold_top: 0.15,
+                threshold_mid: 0.20,
+            },
+        );
+        let mut m = CorpusManifest {
+            version: MANIFEST_VERSION,
+            checksum: 0,
+            base_scale: 0.1,
+            window_cycles: 25_000,
+            windows: 32,
+            warmup_cycles: 100_000,
+            policy,
+            entries: vec![CorpusEntry {
+                id: "p7/s/EP".to_string(),
+                arch: CorpusArch::P7,
+                tier: SizeTier::S,
+                workload: "EP".to_string(),
+                scale: 0.1,
+                file: "traces/p7-s-ep.smtc".to_string(),
+                trace_checksum: 42,
+                trace_windows: 32,
+                oracle: OracleLabel {
+                    best: SmtLevel::Smt4,
+                    perf: vec![
+                        (SmtLevel::Smt1, 1.0),
+                        (SmtLevel::Smt2, 1.5),
+                        (SmtLevel::Smt4, 2.0),
+                    ],
+                },
+            }],
+        };
+        m.seal().unwrap();
+        m
+    }
+
+    #[test]
+    fn seal_then_parse_round_trips() {
+        let m = tiny_manifest();
+        let body = m.to_json().unwrap();
+        let back = CorpusManifest::from_json(&body).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn edited_value_is_rejected() {
+        let m = tiny_manifest();
+        let body = m.to_json().unwrap();
+        // Flip the oracle label in the serialized text.
+        let tampered = body.replace("\"Smt4\"", "\"Smt1\"");
+        assert_ne!(body, tampered);
+        let err = CorpusManifest::from_json(&tampered)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn unordered_entries_rejected() {
+        let mut m = tiny_manifest();
+        let mut dup = m.entries[0].clone();
+        dup.id = "a/earlier/id".to_string();
+        m.entries.push(dup);
+        m.seal().unwrap();
+        let err = CorpusManifest::from_json(&m.to_json().unwrap())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn missing_policy_rejected() {
+        let mut m = tiny_manifest();
+        m.policy.clear();
+        m.seal().unwrap();
+        assert!(CorpusManifest::from_json(&m.to_json().unwrap()).is_err());
+    }
+
+    #[test]
+    fn tier_and_arch_names_round_trip() {
+        for t in SizeTier::ALL {
+            assert_eq!(SizeTier::from_name(t.name()).unwrap(), t);
+        }
+        for a in CorpusArch::ALL {
+            assert_eq!(CorpusArch::from_tag(a.tag()).unwrap(), a);
+        }
+        assert!(SizeTier::from_name("xl").is_err());
+        assert!(CorpusArch::from_tag("vax").is_err());
+    }
+}

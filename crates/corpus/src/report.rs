@@ -1,0 +1,405 @@
+//! Published score artifacts: the Markdown report, the accuracy
+//! trajectory, and the regression gate.
+//!
+//! Everything rendered here is deterministic — pure functions of the
+//! [`ScoreReport`] with no timestamps or host details — so a re-run (or a
+//! resumed run) reproduces the committed `results/score/` files byte for
+//! byte, and `git diff` on them means the *numbers* changed.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use smt_sim::Error;
+use std::collections::BTreeMap;
+
+use crate::manifest::CorpusArch;
+use crate::score::{ScoreReport, NEAR_TIE_EPSILON, NO_PREDICTION};
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// One labeled run in the accuracy trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Run label.
+    pub label: String,
+    /// Entries scored.
+    pub total: usize,
+    /// Overall accuracy.
+    pub overall: f64,
+    /// Accuracy per arch tag.
+    pub per_arch: BTreeMap<String, f64>,
+}
+
+/// Accuracy across labeled runs — the repo's record of how the score
+/// moved as the corpus and policy evolved.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScoreTrajectory {
+    /// Runs in recording order.
+    pub runs: Vec<TrajectoryPoint>,
+}
+
+impl ScoreTrajectory {
+    /// Load a trajectory file; a missing file is an empty trajectory.
+    pub fn load(path: &Path) -> Result<ScoreTrajectory, Error> {
+        if !path.exists() {
+            return Ok(ScoreTrajectory::default());
+        }
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| Error::Io(format!("reading {}: {e}", path.display())))?;
+        serde_json::from_str(&body).map_err(|e| Error::Serde(format!("corrupt trajectory: {e}")))
+    }
+
+    /// Record a run. A run with an already-recorded label replaces it in
+    /// place (re-scoring under the same label is an update, not history).
+    pub fn record(&mut self, report: &ScoreReport) {
+        let point = TrajectoryPoint {
+            label: report.label.clone(),
+            total: report.summary.total,
+            overall: report.summary.accuracy,
+            per_arch: report
+                .summary
+                .per_arch
+                .iter()
+                .map(|(k, r)| (k.clone(), r.accuracy))
+                .collect(),
+        };
+        if let Some(existing) = self.runs.iter_mut().find(|r| r.label == point.label) {
+            *existing = point;
+        } else {
+            self.runs.push(point);
+        }
+    }
+
+    /// Write the trajectory file.
+    pub fn save(&self, path: &Path) -> Result<(), Error> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| Error::Io(format!("creating {}: {e}", dir.display())))?;
+        }
+        let body = serde_json::to_string_pretty(self).map_err(|e| Error::Serde(e.to_string()))?;
+        std::fs::write(path, body)
+            .map_err(|e| Error::Io(format!("writing {}: {e}", path.display())))
+    }
+}
+
+/// Render the committed `REPORT.md`: headline, per-arch/per-tier tables,
+/// per-level precision/recall/F1, the confusion matrix, the failed
+/// entries, and the trajectory.
+pub fn render_markdown(report: &ScoreReport, trajectory: &ScoreTrajectory) -> String {
+    let s = &report.summary;
+    let mut out = String::new();
+    out.push_str("# Corpus accuracy report\n\n");
+    out.push_str(&format!(
+        "Run `{}` over manifest `{:#018x}`{}: **{}** overall accuracy \
+         ({} of {} entries predicted correctly).\n\n",
+        report.label,
+        report.manifest_checksum,
+        report
+            .tier
+            .map(|t| format!(", tier `{t}` only"))
+            .unwrap_or_default(),
+        pct(s.accuracy),
+        s.correct,
+        s.total,
+    ));
+    out.push_str(&format!(
+        "The prediction is the SMT level the replayed decision core converges \
+         to; the label is the simulate-every-level oracle (paper Section VI: \
+         93% on POWER7, 86% on Nehalem, ~90% overall). A prediction counts as \
+         correct when it matches the oracle label exactly or its oracle \
+         throughput is within {} of the best level's (the paper's near-tie \
+         criterion); strict label-match accuracy is **{}** ({} of {}).\n\n",
+        pct(NEAR_TIE_EPSILON),
+        pct(s.exact_accuracy),
+        s.exact,
+        s.total,
+    ));
+
+    out.push_str("## Accuracy by architecture\n\n");
+    out.push_str("| arch | entries | correct | accuracy |\n|---|---|---|---|\n");
+    for (tag, r) in &s.per_arch {
+        out.push_str(&format!(
+            "| {tag} | {} | {} | {} |\n",
+            r.total,
+            r.correct,
+            pct(r.accuracy)
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("## Accuracy by size tier\n\n");
+    out.push_str("| tier | entries | correct | accuracy |\n|---|---|---|---|\n");
+    for (name, r) in &s.per_tier {
+        out.push_str(&format!(
+            "| {name} | {} | {} | {} |\n",
+            r.total,
+            r.correct,
+            pct(r.accuracy)
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("## Per-level precision / recall / F1\n\n");
+    out.push_str(
+        "| level | tp | fp | fn | precision | recall | F1 |\n|---|---|---|---|---|---|---|\n",
+    );
+    for l in &s.per_level {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            l.level,
+            l.true_positives,
+            l.false_positives,
+            l.false_negatives,
+            pct(l.precision),
+            pct(l.recall),
+            pct(l.f1),
+        ));
+    }
+    out.push('\n');
+
+    out.push_str("## Confusion matrix (oracle rows, predicted columns)\n\n");
+    if let Some(first) = s.confusion.first() {
+        out.push_str("| oracle \\ predicted |");
+        for (col, _) in &first.predicted {
+            let label = if col == NO_PREDICTION { "(none)" } else { col };
+            out.push_str(&format!(" {label} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &first.predicted {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &s.confusion {
+            out.push_str(&format!("| {} |", row.oracle));
+            for (_, n) in &row.predicted {
+                out.push_str(&format!(" {n} |"));
+            }
+            out.push('\n');
+        }
+    }
+    out.push('\n');
+
+    let failed: Vec<_> = report.entries.iter().filter(|e| !e.correct).collect();
+    out.push_str("## Mispredicted entries\n\n");
+    if failed.is_empty() {
+        out.push_str("None.\n");
+    } else {
+        out.push_str(
+            "Loss is the relative throughput given up by running at the \
+             predicted level instead of the oracle-best one.\n\n",
+        );
+        out.push_str(
+            "| entry | oracle | predicted | loss | metric | note |\n|---|---|---|---|---|---|\n",
+        );
+        for e in failed {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                e.id,
+                e.oracle_best,
+                e.predicted
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                e.perf_loss.map(pct).unwrap_or_else(|| "-".into()),
+                e.final_metric
+                    .map(|m| format!("{m:.4}"))
+                    .unwrap_or_else(|| "-".into()),
+                e.error.as_deref().unwrap_or(""),
+            ));
+        }
+    }
+    out.push('\n');
+
+    let near_ties: Vec<_> = report
+        .entries
+        .iter()
+        .filter(|e| e.correct && !e.exact)
+        .collect();
+    if !near_ties.is_empty() {
+        out.push_str("## Near-tie entries counted correct\n\n");
+        out.push_str(&format!(
+            "Label differs from the oracle but the predicted level performs \
+             within {} of it.\n\n",
+            pct(NEAR_TIE_EPSILON)
+        ));
+        out.push_str("| entry | oracle | predicted | loss |\n|---|---|---|---|\n");
+        for e in near_ties {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                e.id,
+                e.oracle_best,
+                e.predicted
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                e.perf_loss.map(pct).unwrap_or_else(|| "-".into()),
+            ));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("## Accuracy trajectory\n\n");
+    if trajectory.runs.is_empty() {
+        out.push_str("No labeled runs recorded yet.\n");
+    } else {
+        let mut arch_cols: Vec<&str> = Vec::new();
+        for a in CorpusArch::ALL {
+            if trajectory
+                .runs
+                .iter()
+                .any(|r| r.per_arch.contains_key(a.tag()))
+            {
+                arch_cols.push(a.tag());
+            }
+        }
+        out.push_str("| run | entries | overall |");
+        for a in &arch_cols {
+            out.push_str(&format!(" {a} |"));
+        }
+        out.push_str("\n|---|---|---|");
+        for _ in &arch_cols {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for run in &trajectory.runs {
+            out.push_str(&format!(
+                "| {} | {} | {} |",
+                run.label,
+                run.total,
+                pct(run.overall)
+            ));
+            for a in &arch_cols {
+                out.push_str(&format!(
+                    " {} |",
+                    run.per_arch
+                        .get(*a)
+                        .map(|x| pct(*x))
+                        .unwrap_or_else(|| "-".into())
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Gate a fresh score against a committed baseline: overall accuracy and
+/// every shared per-arch accuracy must be within `tolerance_points`
+/// percentage points *below* the baseline (improvement always passes).
+pub fn check_regression(
+    current: &ScoreReport,
+    baseline: &ScoreReport,
+    tolerance_points: f64,
+) -> Result<(), Error> {
+    let tol = tolerance_points / 100.0;
+    let mut problems = Vec::new();
+    if current.summary.accuracy < baseline.summary.accuracy - tol {
+        problems.push(format!(
+            "overall accuracy {} fell more than {tolerance_points} points below \
+             the committed {}",
+            pct(current.summary.accuracy),
+            pct(baseline.summary.accuracy),
+        ));
+    }
+    for (tag, base) in &baseline.summary.per_arch {
+        if let Some(cur) = current.summary.per_arch.get(tag) {
+            if cur.accuracy < base.accuracy - tol {
+                problems.push(format!(
+                    "{tag} accuracy {} fell more than {tolerance_points} points \
+                     below the committed {}",
+                    pct(cur.accuracy),
+                    pct(base.accuracy),
+                ));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::InvalidMeasurement(format!(
+            "score regression:\n  {}",
+            problems.join("\n  ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::SizeTier;
+    use crate::score::{summarize, EntryOutcome};
+    use smt_sim::SmtLevel;
+
+    fn report(label: &str, correct: usize, total: usize) -> ScoreReport {
+        let entries: Vec<EntryOutcome> = (0..total)
+            .map(|i| {
+                let arch = if i % 2 == 0 {
+                    CorpusArch::P7
+                } else {
+                    CorpusArch::Nhm
+                };
+                let oracle = SmtLevel::Smt2;
+                let predicted = Some(if i < correct {
+                    SmtLevel::Smt2
+                } else {
+                    SmtLevel::Smt1
+                });
+                EntryOutcome {
+                    id: format!("e{i}"),
+                    arch,
+                    tier: SizeTier::S,
+                    workload: format!("w{i}"),
+                    oracle_best: oracle,
+                    predicted,
+                    exact: predicted == Some(oracle),
+                    correct: predicted == Some(oracle),
+                    perf_loss: Some(if predicted == Some(oracle) { 0.0 } else { 0.3 }),
+                    windows: 8,
+                    final_metric: Some(0.1),
+                    error: None,
+                }
+            })
+            .collect();
+        ScoreReport {
+            label: label.to_string(),
+            manifest_checksum: 99,
+            tier: None,
+            summary: summarize(&entries),
+            entries,
+        }
+    }
+
+    #[test]
+    fn markdown_is_deterministic_and_complete() {
+        let r = report("run-a", 3, 4);
+        let mut traj = ScoreTrajectory::default();
+        traj.record(&r);
+        let a = render_markdown(&r, &traj);
+        let b = render_markdown(&r, &traj);
+        assert_eq!(a, b);
+        assert!(a.contains("75.0%"), "{a}");
+        assert!(a.contains("## Confusion matrix"));
+        assert!(a.contains("## Accuracy trajectory"));
+        assert!(a.contains("run-a"));
+    }
+
+    #[test]
+    fn trajectory_replaces_same_label() {
+        let mut traj = ScoreTrajectory::default();
+        traj.record(&report("x", 1, 4));
+        traj.record(&report("y", 2, 4));
+        traj.record(&report("x", 4, 4));
+        assert_eq!(traj.runs.len(), 2);
+        assert_eq!(traj.runs[0].label, "x");
+        assert!((traj.runs[0].overall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_gate_trips_and_passes() {
+        let base = report("base", 9, 10);
+        assert!(check_regression(&report("ok", 9, 10), &base, 2.0).is_ok());
+        assert!(check_regression(&report("better", 10, 10), &base, 2.0).is_ok());
+        assert!(check_regression(&report("worse", 6, 10), &base, 2.0).is_err());
+    }
+}

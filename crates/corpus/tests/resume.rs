@@ -1,0 +1,130 @@
+//! The scorer's resume contract, end to end: score a corpus with the run
+//! killed after N entries (simulated via `ScoreOptions::limit`), resume
+//! it, and require the resumed report to be byte-identical to an
+//! uninterrupted run's. Also: a journal written under a different policy
+//! or manifest must refuse to resume.
+
+use std::path::Path;
+
+use smt_corpus::{
+    build_corpus, score_corpus, ArchPolicy, BuildOptions, CorpusArch, ScoreOptions, SizeTier,
+};
+
+fn tiny_build(dir: &Path) -> smt_corpus::BuildOutcome {
+    let opts = BuildOptions {
+        base_scale: 0.5,
+        tiers: vec![SizeTier::S],
+        arches: vec![CorpusArch::P7, CorpusArch::Nhm],
+        windows: 4,
+        window_cycles: 5_000,
+        warmup_cycles: 5_000,
+        workload_filter: Some(vec![
+            "EP".to_string(),
+            "Stream".to_string(),
+            "Blackscholes".to_string(),
+        ]),
+        ..BuildOptions::default()
+    };
+    build_corpus(dir, &opts).expect("tiny corpus build")
+}
+
+#[test]
+fn interrupted_score_resumes_to_identical_bytes() {
+    let dir = std::env::temp_dir().join("smt-corpus-resume-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let built = tiny_build(&dir);
+    let manifest = &built.manifest;
+    let total = manifest.entries.len();
+    assert!(total >= 4, "need a few entries to interrupt between");
+
+    // Reference: one uninterrupted run.
+    let ref_journal = dir.join("ref-journal.jsonl");
+    let opts = ScoreOptions {
+        label: Some("resume-test".to_string()),
+        ..ScoreOptions::default()
+    };
+    let full = score_corpus(manifest, &built.manifest_path, &ref_journal, false, &opts)
+        .expect("uninterrupted score");
+    assert_eq!(full.scored, total);
+    assert_eq!(full.remaining, 0);
+    let reference = full.report.expect("complete run has a report");
+    let reference_bytes = reference.to_json().expect("render");
+
+    // Interrupted: stop after 2 entries, then resume to completion.
+    let journal = dir.join("journal.jsonl");
+    let first = score_corpus(
+        manifest,
+        &built.manifest_path,
+        &journal,
+        false,
+        &ScoreOptions {
+            limit: Some(2),
+            ..opts.clone()
+        },
+    )
+    .expect("interrupted score");
+    assert_eq!(first.scored, 2);
+    assert_eq!(first.remaining, total - 2);
+    assert!(first.report.is_none(), "incomplete run must not report");
+
+    let resumed =
+        score_corpus(manifest, &built.manifest_path, &journal, true, &opts).expect("resumed score");
+    assert_eq!(resumed.resumed, 2, "journal outcomes restored");
+    assert_eq!(resumed.scored, total - 2, "only the rest re-scored");
+    assert_eq!(resumed.remaining, 0);
+    let resumed_report = resumed.report.expect("resumed run completes");
+    assert_eq!(
+        resumed_report.to_json().expect("render"),
+        reference_bytes,
+        "resumed report must be byte-identical to the uninterrupted one"
+    );
+
+    // Resuming again with everything done re-scores nothing and still
+    // reproduces the same bytes.
+    let again = score_corpus(manifest, &built.manifest_path, &journal, true, &opts)
+        .expect("idempotent resume");
+    assert_eq!(again.scored, 0);
+    assert_eq!(
+        again.report.expect("report").to_json().unwrap(),
+        reference_bytes
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_journal_refuses_to_resume() {
+    let dir = std::env::temp_dir().join("smt-corpus-stale-journal-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let built = tiny_build(&dir);
+    let journal = dir.join("journal.jsonl");
+    let opts = ScoreOptions {
+        limit: Some(1),
+        ..ScoreOptions::default()
+    };
+    score_corpus(
+        &built.manifest,
+        &built.manifest_path,
+        &journal,
+        false,
+        &opts,
+    )
+    .expect("start journal");
+
+    // Same journal, different policy: the fingerprint must not match.
+    let mut retuned = built.manifest.clone();
+    retuned.policy.insert(
+        "p7".to_string(),
+        ArchPolicy {
+            threshold_top: 0.5,
+            threshold_mid: 0.6,
+        },
+    );
+    retuned.seal().expect("reseal");
+    let err = score_corpus(&retuned, &built.manifest_path, &journal, true, &opts)
+        .expect_err("stale journal must be rejected")
+        .to_string();
+    assert!(err.contains("different run"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

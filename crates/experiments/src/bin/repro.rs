@@ -16,6 +16,7 @@
 //!   sched                       Section-V dynamic-selection demo
 //!   autotune                    closed-loop stability-vs-regret study (not in `all`)
 //!   perf                        simulator throughput harness (not in `all`)
+//!   score                       corpus accuracy scorer (not in `all`)
 //!   all                         everything above
 //! ```
 //!
@@ -29,6 +30,18 @@
 //! `--flamegraph` (self-profile the matrix instead of timing it, printing
 //! per-phase shares and writing `results/perf/profile-<label>.json` plus a
 //! flamegraph-ready `flamegraph-<label>.folded`).
+//!
+//! `repro score` replays the committed benchmark corpus
+//! (`results/corpus/manifest.json`) through the decision core and scores
+//! the predictions against the manifest's simulate-every-level oracle
+//! labels — the paper's 93%/86%/~90% headline as a regression-gated
+//! number. Flags: `--manifest FILE`, `--tier s|m|l`, `--resume` (pick up
+//! an interrupted run from the journal), `--limit N` (stop after N new
+//! entries), `--label NAME` (record the run in the committed trajectory),
+//! `--out DIR` (write `score.json` / `REPORT.md` / `trajectory.json`,
+//! default `results/score`), `--no-out` (score without writing),
+//! `--check FILE` (exit non-zero if accuracy fell more than `--tolerance`
+//! points below the baseline, default 2.0, or below the 85% floor).
 //!
 //! `--scale` scales every workload's total work (default 0.3; 1.0 matches
 //! the catalog's full sizes and takes several minutes per machine on one
@@ -60,9 +73,14 @@ struct Args {
     label: Option<String>,
     perf_out: Option<String>,
     perf_check: Option<String>,
-    tolerance: f64,
+    tolerance: Option<f64>,
     kernel: Option<String>,
     flamegraph: bool,
+    manifest: Option<String>,
+    resume: bool,
+    tier: Option<String>,
+    limit: Option<usize>,
+    no_out: bool,
 }
 
 fn parse_args() -> Args {
@@ -79,9 +97,14 @@ fn parse_args() -> Args {
         label: None,
         perf_out: None,
         perf_check: None,
-        tolerance: 0.2,
+        tolerance: None,
         kernel: None,
         flamegraph: false,
+        manifest: None,
+        resume: false,
+        tier: None,
+        limit: None,
+        no_out: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -118,11 +141,27 @@ fn parse_args() -> Args {
                 args.perf_check = Some(it.next().unwrap_or_else(|| die("--check takes a file")));
             }
             "--tolerance" => {
-                args.tolerance = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--tolerance takes a fraction"));
+                args.tolerance = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--tolerance takes a number")),
+                );
             }
+            "--manifest" => {
+                args.manifest = Some(it.next().unwrap_or_else(|| die("--manifest takes a file")));
+            }
+            "--resume" => args.resume = true,
+            "--tier" => {
+                args.tier = Some(it.next().unwrap_or_else(|| die("--tier takes s|m|l")));
+            }
+            "--limit" => {
+                args.limit = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--limit takes a count")),
+                );
+            }
+            "--no-out" => args.no_out = true,
             "--kernel" => {
                 args.kernel = Some(
                     it.next()
@@ -135,7 +174,7 @@ fn parse_args() -> Args {
                     "usage: repro <artifact|all> [--scale S] [--json DIR] [--csv DIR] \
                      [--no-cache] [--cache-dir DIR] [--serial] [--verbose]\n\
                      artifacts: table1 fig1 fig2 fig6-17 success ablation placement sched \
-                     autotune validate perf"
+                     autotune validate perf score"
                 );
                 std::process::exit(0);
             }
@@ -258,16 +297,17 @@ fn run_perf_cmd(args: &Args) -> Result<(), Error> {
     print!("{}", perf::format_run(&run));
 
     if let Some(check) = &args.perf_check {
+        let tolerance = args.tolerance.unwrap_or(0.2);
         let baseline = perf::PerfReport::load(check)?;
         let base_run = baseline.latest().ok_or_else(|| {
             Error::InvalidMeasurement(format!("{check} contains no runs to check against"))
         })?;
-        let regs = perf::check_regression(&run, base_run, args.tolerance);
+        let regs = perf::check_regression(&run, base_run, tolerance);
         if regs.is_empty() {
             eprintln!(
                 "[repro] perf check OK vs `{}` (tolerance {:.0}%)",
                 base_run.label,
-                args.tolerance * 100.0
+                tolerance * 100.0
             );
         } else {
             for r in &regs {
@@ -328,9 +368,84 @@ fn run_perf_flamegraph(
     Ok(())
 }
 
+/// `repro score`: replay the committed corpus through the decision core,
+/// publish the `results/score/` artifacts, gate against the baseline.
+fn run_score_cmd(args: &Args) -> Result<(), Error> {
+    use smt_experiments::score::{self, ScoreCmd, ScoreOutcome};
+    let mut cmd = ScoreCmd {
+        resume: args.resume,
+        limit: args.limit,
+        label: args.label.clone(),
+        ..ScoreCmd::default()
+    };
+    if let Some(m) = &args.manifest {
+        cmd.manifest = std::path::PathBuf::from(m);
+    }
+    if let Some(t) = &args.tier {
+        cmd.tier = Some(
+            smt_corpus::SizeTier::from_name(t)
+                .unwrap_or_else(|_| die(&format!("unknown --tier {t:?} (want s|m|l)"))),
+        );
+    }
+    if !args.no_out {
+        cmd.out_dir = Some(std::path::PathBuf::from(
+            args.perf_out
+                .clone()
+                .unwrap_or_else(|| "results/score".to_string()),
+        ));
+    }
+    cmd.check = args.perf_check.clone().map(std::path::PathBuf::from);
+    if let Some(t) = args.tolerance {
+        cmd.tolerance_points = t;
+    }
+    eprintln!(
+        "[repro] scoring corpus {} (journal {}{})...",
+        cmd.manifest.display(),
+        cmd.journal.display(),
+        if cmd.resume { ", resuming" } else { "" }
+    );
+    match score::run_score(&cmd)? {
+        ScoreOutcome::Partial { done, remaining } => {
+            eprintln!(
+                "[repro] partial run: {done} entr{} journaled, {remaining} remaining — \
+                 rerun with --resume to finish",
+                if done == 1 { "y" } else { "ies" }
+            );
+        }
+        ScoreOutcome::Complete(report) => {
+            let traj_path = cmd
+                .out_dir
+                .as_deref()
+                .unwrap_or_else(|| std::path::Path::new("results/score"))
+                .join("trajectory.json");
+            let trajectory = smt_corpus::ScoreTrajectory::load(&traj_path).unwrap_or_default();
+            print!("{}", smt_corpus::render_markdown(&report, &trajectory));
+            if let Some(dir) = &cmd.out_dir {
+                eprintln!(
+                    "[repro] wrote {}/score.json and {}/REPORT.md",
+                    dir.display(),
+                    dir.display()
+                );
+            }
+            if cmd.check.is_some() {
+                eprintln!(
+                    "[repro] score check OK: overall {:.1}% (floor {:.0}%, tolerance {} points)",
+                    report.summary.accuracy * 100.0,
+                    score::MIN_OVERALL_ACCURACY * 100.0,
+                    cmd.tolerance_points
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), Error> {
     if args.artifact == "perf" {
         return run_perf_cmd(args);
+    }
+    if args.artifact == "score" {
+        return run_score_cmd(args);
     }
     let sink: Arc<dyn ProgressSink> = if args.verbose {
         Arc::new(StderrSink)

@@ -1,269 +1,12 @@
-//! Trace corpora as engine input: replay recorded counter traces through
-//! the dynamic-selection decision core.
+//! Trace-corpus replay — re-exported from [`smt_corpus`].
 //!
-//! `smt-collect` turns a live (or simulated) session into a `.smtc` trace
-//! file; this module turns a *directory* of such traces into an offline
-//! experiment. Each trace is replayed through a fresh
-//! [`DynamicSmtController`] — the same decision core behind `smtd` and the
-//! Section-V scheduler demo — so recorded production sessions can be
-//! re-analyzed under different thresholds without touching the machine
-//! they came from.
+//! The replay engine started life here as an experiments-only helper;
+//! PR 10 promoted it into the `smt-corpus` crate so the canonical
+//! benchmark corpus (manifest, builder, batch scorer) can use it without
+//! depending on the experiment harness. This module keeps the old paths
+//! (`smt_experiments::corpus::replay_dir` etc.) alive as aliases.
 
-use std::path::{Path, PathBuf};
-
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
-use smt_collect::TraceReader;
-use smt_sched::{ControllerConfig, DynamicSmtController};
-use smt_sim::{Error, MachineConfig, SmtLevel};
-use smt_stats::table::{fnum, Table};
-use smtsm::{LevelSelector, MetricSpec, ThresholdPredictor};
-
-/// File extension recorded traces carry.
-pub const TRACE_EXT: &str = "smtc";
-
-/// Replay policy: thresholds plus controller tuning.
-#[derive(Debug, Clone, Copy)]
-pub struct ReplayPolicy {
-    /// SMT4-vs-SMT2 metric threshold.
-    pub threshold_top: f64,
-    /// SMT2-vs-SMT1 metric threshold.
-    pub threshold_mid: f64,
-    /// Controller tuning (hysteresis, probe interval, ...).
-    pub controller: ControllerConfig,
-}
-
-impl Default for ReplayPolicy {
-    fn default() -> ReplayPolicy {
-        ReplayPolicy {
-            threshold_top: 0.15,
-            threshold_mid: 0.20,
-            controller: ControllerConfig::default(),
-        }
-    }
-}
-
-/// Outcome of replaying one trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct TraceReplay {
-    /// Trace file name.
-    pub trace: String,
-    /// Machine tag from the trace header.
-    pub machine: String,
-    /// Windows replayed.
-    pub windows: u64,
-    /// Level switches the controller decided on.
-    pub switches: u64,
-    /// Level the controller settled on after the last window.
-    pub final_level: SmtLevel,
-    /// Last smoothed metric value observed at the top level.
-    pub final_metric: Option<f64>,
-    /// Windows spent at each level, in `SmtLevel::ALL` order.
-    pub windows_at_level: Vec<(SmtLevel, u64)>,
-}
-
-/// A corpus replay: every trace in a directory under one policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct CorpusReport {
-    /// Per-trace outcomes, in file-name order.
-    pub replays: Vec<TraceReplay>,
-    /// Files that failed to replay, as `(name, error)` pairs.
-    pub failures: Vec<(String, String)>,
-}
-
-/// Map a trace header's machine tag onto a machine configuration. The
-/// tags mirror the `smtd` session machines.
-pub fn machine_for_tag(tag: &str) -> Result<MachineConfig, Error> {
-    match tag {
-        "p7" => Ok(MachineConfig::power7(1)),
-        "p7x2" => Ok(MachineConfig::power7(2)),
-        "nhm" => Ok(MachineConfig::nehalem()),
-        other => Err(Error::InvalidMachine(format!(
-            "trace machine tag {other:?} (expected p7, p7x2, or nhm)"
-        ))),
-    }
-}
-
-/// Replay one trace through a fresh controller under `policy`.
-pub fn replay_trace(path: &Path, policy: &ReplayPolicy) -> Result<TraceReplay, Error> {
-    let mut reader = TraceReader::open(path)?;
-    let machine = machine_for_tag(&reader.meta().machine)?;
-    let spec = MetricSpec::for_arch(&machine.arch);
-    let selector = LevelSelector::three_level(
-        ThresholdPredictor::fixed(policy.threshold_top),
-        ThresholdPredictor::fixed(policy.threshold_mid),
-    );
-    let mut ctl = DynamicSmtController::new(selector, spec, policy.controller);
-    let tag = reader.meta().machine.clone();
-    let mut windows = 0u64;
-    let mut switches = 0u64;
-    let mut final_level = ctl.top_level();
-    let mut final_metric = None;
-    let mut at_level = [0u64; SmtLevel::ALL.len()];
-    while let Some(w) = reader.next()? {
-        let decision = ctl.observe(&w);
-        windows += 1;
-        if decision.switched {
-            switches += 1;
-        }
-        if decision.metric.is_some() {
-            final_metric = decision.metric;
-        }
-        final_level = decision.level;
-        if let Some(i) = SmtLevel::ALL.iter().position(|l| *l == decision.level) {
-            at_level[i] += 1;
-        }
-    }
-    Ok(TraceReplay {
-        trace: path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| path.display().to_string()),
-        machine: tag,
-        windows,
-        switches,
-        final_level,
-        final_metric,
-        windows_at_level: SmtLevel::ALL.iter().copied().zip(at_level).collect(),
-    })
-}
-
-/// Trace files in `dir`, sorted by name for deterministic report order.
-pub fn corpus_files(dir: &Path) -> Result<Vec<PathBuf>, Error> {
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| Error::Io(format!("reading corpus dir {}: {e}", dir.display())))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == TRACE_EXT))
-        .collect();
-    files.sort();
-    Ok(files)
-}
-
-/// Replay every `.smtc` trace in `dir` in parallel. A corrupt or
-/// unreadable trace becomes a `failures` entry, not an error for the whole
-/// corpus — one bad file must not sink a thousand good ones.
-pub fn replay_dir(dir: &Path, policy: &ReplayPolicy) -> Result<CorpusReport, Error> {
-    let files = corpus_files(dir)?;
-    let outcomes: Vec<(String, Result<TraceReplay, Error>)> = files
-        .par_iter()
-        .map(|path| {
-            let name = path
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| path.display().to_string());
-            (name, replay_trace(path, policy))
-        })
-        .collect();
-    let mut replays = Vec::new();
-    let mut failures = Vec::new();
-    for (name, outcome) in outcomes {
-        match outcome {
-            Ok(r) => replays.push(r),
-            Err(e) => failures.push((name, e.to_string())),
-        }
-    }
-    Ok(CorpusReport { replays, failures })
-}
-
-impl CorpusReport {
-    /// Render the corpus outcome as a table.
-    pub fn render(&self) -> String {
-        let mut t = Table::new(vec![
-            "trace", "machine", "windows", "switches", "final", "metric",
-        ]);
-        for r in &self.replays {
-            t.row(vec![
-                r.trace.clone(),
-                r.machine.clone(),
-                r.windows.to_string(),
-                r.switches.to_string(),
-                r.final_level.to_string(),
-                r.final_metric
-                    .map(|m| fnum(m, 4))
-                    .unwrap_or_else(|| "-".into()),
-            ]);
-        }
-        let mut out = format!(
-            "corpus: {} trace(s) replayed, {} failed\n\n{}",
-            self.replays.len(),
-            self.failures.len(),
-            t.render()
-        );
-        for (name, err) in &self.failures {
-            out.push_str(&format!("  FAILED {name}: {err}\n"));
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use smt_collect::{TraceMeta, TraceWriter};
-    use smt_sim::Simulation;
-    use smt_workloads::{catalog, SyntheticWorkload};
-
-    fn record_sim_trace(path: &Path, windows: u64) -> Result<(), Error> {
-        let cfg = MachineConfig::power7(1);
-        let nports = cfg.arch.num_ports();
-        let mut sim = Simulation::new(
-            cfg,
-            SmtLevel::Smt4,
-            SyntheticWorkload::new(catalog::ep().scaled(1.0)),
-        );
-        let mut w = TraceWriter::create(
-            path,
-            TraceMeta {
-                machine: "p7".to_string(),
-                nports,
-                window_cycles: 25_000,
-            },
-        )?;
-        for _ in 0..windows {
-            w.append(&sim.measure_window(25_000))?;
-        }
-        w.finalize()?;
-        Ok(())
-    }
-
-    #[test]
-    fn replaying_a_recorded_sim_trace_works() -> Result<(), Error> {
-        let dir = std::env::temp_dir().join("smtc-corpus-test");
-        std::fs::create_dir_all(&dir).map_err(|e| Error::Io(e.to_string()))?;
-        let path = dir.join("ep-p7.smtc");
-        record_sim_trace(&path, 6)?;
-        let replay = replay_trace(&path, &ReplayPolicy::default())?;
-        assert_eq!(replay.windows, 6);
-        assert_eq!(replay.machine, "p7");
-        let counted: u64 = replay.windows_at_level.iter().map(|(_, n)| n).sum();
-        assert_eq!(counted, 6);
-
-        let report = replay_dir(&dir, &ReplayPolicy::default())?;
-        assert!(report.replays.iter().any(|r| r.trace == "ep-p7.smtc"));
-        assert!(report.render().contains("ep-p7.smtc"));
-        std::fs::remove_file(&path).ok();
-        Ok(())
-    }
-
-    #[test]
-    fn corrupt_trace_is_a_failure_not_a_crash() -> Result<(), Error> {
-        let dir = std::env::temp_dir().join("smtc-corpus-corrupt");
-        std::fs::create_dir_all(&dir).map_err(|e| Error::Io(e.to_string()))?;
-        let path = dir.join("bad.smtc");
-        std::fs::write(&path, b"not a trace at all").map_err(|e| Error::Io(e.to_string()))?;
-        let report = replay_dir(&dir, &ReplayPolicy::default())?;
-        assert!(report.replays.is_empty());
-        assert_eq!(report.failures.len(), 1);
-        assert!(report.render().contains("FAILED bad.smtc"));
-        std::fs::remove_file(&path).ok();
-        Ok(())
-    }
-
-    #[test]
-    fn unknown_machine_tag_is_rejected() {
-        assert!(machine_for_tag("vax").is_err());
-        assert!(machine_for_tag("p7").is_ok());
-        assert!(machine_for_tag("p7x2").is_ok());
-        assert!(machine_for_tag("nhm").is_ok());
-    }
-}
+pub use smt_corpus::replay::{
+    corpus_files, machine_for_tag, replay_dir, replay_trace, selector_for_machine, CorpusReport,
+    ReplayPolicy, TraceReplay, TRACE_EXT,
+};

@@ -24,7 +24,10 @@
 //! - [`perf`] — the simulator perf-trajectory harness behind `repro perf`
 //!   and the committed `BENCH_sim.json`.
 //! - [`corpus`] — directories of recorded `.smtc` counter traces replayed
-//!   through the dynamic-selection decision core under a chosen policy.
+//!   through the dynamic-selection decision core under a chosen policy
+//!   (re-exported from the `smt-corpus` crate).
+//! - [`score`] — `repro score`: the canonical-corpus accuracy scorer and
+//!   its committed `results/score/` artifacts and regression gate.
 //!
 //! The `repro` binary drives everything:
 //! `cargo run --release -p smt-experiments --bin repro -- all --scale 0.3`.
@@ -44,6 +47,7 @@ pub mod progress;
 pub mod runner;
 pub mod scatter;
 pub mod sched_demo;
+pub mod score;
 pub mod suite;
 pub mod validation;
 
@@ -56,4 +60,5 @@ pub use placement::{PlacementRow, PlacementStudy};
 pub use progress::{JobOutcome, NullSink, ProgressEvent, ProgressSink, StderrSink};
 pub use runner::{measure_level, BenchResult, LevelMeasurement, ProtocolConfig};
 pub use scatter::{ScatterFigure, ScatterPoint};
+pub use score::{run_score, write_artifacts, ScoreCmd, ScoreOutcome, MIN_OVERALL_ACCURACY};
 pub use suite::{Machine, SuiteData};

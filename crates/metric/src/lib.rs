@@ -45,7 +45,10 @@ pub use compute::{smtsm, smtsm_factors, SmtsmFactors};
 pub use ideal::{MetricSpec, MixBasis};
 pub use naive::NaiveMetric;
 pub use phase::{PhaseDetector, VectorPhaseDetector};
-pub use predictor::{LevelSelector, SmtPreference, ThresholdPredictor, TrainingMethod};
+pub use predictor::{
+    LevelSelector, SmtPreference, ThresholdPredictor, TrainingMethod, DEFAULT_THRESHOLD_MID,
+    DEFAULT_THRESHOLD_TOP,
+};
 pub use sampler::OnlineSampler;
 pub use signature::{CompatModel, ThreadSignature};
 pub use threshold::{gini_sweep, PpiSweep};

@@ -11,6 +11,23 @@ use serde::{Deserialize, Serialize};
 use smt_sim::SmtLevel;
 use smt_stats::classify::{BinaryConfusion, SpeedupCase};
 
+/// Shipped default top-rung threshold: SMT4-vs-lower on three-level
+/// machines, SMT2-vs-SMT1 on two-level machines.
+///
+/// This is the untrained fallback every consumer starts from — the
+/// `smtselect` CLI's `--threshold` default, the corpus scorer's
+/// [`crate::LevelSelector`] rungs, and the daemon's session spec default
+/// all resolve here, so "what policy does the repo score under when
+/// nobody trained one" has exactly one answer. `smtselect train` prints
+/// its learned thresholds next to these constants (and embeds both in its
+/// `--out` JSON) so drift between training output and scoring defaults is
+/// visible, never silent.
+pub const DEFAULT_THRESHOLD_TOP: f64 = 0.15;
+
+/// Shipped default mid-rung threshold (SMT2-vs-SMT1 on three-level
+/// machines). See [`DEFAULT_THRESHOLD_TOP`] for the sharing contract.
+pub const DEFAULT_THRESHOLD_MID: f64 = 0.20;
+
 /// Predicted preference between two adjacent SMT levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SmtPreference {

@@ -93,6 +93,19 @@
 //!     recommendation the stream converges to. Replay is bit-identical:
 //!     the same trace always yields the same answer.
 //!
+//! smtselect corpus build [--out DIR] [--tier s|m|l] [--base-scale S]
+//!                        [--check MANIFEST] [--json]
+//! smtselect corpus verify [MANIFEST] [--json]
+//!     Manage the canonical benchmark corpus. `build` deterministically
+//!     regenerates every (arch × tier × workload) trace plus its
+//!     simulate-every-level oracle label and writes a sealed, checksummed
+//!     manifest under DIR (default results/corpus); --check compares the
+//!     rebuild against a committed manifest and exits nonzero on drift
+//!     (the CI byte-stability gate). `verify` re-checksums every trace a
+//!     manifest lists (default results/corpus/manifest.json) and exits
+//!     nonzero if any file is missing, truncated, or edited. `repro score`
+//!     replays the corpus to reproduce the paper's accuracy headline.
+//!
 //! `analyze` and `tune` also take `--json`: the recommendation is printed
 //! as one JSON line rendered from the same `Recommendation` struct the
 //! daemon serves, so offline and online answers are byte-comparable.
@@ -168,6 +181,8 @@ struct Opts {
     connect: bool,
     replay: Option<String>,
     probe_affinity: bool,
+    tier: Option<String>,
+    base_scale: Option<f64>,
     positional: Vec<String>,
 }
 
@@ -175,8 +190,8 @@ fn parse(args: &[String]) -> Opts {
     let mut o = Opts {
         machine: "p7".into(),
         scale: 0.3,
-        threshold: 0.15,
-        mid: 0.20,
+        threshold: DEFAULT_THRESHOLD_TOP,
+        mid: DEFAULT_THRESHOLD_MID,
         out: None,
         verify: false,
         json: false,
@@ -209,6 +224,8 @@ fn parse(args: &[String]) -> Opts {
         connect: false,
         replay: None,
         probe_affinity: false,
+        tier: None,
+        base_scale: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -316,6 +333,14 @@ fn parse(args: &[String]) -> Opts {
             "--connect" => o.connect = true,
             "--replay" => o.replay = Some(it.next().expect("--replay takes a path").clone()),
             "--probe-affinity" => o.probe_affinity = true,
+            "--tier" => o.tier = Some(it.next().expect("--tier takes s|m|l").clone()),
+            "--base-scale" => {
+                o.base_scale = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--base-scale takes a number"),
+                )
+            }
             "--label" => o.label = Some(it.next().expect("--label takes a value").clone()),
             "--check" => o.check = Some(it.next().expect("--check takes a path").clone()),
             "--tolerance" => {
@@ -500,12 +525,22 @@ fn cmd_train(o: &Opts) {
         ppi.accuracy(&cases) * 100.0,
         sweep.best_improvement
     );
+    // The shipped defaults are what every untrained consumer (CLI flags,
+    // corpus scorer, daemon sessions) resolves to; print the drift so a
+    // trained threshold diverging from them is visible, never silent.
+    println!(
+        "shipped default: {DEFAULT_THRESHOLD_TOP:.4} top / {DEFAULT_THRESHOLD_MID:.4} mid \
+         (gini drift {:+.4})",
+        gini.threshold - DEFAULT_THRESHOLD_TOP
+    );
     if let Some(path) = &o.out {
         let body = serde_json::json!({
             "machine": o.machine,
             "scale": o.scale,
             "gini": gini,
             "ppi": ppi,
+            "default_threshold_top": DEFAULT_THRESHOLD_TOP,
+            "default_threshold_mid": DEFAULT_THRESHOLD_MID,
             "cases": cases,
         });
         std::fs::write(
@@ -514,6 +549,109 @@ fn cmd_train(o: &Opts) {
         )
         .expect("write thresholds");
         eprintln!("wrote {path}");
+    }
+}
+
+fn cmd_corpus(o: &Opts) {
+    use smt_select::corpus::{check_against, DEFAULT_MANIFEST};
+    let verb = o.positional.first().map(String::as_str).unwrap_or_else(|| {
+        eprintln!("usage: smtselect corpus <build|verify> ...; see --help");
+        std::process::exit(2);
+    });
+    match verb {
+        "build" => {
+            // The window geometry (windows, window_cycles, warmup) is
+            // deliberately NOT flag-overridable: a corpus built with a
+            // different geometry could never byte-match the committed
+            // manifest, so only the size knobs are exposed.
+            let mut opts = BuildOptions::default();
+            if let Some(t) = &o.tier {
+                let tier = SizeTier::from_name(t).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                opts = opts.tier(tier);
+            }
+            if let Some(s) = o.base_scale {
+                opts.base_scale = s;
+            }
+            let out = o.out.clone().unwrap_or_else(|| "results/corpus".into());
+            let cells = opts.tiers.len()
+                * opts
+                    .arches
+                    .iter()
+                    .map(|&a| smt_select::corpus::suite_for_arch(a).len())
+                    .sum::<usize>();
+            eprintln!("building {cells} corpus cells into {out}/ ...");
+            let outcome = smt_select::corpus::build_corpus(std::path::Path::new(&out), &opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("corpus build failed: {e}");
+                    std::process::exit(1);
+                });
+            let manifest = outcome.manifest;
+            if o.json {
+                let body = serde_json::json!({
+                    "manifest": outcome.manifest_path.display().to_string(),
+                    "entries": manifest.entries.len(),
+                    "checksum": format!("{:#018x}", manifest.checksum),
+                });
+                println!("{}", serde_json::to_string(&body).expect("serialize"));
+            } else {
+                println!(
+                    "built {} entries, manifest {} (checksum {:#018x})",
+                    manifest.entries.len(),
+                    outcome.manifest_path.display(),
+                    manifest.checksum
+                );
+            }
+            if let Some(committed_path) = &o.check {
+                let committed = CorpusManifest::load(std::path::Path::new(committed_path))
+                    .unwrap_or_else(|e| {
+                        eprintln!("loading {committed_path}: {e}");
+                        std::process::exit(1);
+                    });
+                let drifts = check_against(&manifest, &committed);
+                if drifts.is_empty() {
+                    println!("check OK: rebuild matches {committed_path}");
+                } else {
+                    eprintln!("rebuild drifts from {committed_path}:");
+                    for d in &drifts {
+                        eprintln!("  {}: {}", d.id, d.what);
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+        "verify" => {
+            let path = o
+                .positional
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| DEFAULT_MANIFEST.to_string());
+            let manifest = CorpusManifest::load(std::path::Path::new(&path)).unwrap_or_else(|e| {
+                eprintln!("loading {path}: {e}");
+                std::process::exit(1);
+            });
+            let report = verify_corpus(&manifest, std::path::Path::new(&path));
+            if o.json {
+                let body = serde_json::json!({
+                    "manifest": path,
+                    "entries": manifest.entries.len(),
+                    "failures": report.failures().len(),
+                    "ok": report.ok(),
+                });
+                println!("{}", serde_json::to_string(&body).expect("serialize"));
+            } else {
+                print!("{}", report.render());
+            }
+            if !report.ok() {
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("unknown corpus verb {other:?}; expected build|verify");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -1277,7 +1415,7 @@ fn main() {
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
             "usage: smtselect <list|analyze|train|tune|autotune|place|collect|record|replay|\
-             serve|bench-serve> ...; see --help"
+             corpus|serve|bench-serve> ...; see --help"
         );
         std::process::exit(2);
     };
@@ -1292,6 +1430,7 @@ fn main() {
         "collect" => cmd_collect(&opts, opts.record.as_deref()),
         "record" => cmd_record(&opts),
         "replay" => cmd_replay(&opts),
+        "corpus" => cmd_corpus(&opts),
         "serve" => cmd_serve(&opts),
         "bench-serve" => cmd_bench_serve(&opts),
         "-h" | "--help" => {
@@ -1299,8 +1438,8 @@ fn main() {
             println!(
                 "commands: list | analyze <bench> [--verify] [--json] | train [--out F] | \
                  tune <bench> [--json] | autotune <bench>... | place <bench>... | \
-                 collect <bench> | record <bench> --out F | replay <trace> | serve | \
-                 bench-serve"
+                 collect <bench> | record <bench> --out F | replay <trace> | \
+                 corpus build|verify | serve | bench-serve"
             );
             println!("options : --machine p7|p7x2|nhm  --scale S  --threshold T  --mid T");
             println!(
@@ -1317,6 +1456,10 @@ fn main() {
             );
             println!(
                 "replay  : --json  --verbose  --connect --addr ENDPOINT  --codec ndjson|binary"
+            );
+            println!(
+                "corpus  : build [--out DIR] [--tier s|m|l] [--base-scale S] [--check MANIFEST] \
+                 [--json] | verify [MANIFEST] [--json]"
             );
             println!(
                 "serve   : --addr ENDPOINT  --unix PATH  --shards N  --max-sessions N  \

@@ -25,6 +25,7 @@
 //! | [`experiments`] (`smt-experiments`) | regenerates every paper table and figure (`repro` binary) |
 //! | [`service`] (`smt-service`) | `smtd`: an online recommendation daemon — clients stream counter windows over TCP/Unix sockets and get SMT-level answers from the same decision core the offline controller uses |
 //! | [`collect`] (`smt-collect`) | counter acquisition: live `perf_event_open` collection, a simulator-backed backend, and checksummed trace record/replay feeding the same windows into every layer above |
+//! | [`corpus`] (`smt-corpus`) | the canonical benchmark corpus: checksummed trace manifests, deterministic corpus generation, and the resumable batch scorer reproducing the paper's 93%/86% accuracy headline against a simulate-every-level oracle |
 //!
 //! # Quick start
 //!
@@ -52,6 +53,7 @@
 
 pub use smt_autotune as autotune;
 pub use smt_collect as collect;
+pub use smt_corpus as corpus;
 pub use smt_experiments as experiments;
 pub use smt_sched as sched;
 pub use smt_service as service;
@@ -70,6 +72,11 @@ pub mod prelude {
     pub use smt_collect::{
         CapabilityReport, CollectReport, Collector, CounterBackend, EventMap, PerfBackend,
         SimBackend, TraceBackend, TraceMeta, TraceReader, TraceWriter, WindowIter,
+    };
+    pub use smt_corpus::{
+        build_corpus, score_corpus, verify_corpus, ArchPolicy, BuildOptions, CorpusArch,
+        CorpusEntry, CorpusManifest, OracleLabel, ReplayPolicy, ScoreOptions, ScoreReport,
+        ScoreTrajectory, SizeTier, VerifyReport,
     };
     pub use smt_experiments::{
         check_regression, run_perf, Engine, EngineMetrics, JobError, PerfEntry, PerfOptions,
@@ -97,6 +104,6 @@ pub mod prelude {
     pub use smtsm::{
         gini_sweep, smtsm, smtsm_factors, CompatModel, LevelSelector, MetricSpec, NaiveMetric,
         OnlineSampler, PhaseDetector, PpiSweep, SmtPreference, SmtsmFactors, ThreadSignature,
-        ThresholdPredictor, VectorPhaseDetector,
+        ThresholdPredictor, VectorPhaseDetector, DEFAULT_THRESHOLD_MID, DEFAULT_THRESHOLD_TOP,
     };
 }
